@@ -1,0 +1,83 @@
+//! Ablation A3 — cost of the reference-selection strategies.
+//!
+//! PDGF's reference generator supports three parent-selection strategies
+//! (uniform draw, keyed Feistel permutation, Zipf skew). All three
+//! recompute the parent cell afterwards, so this bench isolates the
+//! *selection* overhead each adds on top of a baseline ID column —
+//! quantifying that consistent references stay cheap regardless of the
+//! distribution DBSynth or a skewed benchmark (e.g. the Star Schema
+//! Benchmark skew variants) asks for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pdgf_gen::{MapResolver, SchemaRuntime};
+use pdgf_schema::model::RefDistribution;
+use pdgf_schema::{Field, GeneratorSpec, Schema, SqlType, Table};
+
+fn runtime_with(dist: Option<RefDistribution>) -> SchemaRuntime {
+    let child_gen = match dist {
+        None => GeneratorSpec::Id { permute: false },
+        Some(distribution) => GeneratorSpec::Reference {
+            table: "parent".into(),
+            field: "p_id".into(),
+            distribution,
+        },
+    };
+    let schema = Schema::new("refbench", 12_456_789)
+        .table(
+            Table::new("parent", "100000").field(
+                Field::new("p_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+                    .primary(),
+            ),
+        )
+        .table(Table::new("child", "1000000000").field(Field::new(
+            "c_ref",
+            SqlType::BigInt,
+            child_gen,
+        )));
+    SchemaRuntime::build(&schema, &MapResolver::new()).expect("bench model builds")
+}
+
+fn bench_strategy(c: &mut Criterion, name: &str, rt: &SchemaRuntime) {
+    let mut row = 0u64;
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            row = row.wrapping_add(1);
+            black_box(rt.value(1, 0, 0, black_box(row)))
+        })
+    });
+}
+
+fn strategies(c: &mut Criterion) {
+    bench_strategy(c, "ablation_ref/baseline_id_no_reference", &runtime_with(None));
+    bench_strategy(
+        c,
+        "ablation_ref/uniform",
+        &runtime_with(Some(RefDistribution::Uniform)),
+    );
+    bench_strategy(
+        c,
+        "ablation_ref/permutation",
+        &runtime_with(Some(RefDistribution::Permutation)),
+    );
+    bench_strategy(
+        c,
+        "ablation_ref/zipf_0_8",
+        &runtime_with(Some(RefDistribution::Zipf { theta: 0.8 })),
+    );
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(50)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 7 — generation latency of independent values, broken into its
+//! subparts.
+//!
+//! Paper: "For a static value … the pure system overhead can be seen. It
+//! is in the order of 50 Nanoseconds. If a NULL value generator is
+//! wrapped around a static value that is NULL with 100% probability, the
+//! overhead of the NULL generator is added … again in the order of 50 ns.
+//! Finally, if the NULL probability is 0% the inner static value
+//! generator has to be executed in all cases, this adds the base time for
+//! the sub-generator and the actual value generation … Thus the total
+//! duration for each value is in the order of 200 ns."
+//!
+//! Expected shape: latency(Static) < latency(Null 100%) < latency(Null 0%),
+//! each step adding a small constant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pdgf_gen::{MapResolver, SchemaRuntime};
+use pdgf_schema::{Field, GeneratorSpec, Schema, SqlType, Table, Value};
+
+fn runtime_with(generator: GeneratorSpec) -> SchemaRuntime {
+    let schema = Schema::new("fig7", 12_456_789).table(
+        Table::new("t", "1000000000").field(Field::new("f", SqlType::Varchar(64), generator)),
+    );
+    SchemaRuntime::build(&schema, &MapResolver::new()).expect("bench model builds")
+}
+
+fn bench_value(c: &mut Criterion, name: &str, rt: &SchemaRuntime) {
+    let mut row = 0u64;
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            row = row.wrapping_add(1);
+            black_box(rt.value(0, 0, 0, black_box(row)))
+        })
+    });
+}
+
+fn fig7(c: &mut Criterion) {
+    let static_value = GeneratorSpec::Static { value: Value::text("fixed") };
+
+    bench_value(c, "fig7/static_value_no_cache", &runtime_with(static_value.clone()));
+    bench_value(
+        c,
+        "fig7/null_generator_100pct_null",
+        &runtime_with(GeneratorSpec::Null {
+            probability: 1.0,
+            inner: Box::new(static_value.clone()),
+        }),
+    );
+    bench_value(
+        c,
+        "fig7/null_generator_0pct_null",
+        &runtime_with(GeneratorSpec::Null { probability: 0.0, inner: Box::new(static_value) }),
+    );
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(50)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Ablation A1 (§4 text) — reference resolution by recomputation vs.
+//! re-reading generated data.
+//!
+//! "While generating complex values might cost up to 2000 ns, doing a
+//! single random read will cost ca. 10 ms on disk, which means the
+//! computational approach is 5000 times faster than an approach that
+//! reads previously generated data to solve dependencies."
+//!
+//! We resolve the same set of foreign-key references two ways:
+//!
+//! 1. **recompute** — PDGF's reference generator recomputes the parent
+//!    cell from its coordinates (pure computation);
+//! 2. **re-read** — a tracking-style baseline seeks into the previously
+//!    generated parent file for every reference (one `seek + read` per
+//!    lookup, with an optional simulated seek penalty representing the
+//!    paper's 10 ms spinning-disk random read).
+//!
+//! Knobs: `ABL1_LOOKUPS` (default 20000), `ABL1_SEEK_US` simulated extra
+//! seek latency in microseconds (default 0 = measure the real filesystem;
+//! set 10000 for the paper's 10 ms disk).
+
+use std::io::{Read, Seek, SeekFrom};
+
+use bench::{banner, check, env_f64, env_usize, timed};
+use pdgf::{OutputFormat, Pdgf};
+use pdgf_prng::{PdgfDefaultRandom, PdgfRng};
+use workloads::tpch;
+
+fn main() {
+    banner(
+        "Ablation A1: reference recomputation vs re-reading generated data",
+        "computing values is ~5000x faster than random reads of generated \
+         data (2 us computed vs 10 ms disk read)",
+    );
+    let lookups = env_usize("ABL1_LOOKUPS", 20_000);
+    let seek_us = env_f64("ABL1_SEEK_US", 0.0);
+
+    let project = Pdgf::from_schema(tpch::schema(12_456_789))
+        .resolver(tpch::resolver())
+        .set_property("SF", "0.01")
+        .workers(0)
+        .build()
+        .expect("tpch model builds");
+    let rt = project.runtime();
+    let (orders_idx, orders) = rt.table_by_name("orders").expect("orders exists");
+    let parent_rows = orders.size;
+
+    // Write the parent table to disk, recording row byte offsets — the
+    // "previously generated data" a tracking generator would consult.
+    let dir = std::env::temp_dir().join(format!("abl1-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let csv = project
+        .table_to_string("orders", OutputFormat::Csv)
+        .expect("orders render");
+    let path = dir.join("orders.csv");
+    std::fs::write(&path, &csv).expect("write parent file");
+    let mut offsets = Vec::with_capacity(parent_rows as usize);
+    let mut pos = 0u64;
+    for line in csv.lines() {
+        offsets.push(pos);
+        pos += line.len() as u64 + 1;
+    }
+
+    // The reference targets to resolve (same sequence for both sides).
+    let mut rng = PdgfDefaultRandom::seed_from(99);
+    let targets: Vec<u64> = (0..lookups).map(|_| rng.next_bounded(parent_rows)).collect();
+
+    // 1. Recomputation.
+    let recompute = timed(|| {
+        let mut acc = 0i64;
+        for &row in &targets {
+            acc = acc.wrapping_add(
+                rt.value(orders_idx, 0, 0, row).as_i64().expect("order key"),
+            );
+        }
+        acc
+    });
+    let ns_per_recompute = recompute.seconds * 1e9 / lookups as f64;
+
+    // 2. Re-read from the generated file.
+    let mut file = std::fs::File::open(&path).expect("open parent file");
+    let mut buf = [0u8; 32];
+    let reread = timed(|| {
+        let mut acc = 0i64;
+        for &row in &targets {
+            file.seek(SeekFrom::Start(offsets[row as usize]))
+                .expect("seek");
+            let n = file.read(&mut buf).expect("read");
+            let line = std::str::from_utf8(&buf[..n]).unwrap_or("");
+            let key: i64 = line
+                .split(',')
+                .next()
+                .and_then(|f| f.parse().ok())
+                .unwrap_or(0);
+            acc = acc.wrapping_add(key);
+            if seek_us > 0.0 {
+                std::thread::sleep(std::time::Duration::from_nanos((seek_us * 1e3) as u64));
+            }
+        }
+        acc
+    });
+    let ns_per_reread = reread.seconds * 1e9 / lookups as f64;
+    std::fs::remove_dir_all(&dir).ok();
+
+    check(
+        "results-agree",
+        recompute.value == reread.value,
+        "both strategies resolve identical keys",
+    );
+    println!("\n{:<32} {:>14}", "strategy", "ns/reference");
+    println!("{:<32} {:>14.0}", "recompute (PDGF)", ns_per_recompute);
+    println!(
+        "{:<32} {:>14.0}",
+        if seek_us > 0.0 { "re-read (simulated disk)" } else { "re-read (page cache)" },
+        ns_per_reread
+    );
+    let speedup = ns_per_reread / ns_per_recompute;
+    println!("speedup: {speedup:.0}x (paper: ~5000x vs 10 ms spinning disk)");
+    check(
+        "recompute-wins",
+        speedup > 2.0,
+        &format!("recompute {ns_per_recompute:.0} ns vs re-read {ns_per_reread:.0} ns"),
+    );
+    check(
+        "recompute-within-paper-budget",
+        ns_per_recompute < 2_000.0 * 10.0,
+        &format!("paper budget 2000 ns/complex value; measured {ns_per_recompute:.0} ns"),
+    );
+    if seek_us == 0.0 {
+        println!(
+            "note: this machine served re-reads from the page cache; rerun with \
+             ABL1_SEEK_US=10000 to model the paper's 10 ms random disk read"
+        );
+    }
+}

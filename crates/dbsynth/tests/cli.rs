@@ -1,0 +1,123 @@
+//! Integration tests for the `dbsynth` command line interface: the full
+//! seed-source → extract → generate → roundtrip pipeline through the
+//! actual binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dbsynth"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dbsynth-cli-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn full_pipeline_through_the_binary() {
+    let dir = workdir("pipeline");
+    std::fs::remove_dir_all(&dir).ok();
+    let source = dir.join("source");
+    let model = dir.join("model");
+    let synth = dir.join("synth");
+
+    // 1. seed-source
+    let output = bin()
+        .args([
+            "seed-source",
+            "--out",
+            source.to_str().expect("utf8"),
+            "--movies",
+            "300",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(source.join("schema.sql").exists());
+    assert!(source.join("movies.csv").exists());
+
+    // 2. extract
+    let output = bin()
+        .args([
+            "extract",
+            "--source",
+            source.to_str().expect("utf8"),
+            "--out",
+            model.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(model.join("model.xml").exists());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("extracted 3 tables"), "{stdout}");
+    assert!(stdout.contains("markov models"), "{stdout}");
+
+    // 3. generate at 2x
+    let output = bin()
+        .args([
+            "generate",
+            "--model",
+            model.to_str().expect("utf8"),
+            "--target",
+            synth.to_str().expect("utf8"),
+            "--scale",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let movies_csv = std::fs::read_to_string(synth.join("movies.csv")).expect("csv");
+    assert_eq!(movies_csv.lines().count(), 600, "scale 2 doubles 300 movies");
+
+    // 4. roundtrip report
+    let output = bin()
+        .args(["roundtrip", "--source", source.to_str().expect("utf8")])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("row_ratio=1.000"), "{stdout}");
+    assert!(stdout.contains("ranges contained: true"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn schema_only_extraction_skips_resources() {
+    let dir = workdir("schemaonly");
+    std::fs::remove_dir_all(&dir).ok();
+    let source = dir.join("source");
+    let model = dir.join("model");
+    assert!(bin()
+        .args(["seed-source", "--out", source.to_str().expect("utf8"), "--movies", "50"])
+        .status()
+        .expect("runs")
+        .success());
+    let output = bin()
+        .args([
+            "extract",
+            "--source",
+            source.to_str().expect("utf8"),
+            "--out",
+            model.to_str().expect("utf8"),
+            "--schema-only",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("0 dictionaries, 0 markov models"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    let output = bin().arg("nope").output().expect("runs");
+    assert_eq!(output.status.code(), Some(2));
+    let output = bin().args(["extract", "--out", "/tmp/x"]).output().expect("runs");
+    assert_eq!(output.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--source"));
+}

@@ -1,0 +1,184 @@
+//! Schema catalog: the metadata DBSynth's basic extraction reads.
+
+use pdgf_schema::SqlType;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// SQL type.
+    pub sql_type: SqlType,
+    /// May the column hold NULL?
+    pub nullable: bool,
+    /// Part of the primary key?
+    pub primary: bool,
+}
+
+impl ColumnDef {
+    /// Nullable, non-key column.
+    pub fn new(name: &str, sql_type: SqlType) -> Self {
+        Self { name: name.to_string(), sql_type, nullable: true, primary: false }
+    }
+
+    /// Mark NOT NULL.
+    pub fn not_null(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+
+    /// Mark PRIMARY KEY (implies NOT NULL).
+    pub fn primary_key(mut self) -> Self {
+        self.primary = true;
+        self.nullable = false;
+        self
+    }
+}
+
+/// A foreign-key constraint: `column` references `ref_table.ref_column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing column in this table.
+    pub column: String,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced column.
+    pub ref_column: String,
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Foreign-key constraints.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableDef {
+    /// Table with no columns yet (builder style).
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_string(), columns: Vec::new(), foreign_keys: Vec::new() }
+    }
+
+    /// Append a column.
+    pub fn column(mut self, col: ColumnDef) -> Self {
+        self.columns.push(col);
+        self
+    }
+
+    /// Append a foreign key.
+    pub fn foreign_key(mut self, column: &str, ref_table: &str, ref_column: &str) -> Self {
+        self.foreign_keys.push(ForeignKey {
+            column: column.to_string(),
+            ref_table: ref_table.to_string(),
+            ref_column: ref_column.to_string(),
+        });
+        self
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The foreign key departing from `column`, if any.
+    pub fn foreign_key_for(&self, column: &str) -> Option<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .find(|fk| fk.column.eq_ignore_ascii_case(column))
+    }
+
+    /// Render as a `CREATE TABLE` statement (the schema translator path).
+    pub fn to_ddl(&self) -> String {
+        let mut out = format!("CREATE TABLE {} (\n", self.name);
+        let pk: Vec<&str> = self
+            .columns
+            .iter()
+            .filter(|c| c.primary)
+            .map(|c| c.name.as_str())
+            .collect();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("  {} {}", c.name, c.sql_type));
+            if !c.nullable {
+                out.push_str(" NOT NULL");
+            }
+            if i + 1 < self.columns.len() || !pk.is_empty() || !self.foreign_keys.is_empty()
+            {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        if !pk.is_empty() {
+            out.push_str(&format!("  PRIMARY KEY ({})", pk.join(", ")));
+            if !self.foreign_keys.is_empty() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        for (i, fk) in self.foreign_keys.iter().enumerate() {
+            out.push_str(&format!(
+                "  FOREIGN KEY ({}) REFERENCES {} ({})",
+                fk.column, fk.ref_table, fk.ref_column
+            ));
+            if i + 1 < self.foreign_keys.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str(");\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders() -> TableDef {
+        TableDef::new("orders")
+            .column(ColumnDef::new("o_id", SqlType::BigInt).primary_key())
+            .column(ColumnDef::new("o_cust", SqlType::BigInt).not_null())
+            .column(ColumnDef::new("o_comment", SqlType::Varchar(79)))
+            .foreign_key("o_cust", "customer", "c_id")
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let t = orders();
+        assert_eq!(t.column_index("O_ID"), Some(0));
+        assert_eq!(t.column_index("o_comment"), Some(2));
+        assert_eq!(t.column_index("nope"), None);
+    }
+
+    #[test]
+    fn primary_key_implies_not_null() {
+        let t = orders();
+        assert!(t.columns[0].primary);
+        assert!(!t.columns[0].nullable);
+        assert!(t.columns[2].nullable);
+    }
+
+    #[test]
+    fn foreign_keys_resolve_per_column() {
+        let t = orders();
+        let fk = t.foreign_key_for("o_cust").unwrap();
+        assert_eq!(fk.ref_table, "customer");
+        assert_eq!(fk.ref_column, "c_id");
+        assert!(t.foreign_key_for("o_id").is_none());
+    }
+
+    #[test]
+    fn ddl_contains_all_constraints() {
+        let ddl = orders().to_ddl();
+        assert!(ddl.contains("CREATE TABLE orders"));
+        assert!(ddl.contains("o_id BIGINT NOT NULL"));
+        assert!(ddl.contains("o_comment VARCHAR(79)"));
+        assert!(ddl.contains("PRIMARY KEY (o_id)"));
+        assert!(ddl.contains("FOREIGN KEY (o_cust) REFERENCES customer (c_id)"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Sampling scans.
+//!
+//! DBSynth lets users "specify the amount of data sampled and the
+//! sampling strategy"; the Markov-extraction experiment sweeps sample
+//! fractions from 0.001% to 100%. All strategies are deterministic given
+//! their seed, so extraction runs are reproducible.
+
+use pdgf_prng::{PdgfDefaultRandom, PdgfRng};
+
+/// How rows are selected from a scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleStrategy {
+    /// Every row (a 100% sample).
+    Full,
+    /// Independent Bernoulli sample: each row kept with probability `p`.
+    Fraction {
+        /// Keep probability in `[0, 1]`.
+        p: f64,
+        /// Determinism seed.
+        seed: u64,
+    },
+    /// Systematic sample: every `k`-th row, starting at row 0.
+    EveryK {
+        /// Stride (>= 1).
+        k: u64,
+    },
+    /// Reservoir sample of exactly `n` rows (uniform without
+    /// replacement), in original row order.
+    Reservoir {
+        /// Reservoir capacity.
+        n: usize,
+        /// Determinism seed.
+        seed: u64,
+    },
+    /// The first `n` rows.
+    FirstN {
+        /// Prefix length.
+        n: usize,
+    },
+}
+
+impl SampleStrategy {
+    /// Indices of the sampled rows from a table of `total` rows, in
+    /// ascending order.
+    pub fn select(&self, total: usize) -> Vec<usize> {
+        match *self {
+            SampleStrategy::Full => (0..total).collect(),
+            SampleStrategy::Fraction { p, seed } => {
+                assert!((0.0..=1.0).contains(&p), "fraction out of range");
+                let mut rng = PdgfDefaultRandom::seed_from(seed);
+                (0..total).filter(|_| rng.next_bool(p)).collect()
+            }
+            SampleStrategy::EveryK { k } => {
+                assert!(k >= 1, "stride must be at least 1");
+                (0..total).step_by(k as usize).collect()
+            }
+            SampleStrategy::Reservoir { n, seed } => {
+                if n == 0 {
+                    return Vec::new();
+                }
+                let mut rng = PdgfDefaultRandom::seed_from(seed);
+                let mut reservoir: Vec<usize> = (0..total.min(n)).collect();
+                for i in n..total {
+                    let j = rng.next_bounded(i as u64 + 1) as usize;
+                    if j < n {
+                        reservoir[j] = i;
+                    }
+                }
+                reservoir.sort_unstable();
+                reservoir
+            }
+            SampleStrategy::FirstN { n } => (0..total.min(n)).collect(),
+        }
+    }
+
+    /// Expected sample size for a table of `total` rows (exact for all
+    /// strategies except `Fraction`, where it is the mean).
+    pub fn expected_size(&self, total: usize) -> usize {
+        match *self {
+            SampleStrategy::Full => total,
+            SampleStrategy::Fraction { p, .. } => (total as f64 * p).round() as usize,
+            SampleStrategy::EveryK { k } => total.div_ceil(k as usize),
+            SampleStrategy::Reservoir { n, .. } => total.min(n),
+            SampleStrategy::FirstN { n } => total.min(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_selects_everything() {
+        assert_eq!(SampleStrategy::Full.select(5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(SampleStrategy::Full.expected_size(5), 5);
+    }
+
+    #[test]
+    fn fraction_is_calibrated_and_deterministic() {
+        let s = SampleStrategy::Fraction { p: 0.1, seed: 42 };
+        let picked = s.select(100_000);
+        assert_eq!(picked, s.select(100_000), "not deterministic");
+        let frac = picked.len() as f64 / 100_000.0;
+        assert!((0.095..0.105).contains(&frac), "frac {frac}");
+        assert!(SampleStrategy::Fraction { p: 0.0, seed: 1 }.select(1000).is_empty());
+        assert_eq!(
+            SampleStrategy::Fraction { p: 1.0, seed: 1 }.select(1000).len(),
+            1000
+        );
+    }
+
+    #[test]
+    fn every_k_is_systematic() {
+        let s = SampleStrategy::EveryK { k: 3 };
+        assert_eq!(s.select(10), vec![0, 3, 6, 9]);
+        assert_eq!(s.expected_size(10), 4);
+    }
+
+    #[test]
+    fn reservoir_is_exact_size_and_uniformish() {
+        let s = SampleStrategy::Reservoir { n: 100, seed: 7 };
+        let picked = s.select(10_000);
+        assert_eq!(picked.len(), 100);
+        assert!(picked.windows(2).all(|w| w[0] < w[1]), "must be sorted unique");
+        // Roughly half the picks should land in the second half.
+        let late = picked.iter().filter(|&&i| i >= 5000).count();
+        assert!((30..70).contains(&late), "late picks: {late}");
+        // Small tables are returned whole.
+        assert_eq!(SampleStrategy::Reservoir { n: 100, seed: 7 }.select(10).len(), 10);
+        assert!(SampleStrategy::Reservoir { n: 0, seed: 7 }.select(10).is_empty());
+    }
+
+    #[test]
+    fn first_n_is_a_prefix() {
+        assert_eq!(SampleStrategy::FirstN { n: 3 }.select(10), vec![0, 1, 2]);
+        assert_eq!(SampleStrategy::FirstN { n: 30 }.select(10).len(), 10);
+    }
+
+    #[test]
+    fn reservoir_different_seeds_differ() {
+        let a = SampleStrategy::Reservoir { n: 50, seed: 1 }.select(10_000);
+        let b = SampleStrategy::Reservoir { n: 50, seed: 2 }.select(10_000);
+        assert_ne!(a, b);
+    }
+}

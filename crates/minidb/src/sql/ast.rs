@@ -1,0 +1,191 @@
+//! SQL abstract syntax.
+
+use pdgf_schema::Value;
+
+use crate::catalog::TableDef;
+
+/// A (possibly table-qualified) column reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Optional table qualifier.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// COUNT(*) or COUNT(expr).
+    Count,
+    /// SUM(expr).
+    Sum,
+    /// AVG(expr).
+    Avg,
+    /// MIN(expr).
+    Min,
+    /// MAX(expr).
+    Max,
+}
+
+/// A scalar or aggregate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Lit(Value),
+    /// Column reference.
+    Col(ColRef),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// `expr IS NULL` (`negated` for `IS NOT NULL`).
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr LIKE 'pattern'` with `%` and `_` wildcards.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The pattern.
+        pattern: String,
+    },
+    /// Aggregate call; `None` argument means `COUNT(*)`.
+    Agg(AggFunc, Option<Box<Expr>>),
+}
+
+impl Expr {
+    /// Does this expression contain an aggregate call?
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg(..) => true,
+            Expr::Lit(_) | Expr::Col(_) => false,
+            Expr::Bin(_, a, b) => a.has_aggregate() || b.has_aggregate(),
+            Expr::Not(e) | Expr::Neg(e) => e.has_aggregate(),
+            Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => expr.has_aggregate(),
+        }
+    }
+}
+
+/// One item in the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — all columns of the FROM row.
+    Star,
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// An `INNER JOIN` clause: `JOIN table ON left = right`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Joined table name.
+    pub table: String,
+    /// Left side of the equality (refers to tables already in scope).
+    pub left: ColRef,
+    /// Right side of the equality (refers to the joined table).
+    pub right: ColRef,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    /// 1-based ordinal into the select list.
+    Ordinal(usize),
+    /// Column or alias name.
+    Name(String),
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Drop duplicate output rows (SELECT DISTINCT).
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM table.
+    pub from: String,
+    /// INNER JOINs in order.
+    pub joins: Vec<Join>,
+    /// WHERE predicate.
+    pub where_: Option<Expr>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColRef>,
+    /// ORDER BY keys with descending flags.
+    pub order_by: Vec<(OrderKey, bool)>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+/// Any supported statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// SELECT query.
+    Select(SelectStmt),
+    /// CREATE TABLE.
+    CreateTable(TableDef),
+    /// INSERT INTO ... VALUES.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal rows.
+        rows: Vec<Vec<Value>>,
+    },
+    /// DROP TABLE.
+    Drop(String),
+    /// DELETE FROM ... [WHERE ...].
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row filter; `None` deletes everything.
+        predicate: Option<Expr>,
+    },
+    /// UPDATE ... SET col = literal, ... [WHERE ...].
+    Update {
+        /// Target table.
+        table: String,
+        /// Column assignments (literal values only).
+        assignments: Vec<(String, Value)>,
+        /// Row filter; `None` updates everything.
+        predicate: Option<Expr>,
+    },
+}

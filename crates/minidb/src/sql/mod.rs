@@ -1,0 +1,47 @@
+//! A SQL-92 subset: enough to create tables, load rows, and run the
+//! validation queries the paper's demo performs against original and
+//! synthetic data ("verify the quality by running SQL queries on the
+//! original data and the generated data and compare the results").
+//!
+//! Supported statements:
+//!
+//! ```sql
+//! CREATE TABLE t (col TYPE [NOT NULL], ..., PRIMARY KEY (a, b),
+//!                 FOREIGN KEY (x) REFERENCES p (y));
+//! INSERT INTO t VALUES (...), (...);
+//! DROP TABLE t;
+//! SELECT [*| expr [AS alias], ...] FROM t [JOIN u ON t.a = u.b]...
+//!   [WHERE expr] [GROUP BY cols] [ORDER BY key [DESC], ...] [LIMIT n];
+//! ```
+//!
+//! Expressions: literals, (qualified) column refs, `+ - * /`, comparisons,
+//! `AND/OR/NOT`, `IS [NOT] NULL`, `LIKE`, and the aggregates `COUNT(*)`,
+//! `COUNT(x)`, `SUM`, `AVG`, `MIN`, `MAX`.
+//!
+//! Semantics are deliberately simple: comparisons involving NULL are
+//! false (no three-valued UNKNOWN), and arithmetic with NULL yields NULL.
+
+pub mod ast;
+pub mod exec;
+pub mod lex;
+pub mod parse;
+
+pub use ast::{Expr, SelectStmt, Stmt};
+pub use exec::{QueryResult, SqlEngine};
+
+use crate::db::{Database, DbError};
+
+/// Parse and execute one statement against `db`.
+pub fn execute(db: &mut Database, sql: &str) -> Result<QueryResult, DbError> {
+    let stmt = parse::parse(sql).map_err(DbError::Sql)?;
+    exec::SqlEngine::new(db).execute(stmt)
+}
+
+/// Parse and execute a `SELECT`, returning its rows.
+pub fn query(db: &Database, sql: &str) -> Result<QueryResult, DbError> {
+    let stmt = parse::parse(sql).map_err(DbError::Sql)?;
+    match stmt {
+        Stmt::Select(select) => exec::run_select(db, &select),
+        _ => Err(DbError::Sql("expected a SELECT statement".into())),
+    }
+}

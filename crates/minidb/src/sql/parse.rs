@@ -1,0 +1,689 @@
+//! Recursive-descent SQL parser.
+
+use pdgf_schema::{SqlType, Value};
+
+use crate::catalog::{ColumnDef, TableDef};
+
+use super::ast::{
+    AggFunc, BinOp, ColRef, Expr, Join, OrderKey, SelectItem, SelectStmt, Stmt,
+};
+use super::lex::{lex, Token};
+
+/// Parse one statement (a trailing `;` is allowed).
+pub fn parse(sql: &str) -> Result<Stmt, String> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_stmt()?;
+    p.eat_sym(";");
+    if p.pos != p.tokens.len() {
+        return Err(format!("trailing input after statement: {:?}", p.peek()));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Is the next token the given keyword (case-insensitive)?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consume a keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), String> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(format!("expected {kw}, got {:?}", self.peek()))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), String> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(format!("expected {sym:?}, got {:?}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, String> {
+        if self.eat_kw("SELECT") {
+            return Ok(Stmt::Select(self.parse_select()?));
+        }
+        if self.eat_kw("CREATE") {
+            self.expect_kw("TABLE")?;
+            return self.parse_create();
+        }
+        if self.eat_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            return self.parse_insert();
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            return Ok(Stmt::Drop(self.expect_ident()?));
+        }
+        if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.expect_ident()?;
+            let predicate = if self.eat_kw("WHERE") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Delete { table, predicate });
+        }
+        if self.eat_kw("UPDATE") {
+            let table = self.expect_ident()?;
+            self.expect_kw("SET")?;
+            let mut assignments = Vec::new();
+            loop {
+                let col = self.expect_ident()?;
+                self.expect_sym("=")?;
+                assignments.push((col, self.parse_literal()?));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            let predicate = if self.eat_kw("WHERE") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Update { table, assignments, predicate });
+        }
+        Err(format!("expected a statement, got {:?}", self.peek()))
+    }
+
+    fn parse_create(&mut self) -> Result<Stmt, String> {
+        let name = self.expect_ident()?;
+        self.expect_sym("(")?;
+        let mut def = TableDef::new(&name);
+        let mut primaries: Vec<String> = Vec::new();
+        loop {
+            if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                self.expect_sym("(")?;
+                loop {
+                    primaries.push(self.expect_ident()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+            } else if self.eat_kw("FOREIGN") {
+                self.expect_kw("KEY")?;
+                self.expect_sym("(")?;
+                let col = self.expect_ident()?;
+                self.expect_sym(")")?;
+                self.expect_kw("REFERENCES")?;
+                let ref_table = self.expect_ident()?;
+                self.expect_sym("(")?;
+                let ref_col = self.expect_ident()?;
+                self.expect_sym(")")?;
+                def = def.foreign_key(&col, &ref_table, &ref_col);
+            } else {
+                let col_name = self.expect_ident()?;
+                let ty = self.parse_type()?;
+                let mut col = ColumnDef::new(&col_name, ty);
+                loop {
+                    if self.eat_kw("NOT") {
+                        self.expect_kw("NULL")?;
+                        col = col.not_null();
+                    } else if self.eat_kw("PRIMARY") {
+                        self.expect_kw("KEY")?;
+                        col = col.primary_key();
+                    } else {
+                        break;
+                    }
+                }
+                def = def.column(col);
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        for p in primaries {
+            match def.column_index(&p) {
+                Some(i) => {
+                    def.columns[i].primary = true;
+                    def.columns[i].nullable = false;
+                }
+                None => return Err(format!("PRIMARY KEY references unknown column {p:?}")),
+            }
+        }
+        Ok(Stmt::CreateTable(def))
+    }
+
+    fn parse_type(&mut self) -> Result<SqlType, String> {
+        let mut name = self.expect_ident()?;
+        // Two-word type names.
+        if name.eq_ignore_ascii_case("DOUBLE") && self.eat_kw("PRECISION") {
+            name = "DOUBLE".to_string();
+        }
+        if self.eat_sym("(") {
+            let mut args = String::new();
+            loop {
+                match self.bump() {
+                    Some(Token::Number { text }) => args.push_str(&text),
+                    other => return Err(format!("expected number in type, got {other:?}")),
+                }
+                if self.eat_sym(",") {
+                    args.push(',');
+                } else {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            name = format!("{name}({args})");
+        }
+        SqlType::parse(&name).ok_or_else(|| format!("unknown type {name:?}"))
+    }
+
+    fn parse_insert(&mut self) -> Result<Stmt, String> {
+        let table = self.expect_ident()?;
+        // Optional column list: `INSERT INTO t (a, b, c) VALUES …`. The
+        // engine requires full-row inserts, so the list is validated for
+        // shape but otherwise informational.
+        if self.eat_sym("(") {
+            loop {
+                self.expect_ident()?;
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_sym("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.parse_literal()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            rows.push(row);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        Ok(Stmt::Insert { table, rows })
+    }
+
+    fn parse_literal(&mut self) -> Result<Value, String> {
+        let negative = self.eat_sym("-");
+        match self.bump() {
+            Some(Token::Number { text }) => parse_number(&text, negative),
+            Some(Token::Str(s)) if !negative => Ok(Value::text(s)),
+            Some(Token::Ident(s)) if !negative && s.eq_ignore_ascii_case("NULL") => {
+                Ok(Value::Null)
+            }
+            Some(Token::Ident(s)) if !negative && s.eq_ignore_ascii_case("TRUE") => {
+                Ok(Value::Bool(true))
+            }
+            Some(Token::Ident(s)) if !negative && s.eq_ignore_ascii_case("FALSE") => {
+                Ok(Value::Bool(false))
+            }
+            other => Err(format!("expected literal, got {other:?}")),
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<SelectStmt, String> {
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_sym("*") {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.expect_ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let from = self.expect_ident()?;
+        let mut joins = Vec::new();
+        while self.eat_kw("JOIN") || (self.at_kw("INNER") && { self.pos += 1; self.expect_kw("JOIN")?; true }) {
+            let table = self.expect_ident()?;
+            self.expect_kw("ON")?;
+            let left = self.parse_colref()?;
+            self.expect_sym("=")?;
+            let right = self.parse_colref()?;
+            joins.push(Join { table, left, right });
+        }
+        let where_ = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.parse_colref()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let key = match self.peek() {
+                    Some(Token::Number { text }) => {
+                        let n: usize = text
+                            .parse()
+                            .map_err(|_| format!("bad ordinal {text:?}"))?;
+                        self.pos += 1;
+                        OrderKey::Ordinal(n)
+                    }
+                    _ => {
+                        let c = self.parse_colref()?;
+                        OrderKey::Name(match c.table {
+                            Some(t) => format!("{t}.{}", c.column),
+                            None => c.column,
+                        })
+                    }
+                };
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push((key, desc));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.bump() {
+                Some(Token::Number { text }) => {
+                    Some(text.parse().map_err(|_| format!("bad LIMIT {text:?}"))?)
+                }
+                other => return Err(format!("expected LIMIT count, got {other:?}")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { distinct, items, from, joins, where_, group_by, order_by, limit })
+    }
+
+    fn parse_colref(&mut self) -> Result<ColRef, String> {
+        let first = self.expect_ident()?;
+        if self.eat_sym(".") {
+            let column = self.expect_ident()?;
+            Ok(ColRef { table: Some(first), column })
+        } else {
+            Ok(ColRef { table: None, column: first })
+        }
+    }
+
+    // Precedence: OR < AND < NOT < comparison < additive < multiplicative
+    // < unary < atom.
+    fn parse_expr(&mut self) -> Result<Expr, String> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_kw("OR") {
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(self.parse_and()?));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_kw("AND") {
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(self.parse_not()?));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, String> {
+        if self.eat_kw("NOT") {
+            return Ok(Expr::Not(Box::new(self.parse_not()?)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, String> {
+        let lhs = self.parse_additive()?;
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(lhs), negated });
+        }
+        if self.eat_kw("LIKE") {
+            match self.bump() {
+                Some(Token::Str(pattern)) => {
+                    return Ok(Expr::Like { expr: Box::new(lhs), pattern })
+                }
+                other => return Err(format!("expected LIKE pattern, got {other:?}")),
+            }
+        }
+        let op = if self.eat_sym("=") {
+            BinOp::Eq
+        } else if self.eat_sym("<>") {
+            BinOp::Ne
+        } else if self.eat_sym("<=") {
+            BinOp::Le
+        } else if self.eat_sym(">=") {
+            BinOp::Ge
+        } else if self.eat_sym("<") {
+            BinOp::Lt
+        } else if self.eat_sym(">") {
+            BinOp::Gt
+        } else {
+            return Ok(lhs);
+        };
+        Ok(Expr::Bin(op, Box::new(lhs), Box::new(self.parse_additive()?)))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            if self.eat_sym("+") {
+                lhs = Expr::Bin(
+                    BinOp::Add,
+                    Box::new(lhs),
+                    Box::new(self.parse_multiplicative()?),
+                );
+            } else if self.eat_sym("-") {
+                lhs = Expr::Bin(
+                    BinOp::Sub,
+                    Box::new(lhs),
+                    Box::new(self.parse_multiplicative()?),
+                );
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            if self.eat_sym("*") {
+                lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(self.parse_unary()?));
+            } else if self.eat_sym("/") {
+                lhs = Expr::Bin(BinOp::Div, Box::new(lhs), Box::new(self.parse_unary()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, String> {
+        if self.eat_sym("-") {
+            return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, String> {
+        match self.peek().cloned() {
+            Some(Token::Sym("(")) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Token::Number { text }) => {
+                self.pos += 1;
+                Ok(Expr::Lit(parse_number(&text, false)?))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(Value::text(s)))
+            }
+            Some(Token::Ident(word)) => {
+                if word.eq_ignore_ascii_case("NULL") {
+                    self.pos += 1;
+                    return Ok(Expr::Lit(Value::Null));
+                }
+                if word.eq_ignore_ascii_case("TRUE") {
+                    self.pos += 1;
+                    return Ok(Expr::Lit(Value::Bool(true)));
+                }
+                if word.eq_ignore_ascii_case("FALSE") {
+                    self.pos += 1;
+                    return Ok(Expr::Lit(Value::Bool(false)));
+                }
+                let agg = match word.to_ascii_uppercase().as_str() {
+                    "COUNT" => Some(AggFunc::Count),
+                    "SUM" => Some(AggFunc::Sum),
+                    "AVG" => Some(AggFunc::Avg),
+                    "MIN" => Some(AggFunc::Min),
+                    "MAX" => Some(AggFunc::Max),
+                    _ => None,
+                };
+                if let Some(func) = agg {
+                    // Only treat as aggregate when followed by '('.
+                    if matches!(self.tokens.get(self.pos + 1), Some(Token::Sym("("))) {
+                        self.pos += 2;
+                        if func == AggFunc::Count && self.eat_sym("*") {
+                            self.expect_sym(")")?;
+                            return Ok(Expr::Agg(AggFunc::Count, None));
+                        }
+                        let arg = self.parse_expr()?;
+                        self.expect_sym(")")?;
+                        return Ok(Expr::Agg(func, Some(Box::new(arg))));
+                    }
+                }
+                Ok(Expr::Col(self.parse_colref()?))
+            }
+            other => Err(format!("expected expression, got {other:?}")),
+        }
+    }
+}
+
+fn parse_number(text: &str, negative: bool) -> Result<Value, String> {
+    if !text.contains('.') && !text.contains('e') && !text.contains('E') {
+        let v: i64 = text.parse().map_err(|_| format!("bad number {text:?}"))?;
+        Ok(Value::Long(if negative { -v } else { v }))
+    } else {
+        let v: f64 = text.parse().map_err(|_| format!("bad number {text:?}"))?;
+        Ok(Value::Double(if negative { -v } else { v }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table_with_constraints() {
+        let stmt = parse(
+            "CREATE TABLE orders (o_id BIGINT PRIMARY KEY, o_cust BIGINT NOT NULL, \
+             o_comment VARCHAR(79), FOREIGN KEY (o_cust) REFERENCES customer (c_id));",
+        )
+        .unwrap();
+        let Stmt::CreateTable(def) = stmt else { panic!() };
+        assert_eq!(def.name, "orders");
+        assert!(def.columns[0].primary);
+        assert!(!def.columns[1].nullable);
+        assert_eq!(def.columns[2].sql_type, SqlType::Varchar(79));
+        assert_eq!(def.foreign_keys.len(), 1);
+    }
+
+    #[test]
+    fn parses_table_level_primary_key() {
+        let stmt =
+            parse("CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a, b))").unwrap();
+        let Stmt::CreateTable(def) = stmt else { panic!() };
+        assert!(def.columns.iter().all(|c| c.primary && !c.nullable));
+        assert!(parse("CREATE TABLE t (a INTEGER, PRIMARY KEY (zz))").is_err());
+    }
+
+    #[test]
+    fn parses_insert_with_multiple_rows() {
+        let stmt =
+            parse("INSERT INTO t VALUES (1, 'a', NULL), (-2, 'b''c', 3.5)").unwrap();
+        let Stmt::Insert { table, rows } = stmt else { panic!() };
+        assert_eq!(table, "t");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Long(1));
+        assert_eq!(rows[0][2], Value::Null);
+        assert_eq!(rows[1][0], Value::Long(-2));
+        assert_eq!(rows[1][1], Value::text("b'c"));
+        assert_eq!(rows[1][2], Value::Double(3.5));
+    }
+
+    #[test]
+    fn parses_full_select() {
+        let stmt = parse(
+            "SELECT o.o_cust, COUNT(*) AS n, SUM(o.total) FROM orders o_unused \
+             WHERE o_cust > 5 AND status = 'OK' GROUP BY o_cust \
+             ORDER BY 2 DESC, o_cust LIMIT 10",
+        );
+        // Our FROM takes a bare table name; aliasing is not supported, so
+        // the above should fail cleanly rather than misparse.
+        assert!(stmt.is_err());
+
+        let stmt = parse(
+            "SELECT o_cust, COUNT(*) AS n FROM orders \
+             WHERE total >= 10.5 OR comment LIKE '%quick%' \
+             GROUP BY o_cust ORDER BY n DESC LIMIT 3;",
+        )
+        .unwrap();
+        let Stmt::Select(s) = stmt else { panic!() };
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.from, "orders");
+        assert!(s.where_.is_some());
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by, vec![(OrderKey::Name("n".into()), true)]);
+        assert_eq!(s.limit, Some(3));
+    }
+
+    #[test]
+    fn parses_joins() {
+        let stmt = parse(
+            "SELECT customer.c_name, orders.o_total FROM customer \
+             JOIN orders ON customer.c_id = orders.o_cust \
+             JOIN lineitem ON orders.o_id = lineitem.l_oid",
+        )
+        .unwrap();
+        let Stmt::Select(s) = stmt else { panic!() };
+        assert_eq!(s.joins.len(), 2);
+        assert_eq!(s.joins[0].table, "orders");
+        assert_eq!(s.joins[0].left.table.as_deref(), Some("customer"));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let Stmt::Select(s) = parse("SELECT 1 + 2 * 3 FROM t").unwrap() else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        // 1 + (2 * 3)
+        match expr {
+            Expr::Bin(BinOp::Add, _, rhs) => {
+                assert!(matches!(rhs.as_ref(), Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let Stmt::Select(s) =
+            parse("SELECT * FROM t WHERE a IS NULL AND NOT b IS NOT NULL").unwrap()
+        else {
+            panic!()
+        };
+        assert!(!s.where_.unwrap().has_aggregate());
+    }
+
+    #[test]
+    fn count_star_vs_count_col() {
+        let Stmt::Select(s) = parse("SELECT COUNT(*), COUNT(x) FROM t").unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            s.items[0],
+            SelectItem::Expr { expr: Expr::Agg(AggFunc::Count, None), alias: None }
+        );
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { expr: Expr::Agg(AggFunc::Count, Some(_)), .. }
+        ));
+    }
+
+    #[test]
+    fn min_as_column_name_is_allowed() {
+        // MIN not followed by '(' is an ordinary identifier.
+        let Stmt::Select(s) = parse("SELECT min FROM t").unwrap() else { panic!() };
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr { expr: Expr::Col(c), .. } if c.column == "min"
+        ));
+    }
+
+    #[test]
+    fn drop_table() {
+        assert_eq!(parse("DROP TABLE t;").unwrap(), Stmt::Drop("t".into()));
+    }
+
+    #[test]
+    fn errors_are_clean() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM t GARBAGE MORE").is_err());
+        assert!(parse("CREATE TABLE t (a NOTATYPE)").is_err());
+        assert!(parse("INSERT INTO t VALUES 1").is_err());
+    }
+}

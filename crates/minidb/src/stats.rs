@@ -1,0 +1,311 @@
+//! Statistics — the substrate's `ANALYZE`.
+//!
+//! DBSynth's elaborate extraction reads "min/max constraints, histograms,
+//! NULL probabilities, as well as statistic information collected by the
+//! database system such as histograms". This module computes them from a
+//! table scan (optionally over a sample).
+
+use std::collections::HashSet;
+
+use pdgf_schema::Value;
+
+use crate::table::TableData;
+
+/// An equi-width histogram over a numeric column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Lower bound of the first bucket.
+    pub lo: f64,
+    /// Upper bound of the last bucket.
+    pub hi: f64,
+    /// Per-bucket counts.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Build from numeric values with `buckets` equal-width buckets.
+    /// Returns `None` for empty input.
+    pub fn build(values: impl Iterator<Item = f64>, buckets: usize) -> Option<Self> {
+        assert!(buckets > 0);
+        let vals: Vec<f64> = values.filter(|v| v.is_finite()).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut counts = vec![0u64; buckets];
+        let width = (hi - lo) / buckets as f64;
+        for v in vals {
+            let idx = if width == 0.0 {
+                0
+            } else {
+                (((v - lo) / width) as usize).min(buckets - 1)
+            };
+            counts[idx] += 1;
+        }
+        Some(Self { lo, hi, counts })
+    }
+
+    /// Total count across buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bucket boundaries `(lo_i, hi_i)` for reporting.
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+}
+
+/// Per-column statistics.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Values scanned (including NULLs).
+    pub count: u64,
+    /// NULLs seen.
+    pub null_count: u64,
+    /// Minimum non-null value.
+    pub min: Option<Value>,
+    /// Maximum non-null value.
+    pub max: Option<Value>,
+    /// Exact distinct count of non-null values.
+    pub distinct: u64,
+    /// Equi-width histogram (numeric columns only).
+    pub histogram: Option<Histogram>,
+    /// Average text length (text columns only).
+    pub avg_text_len: Option<f64>,
+}
+
+impl ColumnStats {
+    /// NULL fraction in `[0, 1]`.
+    pub fn null_fraction(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.null_count as f64 / self.count as f64
+        }
+    }
+
+    /// Compute stats for one column of `table`, scanning the row indices
+    /// in `rows` (e.g. a sample), or all rows when `rows` is `None`.
+    pub fn compute(
+        table: &TableData,
+        column: usize,
+        rows: Option<&[usize]>,
+        histogram_buckets: usize,
+    ) -> Self {
+        let name = table.def().columns[column].name.clone();
+        let mut count = 0u64;
+        let mut null_count = 0u64;
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        let mut distinct: HashSet<String> = HashSet::new();
+        let mut numeric: Vec<f64> = Vec::new();
+        let mut text_len_sum = 0u64;
+        let mut text_count = 0u64;
+
+        let mut visit = |v: &Value| {
+            count += 1;
+            if v.is_null() {
+                null_count += 1;
+                return;
+            }
+            match &min {
+                Some(m) if v.sql_cmp(m).is_ge() => {}
+                _ => min = Some(v.clone()),
+            }
+            match &max {
+                Some(m) if v.sql_cmp(m).is_le() => {}
+                _ => max = Some(v.clone()),
+            }
+            distinct.insert(v.to_string());
+            if let Some(x) = v.as_f64() {
+                numeric.push(x);
+            }
+            if let Some(s) = v.as_text() {
+                text_len_sum += s.len() as u64;
+                text_count += 1;
+            }
+        };
+
+        match rows {
+            Some(indices) => {
+                for &i in indices {
+                    visit(&table.rows()[i][column]);
+                }
+            }
+            None => {
+                for v in table.column(column) {
+                    visit(v);
+                }
+            }
+        }
+
+        let histogram = if text_count == 0 {
+            Histogram::build(numeric.into_iter(), histogram_buckets)
+        } else {
+            None
+        };
+        ColumnStats {
+            name,
+            count,
+            null_count,
+            min,
+            max,
+            distinct: distinct.len() as u64,
+            histogram,
+            avg_text_len: if text_count > 0 {
+                Some(text_len_sum as f64 / text_count as f64)
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Whole-table statistics.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Table name.
+    pub table: String,
+    /// Row count.
+    pub row_count: u64,
+    /// Per-column statistics in declaration order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute full-table statistics with the default 16-bucket
+    /// histograms.
+    pub fn analyze(table: &TableData) -> Self {
+        Self::analyze_with(table, None, 16)
+    }
+
+    /// Compute statistics over a row sample with custom histogram width.
+    pub fn analyze_with(
+        table: &TableData,
+        rows: Option<&[usize]>,
+        histogram_buckets: usize,
+    ) -> Self {
+        let columns = (0..table.def().columns.len())
+            .map(|c| ColumnStats::compute(table, c, rows, histogram_buckets))
+            .collect();
+        TableStats {
+            table: table.def().name.clone(),
+            row_count: rows.map(|r| r.len() as u64).unwrap_or(table.row_count() as u64),
+            columns,
+        }
+    }
+
+    /// Stats for a column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ColumnDef, TableDef};
+    use pdgf_schema::SqlType;
+
+    fn table() -> TableData {
+        let mut t = TableData::new(
+            TableDef::new("s")
+                .column(ColumnDef::new("n", SqlType::Integer))
+                .column(ColumnDef::new("w", SqlType::Varchar(10))),
+        );
+        for i in 0..100i64 {
+            let text = if i % 10 == 0 {
+                Value::Null
+            } else {
+                Value::text(format!("w{}", i % 3))
+            };
+            t.insert(vec![Value::Long(i), text]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn numeric_stats_are_exact() {
+        let stats = TableStats::analyze(&table());
+        assert_eq!(stats.row_count, 100);
+        let n = stats.column("n").unwrap();
+        assert_eq!(n.count, 100);
+        assert_eq!(n.null_count, 0);
+        assert_eq!(n.min, Some(Value::Long(0)));
+        assert_eq!(n.max, Some(Value::Long(99)));
+        assert_eq!(n.distinct, 100);
+        let h = n.histogram.as_ref().unwrap();
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.counts.len(), 16);
+    }
+
+    #[test]
+    fn text_stats_count_nulls_and_lengths() {
+        let stats = TableStats::analyze(&table());
+        let w = stats.column("w").unwrap();
+        assert_eq!(w.null_count, 10);
+        assert!((w.null_fraction() - 0.1).abs() < 1e-9);
+        assert_eq!(w.distinct, 3);
+        assert_eq!(w.avg_text_len, Some(2.0));
+        assert!(w.histogram.is_none(), "no histograms for text");
+        assert_eq!(w.min, Some(Value::text("w0")));
+        assert_eq!(w.max, Some(Value::text("w2")));
+    }
+
+    #[test]
+    fn histogram_buckets_partition_the_range() {
+        let h = Histogram::build((0..100).map(f64::from), 10).unwrap();
+        assert_eq!(h.counts, vec![10; 10]);
+        let (lo0, hi0) = h.bucket_bounds(0);
+        assert_eq!(lo0, 0.0);
+        assert!((hi0 - 9.9).abs() < 0.2);
+        // Max value lands in the last bucket, not one past it.
+        assert_eq!(h.counts.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn histogram_of_constant_column() {
+        let h = Histogram::build(std::iter::repeat_n(5.0, 10), 4).unwrap();
+        assert_eq!(h.counts[0], 10);
+        assert_eq!(h.lo, h.hi);
+    }
+
+    #[test]
+    fn empty_histogram_is_none() {
+        assert!(Histogram::build(std::iter::empty(), 4).is_none());
+    }
+
+    #[test]
+    fn sampled_stats_scan_only_the_sample() {
+        let t = table();
+        let sample: Vec<usize> = (0..100).step_by(2).collect();
+        let stats = TableStats::analyze_with(&t, Some(&sample), 8);
+        assert_eq!(stats.row_count, 50);
+        let n = stats.column("n").unwrap();
+        assert_eq!(n.count, 50);
+        assert_eq!(n.max, Some(Value::Long(98)));
+        assert_eq!(n.distinct, 50);
+    }
+
+    #[test]
+    fn all_null_column_has_no_min_max() {
+        let mut t = TableData::new(
+            TableDef::new("x").column(ColumnDef::new("v", SqlType::Integer)),
+        );
+        for _ in 0..5 {
+            t.insert(vec![Value::Null]).unwrap();
+        }
+        let stats = TableStats::analyze(&t);
+        let c = &stats.columns[0];
+        assert_eq!(c.null_fraction(), 1.0);
+        assert_eq!(c.min, None);
+        assert_eq!(c.max, None);
+        assert_eq!(c.distinct, 0);
+        assert!(c.histogram.is_none());
+    }
+}

@@ -1,0 +1,522 @@
+//! Simple (leaf) value generators: IDs, numbers, dates, strings, booleans,
+//! and static values.
+
+use pdgf_prng::{FeistelPermutation, PdgfRng};
+use pdgf_schema::model::DateFormat;
+use pdgf_schema::value::{Date, Value};
+use std::sync::Arc;
+
+use crate::generator::{GenContext, Generator};
+
+/// Unique key generator: emits `row + 1`, optionally scrambled through a
+/// keyed permutation so keys are unique but unordered.
+pub struct IdGenerator {
+    permutation: Option<FeistelPermutation>,
+}
+
+impl IdGenerator {
+    /// Sequential IDs.
+    pub fn sequential() -> Self {
+        Self { permutation: None }
+    }
+
+    /// Permuted IDs over a domain of `size` rows, keyed by `seed`.
+    pub fn permuted(size: u64, seed: u64) -> Self {
+        Self {
+            permutation: Some(FeistelPermutation::new(size.max(1), seed)),
+        }
+    }
+}
+
+impl Generator for IdGenerator {
+    #[inline]
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        let id = match &self.permutation {
+            Some(p) => p.permute(ctx.row % p.domain()),
+            None => ctx.row,
+        };
+        Value::Long(id as i64 + 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "IdGenerator"
+    }
+}
+
+/// Uniform integer in `[min, max]`.
+pub struct LongGenerator {
+    min: i64,
+    max: i64,
+}
+
+impl LongGenerator {
+    /// Uniform over the inclusive range.
+    pub fn new(min: i64, max: i64) -> Self {
+        assert!(min <= max, "empty range");
+        Self { min, max }
+    }
+}
+
+impl Generator for LongGenerator {
+    #[inline]
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        Value::Long(ctx.rng.next_i64_in(self.min, self.max))
+    }
+
+    fn name(&self) -> &'static str {
+        "LongGenerator"
+    }
+}
+
+/// Uniform double in `[min, max)`, optionally rounded to a fixed number of
+/// decimal places (Figure 9's "Double (4 places)" configuration).
+pub struct DoubleGenerator {
+    min: f64,
+    span: f64,
+    round_factor: Option<f64>,
+}
+
+impl DoubleGenerator {
+    /// Uniform over `[min, max)` with optional rounding.
+    pub fn new(min: f64, max: f64, decimals: Option<u8>) -> Self {
+        assert!(min <= max, "empty range");
+        Self {
+            min,
+            span: max - min,
+            round_factor: decimals.map(|d| 10f64.powi(i32::from(d))),
+        }
+    }
+}
+
+impl Generator for DoubleGenerator {
+    #[inline]
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        let v = self.min + ctx.rng.next_f64() * self.span;
+        let v = match self.round_factor {
+            Some(f) => (v * f).round() / f,
+            None => v,
+        };
+        Value::Double(v)
+    }
+
+    fn name(&self) -> &'static str {
+        "DoubleGenerator"
+    }
+}
+
+/// Uniform fixed-point decimal in `[min, max]` at a given scale. Bounds
+/// are unscaled integers (e.g. scale 2, min 100 = 1.00).
+pub struct DecimalGenerator {
+    min: i64,
+    max: i64,
+    scale: u8,
+}
+
+impl DecimalGenerator {
+    /// Uniform decimal generator over unscaled `[min, max]`.
+    pub fn new(min: i64, max: i64, scale: u8) -> Self {
+        assert!(min <= max, "empty range");
+        Self { min, max, scale }
+    }
+}
+
+impl Generator for DecimalGenerator {
+    #[inline]
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        Value::Decimal {
+            unscaled: ctx.rng.next_i64_in(self.min, self.max),
+            scale: self.scale,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DecimalGenerator"
+    }
+}
+
+/// Uniform date in `[min, max]`.
+///
+/// With [`DateFormat::Iso`] the value stays typed ([`Value::Date`]) and is
+/// formatted lazily by the output system. Any other format forces eager
+/// text rendering — the deliberately expensive case the paper measures in
+/// Figure 9 ("formatting a date value increases the generation cost").
+pub struct DateGenerator {
+    min_day: i32,
+    span_days: u32,
+    format: DateFormat,
+}
+
+impl DateGenerator {
+    /// Uniform over `[min, max]` with the given output format.
+    pub fn new(min: Date, max: Date, format: DateFormat) -> Self {
+        assert!(min <= max, "empty range");
+        Self {
+            min_day: min.0,
+            span_days: (max.0 - min.0) as u32,
+            format,
+        }
+    }
+}
+
+impl Generator for DateGenerator {
+    #[inline]
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        let offset = ctx.rng.next_bounded(u64::from(self.span_days) + 1) as i32;
+        let date = Date(self.min_day + offset);
+        match self.format {
+            DateFormat::Iso => Value::Date(date),
+            other => Value::text(other.render(date)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DateGenerator"
+    }
+}
+
+/// Uniform timestamp in `[min, max]` seconds since the epoch.
+pub struct TimestampGenerator {
+    min: i64,
+    max: i64,
+}
+
+impl TimestampGenerator {
+    /// Uniform over the inclusive range.
+    pub fn new(min: i64, max: i64) -> Self {
+        assert!(min <= max, "empty range");
+        Self { min, max }
+    }
+}
+
+impl Generator for TimestampGenerator {
+    #[inline]
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        Value::Timestamp(ctx.rng.next_i64_in(self.min, self.max))
+    }
+
+    fn name(&self) -> &'static str {
+        "TimestampGenerator"
+    }
+}
+
+const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+/// Random alphanumeric string with length uniform in `[min_len, max_len]`.
+pub struct RandomStringGenerator {
+    min_len: u32,
+    max_len: u32,
+}
+
+impl RandomStringGenerator {
+    /// String generator over the inclusive length range.
+    pub fn new(min_len: u32, max_len: u32) -> Self {
+        assert!(min_len <= max_len, "empty length range");
+        Self { min_len, max_len }
+    }
+}
+
+impl Generator for RandomStringGenerator {
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        let span = u64::from(self.max_len - self.min_len) + 1;
+        let len = self.min_len + ctx.rng.next_bounded(span) as u32;
+        let mut out = String::with_capacity(len as usize);
+        // Pack ~10 charset draws (62^10 < 2^64) per u64 to cut RNG calls.
+        let mut remaining = len;
+        while remaining > 0 {
+            let mut word = ctx.rng.next_u64();
+            let batch = remaining.min(10);
+            for _ in 0..batch {
+                out.push(CHARSET[(word % 62) as usize] as char);
+                word /= 62;
+            }
+            remaining -= batch;
+        }
+        Value::text(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "RandomStringGenerator"
+    }
+}
+
+/// Boolean that is `true` with a configured probability.
+pub struct RandomBoolGenerator {
+    true_prob: f64,
+}
+
+impl RandomBoolGenerator {
+    /// `true` with probability `true_prob`.
+    pub fn new(true_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&true_prob), "probability out of range");
+        Self { true_prob }
+    }
+}
+
+impl Generator for RandomBoolGenerator {
+    #[inline]
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        Value::Bool(ctx.rng.next_bool(self.true_prob))
+    }
+
+    fn name(&self) -> &'static str {
+        "RandomBoolGenerator"
+    }
+}
+
+/// A constant value. The paper's Figure 7 uses this ("Static Value, no
+/// cache") to measure the pure per-cell system overhead; cloning an
+/// `Arc`-backed [`Value`] is the cheapest possible generator body.
+pub struct StaticValueGenerator {
+    value: Value,
+}
+
+impl StaticValueGenerator {
+    /// Always produce `value`.
+    pub fn new(value: Value) -> Self {
+        Self { value }
+    }
+}
+
+impl Generator for StaticValueGenerator {
+    #[inline]
+    fn generate(&self, _ctx: &mut GenContext<'_>) -> Value {
+        self.value.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "StaticValueGenerator"
+    }
+}
+
+/// Numeric values following an extracted equi-width (or arbitrary-bucket)
+/// histogram: an alias-method draw picks the bucket, a second draw places
+/// the value uniformly inside it. Reproduces distribution *shape* that
+/// plain min/max uniform generators flatten out.
+pub struct HistogramGenerator {
+    bounds: Vec<f64>,
+    alias: pdgf_prng::Alias,
+    output: pdgf_schema::model::HistogramOutput,
+}
+
+impl HistogramGenerator {
+    /// Histogram generator over `bounds` (len = buckets + 1, strictly
+    /// increasing) with relative `weights` per bucket.
+    pub fn new(
+        bounds: Vec<f64>,
+        weights: &[f64],
+        output: pdgf_schema::model::HistogramOutput,
+    ) -> Self {
+        assert_eq!(bounds.len(), weights.len() + 1, "bounds/buckets mismatch");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
+        Self { bounds, alias: pdgf_prng::Alias::new(weights), output }
+    }
+}
+
+impl Generator for HistogramGenerator {
+    #[inline]
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        let bucket = self.alias.sample_index(&mut || ctx.rng.next_u64());
+        let (lo, hi) = (self.bounds[bucket], self.bounds[bucket + 1]);
+        let v = lo + ctx.rng.next_f64() * (hi - lo);
+        use pdgf_schema::model::HistogramOutput;
+        match self.output {
+            HistogramOutput::Long => Value::Long(v.round() as i64),
+            HistogramOutput::Double => Value::Double(v),
+            HistogramOutput::Decimal(scale) => Value::Decimal {
+                unscaled: (v * 10f64.powi(i32::from(scale))).round() as i64,
+                scale,
+            },
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "HistogramGenerator"
+    }
+}
+
+/// Arc-shared boxed generator list used by meta generators.
+pub type BoxedGenerator = Arc<dyn Generator>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::SchemaRuntime;
+
+    fn with_ctx<T>(seed: u64, row: u64, f: impl FnOnce(&mut GenContext<'_>) -> T) -> T {
+        let rt = SchemaRuntime::empty_for_tests();
+        let mut ctx = GenContext::new(&rt, seed, row, 0);
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn id_generator_is_row_plus_one() {
+        let g = IdGenerator::sequential();
+        for row in [0u64, 1, 99, 1_000_000] {
+            let v = with_ctx(7, row, |ctx| g.generate(ctx));
+            assert_eq!(v, Value::Long(row as i64 + 1));
+        }
+    }
+
+    #[test]
+    fn permuted_ids_are_unique_and_cover_the_domain() {
+        let g = IdGenerator::permuted(1000, 42);
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..1000u64 {
+            let v = with_ctx(7, row, |ctx| g.generate(ctx));
+            let id = v.as_i64().unwrap();
+            assert!((1..=1000).contains(&id));
+            assert!(seen.insert(id), "duplicate id {id}");
+        }
+    }
+
+    #[test]
+    fn long_generator_respects_bounds() {
+        let g = LongGenerator::new(-5, 5);
+        for seed in 0..500u64 {
+            let v = with_ctx(seed, 0, |ctx| g.generate(ctx));
+            let x = v.as_i64().unwrap();
+            assert!((-5..=5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn double_generator_rounds_to_places() {
+        let g = DoubleGenerator::new(0.0, 100.0, Some(2));
+        for seed in 0..200u64 {
+            let v = with_ctx(seed, 0, |ctx| g.generate(ctx));
+            let Value::Double(x) = v else { panic!() };
+            let scaled = x * 100.0;
+            assert!(
+                (scaled - scaled.round()).abs() < 1e-9,
+                "not rounded to 2 places: {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn decimal_generator_bounds_and_scale() {
+        let g = DecimalGenerator::new(100, 10_000, 2);
+        for seed in 0..200u64 {
+            let v = with_ctx(seed, 0, |ctx| g.generate(ctx));
+            let Value::Decimal { unscaled, scale } = v else { panic!() };
+            assert_eq!(scale, 2);
+            assert!((100..=10_000).contains(&unscaled));
+        }
+    }
+
+    #[test]
+    fn date_generator_stays_in_range_and_is_typed_for_iso() {
+        let min = Date::from_ymd(1992, 1, 1);
+        let max = Date::from_ymd(1998, 12, 31);
+        let g = DateGenerator::new(min, max, DateFormat::Iso);
+        let mut hit_min = false;
+        let mut hit_late = false;
+        for seed in 0..3000u64 {
+            let v = with_ctx(seed, 0, |ctx| g.generate(ctx));
+            let Value::Date(d) = v else { panic!("expected typed date") };
+            assert!(d >= min && d <= max);
+            hit_min |= d.0 - min.0 < 100;
+            hit_late |= max.0 - d.0 < 100;
+        }
+        assert!(hit_min && hit_late, "range edges never sampled");
+    }
+
+    #[test]
+    fn formatted_date_is_eager_text() {
+        let g = DateGenerator::new(
+            Date::from_ymd(2014, 11, 30),
+            Date::from_ymd(2014, 11, 30),
+            DateFormat::SlashMdy,
+        );
+        let v = with_ctx(1, 0, |ctx| g.generate(ctx));
+        assert_eq!(v.as_text(), Some("11/30/2014"));
+    }
+
+    #[test]
+    fn random_string_length_and_charset() {
+        let g = RandomStringGenerator::new(3, 17);
+        for seed in 0..300u64 {
+            let v = with_ctx(seed, 0, |ctx| g.generate(ctx));
+            let s = v.as_text().unwrap();
+            assert!((3..=17).contains(&s.len()), "len {}", s.len());
+            assert!(s.bytes().all(|b| b.is_ascii_alphanumeric()));
+        }
+        let fixed = RandomStringGenerator::new(25, 25);
+        let v = with_ctx(9, 0, |ctx| fixed.generate(ctx));
+        assert_eq!(v.as_text().unwrap().len(), 25);
+    }
+
+    #[test]
+    fn bool_generator_probability() {
+        let g = RandomBoolGenerator::new(0.2);
+        let trues = (0..10_000u64)
+            .filter(|&seed| {
+                with_ctx(seed, 0, |ctx| g.generate(ctx)) == Value::Bool(true)
+            })
+            .count();
+        let frac = trues as f64 / 10_000.0;
+        assert!((0.18..0.22).contains(&frac), "frac {frac}");
+    }
+
+    #[test]
+    fn static_generator_is_constant() {
+        let g = StaticValueGenerator::new(Value::text("fixed"));
+        for seed in 0..10u64 {
+            assert_eq!(
+                with_ctx(seed, seed, |ctx| g.generate(ctx)),
+                Value::text("fixed")
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_generator_follows_bucket_weights() {
+        use pdgf_schema::model::HistogramOutput;
+        // Two buckets, 9:1 weighting.
+        let g = HistogramGenerator::new(
+            vec![0.0, 10.0, 20.0],
+            &[9.0, 1.0],
+            HistogramOutput::Double,
+        );
+        let mut low = 0;
+        for seed in 0..10_000u64 {
+            let v = with_ctx(seed, 0, |ctx| g.generate(ctx));
+            let Value::Double(x) = v else { panic!() };
+            assert!((0.0..20.0).contains(&x));
+            if x < 10.0 {
+                low += 1;
+            }
+        }
+        let frac = f64::from(low) / 10_000.0;
+        assert!((0.88..0.92).contains(&frac), "low-bucket fraction {frac}");
+    }
+
+    #[test]
+    fn histogram_generator_output_types() {
+        use pdgf_schema::model::HistogramOutput;
+        let long = HistogramGenerator::new(vec![5.0, 6.0], &[1.0], HistogramOutput::Long);
+        assert!(matches!(
+            with_ctx(1, 0, |ctx| long.generate(ctx)),
+            Value::Long(5 | 6)
+        ));
+        let dec =
+            HistogramGenerator::new(vec![1.0, 2.0], &[1.0], HistogramOutput::Decimal(2));
+        let Value::Decimal { unscaled, scale } = with_ctx(1, 0, |ctx| dec.generate(ctx))
+        else {
+            panic!()
+        };
+        assert_eq!(scale, 2);
+        assert!((100..=200).contains(&unscaled));
+    }
+
+    #[test]
+    fn same_seed_same_value_across_generators() {
+        let g = LongGenerator::new(0, 1_000_000);
+        let a = with_ctx(123, 0, |ctx| g.generate(ctx));
+        let b = with_ctx(123, 0, |ctx| g.generate(ctx));
+        assert_eq!(a, b);
+        let c = with_ctx(124, 0, |ctx| g.generate(ctx));
+        // Overwhelmingly likely to differ.
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,55 @@
+//! The [`Generator`] trait and per-field generation context.
+
+use pdgf_prng::{PdgfDefaultRandom, PdgfRng};
+use pdgf_schema::Value;
+
+use crate::runtime::SchemaRuntime;
+
+/// Per-field generation state handed to every generator.
+///
+/// The context owns the field-seeded RNG stream; meta generators pass the
+/// same context down to sub-generators, so a wrapped pipeline consumes a
+/// single deterministic stream per cell (matching the paper's Figure 7
+/// breakdown: wrapper and sub-generator share the field seed).
+pub struct GenContext<'rt> {
+    /// The field's random number stream (already seeded for this cell).
+    pub rng: PdgfDefaultRandom,
+    /// Row number within the (table, update) pair.
+    pub row: u64,
+    /// Update epoch (0 = initial load).
+    pub update: u32,
+    /// The schema runtime, used by reference generators to recompute
+    /// other tables' cells.
+    pub runtime: &'rt SchemaRuntime,
+}
+
+impl<'rt> GenContext<'rt> {
+    /// Context for one cell, seeding the RNG from the field seed.
+    pub fn new(runtime: &'rt SchemaRuntime, field_seed: u64, row: u64, update: u32) -> Self {
+        Self {
+            rng: PdgfDefaultRandom::seed_from(field_seed),
+            row,
+            update,
+            runtime,
+        }
+    }
+
+    /// Draw the next raw u64 from this cell's stream.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// A field value generator.
+///
+/// Implementations must be pure given `(configuration, ctx.rng seed,
+/// ctx.row, ctx.update)` and are shared across worker threads, so `&self`
+/// methods plus `Send + Sync` are required.
+pub trait Generator: Send + Sync {
+    /// Produce the value for the cell described by `ctx`.
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value;
+
+    /// Human-readable name for diagnostics and latency reports.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,348 @@
+//! Meta generators — generators that wrap other generators.
+//!
+//! "These can be … meta generators, which can concatenate results from
+//! other generators or execute different generators based on certain
+//! conditions. The concept of meta generators enables a functional
+//! definition of complex values and dependencies using simple building
+//! blocks." (Section 2.)
+//!
+//! The paper's Figure 7 measures exactly this composition: a NULL wrapper
+//! adds its own base cost, and executing the sub-generator adds the
+//! sub-generator's base cost plus its value computation.
+
+use pdgf_prng::PdgfRng;
+use pdgf_schema::expr::Expr;
+use pdgf_schema::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::generator::{GenContext, Generator};
+
+/// Emits NULL with a configured probability, otherwise delegates to the
+/// wrapped generator. Listing 1 wraps `l_comment`'s Markov generator in a
+/// `gen_NullGenerator`.
+pub struct NullGenerator {
+    probability: f64,
+    inner: Arc<dyn Generator>,
+}
+
+impl NullGenerator {
+    /// NULL with probability `probability`, else `inner`'s value.
+    pub fn new(probability: f64, inner: Arc<dyn Generator>) -> Self {
+        assert!((0.0..=1.0).contains(&probability));
+        Self { probability, inner }
+    }
+}
+
+impl Generator for NullGenerator {
+    #[inline]
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        // One draw decides NULL-ness even at probability 0 or 1, keeping
+        // the wrapped generator's stream position independent of the
+        // configured probability.
+        let is_null = ctx.rng.next_f64() < self.probability;
+        if is_null {
+            Value::Null
+        } else {
+            self.inner.generate(ctx)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "NullGenerator"
+    }
+}
+
+/// Concatenates the textual renderings of its parts — the paper's
+/// "value that consists of a formula that references 2 double values and
+/// concatenates it with a long" is a `SequentialGenerator` of three parts.
+pub struct SequentialGenerator {
+    parts: Vec<Arc<dyn Generator>>,
+    separator: String,
+}
+
+impl SequentialGenerator {
+    /// Concatenate `parts` joined by `separator`.
+    pub fn new(parts: Vec<Arc<dyn Generator>>, separator: String) -> Self {
+        assert!(!parts.is_empty(), "no parts");
+        Self { parts, separator }
+    }
+}
+
+impl Generator for SequentialGenerator {
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        let mut out = String::new();
+        for (i, part) in self.parts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(&self.separator);
+            }
+            let v = part.generate(ctx);
+            write!(out, "{v}").expect("writing to String cannot fail");
+        }
+        Value::text(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "SequentialGenerator"
+    }
+}
+
+/// Executes one of several generators chosen by probability ("execute
+/// different generators based on certain conditions").
+pub struct ProbabilityGenerator {
+    /// Cumulative upper bounds paired with branch generators.
+    cumulative: Vec<(f64, Arc<dyn Generator>)>,
+}
+
+impl ProbabilityGenerator {
+    /// Branches as `(probability, generator)`; probabilities must sum to
+    /// approximately 1.
+    pub fn new(branches: Vec<(f64, Arc<dyn Generator>)>) -> Self {
+        assert!(!branches.is_empty(), "no branches");
+        let total: f64 = branches.iter().map(|(p, _)| *p).sum();
+        assert!((total - 1.0).abs() < 1e-6, "probabilities sum to {total}");
+        let mut acc = 0.0;
+        let cumulative = branches
+            .into_iter()
+            .map(|(p, g)| {
+                acc += p;
+                (acc, g)
+            })
+            .collect();
+        Self { cumulative }
+    }
+}
+
+impl Generator for ProbabilityGenerator {
+    #[inline]
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        let draw = ctx.rng.next_f64();
+        for (bound, g) in &self.cumulative {
+            if draw < *bound {
+                return g.generate(ctx);
+            }
+        }
+        // Floating point rounding can leave the last bound at 0.999...;
+        // the final branch catches the residual mass.
+        self.cumulative
+            .last()
+            .expect("at least one branch")
+            .1
+            .generate(ctx)
+    }
+
+    fn name(&self) -> &'static str {
+        "ProbabilityGenerator"
+    }
+}
+
+/// Evaluates an arithmetic formula over the project properties and the
+/// current row number (bound to `${ROW}`, zero-based).
+pub struct FormulaGenerator {
+    expr: Expr,
+    props: BTreeMap<String, f64>,
+    as_long: bool,
+}
+
+impl FormulaGenerator {
+    /// Formula generator over pre-resolved properties.
+    pub fn new(expr: Expr, props: BTreeMap<String, f64>, as_long: bool) -> Self {
+        Self { expr, props, as_long }
+    }
+}
+
+impl Generator for FormulaGenerator {
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        let row = ctx.row as f64;
+        let v = self
+            .expr
+            .eval(&|name| {
+                if name == "ROW" {
+                    Some(row)
+                } else {
+                    self.props.get(name).copied()
+                }
+            })
+            .unwrap_or(f64::NAN);
+        if self.as_long {
+            Value::Long(v.round() as i64)
+        } else {
+            Value::Double(v)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "FormulaGenerator"
+    }
+}
+
+/// Truncates text values to a column's declared character width — the
+/// behaviour of dbgen-style generators writing into CHAR/VARCHAR columns.
+/// Applied automatically by the schema runtime to text-typed fields.
+/// Truncation never splits a word unless the first word alone overflows.
+pub struct TruncateGenerator {
+    inner: Arc<dyn Generator>,
+    max_chars: usize,
+}
+
+impl TruncateGenerator {
+    /// Cap `inner`'s text output at `max_chars` characters.
+    pub fn new(inner: Arc<dyn Generator>, max_chars: usize) -> Self {
+        assert!(max_chars > 0, "zero-width text column");
+        Self { inner, max_chars }
+    }
+}
+
+impl Generator for TruncateGenerator {
+    #[inline]
+    fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        let v = self.inner.generate(ctx);
+        match &v {
+            Value::Text(s) if s.chars().count() > self.max_chars => {
+                let head: String = s.chars().take(self.max_chars).collect();
+                let next_char = s.chars().nth(self.max_chars);
+                if next_char == Some(' ') {
+                    // The cut falls exactly on a word end: keep the head.
+                    Value::text(head)
+                } else {
+                    // Prefer cutting at the last word boundary.
+                    match head.rfind(' ') {
+                        Some(pos) if pos > 0 => Value::text(head[..pos].to_string()),
+                        _ => Value::text(head),
+                    }
+                }
+            }
+            _ => v,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "TruncateGenerator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::{LongGenerator, StaticValueGenerator};
+    use crate::generator::GenContext;
+    use crate::runtime::SchemaRuntime;
+
+    fn gen_with_seed(g: &dyn Generator, seed: u64, row: u64) -> Value {
+        let rt = SchemaRuntime::empty_for_tests();
+        let mut ctx = GenContext::new(&rt, seed, row, 0);
+        g.generate(&mut ctx)
+    }
+
+    fn static_text(s: &str) -> Arc<dyn Generator> {
+        Arc::new(StaticValueGenerator::new(Value::text(s)))
+    }
+
+    #[test]
+    fn null_generator_extremes() {
+        let all_null = NullGenerator::new(1.0, static_text("x"));
+        let never_null = NullGenerator::new(0.0, static_text("x"));
+        for seed in 0..100u64 {
+            assert!(gen_with_seed(&all_null, seed, 0).is_null());
+            assert_eq!(gen_with_seed(&never_null, seed, 0), Value::text("x"));
+        }
+    }
+
+    #[test]
+    fn null_generator_calibration() {
+        let g = NullGenerator::new(0.25, static_text("x"));
+        let nulls = (0..10_000u64)
+            .filter(|&s| gen_with_seed(&g, s, 0).is_null())
+            .count();
+        let frac = nulls as f64 / 10_000.0;
+        assert!((0.23..0.27).contains(&frac), "frac {frac}");
+    }
+
+    #[test]
+    fn null_wrapper_keeps_inner_stream_aligned() {
+        // The inner generator must see the same stream position whether
+        // the probability is 0.0 or 0.4 (on non-null draws the wrapper
+        // consumed exactly one draw in both cases).
+        let inner = Arc::new(LongGenerator::new(0, i64::MAX));
+        let p0 = NullGenerator::new(0.0, inner.clone());
+        let p4 = NullGenerator::new(0.4, inner);
+        for seed in 0..200u64 {
+            let v4 = gen_with_seed(&p4, seed, 0);
+            if !v4.is_null() {
+                assert_eq!(gen_with_seed(&p0, seed, 0), v4);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_concatenates_with_separator() {
+        let g = SequentialGenerator::new(
+            vec![static_text("a"), static_text("b"), static_text("c")],
+            "-".to_string(),
+        );
+        assert_eq!(gen_with_seed(&g, 1, 0), Value::text("a-b-c"));
+    }
+
+    #[test]
+    fn sequential_renders_numbers_canonically() {
+        let g = SequentialGenerator::new(
+            vec![
+                Arc::new(StaticValueGenerator::new(Value::Double(1.5))),
+                Arc::new(StaticValueGenerator::new(Value::Long(7))),
+            ],
+            " ".to_string(),
+        );
+        assert_eq!(gen_with_seed(&g, 1, 0), Value::text("1.5 7"));
+    }
+
+    #[test]
+    fn probability_branches_are_calibrated() {
+        let g = ProbabilityGenerator::new(vec![
+            (0.7, static_text("hot")),
+            (0.3, static_text("cold")),
+        ]);
+        let hots = (0..10_000u64)
+            .filter(|&s| gen_with_seed(&g, s, 0) == Value::text("hot"))
+            .count();
+        let frac = hots as f64 / 10_000.0;
+        assert!((0.68..0.72).contains(&frac), "frac {frac}");
+    }
+
+    #[test]
+    fn formula_generator_uses_row_and_props() {
+        let props: BTreeMap<String, f64> = [("BASE".to_string(), 100.0)].into();
+        let g = FormulaGenerator::new(
+            Expr::parse("${BASE} + ${ROW} % 7").unwrap(),
+            props,
+            true,
+        );
+        assert_eq!(gen_with_seed(&g, 1, 0), Value::Long(100));
+        assert_eq!(gen_with_seed(&g, 1, 13), Value::Long(106));
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities sum")]
+    fn probability_generator_rejects_bad_weights() {
+        let _ = ProbabilityGenerator::new(vec![(0.5, static_text("x"))]);
+    }
+
+    #[test]
+    fn truncate_cuts_at_word_boundaries() {
+        let g = TruncateGenerator::new(static_text("carefully final deposits"), 15);
+        assert_eq!(gen_with_seed(&g, 1, 0), Value::text("carefully final"));
+        let g2 = TruncateGenerator::new(static_text("carefully final deposits"), 12);
+        assert_eq!(gen_with_seed(&g2, 1, 0), Value::text("carefully"));
+        // First word longer than the cap: hard cut.
+        let g3 = TruncateGenerator::new(static_text("incomprehensibilities"), 6);
+        assert_eq!(gen_with_seed(&g3, 1, 0), Value::text("incomp"));
+        // Short text and non-text pass through untouched.
+        let g4 = TruncateGenerator::new(static_text("ok"), 10);
+        assert_eq!(gen_with_seed(&g4, 1, 0), Value::text("ok"));
+        let g5 = TruncateGenerator::new(
+            Arc::new(StaticValueGenerator::new(Value::Long(1234567))),
+            3,
+        );
+        assert_eq!(gen_with_seed(&g5, 1, 0), Value::Long(1234567));
+    }
+}

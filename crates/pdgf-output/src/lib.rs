@@ -1,0 +1,29 @@
+//! The PDGF output system.
+//!
+//! "Whenever a work package is generated, it is sent to the output system,
+//! where it can be formatted and sorted." (Section 2.) This crate holds
+//! the three pieces of that sentence:
+//!
+//! * [`formatter`] — converting typed [`Value`](pdgf_schema::Value) rows
+//!   into bytes, once per emitted cell (*lazy formatting*): CSV, JSON,
+//!   XML, and SQL `INSERT` formats, matching the paper's "PDGF can write
+//!   data in various formats (e.g., CSV, JSON, XML, and SQL)";
+//! * [`sink`] — byte destinations: files, memory, and the byte-counting
+//!   null sink used by the paper's CPU-bound experiments ("generated data
+//!   was written to /dev/null to ensure the throughput was not I/O
+//!   bound");
+//! * [`reorder`] — the sequence buffer that turns out-of-order work
+//!   package completions into sorted single-file output ("PDGF writes
+//!   sorted output into a single file").
+
+#![deny(missing_docs)]
+
+pub mod formatter;
+pub mod reorder;
+pub mod sink;
+
+pub use formatter::{
+    CsvFormatter, Formatter, JsonFormatter, SqlFormatter, TableMeta, XmlFormatter,
+};
+pub use reorder::ReorderBuffer;
+pub use sink::{FileSink, MemorySink, NullSink, PartitionedDirSink, Sink};

@@ -1,0 +1,161 @@
+//! Deterministic pseudo-random permutations over `[0, n)`.
+//!
+//! PDGF needs bijections for two jobs:
+//!
+//! * **Unique keys in scrambled order** — an ID generator can emit
+//!   `permute(row)` instead of `row` so keys are unique but not sorted.
+//! * **Consistent references** — a child table can map its rows onto
+//!   parent rows so every parent is hit a predictable number of times.
+//!
+//! We use a balanced Feistel network over the smallest even-bit-width
+//! domain covering `n`, with cycle-walking to stay inside `[0, n)`.
+//! Expected walk length is < 4 steps because the cover domain is at most
+//! 4× the target domain.
+
+use crate::mix::mix64_pair;
+
+/// A keyed pseudo-random bijection over `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct FeistelPermutation {
+    n: u64,
+    half_bits: u32,
+    half_mask: u64,
+    round_keys: [u64; ROUNDS],
+}
+
+const ROUNDS: usize = 4;
+
+impl FeistelPermutation {
+    /// Create a permutation of `[0, n)` keyed by `seed`. `n` must be >= 1.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n >= 1, "empty domain");
+        // Cover domain: 2^(2*half_bits) >= n, smallest such even width.
+        let bits = 64 - (n.saturating_sub(1)).leading_zeros();
+        let half_bits = bits.div_ceil(2).max(1);
+        let half_mask = (1u64 << half_bits) - 1;
+        let mut round_keys = [0u64; ROUNDS];
+        for (i, key) in round_keys.iter_mut().enumerate() {
+            *key = mix64_pair(seed, i as u64);
+        }
+        Self { n, half_bits, half_mask, round_keys }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    #[inline]
+    fn encrypt_once(&self, x: u64) -> u64 {
+        let mut left = (x >> self.half_bits) & self.half_mask;
+        let mut right = x & self.half_mask;
+        for &key in &self.round_keys {
+            let f = mix64_pair(key, right) & self.half_mask;
+            let new_left = right;
+            right = left ^ f;
+            left = new_left;
+        }
+        (left << self.half_bits) | right
+    }
+
+    /// Map `x` in `[0, n)` to its permuted position.
+    #[inline]
+    pub fn permute(&self, x: u64) -> u64 {
+        debug_assert!(x < self.n, "input outside domain");
+        // Cycle walk: keep encrypting until we land back inside [0, n).
+        let mut y = self.encrypt_once(x);
+        while y >= self.n {
+            y = self.encrypt_once(y);
+        }
+        y
+    }
+
+    /// Invert the permutation: find `x` such that `permute(x) == y`.
+    #[inline]
+    pub fn invert(&self, y: u64) -> u64 {
+        debug_assert!(y < self.n, "input outside domain");
+        let mut x = self.decrypt_once(y);
+        while x >= self.n {
+            x = self.decrypt_once(x);
+        }
+        x
+    }
+
+    #[inline]
+    fn decrypt_once(&self, x: u64) -> u64 {
+        let mut left = (x >> self.half_bits) & self.half_mask;
+        let mut right = x & self.half_mask;
+        for &key in self.round_keys.iter().rev() {
+            let f = mix64_pair(key, left) & self.half_mask;
+            let new_right = left;
+            left = right ^ f;
+            right = new_right;
+        }
+        (left << self.half_bits) | right
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn is_a_bijection_on_assorted_domains() {
+        for n in [1u64, 2, 3, 7, 64, 100, 1000, 4096, 10_007] {
+            let p = FeistelPermutation::new(n, 42);
+            let mut seen = HashSet::with_capacity(n as usize);
+            for x in 0..n {
+                let y = p.permute(x);
+                assert!(y < n, "out of domain: {y} >= {n}");
+                assert!(seen.insert(y), "duplicate image for domain {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn invert_roundtrips() {
+        let p = FeistelPermutation::new(12_345, 7);
+        for x in 0..12_345 {
+            assert_eq!(p.invert(p.permute(x)), x);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_permutations() {
+        let a = FeistelPermutation::new(1000, 1);
+        let b = FeistelPermutation::new(1000, 2);
+        let diffs = (0..1000).filter(|&x| a.permute(x) != b.permute(x)).count();
+        assert!(diffs > 900, "permutations nearly identical: {diffs}");
+    }
+
+    #[test]
+    fn output_looks_scrambled() {
+        // Not a randomness test — just ensure it is far from identity.
+        let p = FeistelPermutation::new(10_000, 99);
+        let fixed = (0..10_000).filter(|&x| p.permute(x) == x).count();
+        assert!(fixed < 30, "too many fixed points: {fixed}");
+    }
+
+    #[test]
+    fn domain_of_one_maps_zero_to_zero() {
+        let p = FeistelPermutation::new(1, 5);
+        assert_eq!(p.permute(0), 0);
+        assert_eq!(p.invert(0), 0);
+        assert_eq!(p.domain(), 1);
+    }
+
+    #[test]
+    fn large_domain_sanity() {
+        let n = 1u64 << 40;
+        let p = FeistelPermutation::new(n, 3);
+        let mut seen = HashSet::new();
+        for x in (0..n).step_by(1 << 30).chain([n - 1]) {
+            let y = p.permute(x);
+            assert!(y < n);
+            assert_eq!(p.invert(y), x);
+            seen.insert(y);
+        }
+        assert!(seen.len() > 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Execution layer of the PDGF reproduction.
+//!
+//! Figure 2 of the paper shows the architecture this crate implements:
+//! a controller initializes the system, "the meta scheduler manages
+//! multi-node scheduling, while the scheduler assigns work packages to
+//! the workers. A work package is a set of rows of a table that need to
+//! be generated. The workers then initialize the correct generators using
+//! the seeding system and the update black box. Whenever a work package
+//! is generated, it is sent to the output system, where it can be
+//! formatted and sorted."
+//!
+//! * [`package`] — work packages and row-range partitioning,
+//! * [`scheduler`] — the single-node worker pool with sorted output,
+//! * [`meta`] — the meta-scheduler: sharding a project across nodes,
+//! * [`update`] — the update black box: deterministic insert/update/
+//!   delete batches per abstract time unit,
+//! * [`monitor`] — live progress counters (the demo's Mission Control
+//!   substitute),
+//! * [`driver`] — whole-project generation runs and reports.
+
+#![deny(missing_docs)]
+
+pub mod driver;
+pub mod meta;
+pub mod monitor;
+pub mod package;
+pub mod scheduler;
+pub mod update;
+
+pub use driver::{GenerationRun, RunReport, TableReport};
+pub use meta::{MetaScheduler, NodeReport};
+pub use monitor::Monitor;
+pub use package::{packages_for, WorkPackage};
+pub use scheduler::{generate_table_range, RunConfig};
+pub use update::{UpdateBatch, UpdateBlackBox, UpdateConfig, UpdateOp};

@@ -1,0 +1,98 @@
+//! Work packages: the scheduler's unit of work.
+//!
+//! "A work package is a set of rows of a table that need to be generated."
+//! Packages are contiguous row ranges; their sequence number doubles as
+//! the sort key for ordered output.
+
+use std::ops::Range;
+
+/// A contiguous run of rows of one table at one update epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkPackage {
+    /// Sequence number within the generation run (sort key for output).
+    pub seq: u64,
+    /// Table index.
+    pub table: u32,
+    /// Update epoch.
+    pub update: u32,
+    /// Row range (global row numbers).
+    pub rows: Range<u64>,
+}
+
+impl WorkPackage {
+    /// Number of rows in the package.
+    pub fn len(&self) -> u64 {
+        self.rows.end - self.rows.start
+    }
+
+    /// True when the package covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Split `rows` of `table` into packages of at most `package_rows` rows,
+/// numbered from 0.
+pub fn packages_for(table: u32, update: u32, rows: Range<u64>, package_rows: u64) -> Vec<WorkPackage> {
+    assert!(package_rows > 0, "package size must be positive");
+    let mut out = Vec::new();
+    let mut start = rows.start;
+    let mut seq = 0;
+    while start < rows.end {
+        let end = rows.end.min(start + package_rows);
+        out.push(WorkPackage { seq, table, update, rows: start..end });
+        start = end;
+        seq += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let p = packages_for(0, 0, 0..100, 25);
+        assert_eq!(p.len(), 4);
+        assert!(p.iter().all(|w| w.len() == 25));
+        assert_eq!(p[3].rows, 75..100);
+        assert_eq!(p[3].seq, 3);
+    }
+
+    #[test]
+    fn remainder_package_is_short() {
+        let p = packages_for(1, 2, 0..10, 4);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[2].rows, 8..10);
+        assert_eq!(p[2].len(), 2);
+        assert_eq!(p[0].table, 1);
+        assert_eq!(p[0].update, 2);
+    }
+
+    #[test]
+    fn offset_ranges_are_respected() {
+        let p = packages_for(0, 0, 50..60, 100);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].rows, 50..60);
+        assert!(!p[0].is_empty());
+    }
+
+    #[test]
+    fn empty_range_yields_no_packages() {
+        assert!(packages_for(0, 0, 5..5, 10).is_empty());
+    }
+
+    #[test]
+    fn packages_cover_range_exactly_once() {
+        let p = packages_for(0, 0, 0..1013, 64);
+        let mut covered = 0u64;
+        let mut expected_start = 0;
+        for w in &p {
+            assert_eq!(w.rows.start, expected_start, "gap or overlap");
+            covered += w.len();
+            expected_start = w.rows.end;
+        }
+        assert_eq!(covered, 1013);
+    }
+}

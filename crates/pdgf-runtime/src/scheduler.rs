@@ -1,0 +1,373 @@
+//! The single-node scheduler: a worker pool generating work packages with
+//! sorted, single-stream output.
+//!
+//! The pipeline is the paper's data flow: scheduler → workers (seed +
+//! generate + format) → output system (reorder + sink). Workers claim
+//! packages from a shared counter (packages are uniform, so a ticket
+//! counter beats work stealing), format rows into private buffers, and
+//! hand completed buffers to the output stage through a bounded channel
+//! for backpressure. A reorder buffer releases buffers in package order,
+//! so the sink receives bytes identical to a sequential run.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crossbeam::channel;
+use pdgf_gen::SchemaRuntime;
+use pdgf_output::{Formatter, ReorderBuffer, Sink, TableMeta};
+use pdgf_schema::Value;
+
+use crate::monitor::Monitor;
+use crate::package::packages_for;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Worker threads. `0` runs inline on the calling thread (no thread
+    /// or channel overhead — the configuration for latency microbenches).
+    pub workers: usize,
+    /// Rows per work package.
+    pub package_rows: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { workers: available_workers(), package_rows: 10_000 }
+    }
+}
+
+/// Default worker count: one per available core.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Result of generating one table (or table shard).
+#[derive(Debug, Clone)]
+pub struct TableRunStats {
+    /// Rows generated.
+    pub rows: u64,
+    /// Bytes written to the sink.
+    pub bytes: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl TableRunStats {
+    /// Megabytes per second.
+    pub fn throughput_mb_s(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.bytes as f64 / 1e6 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Metadata for a runtime table.
+pub fn table_meta(rt: &SchemaRuntime, table: u32) -> TableMeta {
+    let t = &rt.tables()[table as usize];
+    TableMeta {
+        name: t.name.clone(),
+        columns: t.columns.iter().map(|c| c.name.clone()).collect(),
+    }
+}
+
+/// Generate rows `rows` of `table` (update epoch `update`), formatted by
+/// `formatter`, into `sink`. Output bytes are identical for any worker
+/// count — the determinism contract the test suite checks.
+#[allow(clippy::too_many_arguments)] // the full coordinate set is the API
+pub fn generate_table_range(
+    rt: &SchemaRuntime,
+    table: u32,
+    update: u32,
+    rows: std::ops::Range<u64>,
+    formatter: &dyn Formatter,
+    sink: &mut dyn Sink,
+    cfg: &RunConfig,
+    monitor: Option<&Monitor>,
+) -> io::Result<TableRunStats> {
+    let started = Instant::now();
+    let meta = table_meta(rt, table);
+    let total_rows = rows.end.saturating_sub(rows.start);
+
+    let mut head = String::new();
+    formatter.begin(&mut head, &meta);
+    if !head.is_empty() {
+        sink.write_chunk(head.as_bytes())?;
+    }
+
+    if cfg.workers == 0 {
+        generate_inline(rt, table, update, rows, formatter, &meta, sink, monitor)?;
+    } else {
+        generate_parallel(rt, table, update, rows, formatter, &meta, sink, cfg, monitor)?;
+    }
+
+    let mut tail = String::new();
+    formatter.end(&mut tail, &meta);
+    if !tail.is_empty() {
+        sink.write_chunk(tail.as_bytes())?;
+    }
+
+    Ok(TableRunStats {
+        rows: total_rows,
+        bytes: sink.bytes_written(),
+        seconds: started.elapsed().as_secs_f64(),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn format_package(
+    rt: &SchemaRuntime,
+    table: u32,
+    update: u32,
+    rows: std::ops::Range<u64>,
+    formatter: &dyn Formatter,
+    meta: &TableMeta,
+    row_buf: &mut Vec<Value>,
+    out: &mut String,
+) {
+    for row in rows {
+        rt.row_into(table, update, row, row_buf);
+        formatter.row(out, meta, row_buf);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn generate_inline(
+    rt: &SchemaRuntime,
+    table: u32,
+    update: u32,
+    rows: std::ops::Range<u64>,
+    formatter: &dyn Formatter,
+    meta: &TableMeta,
+    sink: &mut dyn Sink,
+    monitor: Option<&Monitor>,
+) -> io::Result<()> {
+    let mut row_buf = Vec::new();
+    let mut out = String::new();
+    // Inline mode still chunks so the buffer does not grow unbounded.
+    for pkg in packages_for(table, update, rows, 10_000) {
+        out.clear();
+        let n = pkg.len();
+        format_package(rt, table, update, pkg.rows, formatter, meta, &mut row_buf, &mut out);
+        sink.write_chunk(out.as_bytes())?;
+        if let Some(m) = monitor {
+            m.record_package(n, out.len() as u64);
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn generate_parallel(
+    rt: &SchemaRuntime,
+    table: u32,
+    update: u32,
+    rows: std::ops::Range<u64>,
+    formatter: &dyn Formatter,
+    meta: &TableMeta,
+    sink: &mut dyn Sink,
+    cfg: &RunConfig,
+    monitor: Option<&Monitor>,
+) -> io::Result<()> {
+    let packages = packages_for(table, update, rows, cfg.package_rows);
+    if packages.is_empty() {
+        return Ok(());
+    }
+    let next_package = AtomicU64::new(0);
+    let n_packages = packages.len() as u64;
+    // Bounded channel: workers stall rather than buffering the whole
+    // table when the sink is slow.
+    let (tx, rx) = channel::bounded::<(u64, u64, String)>(cfg.workers * 4);
+
+    let mut result: io::Result<()> = Ok(());
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.workers {
+            let tx = tx.clone();
+            let packages = &packages;
+            let next_package = &next_package;
+            scope.spawn(move || {
+                let mut row_buf = Vec::new();
+                loop {
+                    let idx = next_package.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n_packages {
+                        return;
+                    }
+                    let pkg = &packages[idx as usize];
+                    let mut out = String::new();
+                    format_package(
+                        rt,
+                        table,
+                        update,
+                        pkg.rows.clone(),
+                        formatter,
+                        meta,
+                        &mut row_buf,
+                        &mut out,
+                    );
+                    if tx.send((pkg.seq, pkg.len(), out)).is_err() {
+                        // Output stage failed and hung up; stop quietly,
+                        // the error is reported from the output side.
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Output stage on the calling thread: reorder and write.
+        let mut reorder = ReorderBuffer::new();
+        for (seq, rows, buf) in rx {
+            for (ready_rows, ready) in reorder.push(seq, (rows, buf)) {
+                if let Err(e) = sink.write_chunk(ready.as_bytes()) {
+                    result = Err(e);
+                    return;
+                }
+                if let Some(m) = monitor {
+                    m.record_package(ready_rows, ready.len() as u64);
+                }
+            }
+        }
+        debug_assert!(reorder.is_drained(), "packages lost");
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdgf_gen::MapResolver;
+    use pdgf_output::{CsvFormatter, MemorySink};
+    use pdgf_schema::{Expr, Field, GeneratorSpec, Schema, SqlType, Table};
+
+    fn runtime(rows: u64) -> SchemaRuntime {
+        let schema = Schema::new("sched", 11).table(
+            Table::new("t", &format!("{rows}"))
+                .field(
+                    Field::new("id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+                        .primary(),
+                )
+                .field(Field::new(
+                    "v",
+                    SqlType::Integer,
+                    GeneratorSpec::Long {
+                        min: Expr::parse("0").unwrap(),
+                        max: Expr::parse("999999").unwrap(),
+                    },
+                )),
+        );
+        SchemaRuntime::build(&schema, &MapResolver::new()).unwrap()
+    }
+
+    fn run(rt: &SchemaRuntime, workers: usize, package_rows: u64) -> String {
+        let mut sink = MemorySink::new();
+        let cfg = RunConfig { workers, package_rows };
+        let stats = generate_table_range(
+            rt,
+            0,
+            0,
+            0..rt.tables()[0].size,
+            &CsvFormatter::new(),
+            &mut sink,
+            &cfg,
+            None,
+        )
+        .unwrap();
+        assert_eq!(stats.rows, rt.tables()[0].size);
+        assert_eq!(stats.bytes, sink.bytes_written());
+        sink.as_str().to_string()
+    }
+
+    #[test]
+    fn inline_output_has_one_line_per_row() {
+        let rt = runtime(100);
+        let out = run(&rt, 0, 10);
+        assert_eq!(out.lines().count(), 100);
+        assert!(out.starts_with("1,"));
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_inline() {
+        let rt = runtime(5_000);
+        let reference = run(&rt, 0, 128);
+        for workers in [1, 2, 4, 8] {
+            for pkg in [7, 100, 1024, 100_000] {
+                assert_eq!(
+                    run(&rt, workers, pkg),
+                    reference,
+                    "workers={workers} pkg={pkg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sub_ranges_generate_the_matching_slice() {
+        let rt = runtime(1000);
+        let all = run(&rt, 0, 100);
+        let mut sink = MemorySink::new();
+        generate_table_range(
+            &rt,
+            0,
+            0,
+            200..300,
+            &CsvFormatter::new(),
+            &mut sink,
+            &RunConfig { workers: 2, package_rows: 17 },
+            None,
+        )
+        .unwrap();
+        let slice: Vec<&str> = all.lines().skip(200).take(100).collect();
+        let got: Vec<&str> = sink.as_str().lines().collect();
+        assert_eq!(got, slice);
+    }
+
+    #[test]
+    fn monitor_sees_all_rows_and_bytes() {
+        let rt = runtime(1000);
+        let monitor = Monitor::new();
+        let mut sink = MemorySink::new();
+        generate_table_range(
+            &rt,
+            0,
+            0,
+            0..1000,
+            &CsvFormatter::new(),
+            &mut sink,
+            &RunConfig { workers: 3, package_rows: 64 },
+            Some(&monitor),
+        )
+        .unwrap();
+        let snap = monitor.snapshot();
+        assert_eq!(snap.rows, 1000);
+        assert_eq!(snap.bytes, sink.bytes_written());
+        assert!(snap.packages >= 1000 / 64);
+    }
+
+    #[test]
+    fn empty_table_produces_no_rows() {
+        let rt = runtime(0);
+        assert_eq!(run(&rt, 2, 10), "");
+    }
+
+    #[test]
+    fn header_formatter_emits_begin_once() {
+        let rt = runtime(10);
+        let mut sink = MemorySink::new();
+        generate_table_range(
+            &rt,
+            0,
+            0,
+            0..10,
+            &CsvFormatter::new().with_header(),
+            &mut sink,
+            &RunConfig { workers: 2, package_rows: 3 },
+            None,
+        )
+        .unwrap();
+        let out = sink.as_str();
+        assert!(out.starts_with("id,v\n"));
+        assert_eq!(out.matches("id,v").count(), 1);
+    }
+}

@@ -1,0 +1,848 @@
+//! Schema model ⇄ XML configuration mapping.
+//!
+//! The textual form mirrors Listing 1 of the paper: a `<schema>` root with
+//! `<seed>`, `<rng>`, `<property>` entries, and `<table>`/`<field>`
+//! definitions whose generator is a single `gen_*` child element.
+//!
+//! Every model written by [`to_xml`]/[`to_xml_string`] parses back to an
+//! equal model via [`from_xml`]/[`from_xml_string`] (round-trip property
+//! tested below); DBSynth emits models through this module.
+
+use crate::expr::Expr;
+use crate::model::{
+    DateFormat, DictSource, Field, GeneratorSpec, HistogramOutput, MarkovSource,
+    RefDistribution, Schema, SchemaError, Table,
+};
+
+fn pdgf_schema_histogram_output(name: &str) -> Result<HistogramOutput, ConfigError> {
+    HistogramOutput::parse(name)
+        .ok_or_else(|| ConfigError(format!("unknown histogram output {name:?}")))
+}
+use crate::types::SqlType;
+use crate::value::{Date, Value};
+use crate::xml::{XmlError, XmlNode};
+
+/// Configuration load failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<XmlError> for ConfigError {
+    fn from(e: XmlError) -> Self {
+        ConfigError(e.to_string())
+    }
+}
+
+impl From<SchemaError> for ConfigError {
+    fn from(e: SchemaError) -> Self {
+        ConfigError(e.to_string())
+    }
+}
+
+/// Serialize a schema to an XML element tree.
+pub fn to_xml(schema: &Schema) -> XmlNode {
+    let mut root = XmlNode::new("schema").attr("name", &schema.name);
+    root = root.child(XmlNode::new("seed").with_text(schema.seed));
+    root = root.child(XmlNode::new("rng").attr("name", &schema.rng));
+    for (name, source) in schema.properties.iter() {
+        root = root.child(
+            XmlNode::new("property")
+                .attr("name", name)
+                .attr("type", "double")
+                .with_text(source),
+        );
+    }
+    for table in &schema.tables {
+        let mut t = XmlNode::new("table").attr("name", &table.name);
+        t = t.child(XmlNode::new("size").with_text(&table.size));
+        for field in &table.fields {
+            let mut f = XmlNode::new("field")
+                .attr("name", &field.name)
+                .attr("size", field.size)
+                .attr("type", field.sql_type)
+                .attr("primary", field.primary);
+            f = f.child(gen_to_xml(&field.generator));
+            t = t.child(f);
+        }
+        root = root.child(t);
+    }
+    root
+}
+
+/// Serialize a schema to an XML document string.
+pub fn to_xml_string(schema: &Schema) -> String {
+    to_xml(schema).to_document()
+}
+
+/// Parse a schema from an XML document string and validate it.
+pub fn from_xml_string(doc: &str) -> Result<Schema, ConfigError> {
+    from_xml(&XmlNode::parse(doc)?)
+}
+
+/// Parse a schema from an XML element tree and validate it.
+pub fn from_xml(root: &XmlNode) -> Result<Schema, ConfigError> {
+    if root.name != "schema" {
+        return Err(ConfigError(format!("expected <schema>, got <{}>", root.name)));
+    }
+    let name = root
+        .get_attr("name")
+        .ok_or_else(|| ConfigError("<schema> missing name".into()))?;
+    let seed: u64 = root
+        .child_text("seed")
+        .ok_or_else(|| ConfigError("<schema> missing <seed>".into()))?
+        .parse()
+        .map_err(|_| ConfigError("bad <seed>".into()))?;
+    let mut schema = Schema::new(name, seed);
+    if let Some(rng) = root.find("rng").and_then(|n| n.get_attr("name")) {
+        schema.rng = rng.to_string();
+    }
+    for prop in root.find_all("property") {
+        let pname = prop
+            .get_attr("name")
+            .ok_or_else(|| ConfigError("<property> missing name".into()))?;
+        schema
+            .properties
+            .define(pname, &prop.text)
+            .map_err(|e| ConfigError(e.to_string()))?;
+    }
+    for tnode in root.find_all("table") {
+        let tname = tnode
+            .get_attr("name")
+            .ok_or_else(|| ConfigError("<table> missing name".into()))?;
+        let size_src = tnode
+            .child_text("size")
+            .ok_or_else(|| ConfigError(format!("table {tname} missing <size>")))?;
+        let size = Expr::parse(size_src)
+            .map_err(|e| ConfigError(format!("table {tname}: {e}")))?;
+        let mut table = Table { name: tname.to_string(), size, fields: Vec::new() };
+        for fnode in tnode.find_all("field") {
+            table.fields.push(field_from_xml(fnode)?);
+        }
+        schema.tables.push(table);
+    }
+    schema.validate()?;
+    Ok(schema)
+}
+
+fn field_from_xml(node: &XmlNode) -> Result<Field, ConfigError> {
+    let name = node
+        .get_attr("name")
+        .ok_or_else(|| ConfigError("<field> missing name".into()))?;
+    let type_str = node
+        .get_attr("type")
+        .ok_or_else(|| ConfigError(format!("field {name} missing type")))?;
+    let sql_type = SqlType::parse(type_str)
+        .ok_or_else(|| ConfigError(format!("field {name}: unknown type {type_str:?}")))?;
+    let gen_node = node
+        .children
+        .iter()
+        .find(|c| c.name.starts_with("gen_"))
+        .ok_or_else(|| ConfigError(format!("field {name} has no generator")))?;
+    let generator = gen_from_xml(gen_node)?;
+    let size = match node.get_attr("size") {
+        Some(s) => s
+            .parse()
+            .map_err(|_| ConfigError(format!("field {name}: bad size {s:?}")))?,
+        None => sql_type.display_size(),
+    };
+    Ok(Field {
+        name: name.to_string(),
+        sql_type,
+        size,
+        primary: node.get_attr("primary") == Some("true"),
+        generator,
+    })
+}
+
+fn gen_to_xml(spec: &GeneratorSpec) -> XmlNode {
+    let node = XmlNode::new(spec.xml_name());
+    match spec {
+        GeneratorSpec::Id { permute } => node.attr("permute", permute),
+        GeneratorSpec::Long { min, max } => node
+            .child(XmlNode::new("min").with_text(min))
+            .child(XmlNode::new("max").with_text(max)),
+        GeneratorSpec::Double { min, max, decimals } => {
+            let mut n = node
+                .child(XmlNode::new("min").with_text(min))
+                .child(XmlNode::new("max").with_text(max));
+            if let Some(d) = decimals {
+                n = n.attr("decimals", d);
+            }
+            n
+        }
+        GeneratorSpec::Decimal { min, max, scale } => node
+            .attr("scale", scale)
+            .child(XmlNode::new("min").with_text(min))
+            .child(XmlNode::new("max").with_text(max)),
+        GeneratorSpec::DateRange { min, max, format } => node
+            .attr("format", format.name())
+            .child(XmlNode::new("min").with_text(min))
+            .child(XmlNode::new("max").with_text(max)),
+        GeneratorSpec::TimestampRange { min, max } => node
+            .child(XmlNode::new("min").with_text(min))
+            .child(XmlNode::new("max").with_text(max)),
+        GeneratorSpec::RandomString { min_len, max_len } => {
+            node.attr("min", min_len).attr("max", max_len)
+        }
+        GeneratorSpec::RandomBool { true_prob } => node.attr("probability", true_prob),
+        GeneratorSpec::Dict { source, weighted } => {
+            let mut n = node.attr("weighted", weighted);
+            match source {
+                DictSource::File(path) => n = n.attr("file", path),
+                DictSource::Inline { entries } => {
+                    for (text, weight) in entries {
+                        n = n.child(
+                            XmlNode::new("entry").attr("weight", weight).with_text(text),
+                        );
+                    }
+                }
+            }
+            n
+        }
+        GeneratorSpec::DictByRow { source } => {
+            let mut n = node;
+            match source {
+                DictSource::File(path) => n = n.attr("file", path),
+                DictSource::Inline { entries } => {
+                    for (text, weight) in entries {
+                        n = n.child(
+                            XmlNode::new("entry").attr("weight", weight).with_text(text),
+                        );
+                    }
+                }
+            }
+            n
+        }
+        GeneratorSpec::Markov { source, min_words, max_words } => {
+            let n = node
+                .child(XmlNode::new("min").with_text(min_words))
+                .child(XmlNode::new("max").with_text(max_words));
+            match source {
+                MarkovSource::File(path) => n.child(XmlNode::new("file").with_text(path)),
+                MarkovSource::Inline(data) => {
+                    n.child(XmlNode::new("inline").with_text(data))
+                }
+            }
+        }
+        GeneratorSpec::Reference { table, field, distribution } => {
+            let dist = match distribution {
+                RefDistribution::Uniform => "uniform".to_string(),
+                RefDistribution::Permutation => "permutation".to_string(),
+                RefDistribution::Zipf { theta } => format!("zipf:{theta}"),
+            };
+            node.attr("distribution", dist).child(
+                XmlNode::new("reference").attr("table", table).attr("field", field),
+            )
+        }
+        GeneratorSpec::Null { probability, inner } => {
+            node.attr("probability", probability).child(gen_to_xml(inner))
+        }
+        GeneratorSpec::Static { value } => {
+            let (ty, text) = match value {
+                Value::Null => ("null", String::new()),
+                Value::Bool(b) => ("bool", b.to_string()),
+                Value::Long(v) => ("long", v.to_string()),
+                Value::Double(v) => ("double", format!("{v:?}")),
+                Value::Decimal { unscaled, scale } => {
+                    return node
+                        .attr("type", "decimal")
+                        .attr("scale", scale)
+                        .with_text(unscaled);
+                }
+                Value::Date(d) => ("date", d.to_string()),
+                Value::Timestamp(t) => ("timestamp", t.to_string()),
+                Value::Text(s) => ("text", s.to_string()),
+            };
+            node.attr("type", ty).with_text(text)
+        }
+        GeneratorSpec::Sequential { parts, separator } => {
+            let mut n = node.attr("separator", separator);
+            for p in parts {
+                n = n.child(gen_to_xml(p));
+            }
+            n
+        }
+        GeneratorSpec::Probability { branches } => {
+            let mut n = node;
+            for (p, g) in branches {
+                n = n.child(XmlNode::new("branch").attr("p", p).child(gen_to_xml(g)));
+            }
+            n
+        }
+        GeneratorSpec::Formula { expr, as_long } => {
+            node.attr("as_long", as_long).with_text(expr)
+        }
+        GeneratorSpec::HistogramNumeric { bounds, weights, output } => {
+            let join = |xs: &[f64]| {
+                xs.iter()
+                    .map(|v| format!("{v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            node.attr("output", output.name())
+                .child(XmlNode::new("bounds").with_text(join(bounds)))
+                .child(XmlNode::new("weights").with_text(join(weights)))
+        }
+    }
+}
+
+fn req_attr<'a>(node: &'a XmlNode, key: &str) -> Result<&'a str, ConfigError> {
+    node.get_attr(key)
+        .ok_or_else(|| ConfigError(format!("<{}> missing attribute {key:?}", node.name)))
+}
+
+fn attr_parse<T: std::str::FromStr>(node: &XmlNode, key: &str) -> Result<T, ConfigError> {
+    req_attr(node, key)?
+        .parse()
+        .map_err(|_| ConfigError(format!("<{}>: bad attribute {key:?}", node.name)))
+}
+
+fn child_expr(node: &XmlNode, name: &str) -> Result<Expr, ConfigError> {
+    let text = node
+        .child_text(name)
+        .ok_or_else(|| ConfigError(format!("<{}> missing <{name}>", node.name)))?;
+    Expr::parse(text).map_err(|e| ConfigError(format!("<{}> {name}: {e}", node.name)))
+}
+
+fn gen_from_xml(node: &XmlNode) -> Result<GeneratorSpec, ConfigError> {
+    Ok(match node.name.as_str() {
+        "gen_IdGenerator" => GeneratorSpec::Id {
+            permute: node.get_attr("permute") == Some("true"),
+        },
+        "gen_LongGenerator" => GeneratorSpec::Long {
+            min: child_expr(node, "min")?,
+            max: child_expr(node, "max")?,
+        },
+        "gen_DoubleGenerator" => GeneratorSpec::Double {
+            min: child_expr(node, "min")?,
+            max: child_expr(node, "max")?,
+            decimals: match node.get_attr("decimals") {
+                Some(d) => Some(d.parse().map_err(|_| {
+                    ConfigError(format!("bad decimals {d:?}"))
+                })?),
+                None => None,
+            },
+        },
+        "gen_DecimalGenerator" => GeneratorSpec::Decimal {
+            min: child_expr(node, "min")?,
+            max: child_expr(node, "max")?,
+            scale: attr_parse(node, "scale")?,
+        },
+        "gen_DateGenerator" => {
+            let fmt_name = node.get_attr("format").unwrap_or("iso");
+            GeneratorSpec::DateRange {
+                min: Date::parse_iso(req_attr_text(node, "min")?)
+                    .ok_or_else(|| ConfigError("bad date <min>".into()))?,
+                max: Date::parse_iso(req_attr_text(node, "max")?)
+                    .ok_or_else(|| ConfigError("bad date <max>".into()))?,
+                format: DateFormat::parse(fmt_name)
+                    .ok_or_else(|| ConfigError(format!("unknown date format {fmt_name:?}")))?,
+            }
+        }
+        "gen_TimestampGenerator" => GeneratorSpec::TimestampRange {
+            min: req_attr_text(node, "min")?
+                .parse()
+                .map_err(|_| ConfigError("bad timestamp <min>".into()))?,
+            max: req_attr_text(node, "max")?
+                .parse()
+                .map_err(|_| ConfigError("bad timestamp <max>".into()))?,
+        },
+        "gen_RandomStringGenerator" => GeneratorSpec::RandomString {
+            min_len: attr_parse(node, "min")?,
+            max_len: attr_parse(node, "max")?,
+        },
+        "gen_RandomBoolGenerator" => GeneratorSpec::RandomBool {
+            true_prob: attr_parse(node, "probability")?,
+        },
+        "gen_DictListGenerator" => {
+            let weighted = node.get_attr("weighted") == Some("true");
+            let source = if let Some(file) = node.get_attr("file") {
+                DictSource::File(file.to_string())
+            } else {
+                let entries = node
+                    .find_all("entry")
+                    .map(|e| {
+                        let w: f64 = attr_parse(e, "weight")?;
+                        Ok((e.text.clone(), w))
+                    })
+                    .collect::<Result<Vec<_>, ConfigError>>()?;
+                DictSource::Inline { entries }
+            };
+            GeneratorSpec::Dict { source, weighted }
+        }
+        "gen_DictByRowGenerator" => {
+            let source = if let Some(file) = node.get_attr("file") {
+                DictSource::File(file.to_string())
+            } else {
+                let entries = node
+                    .find_all("entry")
+                    .map(|e| {
+                        let w: f64 = attr_parse(e, "weight")?;
+                        Ok((e.text.clone(), w))
+                    })
+                    .collect::<Result<Vec<_>, ConfigError>>()?;
+                DictSource::Inline { entries }
+            };
+            GeneratorSpec::DictByRow { source }
+        }
+        "gen_MarkovChainGenerator" => {
+            let source = if let Some(file) = node.child_text("file") {
+                MarkovSource::File(file.to_string())
+            } else if let Some(inline) = node.child_text("inline") {
+                MarkovSource::Inline(inline.to_string())
+            } else {
+                return Err(ConfigError(
+                    "gen_MarkovChainGenerator needs <file> or <inline>".into(),
+                ));
+            };
+            GeneratorSpec::Markov {
+                source,
+                min_words: req_attr_text(node, "min")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad <min>".into()))?,
+                max_words: req_attr_text(node, "max")?
+                    .parse()
+                    .map_err(|_| ConfigError("bad <max>".into()))?,
+            }
+        }
+        "gen_DefaultReferenceGenerator" => {
+            let reference = node
+                .find("reference")
+                .ok_or_else(|| ConfigError("reference generator missing <reference>".into()))?;
+            let dist_str = node.get_attr("distribution").unwrap_or("uniform");
+            let distribution = if dist_str == "uniform" {
+                RefDistribution::Uniform
+            } else if dist_str == "permutation" {
+                RefDistribution::Permutation
+            } else if let Some(theta) = dist_str.strip_prefix("zipf:") {
+                RefDistribution::Zipf {
+                    theta: theta
+                        .parse()
+                        .map_err(|_| ConfigError(format!("bad zipf theta {theta:?}")))?,
+                }
+            } else {
+                return Err(ConfigError(format!("unknown distribution {dist_str:?}")));
+            };
+            GeneratorSpec::Reference {
+                table: req_attr(reference, "table")?.to_string(),
+                field: req_attr(reference, "field")?.to_string(),
+                distribution,
+            }
+        }
+        "gen_NullGenerator" => {
+            let inner = node
+                .children
+                .iter()
+                .find(|c| c.name.starts_with("gen_"))
+                .ok_or_else(|| ConfigError("gen_NullGenerator missing inner generator".into()))?;
+            GeneratorSpec::Null {
+                probability: attr_parse(node, "probability")?,
+                inner: Box::new(gen_from_xml(inner)?),
+            }
+        }
+        "gen_StaticValueGenerator" => {
+            let ty = req_attr(node, "type")?;
+            let text = node.text.as_str();
+            let value = match ty {
+                "null" => Value::Null,
+                "bool" => Value::Bool(
+                    text.parse().map_err(|_| ConfigError("bad bool".into()))?,
+                ),
+                "long" => Value::Long(
+                    text.parse().map_err(|_| ConfigError("bad long".into()))?,
+                ),
+                "double" => Value::Double(
+                    text.parse().map_err(|_| ConfigError("bad double".into()))?,
+                ),
+                "decimal" => Value::Decimal {
+                    unscaled: text
+                        .parse()
+                        .map_err(|_| ConfigError("bad decimal".into()))?,
+                    scale: attr_parse(node, "scale")?,
+                },
+                "date" => Value::Date(
+                    Date::parse_iso(text).ok_or_else(|| ConfigError("bad date".into()))?,
+                ),
+                "timestamp" => Value::Timestamp(
+                    text.parse().map_err(|_| ConfigError("bad timestamp".into()))?,
+                ),
+                "text" => Value::text(text),
+                other => return Err(ConfigError(format!("unknown static type {other:?}"))),
+            };
+            GeneratorSpec::Static { value }
+        }
+        "gen_SequentialGenerator" => GeneratorSpec::Sequential {
+            separator: node.get_attr("separator").unwrap_or("").to_string(),
+            parts: node
+                .children
+                .iter()
+                .filter(|c| c.name.starts_with("gen_"))
+                .map(gen_from_xml)
+                .collect::<Result<_, _>>()?,
+        },
+        "gen_ProbabilityGenerator" => GeneratorSpec::Probability {
+            branches: node
+                .find_all("branch")
+                .map(|b| {
+                    let p: f64 = attr_parse(b, "p")?;
+                    let inner = b
+                        .children
+                        .iter()
+                        .find(|c| c.name.starts_with("gen_"))
+                        .ok_or_else(|| ConfigError("<branch> missing generator".into()))?;
+                    Ok((p, gen_from_xml(inner)?))
+                })
+                .collect::<Result<Vec<_>, ConfigError>>()?,
+        },
+        "gen_FormulaGenerator" => GeneratorSpec::Formula {
+            expr: Expr::parse(&node.text)
+                .map_err(|e| ConfigError(format!("formula: {e}")))?,
+            as_long: node.get_attr("as_long") == Some("true"),
+        },
+        "gen_HistogramGenerator" => {
+            let parse_f64s = |name: &str| -> Result<Vec<f64>, ConfigError> {
+                node.child_text(name)
+                    .ok_or_else(|| ConfigError(format!("histogram missing <{name}>")))?
+                    .split_whitespace()
+                    .map(|t| {
+                        t.parse()
+                            .map_err(|_| ConfigError(format!("bad {name} entry {t:?}")))
+                    })
+                    .collect()
+            };
+            let output_name = node.get_attr("output").unwrap_or("double");
+            GeneratorSpec::HistogramNumeric {
+                bounds: parse_f64s("bounds")?,
+                weights: parse_f64s("weights")?,
+                output: pdgf_schema_histogram_output(output_name)?,
+            }
+        }
+        other => return Err(ConfigError(format!("unknown generator <{other}>"))),
+    })
+}
+
+/// Text of a required `<name>` child.
+fn req_attr_text<'a>(node: &'a XmlNode, name: &str) -> Result<&'a str, ConfigError> {
+    node.child_text(name)
+        .ok_or_else(|| ConfigError(format!("<{}> missing <{name}>", node.name)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A schema exercising every generator variant.
+    fn kitchen_sink() -> Schema {
+        let mut s = Schema::new("sink", 7);
+        s.properties.define("SF", "2").unwrap();
+        s.table(
+            Table::new("parent", "100 * ${SF}").field(
+                Field::new("p_id", SqlType::BigInt, GeneratorSpec::Id { permute: true })
+                    .primary(),
+            ),
+        )
+        .table(
+            Table::new("child", "1000")
+                .field(Field::new(
+                    "c_long",
+                    SqlType::Integer,
+                    GeneratorSpec::Long {
+                        min: Expr::parse("1").unwrap(),
+                        max: Expr::parse("10 * ${SF}").unwrap(),
+                    },
+                ))
+                .field(Field::new(
+                    "c_double",
+                    SqlType::Double,
+                    GeneratorSpec::Double {
+                        min: Expr::parse("0").unwrap(),
+                        max: Expr::parse("1").unwrap(),
+                        decimals: Some(4),
+                    },
+                ))
+                .field(Field::new(
+                    "c_dec",
+                    SqlType::Decimal(10, 2),
+                    GeneratorSpec::Decimal {
+                        min: Expr::parse("100").unwrap(),
+                        max: Expr::parse("10000").unwrap(),
+                        scale: 2,
+                    },
+                ))
+                .field(Field::new(
+                    "c_date",
+                    SqlType::Date,
+                    GeneratorSpec::DateRange {
+                        min: Date::from_ymd(1992, 1, 1),
+                        max: Date::from_ymd(1998, 12, 31),
+                        format: DateFormat::SlashMdy,
+                    },
+                ))
+                .field(Field::new(
+                    "c_ts",
+                    SqlType::Timestamp,
+                    GeneratorSpec::TimestampRange { min: 0, max: 1_000_000 },
+                ))
+                .field(Field::new(
+                    "c_str",
+                    SqlType::Varchar(20),
+                    GeneratorSpec::RandomString { min_len: 5, max_len: 20 },
+                ))
+                .field(Field::new(
+                    "c_bool",
+                    SqlType::Boolean,
+                    GeneratorSpec::RandomBool { true_prob: 0.3 },
+                ))
+                .field(Field::new(
+                    "c_dict",
+                    SqlType::Varchar(16),
+                    GeneratorSpec::Dict {
+                        source: DictSource::Inline {
+                            entries: vec![("red".into(), 2.0), ("blue".into(), 1.0)],
+                        },
+                        weighted: true,
+                    },
+                ))
+                .field(Field::new(
+                    "c_dictfile",
+                    SqlType::Varchar(16),
+                    GeneratorSpec::Dict {
+                        source: DictSource::File("dicts/colors.dict".into()),
+                        weighted: false,
+                    },
+                ))
+                .field(Field::new(
+                    "c_markov",
+                    SqlType::Varchar(100),
+                    GeneratorSpec::Markov {
+                        source: MarkovSource::File("markov/comment.bin".into()),
+                        min_words: 1,
+                        max_words: 10,
+                    },
+                ))
+                .field(Field::new(
+                    "c_ref",
+                    SqlType::BigInt,
+                    GeneratorSpec::Reference {
+                        table: "parent".into(),
+                        field: "p_id".into(),
+                        distribution: RefDistribution::Zipf { theta: 0.5 },
+                    },
+                ))
+                .field(Field::new(
+                    "c_null",
+                    SqlType::Varchar(44),
+                    GeneratorSpec::Null {
+                        probability: 0.25,
+                        inner: Box::new(GeneratorSpec::RandomString {
+                            min_len: 1,
+                            max_len: 44,
+                        }),
+                    },
+                ))
+                .field(Field::new(
+                    "c_static",
+                    SqlType::Varchar(8),
+                    GeneratorSpec::Static { value: Value::text("fixed") },
+                ))
+                .field(Field::new(
+                    "c_seq",
+                    SqlType::Varchar(64),
+                    GeneratorSpec::Sequential {
+                        separator: "-".into(),
+                        parts: vec![
+                            GeneratorSpec::Long {
+                                min: Expr::parse("0").unwrap(),
+                                max: Expr::parse("9").unwrap(),
+                            },
+                            GeneratorSpec::RandomString { min_len: 3, max_len: 3 },
+                        ],
+                    },
+                ))
+                .field(Field::new(
+                    "c_prob",
+                    SqlType::Varchar(16),
+                    GeneratorSpec::Probability {
+                        branches: vec![
+                            (0.7, GeneratorSpec::Static { value: Value::text("a") }),
+                            (0.3, GeneratorSpec::Static { value: Value::text("b") }),
+                        ],
+                    },
+                ))
+                .field(Field::new(
+                    "c_formula",
+                    SqlType::BigInt,
+                    GeneratorSpec::Formula {
+                        expr: Expr::parse("${ROW} % 7 + 1").unwrap(),
+                        as_long: true,
+                    },
+                ))
+                .field(Field::new(
+                    "c_hist",
+                    SqlType::Decimal(8, 2),
+                    GeneratorSpec::HistogramNumeric {
+                        bounds: vec![0.0, 2.5, 5.0, 10.0],
+                        weights: vec![7.0, 2.0, 1.0],
+                        output: pdgf_schema_histogram_output("decimal:2").unwrap(),
+                    },
+                ))
+                .field(Field::new(
+                    "c_dictrow",
+                    SqlType::Varchar(8),
+                    GeneratorSpec::DictByRow {
+                        source: DictSource::Inline {
+                            entries: vec![("AA".into(), 1.0), ("BB".into(), 1.0)],
+                        },
+                    },
+                )),
+        )
+    }
+
+    fn assert_schema_eq(a: &Schema, b: &Schema) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.rng, b.rng);
+        let pa: Vec<_> = a.properties.iter().collect();
+        let pb: Vec<_> = b.properties.iter().collect();
+        assert_eq!(pa, pb);
+        assert_eq!(a.tables.len(), b.tables.len());
+        for (ta, tb) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(ta.name, tb.name);
+            assert_eq!(ta.size.to_string(), tb.size.to_string());
+            assert_eq!(ta.fields, tb.fields, "table {}", ta.name);
+        }
+    }
+
+    #[test]
+    fn kitchen_sink_roundtrips() {
+        let schema = kitchen_sink();
+        schema.validate().unwrap();
+        let doc = to_xml_string(&schema);
+        let parsed = from_xml_string(&doc).unwrap();
+        assert_schema_eq(&schema, &parsed);
+        // Write → parse → write is a fixpoint.
+        assert_eq!(doc, to_xml_string(&parsed));
+    }
+
+    #[test]
+    fn parses_paperlike_document() {
+        let doc = r#"<?xml version="1.0" encoding="UTF-8"?>
+<schema name="tpch">
+  <seed>12456789</seed>
+  <rng name="PdgfDefaultRandom"></rng>
+  <property name="SF" type="double">1</property>
+  <property name="lineitem_size" type="double">6000000 * ${SF}</property>
+  <table name="partsupp">
+    <size>800000 * ${SF}</size>
+    <field name="ps_partkey" size="19" type="BIGINT" primary="true">
+      <gen_IdGenerator/>
+    </field>
+  </table>
+  <table name="lineitem">
+    <size>${lineitem_size}</size>
+    <field name="l_orderkey" size="19" type="BIGINT" primary="true">
+      <gen_IdGenerator/>
+    </field>
+    <field name="l_partkey" size="19" type="BIGINT" primary="false">
+      <gen_DefaultReferenceGenerator>
+        <reference table="partsupp" field="ps_partkey"/>
+      </gen_DefaultReferenceGenerator>
+    </field>
+    <field name="l_comment" size="44" type="VARCHAR(44)" primary="false">
+      <gen_NullGenerator probability="0.0">
+        <gen_MarkovChainGenerator>
+          <min>1</min>
+          <max>10</max>
+          <file>markov/l_comment_markovSamples.bin</file>
+        </gen_MarkovChainGenerator>
+      </gen_NullGenerator>
+    </field>
+  </table>
+</schema>"#;
+        let schema = from_xml_string(doc).unwrap();
+        assert_eq!(schema.seed, 12_456_789);
+        assert_eq!(schema.rng, "PdgfDefaultRandom");
+        let li = schema.table_by_name("lineitem").unwrap();
+        assert_eq!(schema.table_size(li).unwrap(), 6_000_000);
+        match &li.fields[2].generator {
+            GeneratorSpec::Null { probability, inner } => {
+                assert_eq!(*probability, 0.0);
+                match inner.as_ref() {
+                    GeneratorSpec::Markov { source, min_words, max_words } => {
+                        assert_eq!(
+                            source,
+                            &MarkovSource::File("markov/l_comment_markovSamples.bin".into())
+                        );
+                        assert_eq!((*min_words, *max_words), (1, 10));
+                    }
+                    other => panic!("wrong inner generator: {other:?}"),
+                }
+            }
+            other => panic!("wrong generator: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_documents_are_rejected() {
+        assert!(from_xml_string("<notschema/>").is_err());
+        assert!(from_xml_string("<schema name='x'/>").is_err(), "missing seed");
+        assert!(
+            from_xml_string(
+                "<schema name='x'><seed>1</seed><table name='t'><size>1</size>\
+                 <field name='f' type='WEIRD'><gen_IdGenerator/></field></table></schema>"
+            )
+            .is_err(),
+            "unknown type"
+        );
+        assert!(
+            from_xml_string(
+                "<schema name='x'><seed>1</seed><table name='t'><size>1</size>\
+                 <field name='f' type='BIGINT'><gen_Bogus/></field></table></schema>"
+            )
+            .is_err(),
+            "unknown generator"
+        );
+        assert!(
+            from_xml_string(
+                "<schema name='x'><seed>1</seed><table name='t'><size>1</size>\
+                 <field name='f' type='BIGINT'></field></table></schema>"
+            )
+            .is_err(),
+            "no generator"
+        );
+    }
+
+    #[test]
+    fn static_decimal_and_null_roundtrip() {
+        let mut s = Schema::new("d", 1);
+        s = s.table(
+            Table::new("t", "1")
+                .field(Field::new(
+                    "v",
+                    SqlType::Decimal(10, 2),
+                    GeneratorSpec::Static { value: Value::decimal(-12_345, 2) },
+                ))
+                .field(Field::new(
+                    "n",
+                    SqlType::Varchar(1),
+                    GeneratorSpec::Static { value: Value::Null },
+                )),
+        );
+        let parsed = from_xml_string(&to_xml_string(&s)).unwrap();
+        assert_eq!(
+            parsed.tables[0].fields[0].generator,
+            GeneratorSpec::Static { value: Value::decimal(-12_345, 2) }
+        );
+        assert_eq!(
+            parsed.tables[0].fields[1].generator,
+            GeneratorSpec::Static { value: Value::Null }
+        );
+    }
+}

@@ -1,0 +1,496 @@
+//! The property expression language.
+//!
+//! Table sizes and properties in a PDGF model are formulas, e.g.
+//! `6000000 * ${SF}` (Listing 1) or `ceil(${customer_size} / 3)`. The
+//! language is deliberately small: f64 arithmetic, `${NAME}` property
+//! references, parentheses, and a fixed set of functions.
+//!
+//! Grammar (Pratt-parsed):
+//!
+//! ```text
+//! expr    := term (('+'|'-') term)*
+//! term    := unary (('*'|'/'|'%') unary)*
+//! unary   := '-' unary | atom
+//! atom    := NUMBER | '${' IDENT '}' | IDENT '(' args ')' | '(' expr ')'
+//! args    := expr (',' expr)*
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// `${NAME}` property reference.
+    Prop(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(Func, Vec<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Rem,
+}
+
+/// Built-in functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// Smallest integer >= x.
+    Ceil,
+    /// Largest integer <= x.
+    Floor,
+    /// Round half away from zero.
+    Round,
+    /// Square root.
+    Sqrt,
+    /// Natural logarithm.
+    Log,
+    /// x to the power y.
+    Pow,
+    /// Minimum of the arguments.
+    Min,
+    /// Maximum of the arguments.
+    Max,
+}
+
+impl Func {
+    fn parse(name: &str) -> Option<(Func, usize)> {
+        Some(match name {
+            "ceil" => (Func::Ceil, 1),
+            "floor" => (Func::Floor, 1),
+            "round" => (Func::Round, 1),
+            "sqrt" => (Func::Sqrt, 1),
+            "log" => (Func::Log, 1),
+            "pow" => (Func::Pow, 2),
+            "min" => (Func::Min, 2),
+            "max" => (Func::Max, 2),
+            _ => return None,
+        })
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Func::Ceil => "ceil",
+            Func::Floor => "floor",
+            Func::Round => "round",
+            Func::Sqrt => "sqrt",
+            Func::Log => "log",
+            Func::Pow => "pow",
+            Func::Min => "min",
+            Func::Max => "max",
+        }
+    }
+}
+
+/// Expression parse or evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExprError(pub String);
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expression error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+impl Expr {
+    /// Parse a source string into an expression tree.
+    pub fn parse(src: &str) -> Result<Expr, ExprError> {
+        let mut p = Parser { src: src.as_bytes(), pos: 0 };
+        let e = p.parse_expr()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(ExprError(format!(
+                "unexpected trailing input at byte {} in {src:?}",
+                p.pos
+            )));
+        }
+        Ok(e)
+    }
+
+    /// Evaluate with property lookups from `env`.
+    pub fn eval(&self, env: &dyn Fn(&str) -> Option<f64>) -> Result<f64, ExprError> {
+        Ok(match self {
+            Expr::Num(v) => *v,
+            Expr::Prop(name) => env(name)
+                .ok_or_else(|| ExprError(format!("unknown property ${{{name}}}")))?,
+            Expr::Neg(e) => -e.eval(env)?,
+            Expr::Bin(op, a, b) => {
+                let (x, y) = (a.eval(env)?, b.eval(env)?);
+                match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => {
+                        if y == 0.0 {
+                            return Err(ExprError("division by zero".into()));
+                        }
+                        x / y
+                    }
+                    BinOp::Rem => {
+                        if y == 0.0 {
+                            return Err(ExprError("remainder by zero".into()));
+                        }
+                        x % y
+                    }
+                }
+            }
+            Expr::Call(f, args) => {
+                let vals: Vec<f64> =
+                    args.iter().map(|a| a.eval(env)).collect::<Result<_, _>>()?;
+                match f {
+                    Func::Ceil => vals[0].ceil(),
+                    Func::Floor => vals[0].floor(),
+                    Func::Round => vals[0].round(),
+                    Func::Sqrt => vals[0].sqrt(),
+                    Func::Log => vals[0].ln(),
+                    Func::Pow => vals[0].powf(vals[1]),
+                    Func::Min => vals[0].min(vals[1]),
+                    Func::Max => vals[0].max(vals[1]),
+                }
+            }
+        })
+    }
+
+    /// Evaluate against a static property map.
+    pub fn eval_map(&self, props: &BTreeMap<String, f64>) -> Result<f64, ExprError> {
+        self.eval(&|name| props.get(name).copied())
+    }
+
+    /// Names of all `${...}` references in the tree (with duplicates).
+    pub fn prop_refs(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Prop(n) => out.push(n),
+            Expr::Neg(e) => e.collect_refs(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_refs(out);
+                b.collect_refs(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_refs(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Re-render to parseable source (fully parenthesized binaries).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{}", *v as i64)
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Prop(n) => write!(f, "${{{n}}}"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Bin(op, a, b) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+            Expr::Call(func, args) => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ExprError> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(ExprError(format!(
+                "expected {:?}, got {:?} at byte {}",
+                c as char,
+                got.map(|g| g as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Some(b'+') => {
+                    self.bump();
+                    lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(self.parse_term()?));
+                }
+                Some(b'-') => {
+                    self.bump();
+                    lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(self.parse_term()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(self.parse_unary()?));
+                }
+                Some(b'/') => {
+                    self.bump();
+                    lhs = Expr::Bin(BinOp::Div, Box::new(lhs), Box::new(self.parse_unary()?));
+                }
+                Some(b'%') => {
+                    self.bump();
+                    lhs = Expr::Bin(BinOp::Rem, Box::new(lhs), Box::new(self.parse_unary()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ExprError> {
+        if self.peek() == Some(b'-') {
+            self.bump();
+            return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ExprError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(b')')?;
+                Ok(e)
+            }
+            Some(b'$') => {
+                self.bump();
+                self.expect(b'{')?;
+                let name = self.parse_ident()?;
+                self.expect(b'}')?;
+                Ok(Expr::Prop(name))
+            }
+            Some(c) if c.is_ascii_digit() || c == b'.' => self.parse_number(),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let name = self.parse_ident()?;
+                let (func, arity) = Func::parse(&name)
+                    .ok_or_else(|| ExprError(format!("unknown function {name:?}")))?;
+                self.expect(b'(')?;
+                let mut args = vec![self.parse_expr()?];
+                while self.peek() == Some(b',') {
+                    self.bump();
+                    args.push(self.parse_expr()?);
+                }
+                self.expect(b')')?;
+                if args.len() != arity {
+                    return Err(ExprError(format!(
+                        "{name} expects {arity} argument(s), got {}",
+                        args.len()
+                    )));
+                }
+                Ok(Expr::Call(func, args))
+            }
+            got => Err(ExprError(format!(
+                "unexpected {:?} at byte {}",
+                got.map(|g| g as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_ident(&mut self) -> Result<String, ExprError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(ExprError(format!("expected identifier at byte {start}")));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn parse_number(&mut self) -> Result<Expr, ExprError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_digit()
+                || self.src[self.pos] == b'.'
+                || self.src[self.pos] == b'e'
+                || self.src[self.pos] == b'E'
+                || ((self.src[self.pos] == b'+' || self.src[self.pos] == b'-')
+                    && self.pos > start
+                    && matches!(self.src[self.pos - 1], b'e' | b'E')))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| ExprError("invalid UTF-8 in number".into()))?;
+        text.parse::<f64>()
+            .map(Expr::Num)
+            .map_err(|_| ExprError(format!("bad number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(src: &str, props: &[(&str, f64)]) -> f64 {
+        let map: BTreeMap<String, f64> =
+            props.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        Expr::parse(src).unwrap().eval_map(&map).unwrap()
+    }
+
+    #[test]
+    fn listing1_size_formula() {
+        // The paper's lineitem size: 6000000 * ${SF}.
+        assert_eq!(eval("6000000 * ${SF}", &[("SF", 1.0)]), 6_000_000.0);
+        assert_eq!(eval("6000000 * ${SF}", &[("SF", 10.0)]), 60_000_000.0);
+        assert_eq!(eval("6000000 * ${SF}", &[("SF", 0.01)]), 60_000.0);
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        assert_eq!(eval("2 + 3 * 4", &[]), 14.0);
+        assert_eq!(eval("(2 + 3) * 4", &[]), 20.0);
+        assert_eq!(eval("10 - 4 - 3", &[]), 3.0);
+        assert_eq!(eval("100 / 10 / 2", &[]), 5.0);
+        assert_eq!(eval("7 % 3", &[]), 1.0);
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert_eq!(eval("-5 + 3", &[]), -2.0);
+        assert_eq!(eval("--5", &[]), 5.0);
+        assert_eq!(eval("2 * -3", &[]), -6.0);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(eval("1.5e3", &[]), 1500.0);
+        assert_eq!(eval("2E-2", &[]), 0.02);
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(eval("ceil(1.2)", &[]), 2.0);
+        assert_eq!(eval("floor(1.8)", &[]), 1.0);
+        assert_eq!(eval("round(2.5)", &[]), 3.0);
+        assert_eq!(eval("sqrt(16)", &[]), 4.0);
+        assert_eq!(eval("min(3, 7)", &[]), 3.0);
+        assert_eq!(eval("max(3, 7)", &[]), 7.0);
+        assert_eq!(eval("pow(2, 10)", &[]), 1024.0);
+        assert!((eval("log(2.718281828459045)", &[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_props() {
+        assert_eq!(
+            eval(
+                "ceil(${a} / ${b}) * 100",
+                &[("a", 7.0), ("b", 2.0)]
+            ),
+            400.0
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Expr::parse("2 +").is_err());
+        assert!(Expr::parse("(2").is_err());
+        assert!(Expr::parse("${}").is_err());
+        assert!(Expr::parse("2 2").is_err());
+        assert!(Expr::parse("nosuchfn(1)").is_err());
+        assert!(Expr::parse("min(1)").is_err(), "arity check");
+        let e = Expr::parse("1 / ${x}").unwrap();
+        assert!(e.eval_map(&BTreeMap::new()).is_err(), "unknown property");
+        let zero: BTreeMap<String, f64> = [("x".to_string(), 0.0)].into();
+        assert!(e.eval_map(&zero).is_err(), "division by zero");
+    }
+
+    #[test]
+    fn prop_refs_are_collected() {
+        let e = Expr::parse("${a} + ${b} * ${a}").unwrap();
+        assert_eq!(e.prop_refs(), vec!["a", "b", "a"]);
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for src in [
+            "6000000 * ${SF}",
+            "ceil((${a} + 2) / 3)",
+            "-(4 % 3)",
+            "min(max(1, 2), ${x})",
+            "1.5e3 + 0.25",
+        ] {
+            let e = Expr::parse(src).unwrap();
+            let re = Expr::parse(&e.to_string()).unwrap();
+            assert_eq!(e, re, "{src} -> {e}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Data model and configuration layer of the PDGF reproduction.
+//!
+//! A PDGF project is described by a *schema configuration* (Listing 1 of
+//! the paper shows the XML form): a project seed, a PRNG choice, a set of
+//! scale properties (`SF` etc.), and per-table field definitions, where
+//! each field names a generator and its parameters.
+//!
+//! This crate contains everything that is *description*, not execution:
+//!
+//! * [`value`] — the runtime [`Value`] cell type and
+//!   calendar helpers,
+//! * [`types`] — the SQL-92 type system ([`SqlType`]),
+//! * [`expr`] — the `${NAME}`-style arithmetic expression language used
+//!   by size formulas and properties (`6000000 * ${SF}`),
+//! * [`props`] — the ordered property bag with dependency resolution and
+//!   command-line overrides,
+//! * [`model`] — the schema model: project, tables, fields, and
+//!   [`GeneratorSpec`]s,
+//! * [`xml`] — a minimal XML reader/writer,
+//! * [`config`] — the mapping between schema model and its XML form.
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod expr;
+pub mod model;
+pub mod props;
+pub mod types;
+pub mod value;
+pub mod xml;
+
+pub use expr::Expr;
+pub use model::{Field, GeneratorSpec, Schema, Table};
+pub use props::PropertyBag;
+pub use types::SqlType;
+pub use value::{Date, Value};

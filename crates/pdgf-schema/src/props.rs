@@ -1,0 +1,246 @@
+//! The project property bag.
+//!
+//! Properties parameterize a model (`SF`, per-table sizes, probabilities,
+//! value boundaries) and can reference each other:
+//!
+//! ```text
+//! <property name="SF" type="double">1</property>
+//! <property name="lineitem_size" type="double">6000000 * ${SF}</property>
+//! ```
+//!
+//! The paper: "all previously specified properties of a model ... can be
+//! changed in the command line interface" — [`PropertyBag::override_value`]
+//! implements exactly that, re-resolving dependents.
+
+use crate::expr::{Expr, ExprError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered, dependency-resolving map of named numeric properties.
+#[derive(Debug, Clone, Default)]
+pub struct PropertyBag {
+    /// Insertion-ordered (name, expression source, parsed expression).
+    entries: Vec<(String, String, Expr)>,
+}
+
+/// Property resolution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropError {
+    /// A property's expression failed to parse or evaluate.
+    Expr(String, String),
+    /// Properties reference each other cyclically.
+    Cycle(String),
+    /// Duplicate property definition.
+    Duplicate(String),
+}
+
+impl fmt::Display for PropError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropError::Expr(name, err) => write!(f, "property {name:?}: {err}"),
+            PropError::Cycle(name) => write!(f, "property cycle involving {name:?}"),
+            PropError::Duplicate(name) => write!(f, "duplicate property {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PropError {}
+
+impl PropertyBag {
+    /// Empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Define a property from expression source. Order of definition is
+    /// preserved for serialization but does not constrain references —
+    /// forward references are fine as long as the graph is acyclic.
+    pub fn define(&mut self, name: &str, source: &str) -> Result<(), PropError> {
+        if self.entries.iter().any(|(n, _, _)| n == name) {
+            return Err(PropError::Duplicate(name.to_string()));
+        }
+        let expr = Expr::parse(source)
+            .map_err(|e| PropError::Expr(name.to_string(), e.to_string()))?;
+        self.entries.push((name.to_string(), source.to_string(), expr));
+        Ok(())
+    }
+
+    /// Define a constant numeric property.
+    pub fn define_value(&mut self, name: &str, value: f64) -> Result<(), PropError> {
+        let source = if value.fract() == 0.0 && value.abs() < 1e15 {
+            format!("{}", value as i64)
+        } else {
+            format!("{value}")
+        };
+        self.define(name, &source)
+    }
+
+    /// Replace a property's definition (the command-line override path).
+    /// Defines the property if it does not exist yet.
+    pub fn override_value(&mut self, name: &str, source: &str) -> Result<(), PropError> {
+        let expr = Expr::parse(source)
+            .map_err(|e| PropError::Expr(name.to_string(), e.to_string()))?;
+        if let Some(entry) = self.entries.iter_mut().find(|(n, _, _)| n == name) {
+            entry.1 = source.to_string();
+            entry.2 = expr;
+        } else {
+            self.entries.push((name.to_string(), source.to_string(), expr));
+        }
+        Ok(())
+    }
+
+    /// Does the bag define `name`?
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _, _)| n == name)
+    }
+
+    /// The raw expression source of a property.
+    pub fn source(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, s, _)| s.as_str())
+    }
+
+    /// Iterate (name, source) in definition order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, s, _)| (n.as_str(), s.as_str()))
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the bag empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolve every property to a number, respecting inter-property
+    /// references and detecting cycles.
+    pub fn resolve_all(&self) -> Result<BTreeMap<String, f64>, PropError> {
+        let mut resolved: BTreeMap<String, f64> = BTreeMap::new();
+        let mut in_progress: Vec<String> = Vec::new();
+        for (name, _, _) in &self.entries {
+            self.resolve_one(name, &mut resolved, &mut in_progress)?;
+        }
+        Ok(resolved)
+    }
+
+    /// Resolve a single property (and transitively its dependencies).
+    pub fn resolve(&self, name: &str) -> Result<f64, PropError> {
+        let mut resolved = BTreeMap::new();
+        let mut in_progress = Vec::new();
+        self.resolve_one(name, &mut resolved, &mut in_progress)?;
+        resolved
+            .get(name)
+            .copied()
+            .ok_or_else(|| PropError::Expr(name.to_string(), "undefined".into()))
+    }
+
+    fn resolve_one(
+        &self,
+        name: &str,
+        resolved: &mut BTreeMap<String, f64>,
+        in_progress: &mut Vec<String>,
+    ) -> Result<(), PropError> {
+        if resolved.contains_key(name) {
+            return Ok(());
+        }
+        if in_progress.iter().any(|n| n == name) {
+            return Err(PropError::Cycle(name.to_string()));
+        }
+        let (_, _, expr) = self
+            .entries
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .ok_or_else(|| PropError::Expr(name.to_string(), "undefined property".into()))?;
+        in_progress.push(name.to_string());
+        for dep in expr.prop_refs() {
+            self.resolve_one(dep, resolved, in_progress)?;
+        }
+        in_progress.pop();
+        let env = |n: &str| resolved.get(n).copied();
+        let value = expr
+            .eval(&env)
+            .map_err(|e: ExprError| PropError::Expr(name.to_string(), e.to_string()))?;
+        resolved.insert(name.to_string(), value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factor_chain_resolves() {
+        let mut bag = PropertyBag::new();
+        bag.define("SF", "1").unwrap();
+        bag.define("lineitem_size", "6000000 * ${SF}").unwrap();
+        bag.define("orders_size", "${lineitem_size} / 4").unwrap();
+        let all = bag.resolve_all().unwrap();
+        assert_eq!(all["SF"], 1.0);
+        assert_eq!(all["lineitem_size"], 6_000_000.0);
+        assert_eq!(all["orders_size"], 1_500_000.0);
+    }
+
+    #[test]
+    fn command_line_override_rescales_dependents() {
+        let mut bag = PropertyBag::new();
+        bag.define("SF", "1").unwrap();
+        bag.define("lineitem_size", "6000000 * ${SF}").unwrap();
+        bag.override_value("SF", "100").unwrap();
+        assert_eq!(bag.resolve("lineitem_size").unwrap(), 600_000_000.0);
+    }
+
+    #[test]
+    fn forward_references_are_allowed() {
+        let mut bag = PropertyBag::new();
+        bag.define("a", "${b} + 1").unwrap();
+        bag.define("b", "2").unwrap();
+        assert_eq!(bag.resolve("a").unwrap(), 3.0);
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut bag = PropertyBag::new();
+        bag.define("a", "${b}").unwrap();
+        bag.define("b", "${a}").unwrap();
+        assert!(matches!(bag.resolve_all(), Err(PropError::Cycle(_))));
+        let mut selfref = PropertyBag::new();
+        selfref.define("x", "${x} + 1").unwrap();
+        assert!(matches!(selfref.resolve("x"), Err(PropError::Cycle(_))));
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let mut bag = PropertyBag::new();
+        bag.define("a", "1").unwrap();
+        assert!(matches!(bag.define("a", "2"), Err(PropError::Duplicate(_))));
+    }
+
+    #[test]
+    fn unknown_reference_is_an_error() {
+        let mut bag = PropertyBag::new();
+        bag.define("a", "${nosuch}").unwrap();
+        assert!(bag.resolve_all().is_err());
+        assert!(bag.resolve("undefined").is_err());
+    }
+
+    #[test]
+    fn iteration_preserves_definition_order() {
+        let mut bag = PropertyBag::new();
+        bag.define("z", "1").unwrap();
+        bag.define("a", "2").unwrap();
+        bag.define_value("m", 2.5).unwrap();
+        let names: Vec<&str> = bag.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["z", "a", "m"]);
+        assert_eq!(bag.source("m"), Some("2.5"));
+        assert_eq!(bag.len(), 3);
+        assert!(!bag.is_empty());
+        assert!(bag.contains("z"));
+        assert!(!bag.contains("q"));
+    }
+}

@@ -1,0 +1,214 @@
+//! SQL-92 data types.
+//!
+//! DBSynth reads these from a source database's catalog; PDGF uses them to
+//! pick default generators and the schema translator emits them as DDL.
+//! The paper: "DBSynth and PDGF support all SQL 92 datatypes".
+
+use std::fmt;
+
+/// A SQL-92 column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    /// BOOLEAN (strictly SQL:1999, kept for modern sources).
+    Boolean,
+    /// SMALLINT (16 bit).
+    SmallInt,
+    /// INTEGER (32 bit).
+    Integer,
+    /// BIGINT (64 bit).
+    BigInt,
+    /// DECIMAL(precision, scale) / NUMERIC.
+    Decimal(u8, u8),
+    /// REAL (single precision float).
+    Real,
+    /// DOUBLE PRECISION / FLOAT.
+    Double,
+    /// CHAR(n), blank padded.
+    Char(u32),
+    /// VARCHAR(n).
+    Varchar(u32),
+    /// DATE.
+    Date,
+    /// TIME (seconds precision).
+    Time,
+    /// TIMESTAMP (seconds precision).
+    Timestamp,
+}
+
+impl SqlType {
+    /// Is this one of the integer families?
+    pub fn is_integer(self) -> bool {
+        matches!(self, SqlType::SmallInt | SqlType::Integer | SqlType::BigInt)
+    }
+
+    /// Is this any numeric type (integer, decimal, float)?
+    pub fn is_numeric(self) -> bool {
+        self.is_integer()
+            || matches!(self, SqlType::Decimal(..) | SqlType::Real | SqlType::Double)
+    }
+
+    /// Is this a character type?
+    pub fn is_text(self) -> bool {
+        matches!(self, SqlType::Char(_) | SqlType::Varchar(_))
+    }
+
+    /// Is this a temporal type?
+    pub fn is_temporal(self) -> bool {
+        matches!(self, SqlType::Date | SqlType::Time | SqlType::Timestamp)
+    }
+
+    /// Declared display width used in PDGF field `size` attributes
+    /// (e.g. BIGINT -> 19 digits, as in Listing 1 of the paper).
+    pub fn display_size(self) -> u32 {
+        match self {
+            SqlType::Boolean => 5,
+            SqlType::SmallInt => 6,
+            SqlType::Integer => 11,
+            SqlType::BigInt => 19,
+            SqlType::Decimal(p, s) => u32::from(p) + 1 + u32::from(s > 0),
+            SqlType::Real => 14,
+            SqlType::Double => 22,
+            SqlType::Char(n) | SqlType::Varchar(n) => n,
+            SqlType::Date => 10,
+            SqlType::Time => 8,
+            SqlType::Timestamp => 19,
+        }
+    }
+
+    /// Parse a SQL type expression such as `VARCHAR(44)`, `DECIMAL(15,2)`,
+    /// `BIGINT`. Case-insensitive; whitespace tolerated around arguments.
+    pub fn parse(s: &str) -> Option<SqlType> {
+        let s = s.trim();
+        let (name, args) = match s.find('(') {
+            Some(open) => {
+                let close = s.rfind(')')?;
+                if close < open {
+                    return None;
+                }
+                (&s[..open], Some(&s[open + 1..close]))
+            }
+            None => (s, None),
+        };
+        let name = name.trim().to_ascii_uppercase();
+        let parse_args = |args: Option<&str>| -> Option<Vec<u32>> {
+            match args {
+                None => Some(Vec::new()),
+                Some(a) => a
+                    .split(',')
+                    .map(|p| p.trim().parse::<u32>().ok())
+                    .collect::<Option<Vec<_>>>(),
+            }
+        };
+        let args = parse_args(args)?;
+        let one = |d: u32| -> u32 { args.first().copied().unwrap_or(d) };
+        Some(match name.as_str() {
+            "BOOLEAN" | "BOOL" => SqlType::Boolean,
+            "SMALLINT" => SqlType::SmallInt,
+            "INTEGER" | "INT" => SqlType::Integer,
+            "BIGINT" => SqlType::BigInt,
+            "DECIMAL" | "NUMERIC" | "DEC" => {
+                let p = u8::try_from(one(18)).ok()?;
+                let sc = u8::try_from(args.get(1).copied().unwrap_or(0)).ok()?;
+                if sc > p {
+                    return None;
+                }
+                SqlType::Decimal(p, sc)
+            }
+            "REAL" => SqlType::Real,
+            "DOUBLE" | "DOUBLE PRECISION" | "FLOAT" | "FLOAT8" => SqlType::Double,
+            "CHAR" | "CHARACTER" => SqlType::Char(one(1)),
+            "VARCHAR" | "CHARACTER VARYING" | "TEXT" => SqlType::Varchar(one(255)),
+            "DATE" => SqlType::Date,
+            "TIME" => SqlType::Time,
+            "TIMESTAMP" => SqlType::Timestamp,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for SqlType {
+    /// Canonical DDL spelling.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlType::Boolean => write!(f, "BOOLEAN"),
+            SqlType::SmallInt => write!(f, "SMALLINT"),
+            SqlType::Integer => write!(f, "INTEGER"),
+            SqlType::BigInt => write!(f, "BIGINT"),
+            SqlType::Decimal(p, s) => write!(f, "DECIMAL({p},{s})"),
+            SqlType::Real => write!(f, "REAL"),
+            SqlType::Double => write!(f, "DOUBLE PRECISION"),
+            SqlType::Char(n) => write!(f, "CHAR({n})"),
+            SqlType::Varchar(n) => write!(f, "VARCHAR({n})"),
+            SqlType::Date => write!(f, "DATE"),
+            SqlType::Time => write!(f, "TIME"),
+            SqlType::Timestamp => write!(f, "TIMESTAMP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_types() {
+        assert_eq!(SqlType::parse("BIGINT"), Some(SqlType::BigInt));
+        assert_eq!(SqlType::parse("bigint"), Some(SqlType::BigInt));
+        assert_eq!(SqlType::parse(" integer "), Some(SqlType::Integer));
+        assert_eq!(SqlType::parse("DATE"), Some(SqlType::Date));
+        assert_eq!(SqlType::parse("garbage"), None);
+    }
+
+    #[test]
+    fn parse_parameterized_types() {
+        assert_eq!(SqlType::parse("VARCHAR(44)"), Some(SqlType::Varchar(44)));
+        assert_eq!(SqlType::parse("CHAR(10)"), Some(SqlType::Char(10)));
+        assert_eq!(
+            SqlType::parse("DECIMAL(15, 2)"),
+            Some(SqlType::Decimal(15, 2))
+        );
+        assert_eq!(SqlType::parse("NUMERIC(5)"), Some(SqlType::Decimal(5, 0)));
+        assert_eq!(SqlType::parse("DECIMAL(2,5)"), None, "scale > precision");
+        assert_eq!(SqlType::parse("VARCHAR(x)"), None);
+        assert_eq!(SqlType::parse("VARCHAR)"), None);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for t in [
+            SqlType::Boolean,
+            SqlType::SmallInt,
+            SqlType::Integer,
+            SqlType::BigInt,
+            SqlType::Decimal(15, 2),
+            SqlType::Real,
+            SqlType::Double,
+            SqlType::Char(10),
+            SqlType::Varchar(44),
+            SqlType::Date,
+            SqlType::Time,
+            SqlType::Timestamp,
+        ] {
+            assert_eq!(SqlType::parse(&t.to_string()), Some(t), "{t}");
+        }
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(SqlType::BigInt.is_integer());
+        assert!(SqlType::Decimal(10, 2).is_numeric());
+        assert!(!SqlType::Decimal(10, 2).is_integer());
+        assert!(SqlType::Varchar(10).is_text());
+        assert!(!SqlType::Varchar(10).is_numeric());
+        assert!(SqlType::Timestamp.is_temporal());
+    }
+
+    #[test]
+    fn display_sizes_match_listing1() {
+        // Listing 1: l_orderkey BIGINT size 19, l_comment VARCHAR size 44.
+        assert_eq!(SqlType::BigInt.display_size(), 19);
+        assert_eq!(SqlType::Varchar(44).display_size(), 44);
+        assert_eq!(SqlType::Decimal(15, 2).display_size(), 17);
+        assert_eq!(SqlType::Decimal(5, 0).display_size(), 6);
+    }
+}

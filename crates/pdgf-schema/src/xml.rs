@@ -1,0 +1,464 @@
+//! A minimal XML reader and writer.
+//!
+//! PDGF configurations are XML documents (Listing 1 of the paper). This
+//! module implements the subset those documents need: elements with
+//! attributes, text content, comments, processing instructions / XML
+//! declarations, and the five predefined entities. It is not a general
+//! XML processor (no namespaces, DTDs, or CDATA).
+
+use std::fmt;
+
+/// An XML element node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlNode {
+    /// Element name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<XmlNode>,
+    /// Concatenated text content directly inside this element
+    /// (whitespace-trimmed).
+    pub text: String,
+}
+
+impl XmlNode {
+    /// New element with no attributes or content.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+            text: String::new(),
+        }
+    }
+
+    /// Builder: add an attribute.
+    pub fn attr(mut self, key: &str, value: impl fmt::Display) -> Self {
+        self.attrs.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Builder: set text content.
+    pub fn with_text(mut self, text: impl fmt::Display) -> Self {
+        self.text = text.to_string();
+        self
+    }
+
+    /// Builder: append a child element.
+    pub fn child(mut self, node: XmlNode) -> Self {
+        self.children.push(node);
+        self
+    }
+
+    /// Attribute lookup.
+    pub fn get_attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First child with the given element name.
+    pub fn find(&self, name: &str) -> Option<&XmlNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All children with the given element name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlNode> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Text of the first child with the given name.
+    pub fn child_text(&self, name: &str) -> Option<&str> {
+        self.find(name).map(|c| c.text.as_str())
+    }
+
+    /// Serialize with an XML declaration and 2-space indentation.
+    pub fn to_document(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.write_into(&mut out, 0);
+        out
+    }
+
+    fn write_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(v, out);
+            out.push('"');
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push('>');
+        if self.children.is_empty() {
+            escape_into(&self.text, out);
+            out.push_str("</");
+            out.push_str(&self.name);
+            out.push_str(">\n");
+            return;
+        }
+        out.push('\n');
+        if !self.text.is_empty() {
+            out.push_str(&"  ".repeat(depth + 1));
+            escape_into(&self.text, out);
+            out.push('\n');
+        }
+        for c in &self.children {
+            c.write_into(out, depth + 1);
+        }
+        out.push_str(&pad);
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+
+    /// Parse a document, returning its root element.
+    pub fn parse(input: &str) -> Result<XmlNode, XmlError> {
+        let mut p = XmlParser { src: input.as_bytes(), pos: 0 };
+        p.skip_misc()?;
+        let root = p.parse_element()?;
+        p.skip_misc()?;
+        if p.pos != p.src.len() {
+            return Err(XmlError(format!(
+                "trailing content after root element at byte {}",
+                p.pos
+            )));
+        }
+        Ok(root)
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// XML parse failure with a short description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError(pub String);
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml error: {}", self.0)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct XmlParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn error(&self, msg: &str) -> XmlError {
+        XmlError(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip whitespace, comments, the XML declaration, and processing
+    /// instructions between top-level constructs.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with(b"<?") {
+                let end = self
+                    .find_from(b"?>", self.pos)
+                    .ok_or_else(|| self.error("unterminated processing instruction"))?;
+                self.pos = end + 2;
+            } else if self.starts_with(b"<!--") {
+                let end = self
+                    .find_from(b"-->", self.pos)
+                    .ok_or_else(|| self.error("unterminated comment"))?;
+                self.pos = end + 3;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn starts_with(&self, pat: &[u8]) -> bool {
+        self.src[self.pos..].starts_with(pat)
+    }
+
+    fn find_from(&self, pat: &[u8], from: usize) -> Option<usize> {
+        self.src[from..]
+            .windows(pat.len())
+            .position(|w| w == pat)
+            .map(|i| i + from)
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric()
+                || matches!(self.src[self.pos], b'_' | b'-' | b'.' | b':'))
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected name"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<XmlNode, XmlError> {
+        if !self.starts_with(b"<") {
+            return Err(self.error("expected element"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut node = XmlNode::new(&name);
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.src.get(self.pos) {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if !self.starts_with(b">") {
+                        return Err(self.error("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(node);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    if !self.starts_with(b"=") {
+                        return Err(self.error("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = *self
+                        .src
+                        .get(self.pos)
+                        .ok_or_else(|| self.error("unterminated attribute"))?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(self.error("attribute value must be quoted"));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.pos < self.src.len() && self.src[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos == self.src.len() {
+                        return Err(self.error("unterminated attribute value"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    node.attrs.push((key, unescape(&raw)?));
+                }
+                None => return Err(self.error("unterminated start tag")),
+            }
+        }
+
+        // Content.
+        let mut text = String::new();
+        loop {
+            if self.pos >= self.src.len() {
+                return Err(self.error("unterminated element"));
+            }
+            if self.starts_with(b"<!--") {
+                let end = self
+                    .find_from(b"-->", self.pos)
+                    .ok_or_else(|| self.error("unterminated comment"))?;
+                self.pos = end + 3;
+            } else if self.starts_with(b"</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != node.name {
+                    return Err(self.error(&format!(
+                        "mismatched close tag: expected {:?}, got {close:?}",
+                        node.name
+                    )));
+                }
+                self.skip_ws();
+                if !self.starts_with(b">") {
+                    return Err(self.error("expected '>' in close tag"));
+                }
+                self.pos += 1;
+                node.text = text.trim().to_string();
+                return Ok(node);
+            } else if self.starts_with(b"<") {
+                node.children.push(self.parse_element()?);
+            } else {
+                let next = self.find_from(b"<", self.pos).unwrap_or(self.src.len());
+                let raw = String::from_utf8_lossy(&self.src[self.pos..next]).into_owned();
+                text.push_str(&unescape(&raw)?);
+                self.pos = next;
+            }
+        }
+    }
+}
+
+fn unescape(s: &str) -> Result<String, XmlError> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| XmlError(format!("unterminated entity in {s:?}")))?;
+        match &rest[..=semi] {
+            "&amp;" => out.push('&'),
+            "&lt;" => out.push('<'),
+            "&gt;" => out.push('>'),
+            "&quot;" => out.push('"'),
+            "&apos;" => out.push('\''),
+            other => {
+                if let Some(hex) = other.strip_prefix("&#x").and_then(|o| o.strip_suffix(';')) {
+                    let code = u32::from_str_radix(hex, 16)
+                        .map_err(|_| XmlError(format!("bad character reference {other:?}")))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| XmlError(format!("invalid codepoint {code}")))?,
+                    );
+                } else if let Some(dec) =
+                    other.strip_prefix("&#").and_then(|o| o.strip_suffix(';'))
+                {
+                    let code = dec
+                        .parse::<u32>()
+                        .map_err(|_| XmlError(format!("bad character reference {other:?}")))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| XmlError(format!("invalid codepoint {code}")))?,
+                    );
+                } else {
+                    return Err(XmlError(format!("unknown entity {other:?}")));
+                }
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing1_shape() {
+        let doc = r#"<?xml version="1.0" encoding="UTF-8"?>
+<schema name="tpch">
+  <seed>12456789</seed>
+  <rng name="PdgfDefaultRandom"></rng>
+  <property name="SF" type="double">1</property>
+  <table name="lineitem">
+    <size>6000000 * ${SF}</size>
+    <field name="l_orderkey" size="19" type="BIGINT" primary="true">
+      <gen_IdGenerator></gen_IdGenerator>
+    </field>
+  </table>
+</schema>"#;
+        let root = XmlNode::parse(doc).unwrap();
+        assert_eq!(root.name, "schema");
+        assert_eq!(root.get_attr("name"), Some("tpch"));
+        assert_eq!(root.child_text("seed"), Some("12456789"));
+        assert_eq!(
+            root.find("rng").unwrap().get_attr("name"),
+            Some("PdgfDefaultRandom")
+        );
+        let table = root.find("table").unwrap();
+        assert_eq!(table.child_text("size"), Some("6000000 * ${SF}"));
+        let field = table.find("field").unwrap();
+        assert_eq!(field.get_attr("primary"), Some("true"));
+        assert!(field.find("gen_IdGenerator").is_some());
+    }
+
+    #[test]
+    fn roundtrips_through_writer() {
+        let node = XmlNode::new("schema")
+            .attr("name", "t")
+            .child(XmlNode::new("seed").with_text(42))
+            .child(
+                XmlNode::new("field")
+                    .attr("name", "f")
+                    .attr("odd", "a<b&\"c\"")
+                    .child(XmlNode::new("gen_IdGenerator")),
+            );
+        let doc = node.to_document();
+        let parsed = XmlNode::parse(&doc).unwrap();
+        assert_eq!(parsed, node);
+    }
+
+    #[test]
+    fn entities_are_unescaped() {
+        let root =
+            XmlNode::parse("<a x=\"&lt;&gt;&amp;&quot;&apos;\">&#65;&#x42;c</a>").unwrap();
+        assert_eq!(root.get_attr("x"), Some("<>&\"'"));
+        assert_eq!(root.text, "ABc");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let root = XmlNode::parse("<!-- head --><a><!-- inner --><b/><!-- tail --></a>")
+            .unwrap();
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].name, "b");
+    }
+
+    #[test]
+    fn self_closing_and_find_all() {
+        let root = XmlNode::parse("<r><p name='1'/><p name='2'/><q/></r>").unwrap();
+        let names: Vec<&str> = root
+            .find_all("p")
+            .map(|n| n.get_attr("name").unwrap())
+            .collect();
+        assert_eq!(names, vec!["1", "2"]);
+        assert!(root.find("missing").is_none());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "<a>",
+            "<a></b>",
+            "<a x=1/>",
+            "<a x=\"1/>",
+            "<a>&nosuch;</a>",
+            "<a/><b/>",
+            "",
+            "<a><b></a></b>",
+        ] {
+            assert!(XmlNode::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_in_text_is_trimmed_but_internal_preserved() {
+        let root = XmlNode::parse("<a>  hello   world  </a>").unwrap();
+        assert_eq!(root.text, "hello   world");
+    }
+}

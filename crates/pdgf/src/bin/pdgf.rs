@@ -1,0 +1,218 @@
+//! The PDGF command line interface.
+//!
+//! The paper: "all previously specified properties of a model and format
+//! (e.g., scale factors, table sizes, probabilities) can be changed in
+//! the command line interface."
+//!
+//! ```text
+//! pdgf generate --model tpch.xml --out out/ [--format csv|json|xml|sql]
+//!               [--workers N] [--package-rows N] [--seed N] [-p NAME=EXPR]...
+//! pdgf preview  --model tpch.xml --table lineitem [--rows 10] [-p ...]
+//! pdgf info     --model tpch.xml [-p ...]
+//! pdgf validate --model tpch.xml
+//! ```
+
+use std::process::ExitCode;
+
+use pdgf::{OutputFormat, Pdgf, PdgfError};
+
+struct Args {
+    model: Option<String>,
+    out: Option<String>,
+    format: OutputFormat,
+    workers: Option<usize>,
+    package_rows: Option<u64>,
+    seed: Option<u64>,
+    table: Option<String>,
+    rows: u64,
+    props: Vec<(String, String)>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pdgf <generate|preview|info|validate> --model <file.xml> [options]\n\
+         \n\
+         generate options: --out <dir> --format csv|json|xml|sql --workers N\n\
+         \u{20}                 --package-rows N --seed N -p NAME=EXPR\n\
+         preview options:  --table <name> --rows N\n"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
+    let command = argv.next().ok_or("missing command")?;
+    let mut args = Args {
+        model: None,
+        out: None,
+        format: OutputFormat::Csv,
+        workers: None,
+        package_rows: None,
+        seed: None,
+        table: None,
+        rows: 10,
+        props: Vec::new(),
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            argv.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--model" => args.model = Some(value("--model")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "csv" => OutputFormat::Csv,
+                    "json" => OutputFormat::Json,
+                    "xml" => OutputFormat::Xml,
+                    "sql" => OutputFormat::Sql,
+                    other => return Err(format!("unknown format {other:?}")),
+                }
+            }
+            "--workers" => {
+                args.workers =
+                    Some(value("--workers")?.parse().map_err(|_| "bad --workers")?)
+            }
+            "--package-rows" => {
+                args.package_rows =
+                    Some(value("--package-rows")?.parse().map_err(|_| "bad --package-rows")?)
+            }
+            "--seed" => args.seed = Some(value("--seed")?.parse().map_err(|_| "bad --seed")?),
+            "--table" => args.table = Some(value("--table")?),
+            "--rows" => args.rows = value("--rows")?.parse().map_err(|_| "bad --rows")?,
+            "-p" => {
+                let kv = value("-p")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("-p expects NAME=EXPR, got {kv:?}"))?;
+                args.props.push((k.to_string(), v.to_string()));
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((command, args))
+}
+
+fn build_project(args: &Args) -> Result<pdgf::PdgfProject, PdgfError> {
+    let model = args
+        .model
+        .as_ref()
+        .ok_or_else(|| PdgfError::Config("--model is required".into()))?;
+    let mut builder = Pdgf::from_xml_file(model)?;
+    for (k, v) in &args.props {
+        builder = builder.set_property(k, v);
+    }
+    if let Some(seed) = args.seed {
+        builder = builder.seed(seed);
+    }
+    if let Some(workers) = args.workers {
+        builder = builder.workers(workers);
+    }
+    if let Some(rows) = args.package_rows {
+        builder = builder.package_rows(rows);
+    }
+    builder.build()
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args();
+    argv.next(); // program name
+    let (command, args) = match parse_args(argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "preview" => cmd_preview(&args),
+        "info" => cmd_info(&args),
+        "validate" => cmd_validate(&args),
+        _ => {
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), PdgfError> {
+    let project = build_project(args)?;
+    let out = args
+        .out
+        .as_ref()
+        .ok_or_else(|| PdgfError::Config("--out is required for generate".into()))?;
+    let report = project.generate_to_dir(out, args.format)?;
+    for t in &report.tables {
+        println!(
+            "{:<16} {:>12} rows {:>14.2} MB {:>10.2} s",
+            t.table,
+            t.rows,
+            t.bytes as f64 / 1e6,
+            t.seconds
+        );
+    }
+    println!(
+        "total: {} rows, {:.2} MB in {:.2} s ({:.1} MB/s)",
+        report.total_rows(),
+        report.total_bytes() as f64 / 1e6,
+        report.seconds,
+        report.throughput_mb_s()
+    );
+    Ok(())
+}
+
+fn cmd_preview(args: &Args) -> Result<(), PdgfError> {
+    let project = build_project(args)?;
+    let table = args
+        .table
+        .as_ref()
+        .ok_or_else(|| PdgfError::Config("--table is required for preview".into()))?;
+    let (idx, t) = project
+        .runtime()
+        .table_by_name(table)
+        .ok_or_else(|| PdgfError::Config(format!("unknown table {table:?}")))?;
+    let headers: Vec<&str> = t.columns.iter().map(|c| c.name.as_str()).collect();
+    println!("{}", headers.join(" | "));
+    let _ = idx;
+    for row in project.preview(table, args.rows)? {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join(" | "));
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), PdgfError> {
+    let project = build_project(args)?;
+    let rt = project.runtime();
+    println!("project: {} (seed {})", rt.name(), rt.seed());
+    println!("properties:");
+    for (name, value) in rt.properties() {
+        println!("  {name} = {value}");
+    }
+    println!("tables:");
+    for t in rt.tables() {
+        println!("  {:<20} {:>14} rows, {} columns", t.name, t.size, t.columns.len());
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &Args) -> Result<(), PdgfError> {
+    let project = build_project(args)?;
+    println!(
+        "OK: {} tables, {} total rows at current properties",
+        project.runtime().tables().len(),
+        project
+            .runtime()
+            .tables()
+            .iter()
+            .map(|t| t.size)
+            .sum::<u64>()
+    );
+    Ok(())
+}

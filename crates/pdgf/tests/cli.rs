@@ -1,0 +1,149 @@
+//! Integration tests for the `pdgf` command line interface.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pdgf"))
+}
+
+fn model_file(dir: &PathBuf) -> PathBuf {
+    let doc = r#"<?xml version="1.0" encoding="UTF-8"?>
+<schema name="cli">
+  <seed>12456789</seed>
+  <rng name="PdgfDefaultRandom"/>
+  <property name="SF" type="double">1</property>
+  <table name="t">
+    <size>20 * ${SF}</size>
+    <field name="id" type="BIGINT" primary="true"><gen_IdGenerator/></field>
+    <field name="v" type="INTEGER">
+      <gen_LongGenerator><min>0</min><max>9</max></gen_LongGenerator>
+    </field>
+  </table>
+</schema>"#;
+    std::fs::create_dir_all(dir).expect("temp dir");
+    let path = dir.join("model.xml");
+    std::fs::write(&path, doc).expect("write model");
+    path
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pdgf-cli-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn generate_writes_csv_files() {
+    let dir = workdir("gen");
+    let model = model_file(&dir);
+    let out = dir.join("out");
+    let output = bin()
+        .args([
+            "generate",
+            "--model",
+            model.to_str().expect("utf8 path"),
+            "--out",
+            out.to_str().expect("utf8 path"),
+            "--workers",
+            "2",
+            "-p",
+            "SF=2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let csv = std::fs::read_to_string(out.join("t.csv")).expect("output exists");
+    assert_eq!(csv.lines().count(), 40, "SF=2 doubles the 20 rows");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("total: 40 rows"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn preview_prints_rows_and_headers() {
+    let dir = workdir("preview");
+    let model = model_file(&dir);
+    let output = bin()
+        .args([
+            "preview",
+            "--model",
+            model.to_str().expect("utf8 path"),
+            "--table",
+            "t",
+            "--rows",
+            "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.starts_with("id | v\n"), "{stdout}");
+    assert_eq!(stdout.lines().count(), 4, "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn info_and_validate_report_the_model() {
+    let dir = workdir("info");
+    let model = model_file(&dir);
+    let output = bin()
+        .args(["info", "--model", model.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("project: cli (seed 12456789)"), "{stdout}");
+    assert!(stdout.contains("SF = 1"), "{stdout}");
+
+    let output = bin()
+        .args(["validate", "--model", model.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("OK: 1 tables"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn seed_override_changes_output() {
+    let dir = workdir("seed");
+    let model = model_file(&dir);
+    let run = |seed: &str| -> String {
+        let out = dir.join(format!("out-{seed}"));
+        let output = bin()
+            .args([
+                "generate",
+                "--model",
+                model.to_str().expect("utf8 path"),
+                "--out",
+                out.to_str().expect("utf8 path"),
+                "--seed",
+                seed,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(output.status.success());
+        std::fs::read_to_string(out.join("t.csv")).expect("output exists")
+    };
+    assert_ne!(run("1"), run("2"));
+    assert_eq!(run("3"), run("3"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    // Unknown command → usage, exit code 2.
+    let output = bin().arg("frobnicate").output().expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+
+    // Missing model → error, exit code 1.
+    let output = bin().args(["generate", "--out", "/tmp/x"]).output().expect("runs");
+    assert_eq!(output.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--model"));
+
+    // Nonexistent model file.
+    let output = bin()
+        .args(["validate", "--model", "/nonexistent/m.xml"])
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(1));
+}

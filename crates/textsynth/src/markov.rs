@@ -1,0 +1,560 @@
+//! Order-1 word Markov chains.
+//!
+//! DBSynth "analyzes the word combination frequencies and probabilities"
+//! of sampled free text and stores the result as a Markov model linked to
+//! the data model (Listing 1 references
+//! `markov/l_comment_markovSamples.bin`). For a TPC-H comment field the
+//! paper reports ~1500 words and 95 starting states — small enough to keep
+//! in memory, which this representation is designed for: a word table,
+//! an alias-sampled start distribution, and per-word alias-sampled
+//! successor distributions, so generating each word is O(1).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pdgf_prng::Alias;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::tokenize::tokenize;
+
+/// Markov model (de)serialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkovError(pub String);
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "markov error: {}", self.0)
+    }
+}
+
+impl std::error::Error for MarkovError {}
+
+/// Incremental frequency analyzer for building a [`MarkovModel`].
+#[derive(Debug, Default)]
+pub struct MarkovBuilder {
+    word_ids: HashMap<String, u32>,
+    words: Vec<String>,
+    start_counts: HashMap<u32, u64>,
+    // (from, to) -> count
+    transition_counts: HashMap<(u32, u32), u64>,
+    samples_seen: u64,
+}
+
+impl MarkovBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, word: &str) -> u32 {
+        if let Some(&id) = self.word_ids.get(word) {
+            return id;
+        }
+        let id = u32::try_from(self.words.len()).expect("word table overflow");
+        self.word_ids.insert(word.to_string(), id);
+        self.words.push(word.to_string());
+        id
+    }
+
+    /// Analyze one sample text: its first word becomes a starting state,
+    /// each adjacent word pair a transition.
+    pub fn feed(&mut self, text: &str) {
+        let words = tokenize(text);
+        if words.is_empty() {
+            return;
+        }
+        self.samples_seen += 1;
+        let first = self.intern(words[0]);
+        *self.start_counts.entry(first).or_insert(0) += 1;
+        for pair in words.windows(2) {
+            let from = self.intern(pair[0]);
+            let to = self.intern(pair[1]);
+            *self.transition_counts.entry((from, to)).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of samples fed so far.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// Finish analysis. Fails if no non-empty sample was fed.
+    pub fn build(self) -> Result<MarkovModel, MarkovError> {
+        if self.start_counts.is_empty() {
+            return Err(MarkovError("no samples analyzed".into()));
+        }
+        let mut start: Vec<(u32, f64)> = self
+            .start_counts
+            .into_iter()
+            .map(|(id, c)| (id, c as f64))
+            .collect();
+        start.sort_by_key(|(id, _)| *id);
+        let mut successors: Vec<Vec<(u32, f64)>> = vec![Vec::new(); self.words.len()];
+        let mut transitions: Vec<((u32, u32), u64)> =
+            self.transition_counts.into_iter().collect();
+        transitions.sort_by_key(|(k, _)| *k);
+        for ((from, to), count) in transitions {
+            successors[from as usize].push((to, count as f64));
+        }
+        MarkovModel::from_parts(
+            self.words.into_iter().map(|w| Arc::from(w.as_str())).collect(),
+            start,
+            successors,
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StartDist {
+    ids: Vec<u32>,
+    weights: Vec<f64>,
+    alias: Alias,
+}
+
+#[derive(Debug, Clone)]
+struct Successors {
+    ids: Vec<u32>,
+    weights: Vec<f64>,
+    alias: Option<Alias>,
+}
+
+/// A ready-to-sample order-1 word Markov chain.
+#[derive(Debug, Clone)]
+pub struct MarkovModel {
+    words: Vec<Arc<str>>,
+    start: StartDist,
+    successors: Vec<Successors>,
+}
+
+impl MarkovModel {
+    fn from_parts(
+        words: Vec<Arc<str>>,
+        start: Vec<(u32, f64)>,
+        successor_lists: Vec<Vec<(u32, f64)>>,
+    ) -> Result<Self, MarkovError> {
+        if start.is_empty() {
+            return Err(MarkovError("empty start distribution".into()));
+        }
+        let check_id = |id: u32| -> Result<(), MarkovError> {
+            if (id as usize) < words.len() {
+                Ok(())
+            } else {
+                Err(MarkovError(format!("word id {id} out of range")))
+            }
+        };
+        for (id, _) in &start {
+            check_id(*id)?;
+        }
+        if successor_lists.len() != words.len() {
+            return Err(MarkovError("successor table size mismatch".into()));
+        }
+        let (start_ids, start_weights): (Vec<u32>, Vec<f64>) = start.into_iter().unzip();
+        let start = StartDist {
+            alias: Alias::new(&start_weights),
+            ids: start_ids,
+            weights: start_weights,
+        };
+        let successors = successor_lists
+            .into_iter()
+            .map(|list| {
+                for (id, _) in &list {
+                    check_id(*id)?;
+                }
+                let (ids, weights): (Vec<u32>, Vec<f64>) = list.into_iter().unzip();
+                let alias = if ids.is_empty() { None } else { Some(Alias::new(&weights)) };
+                Ok(Successors { ids, weights, alias })
+            })
+            .collect::<Result<Vec<_>, MarkovError>>()?;
+        Ok(Self { words, start, successors })
+    }
+
+    /// Number of distinct words (the paper's "1500 words" statistic).
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of starting states (the paper's "95 starting states").
+    pub fn start_state_count(&self) -> usize {
+        self.start.ids.len()
+    }
+
+    /// Total number of distinct word-pair transitions.
+    pub fn transition_count(&self) -> usize {
+        self.successors.iter().map(|s| s.ids.len()).sum()
+    }
+
+    /// Generate a text of exactly `target_words` words. Dead ends (words
+    /// that never had a successor in the samples) restart from the start
+    /// distribution, mimicking sentence boundaries.
+    pub fn generate(&self, rng: &mut dyn FnMut() -> u64, target_words: u32) -> String {
+        let mut out = String::new();
+        if target_words == 0 {
+            return out;
+        }
+        let mut current = self.sample_start(rng);
+        for i in 0..target_words {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&self.words[current as usize]);
+            current = match self.sample_next(current, rng) {
+                Some(next) => next,
+                None => self.sample_start(rng),
+            };
+        }
+        out
+    }
+
+    /// Generate with a word count drawn uniformly from
+    /// `[min_words, max_words]`.
+    pub fn generate_range(
+        &self,
+        rng: &mut dyn FnMut() -> u64,
+        min_words: u32,
+        max_words: u32,
+    ) -> String {
+        debug_assert!(min_words <= max_words);
+        let span = u64::from(max_words - min_words) + 1;
+        let extra = ((u128::from(rng()) * u128::from(span)) >> 64) as u32;
+        self.generate(rng, min_words + extra)
+    }
+
+    fn sample_start(&self, rng: &mut dyn FnMut() -> u64) -> u32 {
+        self.start.ids[self.start.alias.sample_index(rng)]
+    }
+
+    fn sample_next(&self, from: u32, rng: &mut dyn FnMut() -> u64) -> Option<u32> {
+        let s = &self.successors[from as usize];
+        let alias = s.alias.as_ref()?;
+        Some(s.ids[alias.sample_index(rng)])
+    }
+
+    /// Serialize to the binary `*.bin` model format.
+    ///
+    /// Layout (all integers little-endian):
+    /// `"PMKV"`, `u16` version, `u32` word count, words as
+    /// (`u32` len, bytes), `u32` start count, starts as (`u32` id,
+    /// `f64` weight), then per word `u32` successor count and successors
+    /// as (`u32` id, `f64` weight).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"PMKV");
+        buf.put_u16_le(1);
+        buf.put_u32_le(self.words.len() as u32);
+        for w in &self.words {
+            buf.put_u32_le(w.len() as u32);
+            buf.put_slice(w.as_bytes());
+        }
+        buf.put_u32_le(self.start.ids.len() as u32);
+        for (id, w) in self.start.ids.iter().zip(&self.start.weights) {
+            buf.put_u32_le(*id);
+            buf.put_f64_le(*w);
+        }
+        for s in &self.successors {
+            buf.put_u32_le(s.ids.len() as u32);
+            for (id, w) in s.ids.iter().zip(&s.weights) {
+                buf.put_u32_le(*id);
+                buf.put_f64_le(*w);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize the binary model format.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, MarkovError> {
+        fn need(data: &[u8], n: usize) -> Result<(), MarkovError> {
+            if data.remaining() < n {
+                Err(MarkovError("truncated model".into()))
+            } else {
+                Ok(())
+            }
+        }
+        need(data, 6)?;
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != b"PMKV" {
+            return Err(MarkovError("bad magic".into()));
+        }
+        let version = data.get_u16_le();
+        if version != 1 {
+            return Err(MarkovError(format!("unsupported version {version}")));
+        }
+        need(data, 4)?;
+        let word_count = data.get_u32_le() as usize;
+        let mut words = Vec::with_capacity(word_count);
+        for _ in 0..word_count {
+            need(data, 4)?;
+            let len = data.get_u32_le() as usize;
+            need(data, len)?;
+            let mut bytes = vec![0u8; len];
+            data.copy_to_slice(&mut bytes);
+            let s = String::from_utf8(bytes)
+                .map_err(|_| MarkovError("non-UTF8 word".into()))?;
+            words.push(Arc::from(s.as_str()));
+        }
+        need(data, 4)?;
+        let start_count = data.get_u32_le() as usize;
+        let mut start = Vec::with_capacity(start_count);
+        for _ in 0..start_count {
+            need(data, 12)?;
+            start.push((data.get_u32_le(), data.get_f64_le()));
+        }
+        let mut successor_lists = Vec::with_capacity(word_count);
+        for _ in 0..word_count {
+            need(data, 4)?;
+            let n = data.get_u32_le() as usize;
+            let mut list = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(data, 12)?;
+                list.push((data.get_u32_le(), data.get_f64_le()));
+            }
+            successor_lists.push(list);
+        }
+        if data.has_remaining() {
+            return Err(MarkovError("trailing bytes after model".into()));
+        }
+        Self::from_parts(words, start, successor_lists)
+    }
+
+    /// Serialize to a line-oriented text format, safe to embed in XML
+    /// configuration (`<inline>`): a header line, `W` word lines in id
+    /// order, `S` start lines, and `T` transition lines.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("markov-v1\n");
+        for w in &self.words {
+            out.push_str("W ");
+            out.push_str(w);
+            out.push('\n');
+        }
+        for (id, w) in self.start.ids.iter().zip(&self.start.weights) {
+            out.push_str(&format!("S {id} {w}\n"));
+        }
+        for (from, s) in self.successors.iter().enumerate() {
+            for (to, w) in s.ids.iter().zip(&s.weights) {
+                out.push_str(&format!("T {from} {to} {w}\n"));
+            }
+        }
+        out
+    }
+
+    /// Parse the text format produced by [`MarkovModel::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, MarkovError> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some("markov-v1") {
+            return Err(MarkovError("missing markov-v1 header".into()));
+        }
+        let mut words: Vec<Arc<str>> = Vec::new();
+        let mut start: Vec<(u32, f64)> = Vec::new();
+        let mut transitions: Vec<(u32, u32, f64)> = Vec::new();
+        for (lineno, line) in lines.enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| MarkovError(format!("line {}: {msg}", lineno + 2));
+            if let Some(word) = line.strip_prefix("W ") {
+                words.push(Arc::from(word));
+            } else if let Some(rest) = line.strip_prefix("S ") {
+                let mut it = rest.split_whitespace();
+                let id: u32 = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("bad start id"))?;
+                let w: f64 = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("bad start weight"))?;
+                start.push((id, w));
+            } else if let Some(rest) = line.strip_prefix("T ") {
+                let mut it = rest.split_whitespace();
+                let from: u32 = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("bad transition source"))?;
+                let to: u32 = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("bad transition target"))?;
+                let w: f64 = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("bad transition weight"))?;
+                transitions.push((from, to, w));
+            } else {
+                return Err(err("unknown line"));
+            }
+        }
+        let mut successor_lists = vec![Vec::new(); words.len()];
+        for (from, to, w) in transitions {
+            if from as usize >= words.len() {
+                return Err(MarkovError(format!("transition from unknown id {from}")));
+            }
+            successor_lists[from as usize].push((to, w));
+        }
+        Self::from_parts(words, start, successor_lists)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::word_count;
+    use pdgf_prng::{PdgfDefaultRandom, PdgfRng};
+
+    const SAMPLES: &[&str] = &[
+        "carefully final deposits sleep quickly",
+        "carefully regular packages sleep",
+        "final deposits haggle carefully",
+        "regular deposits sleep blithely",
+        "packages haggle quickly",
+    ];
+
+    fn model() -> MarkovModel {
+        let mut b = MarkovBuilder::new();
+        for s in SAMPLES {
+            b.feed(s);
+        }
+        b.build().unwrap()
+    }
+
+    fn rng_fn(seed: u64) -> impl FnMut() -> u64 {
+        let mut rng = PdgfDefaultRandom::seed_from(seed);
+        move || rng.next_u64()
+    }
+
+    #[test]
+    fn builder_counts_structure() {
+        let m = model();
+        // Distinct words across the corpus.
+        assert_eq!(m.word_count(), 9);
+        // Start words: carefully, final, regular, packages.
+        assert_eq!(m.start_state_count(), 4);
+        assert!(m.transition_count() >= 10);
+    }
+
+    #[test]
+    fn generates_exact_word_counts() {
+        let m = model();
+        let mut rng = rng_fn(1);
+        for n in [1u32, 2, 5, 10, 50] {
+            let text = m.generate(&mut rng, n);
+            assert_eq!(word_count(&text) as u32, n, "text: {text:?}");
+        }
+        assert_eq!(m.generate(&mut rng, 0), "");
+    }
+
+    #[test]
+    fn generated_words_come_from_the_corpus() {
+        let m = model();
+        let corpus: std::collections::HashSet<&str> =
+            SAMPLES.iter().flat_map(|s| s.split_whitespace()).collect();
+        let mut rng = rng_fn(2);
+        let text = m.generate(&mut rng, 200);
+        for w in text.split_whitespace() {
+            assert!(corpus.contains(w), "unknown word {w:?}");
+        }
+    }
+
+    #[test]
+    fn generated_bigrams_follow_observed_transitions_or_restarts() {
+        let m = model();
+        let observed: std::collections::HashSet<(String, String)> = SAMPLES
+            .iter()
+            .flat_map(|s| {
+                let w: Vec<&str> = s.split_whitespace().collect();
+                w.windows(2)
+                    .map(|p| (p[0].to_string(), p[1].to_string()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let starts: std::collections::HashSet<&str> =
+            SAMPLES.iter().map(|s| s.split_whitespace().next().unwrap()).collect();
+        let mut rng = rng_fn(3);
+        let text = m.generate(&mut rng, 500);
+        let words: Vec<&str> = text.split_whitespace().collect();
+        for pair in words.windows(2) {
+            let ok = observed.contains(&(pair[0].to_string(), pair[1].to_string()))
+                || starts.contains(pair[1]);
+            assert!(ok, "impossible bigram {pair:?}");
+        }
+    }
+
+    #[test]
+    fn range_generation_stays_in_bounds() {
+        let m = model();
+        let mut rng = rng_fn(4);
+        for _ in 0..200 {
+            let text = m.generate_range(&mut rng, 1, 10);
+            let n = word_count(&text);
+            assert!((1..=10).contains(&n), "{n} words");
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_generation() {
+        let m = model();
+        let bytes = m.to_bytes();
+        let back = MarkovModel::from_bytes(&bytes).unwrap();
+        assert_eq!(back.word_count(), m.word_count());
+        assert_eq!(back.start_state_count(), m.start_state_count());
+        assert_eq!(back.transition_count(), m.transition_count());
+        let mut r1 = rng_fn(5);
+        let mut r2 = rng_fn(5);
+        for _ in 0..50 {
+            assert_eq!(m.generate(&mut r1, 8), back.generate(&mut r2, 8));
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_generation() {
+        let m = model();
+        let text = m.to_text();
+        let back = MarkovModel::from_text(&text).unwrap();
+        let mut r1 = rng_fn(6);
+        let mut r2 = rng_fn(6);
+        for _ in 0..50 {
+            assert_eq!(m.generate(&mut r1, 8), back.generate(&mut r2, 8));
+        }
+    }
+
+    #[test]
+    fn corrupted_binary_is_rejected() {
+        let m = model();
+        let bytes = m.to_bytes();
+        assert!(MarkovModel::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(MarkovModel::from_bytes(b"NOPE").is_err());
+        let mut extended = bytes.to_vec();
+        extended.push(0);
+        assert!(MarkovModel::from_bytes(&extended).is_err());
+        let mut wrong_version = bytes.to_vec();
+        wrong_version[4] = 99;
+        assert!(MarkovModel::from_bytes(&wrong_version).is_err());
+    }
+
+    #[test]
+    fn corrupted_text_is_rejected() {
+        assert!(MarkovModel::from_text("").is_err());
+        assert!(MarkovModel::from_text("markov-v1\n").is_err(), "no starts");
+        assert!(MarkovModel::from_text("markov-v1\nW a\nS 5 1\n").is_err(), "bad id");
+        assert!(MarkovModel::from_text("markov-v1\nW a\nS 0 1\nT 3 0 1\n").is_err());
+        assert!(MarkovModel::from_text("markov-v1\nW a\nX nope\n").is_err());
+    }
+
+    #[test]
+    fn empty_builder_fails() {
+        assert!(MarkovBuilder::new().build().is_err());
+        let mut b = MarkovBuilder::new();
+        b.feed("   ");
+        assert_eq!(b.samples_seen(), 0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn single_word_corpus_generates_by_restarting() {
+        let mut b = MarkovBuilder::new();
+        b.feed("alone");
+        let m = b.build().unwrap();
+        let mut rng = rng_fn(7);
+        assert_eq!(m.generate(&mut rng, 3), "alone alone alone");
+    }
+}

@@ -1,0 +1,55 @@
+//! Word segmentation.
+//!
+//! Analysis (building models from samples) and generation (counting words
+//! of produced text) must agree on what a "word" is, so both go through
+//! this module. A word is a maximal run of non-whitespace characters;
+//! punctuation stays attached to its word (so generated text keeps commas
+//! and periods in natural positions, as the source text had them).
+
+/// Split `text` into words.
+pub fn tokenize(text: &str) -> Vec<&str> {
+    text.split_whitespace().collect()
+}
+
+/// Number of words in `text` without allocating.
+pub fn word_count(text: &str) -> usize {
+    text.split_whitespace().count()
+}
+
+/// True if every sample is at most one word — the DBSynth heuristic for
+/// choosing a plain dictionary over a Markov chain.
+pub fn is_single_word_column<'a>(samples: impl IntoIterator<Item = &'a str>) -> bool {
+    samples.into_iter().all(|s| word_count(s) <= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_any_whitespace() {
+        assert_eq!(
+            tokenize("carefully final\tdeposits\n sleep"),
+            vec!["carefully", "final", "deposits", "sleep"]
+        );
+    }
+
+    #[test]
+    fn punctuation_stays_attached() {
+        assert_eq!(tokenize("wake, quickly."), vec!["wake,", "quickly."]);
+    }
+
+    #[test]
+    fn empty_and_blank_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+        assert_eq!(word_count(""), 0);
+        assert_eq!(word_count(" one "), 1);
+    }
+
+    #[test]
+    fn single_word_column_detection() {
+        assert!(is_single_word_column(["red", "blue", "", "green"]));
+        assert!(!is_single_word_column(["red", "light blue"]));
+    }
+}

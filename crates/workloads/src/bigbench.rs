@@ -1,0 +1,297 @@
+//! A BigBench-style retail analytics model.
+//!
+//! The paper's scale-out experiment (Figure 4) generates "a BigBench data
+//! set of scale factor 5000". BigBench's defining property for data
+//! generation is the mix of structured retail tables and *text with
+//! references into the structured data* (product reviews mentioning
+//! items) — the kind of heterogeneous data PDGF's connected generators
+//! produce and BDGS's disconnected ones cannot (Section 6). This model
+//! reproduces that mix at configurable scale.
+
+use pdgf_gen::MapResolver;
+use pdgf_schema::model::{DateFormat, DictSource, GeneratorSpec, MarkovSource, RefDistribution};
+use pdgf_schema::value::Date;
+use pdgf_schema::{Expr, Field, Schema, SqlType, Table};
+
+use crate::corpus;
+
+/// Resource path of the review-text Markov model.
+pub const REVIEW_MODEL_PATH: &str = "markov/product_reviews_markovSamples.bin";
+
+/// Product categories.
+pub const CATEGORIES: &[&str] = &[
+    "Books", "Electronics", "Home", "Garden", "Sports", "Toys", "Clothing", "Music",
+    "Grocery", "Automotive",
+];
+
+fn expr(src: &str) -> Expr {
+    Expr::parse(src).expect("static expression")
+}
+
+fn dict(words: &[&str]) -> GeneratorSpec {
+    GeneratorSpec::Dict {
+        source: DictSource::Inline {
+            entries: words.iter().map(|w| (w.to_string(), 1.0)).collect(),
+        },
+        weighted: false,
+    }
+}
+
+fn reference(table: &str, field: &str) -> GeneratorSpec {
+    GeneratorSpec::Reference {
+        table: table.to_string(),
+        field: field.to_string(),
+        distribution: RefDistribution::Uniform,
+    }
+}
+
+fn zipf_reference(table: &str, field: &str, theta: f64) -> GeneratorSpec {
+    GeneratorSpec::Reference {
+        table: table.to_string(),
+        field: field.to_string(),
+        distribution: RefDistribution::Zipf { theta },
+    }
+}
+
+/// Build the BigBench-style schema. Table bases follow BigBench's
+/// store/web retail shape, scaled by `SF`.
+pub fn schema(seed: u64) -> Schema {
+    let mut s = Schema::new("bigbench", seed);
+    s.properties.define("SF", "1").unwrap();
+    for (name, base) in [
+        ("item_size", 1_000u64),
+        ("customer_size", 2_000),
+        ("store_size", 10),
+        ("web_page_size", 50),
+        ("store_sales_size", 50_000),
+        ("web_sales_size", 25_000),
+        ("reviews_size", 5_000),
+    ] {
+        s.properties
+            .define(name, &format!("{base} * ${{SF}}"))
+            .unwrap();
+    }
+
+    s = s.table(
+        Table::new("item", "${item_size}")
+            .field(
+                Field::new("i_item_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+                    .primary(),
+            )
+            .field(Field::new(
+                "i_name",
+                SqlType::Varchar(50),
+                GeneratorSpec::Sequential {
+                    parts: vec![dict(corpus::COLORS), dict(corpus::NOUNS)],
+                    separator: " ".to_string(),
+                },
+            ))
+            .field(Field::new("i_category", SqlType::Varchar(20), dict(CATEGORIES)))
+            .field(Field::new(
+                "i_price",
+                SqlType::Decimal(10, 2),
+                GeneratorSpec::Decimal { min: expr("99"), max: expr("99999"), scale: 2 },
+            )),
+    );
+
+    s = s.table(
+        Table::new("customer", "${customer_size}")
+            .field(
+                Field::new("c_customer_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+                    .primary(),
+            )
+            .field(Field::new(
+                "c_name",
+                SqlType::Varchar(40),
+                GeneratorSpec::RandomString { min_len: 8, max_len: 24 },
+            ))
+            .field(Field::new(
+                "c_birth_year",
+                SqlType::Integer,
+                GeneratorSpec::Long { min: expr("1930"), max: expr("2005") },
+            ))
+            .field(Field::new(
+                "c_email",
+                SqlType::Varchar(60),
+                GeneratorSpec::Sequential {
+                    parts: vec![
+                        GeneratorSpec::RandomString { min_len: 5, max_len: 12 },
+                        GeneratorSpec::Static { value: pdgf_schema::Value::text("@example.com") },
+                    ],
+                    separator: String::new(),
+                },
+            )),
+    );
+
+    s = s.table(
+        Table::new("store", "${store_size}")
+            .field(
+                Field::new("s_store_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+                    .primary(),
+            )
+            .field(Field::new(
+                "s_city",
+                SqlType::Varchar(30),
+                dict(&["Toronto", "Passau", "Melbourne", "Berlin", "Chicago", "Osaka"]),
+            )),
+    );
+
+    s = s.table(
+        Table::new("web_page", "${web_page_size}")
+            .field(
+                Field::new("wp_page_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+                    .primary(),
+            )
+            .field(Field::new(
+                "wp_url",
+                SqlType::Varchar(80),
+                GeneratorSpec::Sequential {
+                    parts: vec![
+                        GeneratorSpec::Static {
+                            value: pdgf_schema::Value::text("https://shop.example/p/"),
+                        },
+                        GeneratorSpec::RandomString { min_len: 6, max_len: 12 },
+                    ],
+                    separator: String::new(),
+                },
+            )),
+    );
+
+    s = s.table(
+        Table::new("store_sales", "${store_sales_size}")
+            .field(
+                Field::new("ss_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+                    .primary(),
+            )
+            .field(Field::new(
+                "ss_item",
+                SqlType::BigInt,
+                // Popular items sell more: BigBench's skewed sales.
+                zipf_reference("item", "i_item_id", 0.6),
+            ))
+            .field(Field::new("ss_customer", SqlType::BigInt, reference("customer", "c_customer_id")))
+            .field(Field::new("ss_store", SqlType::BigInt, reference("store", "s_store_id")))
+            .field(Field::new(
+                "ss_quantity",
+                SqlType::Integer,
+                GeneratorSpec::Long { min: expr("1"), max: expr("100") },
+            ))
+            .field(Field::new(
+                "ss_date",
+                SqlType::Date,
+                GeneratorSpec::DateRange {
+                    min: Date::from_ymd(2010, 1, 1),
+                    max: Date::from_ymd(2014, 12, 31),
+                    format: DateFormat::Iso,
+                },
+            )),
+    );
+
+    s = s.table(
+        Table::new("web_sales", "${web_sales_size}")
+            .field(
+                Field::new("ws_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+                    .primary(),
+            )
+            .field(Field::new("ws_item", SqlType::BigInt, zipf_reference("item", "i_item_id", 0.6)))
+            .field(Field::new("ws_customer", SqlType::BigInt, reference("customer", "c_customer_id")))
+            .field(Field::new("ws_page", SqlType::BigInt, reference("web_page", "wp_page_id")))
+            .field(Field::new(
+                "ws_quantity",
+                SqlType::Integer,
+                GeneratorSpec::Long { min: expr("1"), max: expr("20") },
+            )),
+    );
+
+    // The BigBench signature: free text referencing structured data.
+    s = s.table(
+        Table::new("product_reviews", "${reviews_size}")
+            .field(
+                Field::new("pr_review_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+                    .primary(),
+            )
+            .field(Field::new("pr_item", SqlType::BigInt, zipf_reference("item", "i_item_id", 0.7)))
+            .field(Field::new("pr_user", SqlType::BigInt, reference("customer", "c_customer_id")))
+            .field(Field::new(
+                "pr_rating",
+                SqlType::Integer,
+                GeneratorSpec::Long { min: expr("1"), max: expr("5") },
+            ))
+            .field(Field::new(
+                "pr_content",
+                SqlType::Varchar(500),
+                GeneratorSpec::Markov {
+                    source: MarkovSource::File(REVIEW_MODEL_PATH.to_string()),
+                    min_words: 5,
+                    max_words: 60,
+                },
+            )),
+    );
+
+    s
+}
+
+/// Resolver carrying the review-text model.
+pub fn resolver() -> MapResolver {
+    MapResolver::new().with_markov(REVIEW_MODEL_PATH, corpus::tpch_comment_model())
+}
+
+/// Ready-to-build project at `sf`.
+pub fn project(sf: f64) -> pdgf::Pdgf {
+    pdgf::Pdgf::from_schema(schema(5_000))
+        .resolver(resolver())
+        .set_property("SF", &format!("{sf}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_validates() {
+        let s = schema(1);
+        s.validate().unwrap();
+        assert_eq!(s.tables.len(), 7);
+    }
+
+    #[test]
+    fn review_text_references_real_items() {
+        let project = project(0.1).workers(0).build().unwrap();
+        let rt = project.runtime();
+        let (pr_idx, pr) = rt.table_by_name("product_reviews").unwrap();
+        let (_, item) = rt.table_by_name("item").unwrap();
+        for row in (0..pr.size).step_by(37) {
+            let item_ref = rt.value(pr_idx, 1, 0, row).as_i64().unwrap();
+            assert!((1..=item.size as i64).contains(&item_ref));
+            let content = rt.value(pr_idx, 4, 0, row);
+            let words = content.as_text().unwrap().split_whitespace().count();
+            assert!((5..=60).contains(&words));
+        }
+    }
+
+    #[test]
+    fn sales_skew_favors_popular_items() {
+        let project = project(0.2).workers(0).build().unwrap();
+        let rt = project.runtime();
+        let (ss_idx, ss) = rt.table_by_name("store_sales").unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for row in 0..ss.size {
+            *counts
+                .entry(rt.value(ss_idx, 1, 0, row).as_i64().unwrap())
+                .or_insert(0u64) += 1;
+        }
+        let (_, item) = rt.table_by_name("item").unwrap();
+        let avg = ss.size / item.size;
+        let hottest = counts.values().copied().max().unwrap();
+        assert!(hottest > 5 * avg, "zipf skew absent: hottest {hottest}, avg {avg}");
+    }
+
+    #[test]
+    fn scale_factor_controls_all_table_sizes() {
+        let p1 = project(0.1).workers(0).build().unwrap();
+        let p2 = project(0.2).workers(0).build().unwrap();
+        for (a, b) in p1.runtime().tables().iter().zip(p2.runtime().tables()) {
+            assert_eq!(a.size * 2, b.size, "{}", a.name);
+        }
+    }
+}

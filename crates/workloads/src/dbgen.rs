@@ -1,0 +1,437 @@
+//! A `dbgen`-style baseline generator.
+//!
+//! Figure 6 of the paper compares PDGF against TPC-H's `dbgen`. To keep
+//! the comparison architecture-vs-architecture (and remove the Java/C
+//! confound the paper had), this module reimplements `dbgen`'s *design*
+//! in Rust:
+//!
+//! * **hard-coded** per-table generation loops with `format!`-style row
+//!   assembly — no generic generator framework, no meta generators;
+//! * **sequential, stateful RNG streams** per table — values are drawn in
+//!   row order, so a row cannot be produced without producing (or
+//!   skipping through) its predecessors;
+//! * **non-transparent parallelism**: "for each parallel stream a new
+//!   instance is started, which writes its own files" — a chunked
+//!   instance writes rows `[lo, hi)` of a table to its own sink, and the
+//!   caller gets one file per instance rather than PDGF's sorted single
+//!   file.
+//!
+//! Output is the classic `|`-separated `.tbl` format.
+
+use std::io;
+
+use pdgf_output::Sink;
+use pdgf_prng::{PdgfRng, XorShift64Star};
+
+use crate::corpus;
+use crate::tpch::{
+    INSTRUCTIONS, MFGRS, MODES, NATIONS, PRIORITIES, REGIONS, SEGMENTS,
+};
+
+/// The eight TPC-H tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpchTable {
+    /// region (5 rows).
+    Region,
+    /// nation (25 rows).
+    Nation,
+    /// supplier (10k × SF).
+    Supplier,
+    /// customer (150k × SF).
+    Customer,
+    /// part (200k × SF).
+    Part,
+    /// partsupp (800k × SF).
+    PartSupp,
+    /// orders (1.5M × SF).
+    Orders,
+    /// lineitem (6M × SF).
+    LineItem,
+}
+
+impl TpchTable {
+    /// All tables in generation order.
+    pub const ALL: [TpchTable; 8] = [
+        TpchTable::Region,
+        TpchTable::Nation,
+        TpchTable::Supplier,
+        TpchTable::Customer,
+        TpchTable::Part,
+        TpchTable::PartSupp,
+        TpchTable::Orders,
+        TpchTable::LineItem,
+    ];
+
+    /// Row count at scale factor `sf`.
+    pub fn rows(self, sf: f64) -> u64 {
+        let scaled = |base: f64| (base * sf).round() as u64;
+        match self {
+            TpchTable::Region => 5,
+            TpchTable::Nation => 25,
+            TpchTable::Supplier => scaled(10_000.0),
+            TpchTable::Customer => scaled(150_000.0),
+            TpchTable::Part => scaled(200_000.0),
+            TpchTable::PartSupp => scaled(800_000.0),
+            TpchTable::Orders => scaled(1_500_000.0),
+            TpchTable::LineItem => scaled(6_000_000.0),
+        }
+    }
+
+    /// `.tbl` file stem.
+    pub fn file_stem(self) -> &'static str {
+        match self {
+            TpchTable::Region => "region",
+            TpchTable::Nation => "nation",
+            TpchTable::Supplier => "supplier",
+            TpchTable::Customer => "customer",
+            TpchTable::Part => "part",
+            TpchTable::PartSupp => "partsupp",
+            TpchTable::Orders => "orders",
+            TpchTable::LineItem => "lineitem",
+        }
+    }
+}
+
+/// The sequential TPC-H baseline generator.
+pub struct DbGen {
+    sf: f64,
+    seed: u64,
+}
+
+impl DbGen {
+    /// Generator at scale factor `sf`.
+    pub fn new(sf: f64, seed: u64) -> Self {
+        Self { sf, seed }
+    }
+
+    /// Generate one whole table into `sink`.
+    pub fn generate_table(&self, table: TpchTable, sink: &mut dyn Sink) -> io::Result<u64> {
+        let rows = table.rows(self.sf);
+        self.generate_chunk(table, 0, rows, sink)
+    }
+
+    /// Generate rows `[lo, hi)` of a table — one "instance" of dbgen's
+    /// chunked parallel mode. The instance's RNG stream is seeded by its
+    /// chunk start, mimicking dbgen's per-segment stream advancement.
+    pub fn generate_chunk(
+        &self,
+        table: TpchTable,
+        lo: u64,
+        hi: u64,
+        sink: &mut dyn Sink,
+    ) -> io::Result<u64> {
+        let mut rng = XorShift64Star::seed_from(
+            self.seed ^ (table as u64) << 32 ^ lo.wrapping_mul(0x9E37_79B9),
+        );
+        let mut buf = String::with_capacity(64 * 1024);
+        let mut count = 0;
+        for row in lo..hi {
+            match table {
+                TpchTable::Region => self.region_row(row, &mut buf),
+                TpchTable::Nation => self.nation_row(row, &mut rng, &mut buf),
+                TpchTable::Supplier => self.supplier_row(row, &mut rng, &mut buf),
+                TpchTable::Customer => self.customer_row(row, &mut rng, &mut buf),
+                TpchTable::Part => self.part_row(row, &mut rng, &mut buf),
+                TpchTable::PartSupp => self.partsupp_row(row, &mut rng, &mut buf),
+                TpchTable::Orders => self.orders_row(row, &mut rng, &mut buf),
+                TpchTable::LineItem => self.lineitem_row(row, &mut rng, &mut buf),
+            }
+            count += 1;
+            if buf.len() >= 60 * 1024 {
+                sink.write_chunk(buf.as_bytes())?;
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            sink.write_chunk(buf.as_bytes())?;
+        }
+        Ok(count)
+    }
+
+    fn text(&self, rng: &mut XorShift64Star, min_words: u64, max_words: u64, out: &mut String) {
+        let n = min_words + rng.next_bounded(max_words - min_words + 1);
+        for i in 0..n {
+            if i > 0 {
+                out.push(' ');
+            }
+            let class = rng.next_bounded(4);
+            let list: &[&str] = match class {
+                0 => corpus::ADVERBS,
+                1 => corpus::ADJECTIVES,
+                2 => corpus::NOUNS,
+                _ => corpus::VERBS,
+            };
+            out.push_str(list[rng.next_bounded(list.len() as u64) as usize]);
+        }
+    }
+
+    fn rand_str(&self, rng: &mut XorShift64Star, min: u64, max: u64, out: &mut String) {
+        const CS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+        let n = min + rng.next_bounded(max - min + 1);
+        for _ in 0..n {
+            out.push(CS[rng.next_bounded(62) as usize] as char);
+        }
+    }
+
+    fn money(&self, rng: &mut XorShift64Star, lo: i64, hi: i64, out: &mut String) {
+        let cents = rng.next_i64_in(lo, hi);
+        let sign = if cents < 0 { "-" } else { "" };
+        let mag = cents.unsigned_abs();
+        out.push_str(&format!("{sign}{}.{:02}", mag / 100, mag % 100));
+    }
+
+    fn date(&self, rng: &mut XorShift64Star, out: &mut String) {
+        // 1992-01-01 .. 1998-08-02 as day offsets.
+        let day = rng.next_bounded(2_406);
+        let date = pdgf_schema::value::Date(8_035 + day as i32);
+        out.push_str(&date.to_string());
+    }
+
+    fn phone(&self, rng: &mut XorShift64Star, out: &mut String) {
+        out.push_str(&format!(
+            "{}-{}-{}-{}",
+            10 + rng.next_bounded(25),
+            100 + rng.next_bounded(900),
+            100 + rng.next_bounded(900),
+            1000 + rng.next_bounded(9000)
+        ));
+    }
+
+    fn region_row(&self, row: u64, out: &mut String) {
+        out.push_str(&format!(
+            "{}|{}|regional comment|\n",
+            row,
+            REGIONS[row as usize % REGIONS.len()]
+        ));
+    }
+
+    fn nation_row(&self, row: u64, rng: &mut XorShift64Star, out: &mut String) {
+        out.push_str(&format!(
+            "{}|{}|{}|",
+            row,
+            NATIONS[row as usize % NATIONS.len()],
+            row % 5
+        ));
+        self.text(rng, 4, 18, out);
+        out.push_str("|\n");
+    }
+
+    fn supplier_row(&self, row: u64, rng: &mut XorShift64Star, out: &mut String) {
+        out.push_str(&format!("{}|Supplier#{:09}|", row + 1, row + 1));
+        self.rand_str(rng, 10, 40, out);
+        out.push('|');
+        out.push_str(&format!("{}|", rng.next_bounded(25)));
+        self.phone(rng, out);
+        out.push('|');
+        self.money(rng, -99_999, 999_999, out);
+        out.push('|');
+        self.text(rng, 4, 12, out);
+        out.push_str("|\n");
+    }
+
+    fn customer_row(&self, row: u64, rng: &mut XorShift64Star, out: &mut String) {
+        out.push_str(&format!("{}|Customer#{:09}|", row + 1, row + 1));
+        self.rand_str(rng, 10, 40, out);
+        out.push('|');
+        out.push_str(&format!("{}|", rng.next_bounded(25)));
+        self.phone(rng, out);
+        out.push('|');
+        self.money(rng, -99_999, 999_999, out);
+        out.push('|');
+        out.push_str(SEGMENTS[rng.next_bounded(SEGMENTS.len() as u64) as usize]);
+        out.push('|');
+        self.text(rng, 4, 14, out);
+        out.push_str("|\n");
+    }
+
+    fn part_row(&self, row: u64, rng: &mut XorShift64Star, out: &mut String) {
+        out.push_str(&format!("{}|", row + 1));
+        for i in 0..5 {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(
+                corpus::COLORS[rng.next_bounded(corpus::COLORS.len() as u64) as usize],
+            );
+        }
+        out.push('|');
+        out.push_str(MFGRS[rng.next_bounded(5) as usize]);
+        out.push_str(&format!("|Brand#{}|", 11 + rng.next_bounded(45)));
+        out.push_str(
+            crate::tpch::TYPE_SYLL1[rng.next_bounded(6) as usize],
+        );
+        out.push(' ');
+        out.push_str(crate::tpch::TYPE_SYLL2[rng.next_bounded(5) as usize]);
+        out.push(' ');
+        out.push_str(crate::tpch::TYPE_SYLL3[rng.next_bounded(5) as usize]);
+        out.push('|');
+        out.push_str(&format!("{}|", 1 + rng.next_bounded(50)));
+        out.push_str(
+            crate::tpch::CONTAINER_SYLL1[rng.next_bounded(5) as usize],
+        );
+        out.push(' ');
+        out.push_str(crate::tpch::CONTAINER_SYLL2[rng.next_bounded(8) as usize]);
+        out.push('|');
+        self.money(rng, 90_000, 200_000, out);
+        out.push('|');
+        self.text(rng, 1, 5, out);
+        out.push_str("|\n");
+    }
+
+    fn partsupp_row(&self, row: u64, rng: &mut XorShift64Star, out: &mut String) {
+        let parts = TpchTable::Part.rows(self.sf).max(1);
+        let supps = TpchTable::Supplier.rows(self.sf).max(1);
+        out.push_str(&format!(
+            "{}|{}|{}|",
+            row % parts + 1,
+            (row / parts + row) % supps + 1,
+            1 + rng.next_bounded(9_999)
+        ));
+        self.money(rng, 100, 100_000, out);
+        out.push('|');
+        self.text(rng, 10, 30, out);
+        out.push_str("|\n");
+    }
+
+    fn orders_row(&self, row: u64, rng: &mut XorShift64Star, out: &mut String) {
+        let custs = TpchTable::Customer.rows(self.sf).max(1);
+        out.push_str(&format!("{}|{}|", row + 1, rng.next_bounded(custs) + 1));
+        let status = match rng.next_bounded(100) {
+            0..=48 => "F",
+            49..=97 => "O",
+            _ => "P",
+        };
+        out.push_str(status);
+        out.push('|');
+        self.money(rng, 85_000, 55_000_000, out);
+        out.push('|');
+        self.date(rng, out);
+        out.push('|');
+        out.push_str(PRIORITIES[rng.next_bounded(5) as usize]);
+        out.push_str(&format!("|Clerk#{:09}|0|", rng.next_bounded(1000) + 1));
+        self.text(rng, 4, 16, out);
+        out.push_str("|\n");
+    }
+
+    fn lineitem_row(&self, row: u64, rng: &mut XorShift64Star, out: &mut String) {
+        let orders = TpchTable::Orders.rows(self.sf).max(1);
+        let parts = TpchTable::Part.rows(self.sf).max(1);
+        let supps = TpchTable::Supplier.rows(self.sf).max(1);
+        out.push_str(&format!(
+            "{}|{}|{}|{}|",
+            row % orders + 1,
+            rng.next_bounded(parts) + 1,
+            rng.next_bounded(supps) + 1,
+            row % 4 + 1
+        ));
+        out.push_str(&format!("{}|", 1 + rng.next_bounded(50)));
+        self.money(rng, 90_000, 10_000_000, out);
+        out.push('|');
+        out.push_str(&format!("0.{:02}|0.{:02}|", rng.next_bounded(11), rng.next_bounded(9)));
+        let rf = ["R", "A", "N", "N"][rng.next_bounded(4) as usize];
+        let ls = ["O", "F"][rng.next_bounded(2) as usize];
+        out.push_str(rf);
+        out.push('|');
+        out.push_str(ls);
+        out.push('|');
+        self.date(rng, out);
+        out.push('|');
+        self.date(rng, out);
+        out.push('|');
+        self.date(rng, out);
+        out.push('|');
+        out.push_str(INSTRUCTIONS[rng.next_bounded(4) as usize]);
+        out.push('|');
+        out.push_str(MODES[rng.next_bounded(7) as usize]);
+        out.push('|');
+        self.text(rng, 1, 10, out);
+        out.push_str("|\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdgf_output::{MemorySink, NullSink};
+
+    #[test]
+    fn row_counts_scale() {
+        assert_eq!(TpchTable::LineItem.rows(1.0), 6_000_000);
+        assert_eq!(TpchTable::LineItem.rows(0.001), 6_000);
+        assert_eq!(TpchTable::Region.rows(100.0), 5, "fixed tables don't scale");
+        assert_eq!(TpchTable::Nation.rows(0.001), 25);
+    }
+
+    #[test]
+    fn lineitem_rows_have_16_pipe_fields() {
+        let g = DbGen::new(0.001, 7);
+        let mut sink = MemorySink::new();
+        g.generate_table(TpchTable::LineItem, &mut sink).unwrap();
+        let text = sink.as_str();
+        assert_eq!(text.lines().count(), 6_000);
+        for line in text.lines().take(20) {
+            // Trailing '|' means split produces 17 parts with empty last.
+            assert_eq!(line.split('|').count(), 17, "{line}");
+        }
+    }
+
+    #[test]
+    fn all_tables_generate_nonempty_output() {
+        let g = DbGen::new(0.001, 7);
+        for t in TpchTable::ALL {
+            let mut sink = NullSink::new();
+            let rows = g.generate_table(t, &mut sink).unwrap();
+            assert_eq!(rows, t.rows(0.001));
+            assert!(sink.bytes_written() > 0, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_instances_cover_the_table() {
+        let g = DbGen::new(0.001, 7);
+        let total = TpchTable::Orders.rows(0.001);
+        let mut combined = 0;
+        for i in 0..4 {
+            let lo = total * i / 4;
+            let hi = total * (i + 1) / 4;
+            let mut sink = MemorySink::new();
+            combined += g.generate_chunk(TpchTable::Orders, lo, hi, &mut sink).unwrap();
+            assert_eq!(sink.as_str().lines().count() as u64, hi - lo);
+        }
+        assert_eq!(combined, total);
+    }
+
+    #[test]
+    fn generation_is_repeatable_per_seed() {
+        let a = {
+            let mut s = MemorySink::new();
+            DbGen::new(0.0005, 1).generate_table(TpchTable::Customer, &mut s).unwrap();
+            s.as_str().to_string()
+        };
+        let b = {
+            let mut s = MemorySink::new();
+            DbGen::new(0.0005, 1).generate_table(TpchTable::Customer, &mut s).unwrap();
+            s.as_str().to_string()
+        };
+        assert_eq!(a, b);
+        let c = {
+            let mut s = MemorySink::new();
+            DbGen::new(0.0005, 2).generate_table(TpchTable::Customer, &mut s).unwrap();
+            s.as_str().to_string()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn keys_are_dense_and_in_range() {
+        let g = DbGen::new(0.001, 7);
+        let mut sink = MemorySink::new();
+        g.generate_table(TpchTable::Orders, &mut sink).unwrap();
+        for (i, line) in sink.as_str().lines().enumerate() {
+            let key: u64 = line.split('|').next().unwrap().parse().unwrap();
+            assert_eq!(key, i as u64 + 1);
+            let cust: u64 = line.split('|').nth(1).unwrap().parse().unwrap();
+            assert!((1..=150).contains(&cust));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Workload models for the evaluation.
+//!
+//! The paper's experiments run on three data sets, all rebuilt here:
+//!
+//! * [`tpch`] — "our custom implementation of the TPC-H data set" as a
+//!   PDGF model (the paper's Listing 1 shows an excerpt of exactly this
+//!   configuration), used by the scale-up (Fig. 5), DBGen-comparison
+//!   (Fig. 6), and extraction (Tab. E1) experiments;
+//! * [`dbgen`] — a faithful architectural stand-in for TPC-H `dbgen`:
+//!   hard-coded, sequential, stateful-RNG, per-instance output files
+//!   (Fig. 6's baseline);
+//! * [`bigbench`] — a BigBench-style retail model (structured tables +
+//!   free-text product reviews with cross-references) for the multi-node
+//!   scale-out experiment (Fig. 4);
+//! * [`imdb`] — an IMDb-style movie database synthesized into `minidb`,
+//!   the demo's "real use case" source for DBSynth extraction;
+//! * [`ssb`] — the Star Schema Benchmark (uniform and skewed variants),
+//!   which the paper lists among PDGF's implemented benchmarks;
+//! * [`corpus`] — shared word lists and the curated TPC-H comment Markov
+//!   model.
+
+#![deny(missing_docs)]
+
+pub mod bigbench;
+pub mod corpus;
+pub mod dbgen;
+pub mod imdb;
+pub mod ssb;
+pub mod tpch;

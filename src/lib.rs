@@ -1,0 +1,10 @@
+//! Umbrella crate for the DBSynth/PDGF reproduction suite.
+//!
+//! Re-exports the member crates so examples and integration tests can use
+//! one coherent namespace. See `README.md` for the tour.
+
+pub use dbsynth;
+pub use minidb;
+pub use pdgf;
+pub use textsynth;
+pub use workloads;

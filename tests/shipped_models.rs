@@ -1,0 +1,74 @@
+//! The model files shipped in `models/` must stay in sync with the
+//! builders in `workloads` (regenerate with
+//! `cargo run -p workloads --bin dump-models`), and must be directly
+//! usable: parse, build, generate.
+
+use dbsynth_suite::pdgf::{OutputFormat, Pdgf};
+use dbsynth_suite::workloads::{corpus, ssb, tpch};
+
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+#[test]
+fn shipped_tpch_xml_matches_the_builder() {
+    let shipped = std::fs::read_to_string(repo_path("models/tpch.xml"))
+        .expect("models/tpch.xml is checked in");
+    let built = dbsynth_suite::pdgf::schema::config::to_xml_string(&tpch::schema(12_456_789));
+    assert_eq!(
+        shipped, built,
+        "models/tpch.xml is stale — run `cargo run -p workloads --bin dump-models`"
+    );
+}
+
+#[test]
+fn shipped_ssb_xml_matches_the_builder() {
+    let shipped = std::fs::read_to_string(repo_path("models/ssb.xml"))
+        .expect("models/ssb.xml is checked in");
+    let built =
+        dbsynth_suite::pdgf::schema::config::to_xml_string(&ssb::schema(19_920_601));
+    assert_eq!(
+        shipped, built,
+        "models/ssb.xml is stale — run `cargo run -p workloads --bin dump-models`"
+    );
+}
+
+#[test]
+fn shipped_markov_binary_matches_the_corpus() {
+    let shipped = std::fs::read(repo_path("models/markov/l_comment_markovSamples.bin"))
+        .expect("markov binary is checked in");
+    assert_eq!(
+        shipped,
+        corpus::tpch_comment_model().to_bytes().to_vec(),
+        "markov binary is stale — run `cargo run -p workloads --bin dump-models`"
+    );
+}
+
+#[test]
+fn shipped_models_generate_out_of_the_box() {
+    // Exactly what a user of the CLI does: load the XML from disk with
+    // resources resolving next to it.
+    let project = Pdgf::from_xml_file(repo_path("models/tpch.xml"))
+        .expect("shipped model parses")
+        .set_property("SF", "0.0002")
+        .workers(0)
+        .build()
+        .expect("shipped model builds");
+    let csv = project
+        .table_to_string("lineitem", OutputFormat::Csv)
+        .expect("generates");
+    assert_eq!(csv.lines().count(), 1_200);
+
+    // SSB's smallest dimension (supplier, 2000 × SF) needs SF ≥ 0.001 to
+    // stay non-empty.
+    let ssb_project = Pdgf::from_xml_file(repo_path("models/ssb.xml"))
+        .expect("shipped SSB model parses")
+        .set_property("SF", "0.001")
+        .workers(0)
+        .build()
+        .expect("shipped SSB model builds");
+    let csv = ssb_project
+        .table_to_string("lineorder", OutputFormat::Csv)
+        .expect("generates");
+    assert_eq!(csv.lines().count(), 6_000);
+}

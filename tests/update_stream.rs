@@ -1,0 +1,122 @@
+//! The TPC-DI-style pipeline end to end: initial load into the SQL
+//! substrate, then per-epoch change batches from the update black box
+//! applied as SQL DML — row counts and values must track the black box's
+//! deterministic bookkeeping.
+
+use dbsynth_suite::minidb::sql::{execute, query};
+use dbsynth_suite::minidb::Database;
+use dbsynth_suite::pdgf::gen::{MapResolver, SchemaRuntime};
+use dbsynth_suite::pdgf::runtime::{UpdateBlackBox, UpdateConfig, UpdateOp};
+use dbsynth_suite::pdgf::schema::{Expr, Field, GeneratorSpec, Schema, SqlType, Table};
+use pdgf_schema::Value;
+
+fn runtime() -> SchemaRuntime {
+    let schema = Schema::new("etl", 77).table(
+        Table::new("accounts", "500")
+            .field(
+                Field::new("a_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+                    .primary(),
+            )
+            .field(Field::new(
+                "a_balance",
+                SqlType::Decimal(12, 2),
+                GeneratorSpec::Decimal {
+                    min: Expr::parse("0").expect("lit"),
+                    max: Expr::parse("100000").expect("lit"),
+                    scale: 2,
+                },
+            ))
+            .field(Field::new(
+                "a_note",
+                SqlType::Varchar(20),
+                GeneratorSpec::Null {
+                    probability: 0.2,
+                    inner: Box::new(GeneratorSpec::RandomString { min_len: 3, max_len: 12 }),
+                },
+            )),
+    );
+    SchemaRuntime::build(&schema, &MapResolver::new()).expect("model builds")
+}
+
+#[test]
+fn sql_applied_epochs_track_black_box_bookkeeping() {
+    let rt = runtime();
+    let mut db = Database::new();
+    execute(
+        &mut db,
+        "CREATE TABLE accounts (a_id BIGINT PRIMARY KEY, a_balance DECIMAL(12,2), \
+         a_note VARCHAR(20))",
+    )
+    .expect("DDL");
+
+    // Initial load (epoch 0).
+    let rows: Vec<Vec<Value>> = (0..500).map(|r| rt.row(0, 0, r)).collect();
+    db.bulk_load("accounts", rows).expect("initial load");
+
+    let bb = UpdateBlackBox::new(
+        0,
+        UpdateConfig { insert_fraction: 0.10, update_fraction: 0.10, delete_fraction: 0.04 },
+    );
+    let columns = vec!["a_id".to_string(), "a_balance".to_string(), "a_note".to_string()];
+
+    let mut expected_live = 500i64;
+    for epoch in 1..=4 {
+        let batch = bb.batch(&rt, epoch);
+        let (mut ins, mut del) = (0i64, 0i64);
+        let mut deleted_keys: std::collections::HashSet<i64> = Default::default();
+        for op in &batch.ops {
+            match op {
+                UpdateOp::Insert { .. } => ins += 1,
+                UpdateOp::Delete { row } => {
+                    del += 1;
+                    deleted_keys.insert(rt.value(0, 0, 0, *row).as_i64().expect("key"));
+                }
+                UpdateOp::Update { .. } => {}
+            }
+        }
+        // Deletes may address rows already removed in earlier epochs; the
+        // SQL DELETE then affects zero rows. Count the actually-present
+        // keys to predict the delta exactly.
+        let mut actually_deleted = 0i64;
+        for key in &deleted_keys {
+            let present = query(
+                &db,
+                &format!("SELECT COUNT(*) FROM accounts WHERE a_id = {key}"),
+            )
+            .expect("probe")
+            .rows[0][0]
+                .as_i64()
+                .expect("count");
+            actually_deleted += present;
+        }
+
+        for stmt in batch.to_sql("accounts", &columns, 0, &|row| rt.value(0, 0, 0, row)) {
+            execute(&mut db, &stmt).expect("DML applies");
+        }
+        expected_live += ins - actually_deleted;
+        let live = query(&db, "SELECT COUNT(*) FROM accounts").expect("count").rows[0][0]
+            .as_i64()
+            .expect("count");
+        assert_eq!(live, expected_live, "epoch {epoch}: {del} deletes requested");
+    }
+    assert!(expected_live > 500, "stream should grow net of deletes");
+
+    // Updated rows carry the epoch-seeded values: spot-check one update
+    // from the last epoch.
+    let batch = bb.batch(&rt, 4);
+    let updated = batch.ops.iter().find_map(|op| match op {
+        UpdateOp::Update { row, values } => Some((*row, values.clone())),
+        _ => None,
+    });
+    if let Some((row, values)) = updated {
+        let key = rt.value(0, 0, 0, row).as_i64().expect("key");
+        let found = query(
+            &db,
+            &format!("SELECT a_balance FROM accounts WHERE a_id = {key}"),
+        )
+        .expect("probe");
+        if let Some(r) = found.rows.first() {
+            assert_eq!(r[0], values[1], "row {row} balance reflects epoch 4");
+        }
+    }
+}
