@@ -27,8 +27,12 @@ fn runtime_with(dist: Option<RefDistribution>) -> SchemaRuntime {
     let schema = Schema::new("refbench", 12_456_789)
         .table(
             Table::new("parent", "100000").field(
-                Field::new("p_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "p_id",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             ),
         )
         .table(Table::new("child", "1000000000").field(Field::new(
@@ -50,7 +54,11 @@ fn bench_strategy(c: &mut Criterion, name: &str, rt: &SchemaRuntime) {
 }
 
 fn strategies(c: &mut Criterion) {
-    bench_strategy(c, "ablation_ref/baseline_id_no_reference", &runtime_with(None));
+    bench_strategy(
+        c,
+        "ablation_ref/baseline_id_no_reference",
+        &runtime_with(None),
+    );
     bench_strategy(
         c,
         "ablation_ref/uniform",

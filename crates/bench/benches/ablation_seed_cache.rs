@@ -34,14 +34,22 @@ fn seed_paths(c: &mut Criterion) {
             row2 = row2.wrapping_add(1);
             black_box(SeedTree::field_seed_uncached(
                 12_456_789,
-                FieldCoord { table: 7, column: (row2 % 16) as u32, update: 0, row: row2 },
+                FieldCoord {
+                    table: 7,
+                    column: (row2 % 16) as u32,
+                    update: 0,
+                    row: row2,
+                },
             ))
         })
     });
 }
 
 fn row_generation(c: &mut Criterion) {
-    let project = tpch::project(0.001).workers(0).build().expect("tpch builds");
+    let project = tpch::project(0.001)
+        .workers(0)
+        .build()
+        .expect("tpch builds");
     let rt = project.runtime();
     let (li_idx, li) = rt.table_by_name("lineitem").expect("lineitem exists");
     let size = li.size;

@@ -37,9 +37,15 @@ fn bench_value(c: &mut Criterion, name: &str, rt: &SchemaRuntime) {
 }
 
 fn fig7(c: &mut Criterion) {
-    let static_value = GeneratorSpec::Static { value: Value::text("fixed") };
+    let static_value = GeneratorSpec::Static {
+        value: Value::text("fixed"),
+    };
 
-    bench_value(c, "fig7/static_value_no_cache", &runtime_with(static_value.clone()));
+    bench_value(
+        c,
+        "fig7/static_value_no_cache",
+        &runtime_with(static_value.clone()),
+    );
     bench_value(
         c,
         "fig7/null_generator_100pct_null",
@@ -51,7 +57,10 @@ fn fig7(c: &mut Criterion) {
     bench_value(
         c,
         "fig7/null_generator_0pct_null",
-        &runtime_with(GeneratorSpec::Null { probability: 0.0, inner: Box::new(static_value) }),
+        &runtime_with(GeneratorSpec::Null {
+            probability: 0.0,
+            inner: Box::new(static_value),
+        }),
     );
 }
 

@@ -69,7 +69,10 @@ fn fig8(c: &mut Criterion) {
     bench_value(
         c,
         "fig8/string",
-        &runtime_with(GeneratorSpec::RandomString { min_len: 10, max_len: 30 }),
+        &runtime_with(GeneratorSpec::RandomString {
+            min_len: 10,
+            max_len: 30,
+        }),
     );
 }
 

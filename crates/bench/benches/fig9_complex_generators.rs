@@ -56,16 +56,24 @@ fn fig9(c: &mut Criterion) {
             weighted: true,
         }),
     );
-    let inner = GeneratorSpec::Static { value: pdgf_schema::Value::text("v") };
+    let inner = GeneratorSpec::Static {
+        value: pdgf_schema::Value::text("v"),
+    };
     bench_value(
         c,
         "fig9/null_100pct",
-        &runtime_with(GeneratorSpec::Null { probability: 1.0, inner: Box::new(inner.clone()) }),
+        &runtime_with(GeneratorSpec::Null {
+            probability: 1.0,
+            inner: Box::new(inner.clone()),
+        }),
     );
     bench_value(
         c,
         "fig9/null_0pct",
-        &runtime_with(GeneratorSpec::Null { probability: 0.0, inner: Box::new(inner) }),
+        &runtime_with(GeneratorSpec::Null {
+            probability: 0.0,
+            inner: Box::new(inner),
+        }),
     );
     bench_value(
         c,

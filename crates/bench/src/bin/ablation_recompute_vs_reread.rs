@@ -63,15 +63,15 @@ fn main() {
 
     // The reference targets to resolve (same sequence for both sides).
     let mut rng = PdgfDefaultRandom::seed_from(99);
-    let targets: Vec<u64> = (0..lookups).map(|_| rng.next_bounded(parent_rows)).collect();
+    let targets: Vec<u64> = (0..lookups)
+        .map(|_| rng.next_bounded(parent_rows))
+        .collect();
 
     // 1. Recomputation.
     let recompute = timed(|| {
         let mut acc = 0i64;
         for &row in &targets {
-            acc = acc.wrapping_add(
-                rt.value(orders_idx, 0, 0, row).as_i64().expect("order key"),
-            );
+            acc = acc.wrapping_add(rt.value(orders_idx, 0, 0, row).as_i64().expect("order key"));
         }
         acc
     });
@@ -111,7 +111,11 @@ fn main() {
     println!("{:<32} {:>14.0}", "recompute (PDGF)", ns_per_recompute);
     println!(
         "{:<32} {:>14.0}",
-        if seek_us > 0.0 { "re-read (simulated disk)" } else { "re-read (page cache)" },
+        if seek_us > 0.0 {
+            "re-read (simulated disk)"
+        } else {
+            "re-read (page cache)"
+        },
         ns_per_reread
     );
     let speedup = ns_per_reread / ns_per_recompute;

@@ -9,9 +9,7 @@
 //! Knobs: `DEMO_MOVIES` (default 2000), `DEMO_SCALE` (default 1.0).
 
 use bench::{banner, check, env_f64, env_usize, timed};
-use dbsynth::{
-    compare_databases, generate_into, ExtractionOptions, Extractor, SamplingOptions,
-};
+use dbsynth::{compare_databases, generate_into, ExtractionOptions, Extractor, SamplingOptions};
 use minidb::sql::query;
 use minidb::{Database, SampleStrategy};
 use workloads::imdb;
@@ -71,14 +69,16 @@ fn main() {
         model.markov_models.len()
     );
     for (path, m) in &model.markov_models {
-        println!("  markov {path}: {} words, {} starts", m.word_count(), m.start_state_count());
+        println!(
+            "  markov {path}: {} words, {} starts",
+            m.word_count(),
+            m.start_state_count()
+        );
     }
 
     // Generate into the target database.
     let mut target = Database::new();
-    let synth = timed(|| {
-        generate_into(&mut target, &model, scale, 2).expect("generation + load")
-    });
+    let synth = timed(|| generate_into(&mut target, &model, scale, 2).expect("generation + load"));
     println!(
         "\ngenerated + loaded {} rows in {:.3}s",
         synth.value.total_rows(),

@@ -45,7 +45,13 @@ fn main() {
     let rt = project.runtime();
     // Warm up caches and the allocator before measuring.
     {
-        let sched = MetaScheduler::new(1, RunConfig { workers, package_rows: 5_000 });
+        let sched = MetaScheduler::new(
+            1,
+            RunConfig {
+                workers,
+                package_rows: 5_000,
+            },
+        );
         let mut make =
             |_: &str, _: usize| -> io::Result<Box<dyn Sink>> { Ok(Box::new(NullSink::new())) };
         sched
@@ -62,7 +68,13 @@ fn main() {
     let mut tput_series = Vec::new();
     let mut duration_series = Vec::new();
     for &nodes in &nodes_list {
-        let sched = MetaScheduler::new(nodes, RunConfig { workers, package_rows: 5_000 });
+        let sched = MetaScheduler::new(
+            nodes,
+            RunConfig {
+                workers,
+                package_rows: 5_000,
+            },
+        );
         let mut make =
             |_: &str, _: usize| -> io::Result<Box<dyn Sink>> { Ok(Box::new(NullSink::new())) };
         let reports = sched
@@ -72,10 +84,7 @@ fn main() {
         // cluster, so aggregate throughput is the per-node sum and the
         // cluster finishes with its slowest node.
         let agg_mb_s: f64 = reports.iter().map(|r| r.throughput_mb_s()).sum();
-        let duration = reports
-            .iter()
-            .map(|r| r.seconds)
-            .fold(0.0f64, f64::max);
+        let duration = reports.iter().map(|r| r.seconds).fold(0.0f64, f64::max);
         let rows: u64 = reports.iter().map(|r| r.rows).sum();
         println!("{nodes:>6} {agg_mb_s:>16.1} {duration:>16.3} {rows:>14}");
         tput_series.push((nodes as f64, agg_mb_s));

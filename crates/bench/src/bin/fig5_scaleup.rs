@@ -79,7 +79,9 @@ fn main() {
          dip when workers == cores exactly",
     );
     let sf = env_f64("FIG5_SF", 0.02);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let max_threads = env_usize("FIG5_MAX_THREADS", 48);
     println!("host machine: {cores} core(s); simulated testbed: {PAPER_CORES} cores / {PAPER_HW_THREADS} hardware threads\n");
 
@@ -126,8 +128,11 @@ fn main() {
     check(
         "smt-gains-smaller(simulated)",
         at32 > at17 && (at32 - at17) < (at16 / 16.0) * 15.0 * 0.5,
-        &format!("17→32 threads adds {:.1} MB/s (core-region pace would add {:.1})",
-            at32 - at17, (at16 / 16.0) * 15.0),
+        &format!(
+            "17→32 threads adds {:.1} MB/s (core-region pace would add {:.1})",
+            at32 - at17,
+            (at16 / 16.0) * 15.0
+        ),
     );
     check(
         "exact-core-count-dip(simulated)",
@@ -137,15 +142,16 @@ fn main() {
     check(
         "flat-beyond-hw-threads(simulated)",
         (at48 - simulated_throughput(33, t1)).abs() < at48 * 0.05,
-        &format!("33 threads {:.1} vs 48 threads {at48:.1} MB/s", simulated_throughput(33, t1)),
+        &format!(
+            "33 threads {:.1} vs 48 threads {at48:.1} MB/s",
+            simulated_throughput(33, t1)
+        ),
     );
     // Measured curve on this host: flat at/after the physical core count.
     let best_measured = measured.iter().map(|p| p.1).fold(0.0, f64::max);
     check(
         "measured-bounded-by-host-cores",
         best_measured <= t1 * (cores as f64) * 1.5,
-        &format!(
-            "host has {cores} core(s): single {t1:.1} MB/s, best {best_measured:.1} MB/s"
-        ),
+        &format!("host has {cores} core(s): single {t1:.1} MB/s, best {best_measured:.1} MB/s"),
     );
 }

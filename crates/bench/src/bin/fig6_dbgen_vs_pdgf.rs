@@ -33,10 +33,10 @@ fn dbgen_run(sf: f64, dir: &Path) -> (f64, u64) {
     let t = timed(|| {
         let mut bytes = 0;
         for table in TpchTable::ALL {
-            let mut sink =
-                FileSink::create(dir.join(format!("{}.tbl", table.file_stem())))
-                    .expect("create .tbl file");
-            g.generate_table(table, &mut sink).expect("dbgen generation");
+            let mut sink = FileSink::create(dir.join(format!("{}.tbl", table.file_stem())))
+                .expect("create .tbl file");
+            g.generate_table(table, &mut sink)
+                .expect("dbgen generation");
             bytes += sink.finish().expect("flush");
         }
         bytes
@@ -54,7 +54,10 @@ fn pdgf_run(sf: f64, workers: usize, to_null: bool, dir: &Path) -> (f64, u64) {
         .expect("tpch model builds");
     let t = timed(|| {
         if to_null {
-            project.generate_to_null(None).expect("generation").total_bytes()
+            project
+                .generate_to_null(None)
+                .expect("generation")
+                .total_bytes()
         } else {
             project
                 .generate_to_dir(dir.join(format!("pdgf-{sf}")), OutputFormat::Csv)
@@ -72,7 +75,8 @@ fn single_stream(sf: f64) -> (f64, f64) {
     let t_dbgen = timed(|| {
         let mut sink = NullSink::new();
         for table in TpchTable::ALL {
-            g.generate_table(table, &mut sink).expect("dbgen generation");
+            g.generate_table(table, &mut sink)
+                .expect("dbgen generation");
         }
         sink.bytes_written()
     });
@@ -84,7 +88,12 @@ fn single_stream(sf: f64) -> (f64, f64) {
         .workers(0)
         .build()
         .expect("tpch model builds");
-    let t_pdgf = timed(|| project.generate_to_null(None).expect("generation").total_bytes());
+    let t_pdgf = timed(|| {
+        project
+            .generate_to_null(None)
+            .expect("generation")
+            .total_bytes()
+    });
     let pdgf_mbs = t_pdgf.value as f64 / 1e6 / t_pdgf.seconds;
     (dbgen_mbs, pdgf_mbs)
 }
@@ -97,7 +106,9 @@ fn main() {
     );
     let workers = env_usize(
         "FIG6_WORKERS",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     );
     let sfs: Vec<f64> = std::env::var("FIG6_SFS")
         .unwrap_or_else(|_| "0.001,0.003,0.01,0.03".to_string())
@@ -140,6 +151,9 @@ fn main() {
     check(
         "single-stream-same-order",
         pdgf_mbs > dbgen_mbs / 10.0,
-        &format!("ratio {:.2} (paper ratio 30/48 = 0.63)", pdgf_mbs / dbgen_mbs),
+        &format!(
+            "ratio {:.2} (paper ratio 30/48 = 0.63)",
+            pdgf_mbs / dbgen_mbs
+        ),
     );
 }

@@ -1,0 +1,182 @@
+//! Formatting hot-path throughput gate: TPC-H lineitem → CSV → NullSink.
+//!
+//! Measures rows/s and MB/s at 1/2/4/8 workers and writes the series to
+//! `BENCH_throughput.json` so the performance trajectory of the output
+//! path is tracked across PRs. A prior run's JSON can be passed via
+//! `BENCH_BASELINE=<path>`; it is embedded verbatim under `"baseline"`
+//! and per-worker speedups are reported.
+//!
+//! Knobs: `THROUGHPUT_SF` (default 0.02), `THROUGHPUT_REPEATS` (default
+//! 3, best-of), `THROUGHPUT_PACKAGE_ROWS` (default 5000),
+//! `THROUGHPUT_OUT` (default `BENCH_throughput.json`).
+
+use bench::{banner, check, env_f64, env_usize, timed};
+use pdgf::Pdgf;
+use pdgf_output::{CsvFormatter, NullSink};
+use pdgf_runtime::{generate_table_range, RunConfig};
+use workloads::tpch;
+
+struct Point {
+    workers: usize,
+    rows: u64,
+    bytes: u64,
+    seconds: f64,
+}
+
+impl Point {
+    fn rows_per_s(&self) -> f64 {
+        self.rows as f64 / self.seconds
+    }
+    fn mb_per_s(&self) -> f64 {
+        self.bytes as f64 / 1e6 / self.seconds
+    }
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"workers\": {}, \"rows\": {}, \"bytes\": {}, \"seconds\": {:.6}, \
+             \"rows_per_s\": {:.1}, \"mb_per_s\": {:.3}}}",
+            self.workers,
+            self.rows,
+            self.bytes,
+            self.seconds,
+            self.rows_per_s(),
+            self.mb_per_s()
+        )
+    }
+}
+
+fn measure(
+    rt: &pdgf_gen::SchemaRuntime,
+    table: u32,
+    size: u64,
+    workers: usize,
+    package_rows: u64,
+    repeats: usize,
+) -> Point {
+    let mut best: Option<Point> = None;
+    for _ in 0..repeats {
+        let mut sink = NullSink::new();
+        let cfg = RunConfig {
+            workers,
+            package_rows,
+        };
+        let t = timed(|| {
+            generate_table_range(
+                rt,
+                table,
+                0,
+                0..size,
+                &CsvFormatter::new(),
+                &mut sink,
+                &cfg,
+                None,
+            )
+            .expect("generation succeeds")
+        });
+        let p = Point {
+            workers,
+            rows: t.value.rows,
+            bytes: t.value.bytes,
+            seconds: t.seconds,
+        };
+        if best.as_ref().is_none_or(|b| p.seconds < b.seconds) {
+            best = Some(p);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+/// Pull the `mb_per_s` series out of a prior run's JSON without a JSON
+/// parser: the fields appear once per worker entry, in sweep order.
+fn mb_per_s_series(json: &str) -> Vec<f64> {
+    json.match_indices("\"mb_per_s\":")
+        .filter_map(|(i, key)| {
+            let rest = &json[i + key.len()..];
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            rest[..end].trim().parse().ok()
+        })
+        .collect()
+}
+
+fn main() {
+    banner(
+        "Throughput gate: TPC-H lineitem, CSV formatter, null sink",
+        "formatting is the dominant cost once generation is parallel — \
+         this series tracks the row→bytes path across PRs",
+    );
+    let sf = env_f64("THROUGHPUT_SF", 0.02);
+    let repeats = env_usize("THROUGHPUT_REPEATS", 3);
+    let package_rows = env_usize("THROUGHPUT_PACKAGE_ROWS", 5_000) as u64;
+    let out_path =
+        std::env::var("THROUGHPUT_OUT").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let project = Pdgf::from_schema(tpch::schema(12_456_789))
+        .resolver(tpch::resolver())
+        .set_property("SF", &format!("{sf}"))
+        .build()
+        .expect("tpch model builds");
+    let rt = project.runtime();
+    let (table, t) = rt.table_by_name("lineitem").expect("lineitem exists");
+    let size = t.size;
+    println!("lineitem rows: {size} (SF {sf}), package_rows {package_rows}, best of {repeats}, host cores {cores}\n");
+
+    // Warm-up pass (touches dictionaries, markov models, seed caches).
+    let _ = measure(rt, table, size.min(10_000), 1, package_rows, 1);
+
+    println!("{:>8} {:>14} {:>12}", "workers", "rows/s", "MB/s");
+    let mut series = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let p = measure(rt, table, size, workers, package_rows, repeats);
+        println!(
+            "{:>8} {:>14.0} {:>12.2}",
+            p.workers,
+            p.rows_per_s(),
+            p.mb_per_s()
+        );
+        series.push(p);
+    }
+
+    let baseline = std::env::var("BENCH_BASELINE")
+        .ok()
+        .and_then(|p| std::fs::read_to_string(p).ok());
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"csv_null_throughput\",\n");
+    json.push_str("  \"table\": \"lineitem\",\n");
+    json.push_str(&format!("  \"sf\": {sf},\n"));
+    json.push_str(&format!("  \"package_rows\": {package_rows},\n"));
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str("  \"series\": [\n");
+    for (i, p) in series.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&p.to_json());
+        json.push_str(if i + 1 < series.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    match &baseline {
+        Some(b) => {
+            json.push_str("  \"baseline\": ");
+            json.push_str(b.trim_end());
+            json.push('\n');
+        }
+        None => json.push_str("  \"baseline\": null\n"),
+    }
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write throughput json");
+    println!("\nwrote {out_path}");
+
+    if let Some(b) = &baseline {
+        let base = mb_per_s_series(b);
+        for (p, base_mb) in series.iter().zip(&base) {
+            let speedup = p.mb_per_s() / base_mb;
+            check(
+                &format!("speedup@{}w", p.workers),
+                speedup >= 1.0,
+                &format!("{base_mb:.2} → {:.2} MB/s ({speedup:.2}x)", p.mb_per_s()),
+            );
+        }
+    }
+}

@@ -21,7 +21,10 @@ pub struct Timed<T> {
 pub fn timed<T>(f: impl FnOnce() -> T) -> Timed<T> {
     let start = Instant::now();
     let value = f();
-    Timed { value, seconds: start.elapsed().as_secs_f64() }
+    Timed {
+        value,
+        seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// Least-squares linear fit `y ≈ a·x + b`, returning `(a, b, r²)`.
@@ -33,12 +36,20 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
     let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
     let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
     let denom = n * sxx - sx * sx;
-    let a = if denom.abs() < 1e-12 { 0.0 } else { (n * sxy - sx * sy) / denom };
+    let a = if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    };
     let b = (sy - a * sx) / n;
     let mean_y = sy / n;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
     let ss_res: f64 = points.iter().map(|p| (p.1 - (a * p.0 + b)).powi(2)).sum();
-    let r2 = if ss_tot < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (a, b, r2)
 }
 
@@ -86,8 +97,7 @@ mod tests {
 
     #[test]
     fn linear_fit_flags_nonlinear_data() {
-        let points: Vec<(f64, f64)> =
-            (1..=10).map(|x| (x as f64, (x as f64).powi(3))).collect();
+        let points: Vec<(f64, f64)> = (1..=10).map(|x| (x as f64, (x as f64).powi(3))).collect();
         let (_, _, r2) = linear_fit(&points);
         assert!(r2 < 0.95, "cubic should not fit a line well: r2={r2}");
     }

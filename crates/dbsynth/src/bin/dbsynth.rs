@@ -98,7 +98,10 @@ fn options_for(args: &Args) -> ExtractionOptions {
     };
     ExtractionOptions {
         stats: true,
-        sampling: Some(SamplingOptions { strategy, dict_max_distinct: 64 }),
+        sampling: Some(SamplingOptions {
+            strategy,
+            dict_max_distinct: 64,
+        }),
         seed: args.seed,
         histogram_buckets: 16,
         use_histograms: true,
@@ -160,8 +163,9 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             let rt = project.runtime();
             for (t_idx, table) in rt.tables().iter().enumerate() {
-                let rows: Vec<Vec<pdgf_schema::Value>> =
-                    (0..table.size).map(|r| rt.row(t_idx as u32, 0, r)).collect();
+                let rows: Vec<Vec<pdgf_schema::Value>> = (0..table.size)
+                    .map(|r| rt.row(t_idx as u32, 0, r))
+                    .collect();
                 db.bulk_load(&table.name, rows).map_err(|e| e.to_string())?;
                 println!("{:<20} {:>12} rows", table.name, table.size);
             }
@@ -178,8 +182,7 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
             let mut target = Database::new();
             generate_into(&mut target, &model, args.scale, args.workers)
                 .map_err(|e| e.to_string())?;
-            let report =
-                compare_databases(&db, &target, args.scale).map_err(|e| e.to_string())?;
+            let report = compare_databases(&db, &target, args.scale).map_err(|e| e.to_string())?;
             println!("{}", report.to_summary_string());
             println!(
                 "max NULL delta {:.4} | max mean error {:.4} | ranges contained: {}",

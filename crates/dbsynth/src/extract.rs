@@ -42,7 +42,10 @@ pub struct SamplingOptions {
 
 impl Default for SamplingOptions {
     fn default() -> Self {
-        Self { strategy: SampleStrategy::Full, dict_max_distinct: 64 }
+        Self {
+            strategy: SampleStrategy::Full,
+            dict_max_distinct: 64,
+        }
     }
 }
 
@@ -119,11 +122,7 @@ pub struct ExtractionReport {
 impl ExtractionReport {
     /// Total extraction time.
     pub fn total(&self) -> Duration {
-        self.schema_info
-            + self.table_sizes
-            + self.null_probabilities
-            + self.min_max
-            + self.sampling
+        self.schema_info + self.table_sizes + self.null_probabilities + self.min_max + self.sampling
     }
 }
 
@@ -150,7 +149,11 @@ pub struct Extractor<'db> {
 impl<'db> Extractor<'db> {
     /// Extractor over `db` with `options`.
     pub fn new(db: &'db Database, options: ExtractionOptions) -> Self {
-        Self { db, options, rules: RuleEngine::new() }
+        Self {
+            db,
+            options,
+            rules: RuleEngine::new(),
+        }
     }
 
     /// Run the extraction.
@@ -164,8 +167,12 @@ impl<'db> Extractor<'db> {
 
         // Phase 1: schema information.
         let t0 = Instant::now();
-        let table_names: Vec<String> =
-            self.db.table_names().iter().map(|s| s.to_string()).collect();
+        let table_names: Vec<String> = self
+            .db
+            .table_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let defs: Vec<minidb::TableDef> = table_names
             .iter()
             .map(|n| Ok(self.db.table(n)?.def().clone()))
@@ -227,8 +234,7 @@ impl<'db> Extractor<'db> {
                 .properties
                 .define(&size_prop, &format!("{size} * ${{SF}}"))
                 .map_err(|e| DbError::Sql(e.to_string()))?;
-            let mut table =
-                pdgf_schema::Table::new(&def.name, &format!("${{{size_prop}}}"));
+            let mut table = pdgf_schema::Table::new(&def.name, &format!("${{{size_prop}}}"));
             for (c_idx, col) in def.columns.iter().enumerate() {
                 let col_stats = stats[i].as_ref().map(|s| &s.columns[c_idx]);
                 let t0 = Instant::now();
@@ -252,7 +258,12 @@ impl<'db> Extractor<'db> {
         report.sampling = sampling_time;
 
         schema.validate().map_err(|e| DbError::Sql(e.to_string()))?;
-        Ok(ExtractedModel { schema, dictionaries, markov_models, report })
+        Ok(ExtractedModel {
+            schema,
+            dictionaries,
+            markov_models,
+            report,
+        })
     }
 
     /// Infer undeclared foreign keys: an integer, non-key column whose
@@ -301,8 +312,7 @@ impl<'db> Extractor<'db> {
         }
 
         // Cycle guard over declared + accepted inferred edges.
-        let index_of =
-            |name: &str| defs.iter().position(|d| d.name.eq_ignore_ascii_case(name));
+        let index_of = |name: &str| defs.iter().position(|d| d.name.eq_ignore_ascii_case(name));
         let mut edges: Vec<Vec<usize>> = vec![Vec::new(); defs.len()];
         for (i, def) in defs.iter().enumerate() {
             for fk in &def.foreign_keys {
@@ -332,8 +342,7 @@ impl<'db> Extractor<'db> {
                 {
                     continue;
                 }
-                let values: Vec<i64> =
-                    data.column(c_idx).filter_map(Value::as_i64).collect();
+                let values: Vec<i64> = data.column(c_idx).filter_map(Value::as_i64).collect();
                 if values.is_empty() {
                     continue;
                 }
@@ -347,8 +356,7 @@ impl<'db> Extractor<'db> {
                     if !values.iter().all(|v| p.keys.contains(v)) {
                         continue;
                     }
-                    let distinct: std::collections::HashSet<&i64> =
-                        values.iter().collect();
+                    let distinct: std::collections::HashSet<&i64> = values.iter().collect();
                     if (distinct.len() as f64) < p.keys.len() as f64 * 0.5 {
                         continue; // low coverage: likely coincidence
                     }
@@ -399,9 +407,7 @@ impl<'db> Extractor<'db> {
         }
 
         // 1b. Inferred (undeclared) references, when enabled.
-        if let Some((p_table, p_col)) =
-            inferred.get(&(def.name.clone(), col.name.clone()))
-        {
+        if let Some((p_table, p_col)) = inferred.get(&(def.name.clone(), col.name.clone())) {
             let base = GeneratorSpec::Reference {
                 table: p_table.clone(),
                 field: p_col.clone(),
@@ -414,7 +420,9 @@ impl<'db> Extractor<'db> {
         if col.sql_type.is_integer()
             && (col.primary || self.rules.is_id_column(&col.name, col.sql_type))
         {
-            return Ok(GeneratorSpec::Id { permute: !col.primary });
+            return Ok(GeneratorSpec::Id {
+                permute: !col.primary,
+            });
         }
 
         // 3. Text columns: sample if permitted, else keyword rules, else
@@ -475,7 +483,11 @@ impl<'db> Extractor<'db> {
         let width = (h.hi - h.lo) / buckets as f64;
         let bounds: Vec<f64> = (0..=buckets).map(|i| h.lo + width * i as f64).collect();
         let weights: Vec<f64> = h.counts.iter().map(|&c| c as f64).collect();
-        Some(GeneratorSpec::HistogramNumeric { bounds, weights, output })
+        Some(GeneratorSpec::HistogramNumeric {
+            bounds,
+            weights,
+            output,
+        })
     }
 
     fn typed_generator(
@@ -521,7 +533,11 @@ impl<'db> Extractor<'db> {
                     .and_then(Value::as_i64)
                     .map(|d| Date(d as i32))
                     .unwrap_or(Date::from_ymd(1998, 12, 31));
-                GeneratorSpec::DateRange { min, max, format: DateFormat::Iso }
+                GeneratorSpec::DateRange {
+                    min,
+                    max,
+                    format: DateFormat::Iso,
+                }
             }
             SqlType::Time | SqlType::Timestamp => GeneratorSpec::TimestampRange {
                 min: min_f.map_or(0, |v| v as i64),
@@ -561,8 +577,10 @@ impl<'db> Extractor<'db> {
 
         let distinct: std::collections::HashSet<&str> = samples.iter().copied().collect();
         let single_word = is_single_word_column(samples.iter().copied());
-        let word_counts: Vec<usize> =
-            samples.iter().map(|s| s.split_whitespace().count()).collect();
+        let word_counts: Vec<usize> = samples
+            .iter()
+            .map(|s| s.split_whitespace().count())
+            .collect();
         let max_words = word_counts.iter().copied().max().unwrap_or(1).max(1) as u32;
         let min_words = word_counts.iter().copied().min().unwrap_or(1).max(1) as u32;
 
@@ -609,7 +627,10 @@ impl<'db> Extractor<'db> {
             return inner;
         }
         let probability = stats.map(|s| s.null_fraction()).unwrap_or(0.0);
-        GeneratorSpec::Null { probability, inner: Box::new(inner) }
+        GeneratorSpec::Null {
+            probability,
+            inner: Box::new(inner),
+        }
     }
 }
 
@@ -822,7 +843,10 @@ mod tests {
         let customer = model.schema.table_by_name("customer").unwrap();
         let f = &customer.fields[customer.field_index("c_city").unwrap()];
         match &f.generator {
-            GeneratorSpec::Dict { source: DictSource::File(path), weighted } => {
+            GeneratorSpec::Dict {
+                source: DictSource::File(path),
+                weighted,
+            } => {
                 assert!(*weighted);
                 let dict = &model.dictionaries[path];
                 assert_eq!(dict.len(), 3);
@@ -835,7 +859,10 @@ mod tests {
     fn free_text_becomes_markov_with_observed_word_bounds() {
         let db = source_db();
         let opts = ExtractionOptions {
-            sampling: Some(SamplingOptions { strategy: SampleStrategy::Full, dict_max_distinct: 2 }),
+            sampling: Some(SamplingOptions {
+                strategy: SampleStrategy::Full,
+                dict_max_distinct: 2,
+            }),
             ..ExtractionOptions::default()
         };
         let model = Extractor::new(&db, opts).extract("proj").unwrap();
@@ -845,9 +872,15 @@ mod tests {
         let GeneratorSpec::Null { probability, inner } = &f.generator else {
             panic!("expected null wrapper, got {:?}", f.generator)
         };
-        assert!((*probability - 0.25).abs() < 0.02, "null prob {probability}");
-        let GeneratorSpec::Markov { source: MarkovSource::File(path), min_words, max_words } =
-            inner.as_ref()
+        assert!(
+            (*probability - 0.25).abs() < 0.02,
+            "null prob {probability}"
+        );
+        let GeneratorSpec::Markov {
+            source: MarkovSource::File(path),
+            min_words,
+            max_words,
+        } = inner.as_ref()
         else {
             panic!("expected markov, got {inner:?}")
         };
@@ -862,7 +895,10 @@ mod tests {
     #[test]
     fn stats_bound_numeric_and_date_generators() {
         let db = source_db();
-        let opts = ExtractionOptions { use_histograms: false, ..ExtractionOptions::default() };
+        let opts = ExtractionOptions {
+            use_histograms: false,
+            ..ExtractionOptions::default()
+        };
         let model = Extractor::new(&db, opts).extract("proj").unwrap();
         let customer = model.schema.table_by_name("customer").unwrap();
         let f = &customer.fields[customer.field_index("c_balance").unwrap()];
@@ -895,7 +931,11 @@ mod tests {
         let GeneratorSpec::Null { inner, .. } = &f.generator else {
             panic!("nullable decimal should be wrapped: {:?}", f.generator)
         };
-        let GeneratorSpec::HistogramNumeric { bounds, weights, output } = inner.as_ref()
+        let GeneratorSpec::HistogramNumeric {
+            bounds,
+            weights,
+            output,
+        } = inner.as_ref()
         else {
             panic!("expected histogram generator, got {inner:?}")
         };
@@ -948,8 +988,11 @@ mod tests {
         )
         .unwrap();
         for i in 0..50i64 {
-            db.insert("customer", vec![Value::Long(i + 1), Value::Long(20 + i % 50)])
-                .unwrap();
+            db.insert(
+                "customer",
+                vec![Value::Long(i + 1), Value::Long(20 + i % 50)],
+            )
+            .unwrap();
         }
         for i in 0..300i64 {
             db.insert(
@@ -988,7 +1031,10 @@ mod tests {
         // c_age (20..69) is NOT contained in c_id (1..50): no self/coincidence ref.
         let customer = model.schema.table_by_name("customer").unwrap();
         let age_field = &customer.fields[customer.field_index("c_age").unwrap()];
-        assert!(!matches!(age_field.generator, GeneratorSpec::Reference { .. }));
+        assert!(!matches!(
+            age_field.generator,
+            GeneratorSpec::Reference { .. }
+        ));
         // The inferred model validates and orders customer before orders.
         assert!(
             model.schema.table_index("customer").unwrap()
@@ -1010,8 +1056,10 @@ mod tests {
             let _ = other_max;
         }
         for i in 0..10i64 {
-            db.insert("a", vec![Value::Long(i + 1), Value::Long(10 - i)]).unwrap();
-            db.insert("b", vec![Value::Long(i + 1), Value::Long(i + 1)]).unwrap();
+            db.insert("a", vec![Value::Long(i + 1), Value::Long(10 - i)])
+                .unwrap();
+            db.insert("b", vec![Value::Long(i + 1), Value::Long(i + 1)])
+                .unwrap();
         }
         let opts = ExtractionOptions {
             infer_foreign_keys: true,

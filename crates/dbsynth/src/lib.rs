@@ -33,7 +33,9 @@ pub mod workflow;
 pub use extract::{
     ExtractedModel, ExtractionOptions, ExtractionReport, Extractor, SamplingOptions,
 };
-pub use querygen::{analytic_answer, generate_queries, Answer, GeneratedQuery, QueryGenConfig, QueryKind};
+pub use querygen::{
+    analytic_answer, generate_queries, Answer, GeneratedQuery, QueryGenConfig, QueryKind,
+};
 pub use rules::RuleEngine;
 pub use translate::schema_to_ddl;
 pub use validate::{compare_databases, FidelityReport};

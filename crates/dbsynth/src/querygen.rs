@@ -78,7 +78,11 @@ pub struct QueryGenConfig {
 
 impl Default for QueryGenConfig {
     fn default() -> Self {
-        Self { seed: 777, count: 20, range_selectivity: 0.1 }
+        Self {
+            seed: 777,
+            count: 20,
+            range_selectivity: 0.1,
+        }
     }
 }
 
@@ -98,10 +102,7 @@ fn strip_null(g: &GeneratorSpec) -> &GeneratorSpec {
 /// Enumerate the query templates a model supports.
 fn candidates(schema: &Schema, rt: &SchemaRuntime, selectivity: f64) -> Vec<Candidate> {
     let mut out: Vec<Candidate> = Vec::new();
-    let props = schema
-        .properties
-        .resolve_all()
-        .unwrap_or_default();
+    let props = schema.properties.resolve_all().unwrap_or_default();
     for table in &schema.tables {
         let size = rt
             .table_by_name(&table.name)
@@ -128,9 +129,7 @@ fn candidates(schema: &Schema, rt: &SchemaRuntime, selectivity: f64) -> Vec<Cand
                     let env = |n: &str| props.get(n).copied();
                     if let (Ok(lo), Ok(hi)) = (min.eval(&env), max.eval(&env)) {
                         if hi > lo {
-                            out.push(range_candidate(
-                                tname, fname, lo, hi, selectivity, false,
-                            ));
+                            out.push(range_candidate(tname, fname, lo, hi, selectivity, false));
                         }
                     }
                 }
@@ -144,9 +143,10 @@ fn candidates(schema: &Schema, rt: &SchemaRuntime, selectivity: f64) -> Vec<Cand
                         true,
                     ));
                 }
-                GeneratorSpec::Dict { source: DictSource::Inline { entries }, .. }
-                    if !entries.is_empty() =>
-                {
+                GeneratorSpec::Dict {
+                    source: DictSource::Inline { entries },
+                    ..
+                } if !entries.is_empty() => {
                     out.push(Candidate {
                         kind: QueryKind::GroupCount,
                         table: tname.clone(),
@@ -158,7 +158,11 @@ fn candidates(schema: &Schema, rt: &SchemaRuntime, selectivity: f64) -> Vec<Cand
                         }),
                     });
                 }
-                GeneratorSpec::Reference { table: ref_table, field: ref_field, .. } => {
+                GeneratorSpec::Reference {
+                    table: ref_table,
+                    field: ref_field,
+                    ..
+                } => {
                     let (rt_name, rf_name) = (ref_table.clone(), ref_field.clone());
                     out.push(Candidate {
                         kind: QueryKind::JoinCount,
@@ -226,7 +230,11 @@ pub fn generate_queries(
     (0..config.count)
         .map(|_| {
             let t = &templates[rng.next_bounded(templates.len() as u64) as usize];
-            GeneratedQuery { sql: (t.build)(&mut rng), kind: t.kind, table: t.table.clone() }
+            GeneratedQuery {
+                sql: (t.build)(&mut rng),
+                kind: t.kind,
+                table: t.table.clone(),
+            }
         })
         .collect()
 }
@@ -240,11 +248,7 @@ pub fn generate_queries(
 /// * Join counts on NOT NULL references: **exact** = child size (every
 ///   child row references exactly one existing parent).
 /// * Everything else: [`Answer::Unknown`].
-pub fn analytic_answer(
-    schema: &Schema,
-    rt: &SchemaRuntime,
-    query: &GeneratedQuery,
-) -> Answer {
+pub fn analytic_answer(schema: &Schema, rt: &SchemaRuntime, query: &GeneratedQuery) -> Answer {
     let Some((_, table_rt)) = rt.table_by_name(&query.table) else {
         return Answer::Unknown;
     };
@@ -299,12 +303,10 @@ pub fn analytic_answer(
             let props = schema.properties.resolve_all().unwrap_or_default();
             let env = |n: &str| props.get(n).copied();
             let (domain_lo, domain_hi, parse_date) = match strip_null(&field.generator) {
-                GeneratorSpec::Long { min, max } => {
-                    match (min.eval(&env), max.eval(&env)) {
-                        (Ok(lo), Ok(hi)) => (lo, hi + 1.0, false),
-                        _ => return Answer::Unknown,
-                    }
-                }
+                GeneratorSpec::Long { min, max } => match (min.eval(&env), max.eval(&env)) {
+                    (Ok(lo), Ok(hi)) => (lo, hi + 1.0, false),
+                    _ => return Answer::Unknown,
+                },
                 GeneratorSpec::DateRange { min, max, .. } => {
                     (f64::from(min.0), f64::from(max.0) + 1.0, true)
                 }
@@ -315,15 +317,16 @@ pub fn analytic_answer(
                     .filter_map(|clause| {
                         let value = clause.split(['>', '<', '=']).next_back()?.trim();
                         if parse_date {
-                            Date::parse_iso(value.trim_matches('\''))
-                                .map(|d| f64::from(d.0))
+                            Date::parse_iso(value.trim_matches('\'')).map(|d| f64::from(d.0))
                         } else {
                             value.parse::<f64>().ok()
                         }
                     })
                     .collect::<Vec<f64>>()
             });
-            let Some(ref mut bs) = bounds else { return Answer::Unknown };
+            let Some(ref mut bs) = bounds else {
+                return Answer::Unknown;
+            };
             if bs.len() != 2 {
                 return Answer::Unknown;
             }
@@ -351,15 +354,23 @@ mod tests {
         s.properties.define("SF", "1").unwrap();
         s.table(
             Table::new("parent", "40").field(
-                Field::new("p_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "p_id",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             ),
         )
         .table(
             Table::new("facts", "1000")
                 .field(
-                    Field::new("f_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                        .primary(),
+                    Field::new(
+                        "f_id",
+                        SqlType::BigInt,
+                        GeneratorSpec::Id { permute: false },
+                    )
+                    .primary(),
                 )
                 .field(Field::new(
                     "f_ref",
@@ -410,8 +421,9 @@ mod tests {
         let mut db = Database::new();
         create_target_tables(&mut db, &schema).unwrap();
         for (t_idx, table) in rt.tables().iter().enumerate() {
-            let rows: Vec<Vec<pdgf_schema::Value>> =
-                (0..table.size).map(|r| rt.row(t_idx as u32, 0, r)).collect();
+            let rows: Vec<Vec<pdgf_schema::Value>> = (0..table.size)
+                .map(|r| rt.row(t_idx as u32, 0, r))
+                .collect();
             db.bulk_load(&table.name, rows).unwrap();
         }
         (schema, rt, db)
@@ -420,7 +432,11 @@ mod tests {
     #[test]
     fn workload_is_deterministic_and_diverse() {
         let (schema, rt, _) = setup();
-        let cfg = QueryGenConfig { seed: 1, count: 40, range_selectivity: 0.2 };
+        let cfg = QueryGenConfig {
+            seed: 1,
+            count: 40,
+            range_selectivity: 0.2,
+        };
         let a = generate_queries(&schema, &rt, &cfg);
         let b = generate_queries(&schema, &rt, &cfg);
         assert_eq!(a.len(), 40);
@@ -438,7 +454,11 @@ mod tests {
         let queries = generate_queries(
             &schema,
             &rt,
-            &QueryGenConfig { seed: 9, count: 60, range_selectivity: 0.15 },
+            &QueryGenConfig {
+                seed: 9,
+                count: 60,
+                range_selectivity: 0.15,
+            },
         );
         for q in &queries {
             query(&db, &q.sql).unwrap_or_else(|e| panic!("{}: {e}", q.sql));
@@ -451,7 +471,11 @@ mod tests {
         let queries = generate_queries(
             &schema,
             &rt,
-            &QueryGenConfig { seed: 3, count: 80, range_selectivity: 0.1 },
+            &QueryGenConfig {
+                seed: 3,
+                count: 80,
+                range_selectivity: 0.1,
+            },
         );
         for q in queries.iter().filter(|q| q.kind == QueryKind::PointLookup) {
             let measured = query(&db, &q.sql).unwrap().rows[0][0].as_i64().unwrap() as u64;
@@ -471,7 +495,11 @@ mod tests {
         let queries = generate_queries(
             &schema,
             &rt,
-            &QueryGenConfig { seed: 4, count: 40, range_selectivity: 0.1 },
+            &QueryGenConfig {
+                seed: 4,
+                count: 40,
+                range_selectivity: 0.1,
+            },
         );
         let join = queries
             .iter()
@@ -488,7 +516,11 @@ mod tests {
         let queries = generate_queries(
             &schema,
             &rt,
-            &QueryGenConfig { seed: 8, count: 120, range_selectivity: 0.3 },
+            &QueryGenConfig {
+                seed: 8,
+                count: 120,
+                range_selectivity: 0.3,
+            },
         );
         let mut checked = 0;
         for q in queries.iter().filter(|q| q.kind == QueryKind::RangeScan) {
@@ -513,7 +545,11 @@ mod tests {
         let queries = generate_queries(
             &schema,
             &rt,
-            &QueryGenConfig { seed: 6, count: 40, range_selectivity: 0.1 },
+            &QueryGenConfig {
+                seed: 6,
+                count: 40,
+                range_selectivity: 0.1,
+            },
         );
         let group = queries
             .iter()

@@ -13,33 +13,101 @@ use pdgf_schema::{Expr, SqlType};
 
 /// Built-in first names for `name`-like columns.
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda",
-    "David", "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica",
-    "Thomas", "Sarah", "Charles", "Karen", "Christopher", "Lisa", "Daniel", "Nancy",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Christopher",
+    "Lisa",
+    "Daniel",
+    "Nancy",
 ];
 
 /// Built-in family names.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
-    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
-    "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
 ];
 
 /// Built-in city names.
 pub const CITIES: &[&str] = &[
-    "Toronto", "Passau", "Melbourne", "Berlin", "Chicago", "Lyon", "Osaka", "Porto",
-    "Austin", "Zurich", "Nairobi", "Lima", "Oslo", "Graz", "Dublin", "Seattle",
+    "Toronto",
+    "Passau",
+    "Melbourne",
+    "Berlin",
+    "Chicago",
+    "Lyon",
+    "Osaka",
+    "Porto",
+    "Austin",
+    "Zurich",
+    "Nairobi",
+    "Lima",
+    "Oslo",
+    "Graz",
+    "Dublin",
+    "Seattle",
 ];
 
 /// Built-in street names for address construction.
 pub const STREETS: &[&str] = &[
-    "Main Street", "Oak Avenue", "Maple Drive", "Cedar Lane", "Pine Road",
-    "College Street", "King Street", "Queen Street", "Park Avenue", "Lake Road",
+    "Main Street",
+    "Oak Avenue",
+    "Maple Drive",
+    "Cedar Lane",
+    "Pine Road",
+    "College Street",
+    "King Street",
+    "Queen Street",
+    "Park Avenue",
+    "Lake Road",
 ];
 
 /// Built-in mail/URL domains.
 pub const DOMAINS: &[&str] = &[
-    "example.com", "mail.test", "web.example", "corp.example", "db.test", "data.example",
+    "example.com",
+    "mail.test",
+    "web.example",
+    "corp.example",
+    "db.test",
+    "data.example",
 ];
 
 fn dict_of(words: &[&str]) -> GeneratorSpec {
@@ -82,11 +150,7 @@ impl RuleEngine {
 
     /// A predefined high-level generator for a column name, if one of the
     /// keyword rules matches (`names`, `addresses`, `comment`, …).
-    pub fn high_level_generator(
-        &self,
-        column: &str,
-        sql_type: SqlType,
-    ) -> Option<GeneratorSpec> {
+    pub fn high_level_generator(&self, column: &str, sql_type: SqlType) -> Option<GeneratorSpec> {
         if !sql_type.is_text() {
             return None;
         }
@@ -95,7 +159,8 @@ impl RuleEngine {
             _ => unreachable!("checked is_text"),
         };
         let lower = column.to_ascii_lowercase();
-        let has = |kw: &str| lower == kw || lower.ends_with(&format!("_{kw}")) || lower.contains(kw);
+        let has =
+            |kw: &str| lower == kw || lower.ends_with(&format!("_{kw}")) || lower.contains(kw);
 
         if has("firstname") || has("first_name") {
             return Some(dict_of(FIRST_NAMES));
@@ -117,7 +182,10 @@ impl RuleEngine {
             // "42 Oak Avenue".
             return Some(GeneratorSpec::Sequential {
                 parts: vec![
-                    GeneratorSpec::Long { min: expr(1), max: expr(9999) },
+                    GeneratorSpec::Long {
+                        min: expr(1),
+                        max: expr(9999),
+                    },
                     dict_of(STREETS),
                 ],
                 separator: " ".to_string(),
@@ -126,8 +194,13 @@ impl RuleEngine {
         if has("email") || has("mail") {
             return Some(GeneratorSpec::Sequential {
                 parts: vec![
-                    GeneratorSpec::RandomString { min_len: 4, max_len: 10 },
-                    GeneratorSpec::Static { value: pdgf_schema::Value::text("@") },
+                    GeneratorSpec::RandomString {
+                        min_len: 4,
+                        max_len: 10,
+                    },
+                    GeneratorSpec::Static {
+                        value: pdgf_schema::Value::text("@"),
+                    },
                     dict_of(DOMAINS),
                 ],
                 separator: String::new(),
@@ -136,10 +209,17 @@ impl RuleEngine {
         if has("url") || has("website") || has("homepage") {
             return Some(GeneratorSpec::Sequential {
                 parts: vec![
-                    GeneratorSpec::Static { value: pdgf_schema::Value::text("https://") },
+                    GeneratorSpec::Static {
+                        value: pdgf_schema::Value::text("https://"),
+                    },
                     dict_of(DOMAINS),
-                    GeneratorSpec::Static { value: pdgf_schema::Value::text("/") },
-                    GeneratorSpec::RandomString { min_len: 4, max_len: 12 },
+                    GeneratorSpec::Static {
+                        value: pdgf_schema::Value::text("/"),
+                    },
+                    GeneratorSpec::RandomString {
+                        min_len: 4,
+                        max_len: 12,
+                    },
                 ],
                 separator: String::new(),
             });
@@ -147,9 +227,18 @@ impl RuleEngine {
         if has("phone") || has("telephone") || has("fax") {
             return Some(GeneratorSpec::Sequential {
                 parts: vec![
-                    GeneratorSpec::Long { min: expr(100), max: expr(999) },
-                    GeneratorSpec::Long { min: expr(100), max: expr(999) },
-                    GeneratorSpec::Long { min: expr(1000), max: expr(9999) },
+                    GeneratorSpec::Long {
+                        min: expr(100),
+                        max: expr(999),
+                    },
+                    GeneratorSpec::Long {
+                        min: expr(100),
+                        max: expr(999),
+                    },
+                    GeneratorSpec::Long {
+                        min: expr(1000),
+                        max: expr(9999),
+                    },
                 ],
                 separator: "-".to_string(),
             });
@@ -159,9 +248,7 @@ impl RuleEngine {
             // back to bounded random words from the built-in corpus.
             let max_words = (max_len / 8).clamp(1, 12);
             return Some(GeneratorSpec::Markov {
-                source: pdgf_schema::model::MarkovSource::Inline(
-                    builtin_comment_model_text(),
-                ),
+                source: pdgf_schema::model::MarkovSource::Inline(builtin_comment_model_text()),
                 min_words: 1,
                 max_words,
             });
@@ -190,7 +277,10 @@ pub fn builtin_comment_model_text() -> String {
     for s in samples {
         builder.feed(s);
     }
-    builder.build().expect("built-in corpus is non-empty").to_text()
+    builder
+        .build()
+        .expect("built-in corpus is non-empty")
+        .to_text()
 }
 
 #[cfg(test)]
@@ -204,18 +294,27 @@ mod tests {
         assert!(e.is_id_column("id", SqlType::Integer));
         assert!(e.is_id_column("customer_id", SqlType::BigInt));
         assert!(e.is_id_column("key", SqlType::SmallInt));
-        assert!(!e.is_id_column("l_orderkey", SqlType::Varchar(10)), "non-numeric");
+        assert!(
+            !e.is_id_column("l_orderkey", SqlType::Varchar(10)),
+            "non-numeric"
+        );
         assert!(!e.is_id_column("quantity", SqlType::BigInt));
     }
 
     #[test]
     fn name_rules_produce_dictionary_generators() {
         let e = RuleEngine::new();
-        let g = e.high_level_generator("c_name", SqlType::Varchar(25)).unwrap();
+        let g = e
+            .high_level_generator("c_name", SqlType::Varchar(25))
+            .unwrap();
         assert!(matches!(g, GeneratorSpec::Sequential { .. }));
-        let g = e.high_level_generator("first_name", SqlType::Varchar(25)).unwrap();
+        let g = e
+            .high_level_generator("first_name", SqlType::Varchar(25))
+            .unwrap();
         assert!(matches!(g, GeneratorSpec::Dict { .. }));
-        let g = e.high_level_generator("city", SqlType::Varchar(25)).unwrap();
+        let g = e
+            .high_level_generator("city", SqlType::Varchar(25))
+            .unwrap();
         assert!(matches!(g, GeneratorSpec::Dict { .. }));
     }
 
@@ -232,9 +331,15 @@ mod tests {
     #[test]
     fn comment_rule_uses_builtin_markov() {
         let e = RuleEngine::new();
-        let g = e.high_level_generator("l_comment", SqlType::Varchar(44)).unwrap();
+        let g = e
+            .high_level_generator("l_comment", SqlType::Varchar(44))
+            .unwrap();
         match g {
-            GeneratorSpec::Markov { min_words, max_words, source } => {
+            GeneratorSpec::Markov {
+                min_words,
+                max_words,
+                source,
+            } => {
                 assert_eq!(min_words, 1);
                 assert!(max_words >= 1);
                 let pdgf_schema::model::MarkovSource::Inline(text) = source else {
@@ -250,13 +355,14 @@ mod tests {
     fn non_text_and_unknown_names_fall_through() {
         let e = RuleEngine::new();
         assert!(e.high_level_generator("c_name", SqlType::BigInt).is_none());
-        assert!(e.high_level_generator("zzz_quant", SqlType::Varchar(10)).is_none());
+        assert!(e
+            .high_level_generator("zzz_quant", SqlType::Varchar(10))
+            .is_none());
     }
 
     #[test]
     fn builtin_model_generates_text() {
-        let model =
-            textsynth::MarkovModel::from_text(&builtin_comment_model_text()).unwrap();
+        let model = textsynth::MarkovModel::from_text(&builtin_comment_model_text()).unwrap();
         assert!(model.word_count() > 20);
         assert!(model.start_state_count() >= 5);
     }

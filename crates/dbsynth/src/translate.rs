@@ -30,8 +30,7 @@ pub fn schema_to_defs(schema: &Schema) -> Vec<TableDef> {
                 }
                 def = def.column(col);
                 // Reference generators become FK constraints.
-                if let GeneratorSpec::Reference { table, field, .. } = strip_null(&f.generator)
-                {
+                if let GeneratorSpec::Reference { table, field, .. } = strip_null(&f.generator) {
                     def = def.foreign_key(&f.name, table, field);
                 }
             }
@@ -75,8 +74,12 @@ mod tests {
         Schema::new("m", 1)
             .table(
                 Table::new("p", "10").field(
-                    Field::new("p_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                        .primary(),
+                    Field::new(
+                        "p_id",
+                        SqlType::BigInt,
+                        GeneratorSpec::Id { permute: false },
+                    )
+                    .primary(),
                 ),
             )
             .table(
@@ -117,7 +120,10 @@ mod tests {
         assert!(ddl.contains("CREATE TABLE p"));
         assert!(ddl.contains("PRIMARY KEY (p_id)"));
         assert!(ddl.contains("c_ref BIGINT NOT NULL"));
-        assert!(ddl.contains("c_note VARCHAR(20),"), "nullable column: {ddl}");
+        assert!(
+            ddl.contains("c_note VARCHAR(20),"),
+            "nullable column: {ddl}"
+        );
         assert!(ddl.contains("FOREIGN KEY (c_ref) REFERENCES p (p_id)"));
         assert!(ddl.contains("c_n INTEGER NOT NULL"));
     }
@@ -128,7 +134,8 @@ mod tests {
         create_target_tables(&mut db, &model()).unwrap();
         assert_eq!(db.table_names(), vec!["c", "p"]);
         db.insert("p", vec![Value::Long(1)]).unwrap();
-        db.insert("c", vec![Value::Long(1), Value::Null, Value::Long(3)]).unwrap();
+        db.insert("c", vec![Value::Long(1), Value::Null, Value::Long(3)])
+            .unwrap();
         // NOT NULL enforced on the FK column.
         assert!(db
             .insert("c", vec![Value::Null, Value::Null, Value::Long(1)])

@@ -181,7 +181,11 @@ pub fn compare_databases(
                 distinct_ratio,
             });
         }
-        tables.push(TableFidelity { table: name.to_string(), row_ratio, columns });
+        tables.push(TableFidelity {
+            table: name.to_string(),
+            row_ratio,
+            columns,
+        });
     }
     Ok(FidelityReport { tables })
 }
@@ -243,13 +247,21 @@ mod tests {
         assert_eq!(report.tables.len(), 1);
         let t = &report.tables[0];
         assert!((t.row_ratio - 1.0).abs() < 1e-9);
-        assert!(report.max_null_delta() < 0.05, "{}", report.to_summary_string());
+        assert!(
+            report.max_null_delta() < 0.05,
+            "{}",
+            report.to_summary_string()
+        );
         assert!(
             report.max_mean_rel_error() < 0.10,
             "{}",
             report.to_summary_string()
         );
-        assert!(report.all_ranges_contained(), "{}", report.to_summary_string());
+        assert!(
+            report.all_ranges_contained(),
+            "{}",
+            report.to_summary_string()
+        );
         // Dictionary columns reproduce the full categorical domain.
         let tag = t.columns.iter().find(|c| c.column == "tag").unwrap();
         assert_eq!(tag.distinct_ratio, Some(1.0));
@@ -285,14 +297,22 @@ mod tests {
             synthetic
                 .insert(
                     "m",
-                    vec![Value::Long(i + 1), Value::decimal(99, 2), Value::text("red")],
+                    vec![
+                        Value::Long(i + 1),
+                        Value::decimal(99, 2),
+                        Value::text("red"),
+                    ],
                 )
                 .unwrap();
         }
         let report = compare_databases(&original, &synthetic, 1.0).unwrap();
         assert!(report.max_null_delta() > 0.15, "missing NULLs not flagged");
         assert!(report.max_mean_rel_error() > 0.5, "wrong mean not flagged");
-        let tag = report.tables[0].columns.iter().find(|c| c.column == "tag").unwrap();
+        let tag = report.tables[0]
+            .columns
+            .iter()
+            .find(|c| c.column == "tag")
+            .unwrap();
         assert!(tag.distinct_ratio.unwrap() < 0.5);
     }
 }

@@ -111,7 +111,10 @@ pub fn generate_into(
         }
         rows_loaded.push((table.name.clone(), loaded));
     }
-    Ok(SynthesisReport { rows_loaded, elapsed: started.elapsed() })
+    Ok(SynthesisReport {
+        rows_loaded,
+        elapsed: started.elapsed(),
+    })
 }
 
 /// Export a database as a directory: `schema.sql` (CREATE TABLE
@@ -127,10 +130,7 @@ pub fn save_database_dir(db: &Database, dir: impl AsRef<Path>) -> Result<(), DbE
     }
     std::fs::write(dir.join("schema.sql"), ddl)?;
     for name in db.table_names() {
-        std::fs::write(
-            dir.join(format!("{name}.csv")),
-            db.export_csv(name)?,
-        )?;
+        std::fs::write(dir.join(format!("{name}.csv")), db.export_csv(name)?)?;
     }
     Ok(())
 }
@@ -256,11 +256,7 @@ mod tests {
         save_model_dir(&model, &dir).unwrap();
         assert!(dir.join("model.xml").exists());
 
-        let from_disk = load_model_dir(&dir)
-            .unwrap()
-            .workers(0)
-            .build()
-            .unwrap();
+        let from_disk = load_model_dir(&dir).unwrap().workers(0).build().unwrap();
         let from_memory = pdgf_from_model(&model).workers(0).build().unwrap();
         let a = from_disk
             .table_to_string("person", pdgf::OutputFormat::Csv)

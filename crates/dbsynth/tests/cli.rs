@@ -34,7 +34,11 @@ fn full_pipeline_through_the_binary() {
         ])
         .output()
         .expect("binary runs");
-    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     assert!(source.join("schema.sql").exists());
     assert!(source.join("movies.csv").exists());
 
@@ -49,7 +53,11 @@ fn full_pipeline_through_the_binary() {
         ])
         .output()
         .expect("binary runs");
-    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     assert!(model.join("model.xml").exists());
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("extracted 3 tables"), "{stdout}");
@@ -68,16 +76,28 @@ fn full_pipeline_through_the_binary() {
         ])
         .output()
         .expect("binary runs");
-    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let movies_csv = std::fs::read_to_string(synth.join("movies.csv")).expect("csv");
-    assert_eq!(movies_csv.lines().count(), 600, "scale 2 doubles 300 movies");
+    assert_eq!(
+        movies_csv.lines().count(),
+        600,
+        "scale 2 doubles 300 movies"
+    );
 
     // 4. roundtrip report
     let output = bin()
         .args(["roundtrip", "--source", source.to_str().expect("utf8")])
         .output()
         .expect("binary runs");
-    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("row_ratio=1.000"), "{stdout}");
     assert!(stdout.contains("ranges contained: true"), "{stdout}");
@@ -92,7 +112,13 @@ fn schema_only_extraction_skips_resources() {
     let source = dir.join("source");
     let model = dir.join("model");
     assert!(bin()
-        .args(["seed-source", "--out", source.to_str().expect("utf8"), "--movies", "50"])
+        .args([
+            "seed-source",
+            "--out",
+            source.to_str().expect("utf8"),
+            "--movies",
+            "50"
+        ])
         .status()
         .expect("runs")
         .success());
@@ -109,7 +135,10 @@ fn schema_only_extraction_skips_resources() {
         .expect("binary runs");
     assert!(output.status.success());
     let stdout = String::from_utf8_lossy(&output.stdout);
-    assert!(stdout.contains("0 dictionaries, 0 markov models"), "{stdout}");
+    assert!(
+        stdout.contains("0 dictionaries, 0 markov models"),
+        "{stdout}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -117,7 +146,10 @@ fn schema_only_extraction_skips_resources() {
 fn bad_invocations_fail_cleanly() {
     let output = bin().arg("nope").output().expect("runs");
     assert_eq!(output.status.code(), Some(2));
-    let output = bin().args(["extract", "--out", "/tmp/x"]).output().expect("runs");
+    let output = bin()
+        .args(["extract", "--out", "/tmp/x"])
+        .output()
+        .expect("runs");
     assert_eq!(output.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&output.stderr).contains("--source"));
 }

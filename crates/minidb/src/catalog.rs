@@ -18,7 +18,12 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Nullable, non-key column.
     pub fn new(name: &str, sql_type: SqlType) -> Self {
-        Self { name: name.to_string(), sql_type, nullable: true, primary: false }
+        Self {
+            name: name.to_string(),
+            sql_type,
+            nullable: true,
+            primary: false,
+        }
     }
 
     /// Mark NOT NULL.
@@ -60,7 +65,11 @@ pub struct TableDef {
 impl TableDef {
     /// Table with no columns yet (builder style).
     pub fn new(name: &str) -> Self {
-        Self { name: name.to_string(), columns: Vec::new(), foreign_keys: Vec::new() }
+        Self {
+            name: name.to_string(),
+            columns: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
     }
 
     /// Append a column.
@@ -107,8 +116,7 @@ impl TableDef {
             if !c.nullable {
                 out.push_str(" NOT NULL");
             }
-            if i + 1 < self.columns.len() || !pk.is_empty() || !self.foreign_keys.is_empty()
-            {
+            if i + 1 < self.columns.len() || !pk.is_empty() || !self.foreign_keys.is_empty() {
                 out.push(',');
             }
             out.push('\n');

@@ -78,7 +78,10 @@ impl Database {
 
     /// Table names in sorted order.
     pub fn table_names(&self) -> Vec<&str> {
-        self.tables.values().map(|t| t.def().name.as_str()).collect()
+        self.tables
+            .values()
+            .map(|t| t.def().name.as_str())
+            .collect()
     }
 
     /// Look up a table.
@@ -125,9 +128,7 @@ impl Database {
             SqlType::SmallInt | SqlType::Integer | SqlType::BigInt => {
                 Value::Long(text.parse().map_err(|_| bad(text))?)
             }
-            SqlType::Real | SqlType::Double => {
-                Value::Double(text.parse().map_err(|_| bad(text))?)
-            }
+            SqlType::Real | SqlType::Double => Value::Double(text.parse().map_err(|_| bad(text))?),
             SqlType::Decimal(_, s) => {
                 let (int_part, frac_part) = match text.split_once('.') {
                     Some((i, f)) => (i, f),
@@ -148,7 +149,11 @@ impl Database {
                     frac_digits.parse().map_err(|_| bad(text))?
                 };
                 let pow = 10i64.pow(u32::from(s));
-                let unscaled = if negative { int * pow - frac } else { int * pow + frac };
+                let unscaled = if negative {
+                    int * pow - frac
+                } else {
+                    int * pow + frac
+                };
                 Value::Decimal { unscaled, scale: s }
             }
             SqlType::Char(_) | SqlType::Varchar(_) => Value::text(text),
@@ -161,8 +166,14 @@ impl Database {
                     let (d, t) = text.split_once(' ').ok_or_else(|| bad(text))?;
                     let date = Date::parse_iso(d).ok_or_else(|| bad(text))?;
                     let mut hms = t.splitn(3, ':');
-                    let h: i64 = hms.next().and_then(|x| x.parse().ok()).ok_or_else(|| bad(text))?;
-                    let m: i64 = hms.next().and_then(|x| x.parse().ok()).ok_or_else(|| bad(text))?;
+                    let h: i64 = hms
+                        .next()
+                        .and_then(|x| x.parse().ok())
+                        .ok_or_else(|| bad(text))?;
+                    let m: i64 = hms
+                        .next()
+                        .and_then(|x| x.parse().ok())
+                        .ok_or_else(|| bad(text))?;
                     let s2: i64 = hms.next().and_then(|x| x.parse().ok()).unwrap_or(0);
                     Value::Timestamp(i64::from(date.0) * 86_400 + h * 3600 + m * 60 + s2)
                 }
@@ -351,7 +362,10 @@ mod tests {
     fn parse_cell_covers_types() {
         use Database as D;
         assert_eq!(D::parse_cell("", SqlType::BigInt).unwrap(), Value::Null);
-        assert_eq!(D::parse_cell("42", SqlType::BigInt).unwrap(), Value::Long(42));
+        assert_eq!(
+            D::parse_cell("42", SqlType::BigInt).unwrap(),
+            Value::Long(42)
+        );
         assert_eq!(
             D::parse_cell("-1.50", SqlType::Decimal(8, 2)).unwrap(),
             Value::decimal(-150, 2)
@@ -360,7 +374,10 @@ mod tests {
             D::parse_cell("7", SqlType::Decimal(8, 2)).unwrap(),
             Value::decimal(700, 2)
         );
-        assert_eq!(D::parse_cell("true", SqlType::Boolean).unwrap(), Value::Bool(true));
+        assert_eq!(
+            D::parse_cell("true", SqlType::Boolean).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(
             D::parse_cell("1970-01-02 00:00:01", SqlType::Timestamp).unwrap(),
             Value::Timestamp(86_401)

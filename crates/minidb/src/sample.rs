@@ -103,9 +103,13 @@ mod tests {
         assert_eq!(picked, s.select(100_000), "not deterministic");
         let frac = picked.len() as f64 / 100_000.0;
         assert!((0.095..0.105).contains(&frac), "frac {frac}");
-        assert!(SampleStrategy::Fraction { p: 0.0, seed: 1 }.select(1000).is_empty());
+        assert!(SampleStrategy::Fraction { p: 0.0, seed: 1 }
+            .select(1000)
+            .is_empty());
         assert_eq!(
-            SampleStrategy::Fraction { p: 1.0, seed: 1 }.select(1000).len(),
+            SampleStrategy::Fraction { p: 1.0, seed: 1 }
+                .select(1000)
+                .len(),
             1000
         );
     }
@@ -122,13 +126,23 @@ mod tests {
         let s = SampleStrategy::Reservoir { n: 100, seed: 7 };
         let picked = s.select(10_000);
         assert_eq!(picked.len(), 100);
-        assert!(picked.windows(2).all(|w| w[0] < w[1]), "must be sorted unique");
+        assert!(
+            picked.windows(2).all(|w| w[0] < w[1]),
+            "must be sorted unique"
+        );
         // Roughly half the picks should land in the second half.
         let late = picked.iter().filter(|&&i| i >= 5000).count();
         assert!((30..70).contains(&late), "late picks: {late}");
         // Small tables are returned whole.
-        assert_eq!(SampleStrategy::Reservoir { n: 100, seed: 7 }.select(10).len(), 10);
-        assert!(SampleStrategy::Reservoir { n: 0, seed: 7 }.select(10).is_empty());
+        assert_eq!(
+            SampleStrategy::Reservoir { n: 100, seed: 7 }
+                .select(10)
+                .len(),
+            10
+        );
+        assert!(SampleStrategy::Reservoir { n: 0, seed: 7 }
+            .select(10)
+            .is_empty());
     }
 
     #[test]

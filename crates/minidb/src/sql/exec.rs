@@ -7,9 +7,7 @@ use pdgf_schema::Value;
 
 use crate::db::{Database, DbError};
 
-use super::ast::{
-    AggFunc, BinOp, ColRef, Expr, OrderKey, SelectItem, SelectStmt, Stmt,
-};
+use super::ast::{AggFunc, BinOp, ColRef, Expr, OrderKey, SelectItem, SelectStmt, Stmt};
 
 /// The result of executing a statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,7 +22,11 @@ pub struct QueryResult {
 
 impl QueryResult {
     fn ddl() -> Self {
-        Self { columns: Vec::new(), rows: Vec::new(), affected: 0 }
+        Self {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            affected: 0,
+        }
     }
 
     /// Single scalar convenience accessor (first row, first column).
@@ -84,7 +86,10 @@ impl<'db> SqlEngine<'db> {
             Stmt::Insert { table, rows } => {
                 let n = rows.len();
                 self.db.bulk_load(&table, rows)?;
-                Ok(QueryResult { affected: n, ..QueryResult::ddl() })
+                Ok(QueryResult {
+                    affected: n,
+                    ..QueryResult::ddl()
+                })
             }
             Stmt::Drop(name) => {
                 self.db.drop_table(&name)?;
@@ -92,23 +97,28 @@ impl<'db> SqlEngine<'db> {
             }
             Stmt::Delete { table, predicate } => {
                 let affected = run_delete(self.db, &table, predicate.as_ref())?;
-                Ok(QueryResult { affected, ..QueryResult::ddl() })
+                Ok(QueryResult {
+                    affected,
+                    ..QueryResult::ddl()
+                })
             }
-            Stmt::Update { table, assignments, predicate } => {
-                let affected =
-                    run_update(self.db, &table, &assignments, predicate.as_ref())?;
-                Ok(QueryResult { affected, ..QueryResult::ddl() })
+            Stmt::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                let affected = run_update(self.db, &table, &assignments, predicate.as_ref())?;
+                Ok(QueryResult {
+                    affected,
+                    ..QueryResult::ddl()
+                })
             }
         }
     }
 }
 
 /// Execute a DELETE, returning the number of removed rows.
-fn run_delete(
-    db: &mut Database,
-    table: &str,
-    predicate: Option<&Expr>,
-) -> Result<usize, DbError> {
+fn run_delete(db: &mut Database, table: &str, predicate: Option<&Expr>) -> Result<usize, DbError> {
     let scope = {
         let t = db.table(table)?;
         Scope {
@@ -195,10 +205,7 @@ impl Scope {
             .enumerate()
             .filter(|(_, (t, c))| {
                 c.eq_ignore_ascii_case(&col.column)
-                    && col
-                        .table
-                        .as_ref()
-                        .is_none_or(|q| t.eq_ignore_ascii_case(q))
+                    && col.table.as_ref().is_none_or(|q| t.eq_ignore_ascii_case(q))
             })
             .map(|(i, _)| i)
             .collect();
@@ -233,19 +240,19 @@ pub fn run_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, DbErr
             .iter()
             .map(|c| (right_table.def().name.clone(), c.name.clone()))
             .collect();
-        let right_scope = Scope { names: right_scope_names.clone() };
-        let (left_key, right_key) = match (
-            scope.resolve(&join.left),
-            right_scope.resolve(&join.right),
-        ) {
-            (Ok(l), Ok(r)) => (l, r),
-            _ => {
-                // Keys may be written in either order.
-                let l = scope.resolve(&join.right)?;
-                let r = right_scope.resolve(&join.left)?;
-                (l, r)
-            }
+        let right_scope = Scope {
+            names: right_scope_names.clone(),
         };
+        let (left_key, right_key) =
+            match (scope.resolve(&join.left), right_scope.resolve(&join.right)) {
+                (Ok(l), Ok(r)) => (l, r),
+                _ => {
+                    // Keys may be written in either order.
+                    let l = scope.resolve(&join.right)?;
+                    let r = right_scope.resolve(&join.left)?;
+                    (l, r)
+                }
+            };
         // Hash join: build on the (usually smaller) right side.
         let mut index: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
         for r in right_table.rows() {
@@ -289,7 +296,10 @@ pub fn run_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, DbErr
             SelectItem::Star => {
                 for (i, (_, c)) in scope.names.iter().enumerate() {
                     items.push((
-                        Expr::Col(ColRef { table: Some(scope.names[i].0.clone()), column: c.clone() }),
+                        Expr::Col(ColRef {
+                            table: Some(scope.names[i].0.clone()),
+                            column: c.clone(),
+                        }),
                         c.clone(),
                     ));
                 }
@@ -374,9 +384,9 @@ pub fn run_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, DbErr
                     .or_else(|| {
                         // Fall back to the bare column name of qualified refs.
                         columns.iter().position(|c| {
-                            name.rsplit('.').next().is_some_and(|bare| {
-                                c.eq_ignore_ascii_case(bare)
-                            })
+                            name.rsplit('.')
+                                .next()
+                                .is_some_and(|bare| c.eq_ignore_ascii_case(bare))
                         })
                     })
                     .ok_or_else(|| DbError::Sql(format!("unknown ORDER BY key {name:?}")))?,
@@ -446,7 +456,10 @@ fn eval(expr: &Expr, scope: &Scope, row: &[Value]) -> Result<Value, DbError> {
             Value::Null => Value::Null,
             Value::Long(v) => Value::Long(-v),
             Value::Double(v) => Value::Double(-v),
-            Value::Decimal { unscaled, scale } => Value::Decimal { unscaled: -unscaled, scale },
+            Value::Decimal { unscaled, scale } => Value::Decimal {
+                unscaled: -unscaled,
+                scale,
+            },
             other => return Err(DbError::Sql(format!("cannot negate {other}"))),
         },
         Expr::Not(e) => match eval(e, scope, row)? {
@@ -465,9 +478,7 @@ fn eval(expr: &Expr, scope: &Scope, row: &[Value]) -> Result<Value, DbError> {
                 Value::Bool(like_match(pattern, &text))
             }
         },
-        Expr::Agg(..) => {
-            return Err(DbError::Sql("aggregate outside aggregation context".into()))
-        }
+        Expr::Agg(..) => return Err(DbError::Sql("aggregate outside aggregation context".into())),
         Expr::Bin(op, a, b) => {
             let (x, y) = (eval(a, scope, row)?, eval(b, scope, row)?);
             match op {
@@ -522,9 +533,7 @@ fn coerce_comparison(x: Value, y: Value) -> (Value, Value) {
 
 fn arith(op: BinOp, x: &Value, y: &Value) -> Result<Value, DbError> {
     // Integer arithmetic stays integral except division.
-    if let (Some(a), Some(b), BinOp::Add | BinOp::Sub | BinOp::Mul) =
-        (x.as_i64(), y.as_i64(), op)
-    {
+    if let (Some(a), Some(b), BinOp::Add | BinOp::Sub | BinOp::Mul) = (x.as_i64(), y.as_i64(), op) {
         return Ok(Value::Long(match op {
             BinOp::Add => a.wrapping_add(b),
             BinOp::Sub => a.wrapping_sub(b),
@@ -555,9 +564,7 @@ pub fn like_match(pattern: &str, text: &str) -> bool {
     fn rec(p: &[char], t: &[char]) -> bool {
         match p.split_first() {
             None => t.is_empty(),
-            Some(('%', rest)) => {
-                (0..=t.len()).any(|skip| rec(rest, &t[skip..]))
-            }
+            Some(('%', rest)) => (0..=t.len()).any(|skip| rec(rest, &t[skip..])),
             Some(('_', rest)) => !t.is_empty() && rec(rest, &t[1..]),
             Some((c, rest)) => t.first() == Some(c) && rec(rest, &t[1..]),
         }
@@ -576,7 +583,12 @@ struct AggState {
 
 impl AggState {
     fn new() -> Self {
-        Self { count: 0, sum: 0.0, min: None, max: None }
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
     }
 
     fn accumulate(&mut self, v: &Value) {
@@ -747,8 +759,11 @@ mod tests {
     #[test]
     fn arithmetic_and_projection() {
         let db = sample_db();
-        let r = query(&db, "SELECT o_id, o_total * 2 AS dbl FROM orders WHERE o_id = 11")
-            .unwrap();
+        let r = query(
+            &db,
+            "SELECT o_id, o_total * 2 AS dbl FROM orders WHERE o_id = 11",
+        )
+        .unwrap();
         assert_eq!(r.columns[1], "dbl");
         assert_eq!(r.rows[0][1], Value::Double(101.0));
     }
@@ -891,7 +906,11 @@ mod tests {
     #[test]
     fn select_distinct_dedups() {
         let db = sample_db();
-        let r = query(&db, "SELECT DISTINCT c_nation FROM customer ORDER BY c_nation").unwrap();
+        let r = query(
+            &db,
+            "SELECT DISTINCT c_nation FROM customer ORDER BY c_nation",
+        )
+        .unwrap();
         assert_eq!(
             r.rows,
             vec![vec![Value::text("DE")], vec![Value::text("US")]]
@@ -943,7 +962,11 @@ mod tests {
     #[test]
     fn result_table_rendering() {
         let db = sample_db();
-        let r = query(&db, "SELECT c_id, c_name FROM customer ORDER BY c_id LIMIT 1").unwrap();
+        let r = query(
+            &db,
+            "SELECT c_id, c_name FROM customer ORDER BY c_id LIMIT 1",
+        )
+        .unwrap();
         let text = r.to_table_string();
         assert!(text.contains("c_id"));
         assert!(text.contains("Ann"));

@@ -55,9 +55,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, String> {
             out.push(Token::Ident(input[start..i].to_string()));
             continue;
         }
-        if c.is_ascii_digit()
-            || (c == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit))
-        {
+        if c.is_ascii_digit() || (c == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) {
             let start = i;
             while i < bytes.len()
                 && (bytes[i].is_ascii_digit()
@@ -69,7 +67,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, String> {
             {
                 i += 1;
             }
-            out.push(Token::Number { text: input[start..i].to_string() });
+            out.push(Token::Number {
+                text: input[start..i].to_string(),
+            });
             continue;
         }
         if c == b'\'' {
@@ -165,7 +165,12 @@ mod tests {
         let syms: Vec<&Token> = toks.iter().filter(|t| matches!(t, Token::Sym(_))).collect();
         assert_eq!(
             syms,
-            vec![&Token::Sym("<>"), &Token::Sym("<>"), &Token::Sym("<="), &Token::Sym(">=")]
+            vec![
+                &Token::Sym("<>"),
+                &Token::Sym("<>"),
+                &Token::Sym("<="),
+                &Token::Sym(">=")
+            ]
         );
     }
 
@@ -188,7 +193,9 @@ mod tests {
             toks,
             vec![
                 Token::Number { text: "1e3".into() },
-                Token::Number { text: "2.5E-2".into() },
+                Token::Number {
+                    text: "2.5E-2".into()
+                },
             ]
         );
     }

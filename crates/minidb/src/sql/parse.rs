@@ -4,9 +4,7 @@ use pdgf_schema::{SqlType, Value};
 
 use crate::catalog::{ColumnDef, TableDef};
 
-use super::ast::{
-    AggFunc, BinOp, ColRef, Expr, Join, OrderKey, SelectItem, SelectStmt, Stmt,
-};
+use super::ast::{AggFunc, BinOp, ColRef, Expr, Join, OrderKey, SelectItem, SelectStmt, Stmt};
 use super::lex::{lex, Token};
 
 /// Parse one statement (a trailing `;` is allowed).
@@ -129,7 +127,11 @@ impl Parser {
             } else {
                 None
             };
-            return Ok(Stmt::Update { table, assignments, predicate });
+            return Ok(Stmt::Update {
+                table,
+                assignments,
+                predicate,
+            });
         }
         Err(format!("expected a statement, got {:?}", self.peek()))
     }
@@ -259,9 +261,7 @@ impl Parser {
         match self.bump() {
             Some(Token::Number { text }) => parse_number(&text, negative),
             Some(Token::Str(s)) if !negative => Ok(Value::text(s)),
-            Some(Token::Ident(s)) if !negative && s.eq_ignore_ascii_case("NULL") => {
-                Ok(Value::Null)
-            }
+            Some(Token::Ident(s)) if !negative && s.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
             Some(Token::Ident(s)) if !negative && s.eq_ignore_ascii_case("TRUE") => {
                 Ok(Value::Bool(true))
             }
@@ -294,7 +294,13 @@ impl Parser {
         self.expect_kw("FROM")?;
         let from = self.expect_ident()?;
         let mut joins = Vec::new();
-        while self.eat_kw("JOIN") || (self.at_kw("INNER") && { self.pos += 1; self.expect_kw("JOIN")?; true }) {
+        while self.eat_kw("JOIN")
+            || (self.at_kw("INNER") && {
+                self.pos += 1;
+                self.expect_kw("JOIN")?;
+                true
+            })
+        {
             let table = self.expect_ident()?;
             self.expect_kw("ON")?;
             let left = self.parse_colref()?;
@@ -323,9 +329,7 @@ impl Parser {
             loop {
                 let key = match self.peek() {
                     Some(Token::Number { text }) => {
-                        let n: usize = text
-                            .parse()
-                            .map_err(|_| format!("bad ordinal {text:?}"))?;
+                        let n: usize = text.parse().map_err(|_| format!("bad ordinal {text:?}"))?;
                         self.pos += 1;
                         OrderKey::Ordinal(n)
                     }
@@ -359,16 +363,31 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStmt { distinct, items, from, joins, where_, group_by, order_by, limit })
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            joins,
+            where_,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     fn parse_colref(&mut self) -> Result<ColRef, String> {
         let first = self.expect_ident()?;
         if self.eat_sym(".") {
             let column = self.expect_ident()?;
-            Ok(ColRef { table: Some(first), column })
+            Ok(ColRef {
+                table: Some(first),
+                column,
+            })
         } else {
-            Ok(ColRef { table: None, column: first })
+            Ok(ColRef {
+                table: None,
+                column: first,
+            })
         }
     }
 
@@ -406,12 +425,18 @@ impl Parser {
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(lhs), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
         }
         if self.eat_kw("LIKE") {
             match self.bump() {
                 Some(Token::Str(pattern)) => {
-                    return Ok(Expr::Like { expr: Box::new(lhs), pattern })
+                    return Ok(Expr::Like {
+                        expr: Box::new(lhs),
+                        pattern,
+                    })
                 }
                 other => return Err(format!("expected LIKE pattern, got {other:?}")),
             }
@@ -431,7 +456,11 @@ impl Parser {
         } else {
             return Ok(lhs);
         };
-        Ok(Expr::Bin(op, Box::new(lhs), Box::new(self.parse_additive()?)))
+        Ok(Expr::Bin(
+            op,
+            Box::new(lhs),
+            Box::new(self.parse_additive()?),
+        ))
     }
 
     fn parse_additive(&mut self) -> Result<Expr, String> {
@@ -553,7 +582,9 @@ mod tests {
              o_comment VARCHAR(79), FOREIGN KEY (o_cust) REFERENCES customer (c_id));",
         )
         .unwrap();
-        let Stmt::CreateTable(def) = stmt else { panic!() };
+        let Stmt::CreateTable(def) = stmt else {
+            panic!()
+        };
         assert_eq!(def.name, "orders");
         assert!(def.columns[0].primary);
         assert!(!def.columns[1].nullable);
@@ -563,18 +594,20 @@ mod tests {
 
     #[test]
     fn parses_table_level_primary_key() {
-        let stmt =
-            parse("CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a, b))").unwrap();
-        let Stmt::CreateTable(def) = stmt else { panic!() };
+        let stmt = parse("CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a, b))").unwrap();
+        let Stmt::CreateTable(def) = stmt else {
+            panic!()
+        };
         assert!(def.columns.iter().all(|c| c.primary && !c.nullable));
         assert!(parse("CREATE TABLE t (a INTEGER, PRIMARY KEY (zz))").is_err());
     }
 
     #[test]
     fn parses_insert_with_multiple_rows() {
-        let stmt =
-            parse("INSERT INTO t VALUES (1, 'a', NULL), (-2, 'b''c', 3.5)").unwrap();
-        let Stmt::Insert { table, rows } = stmt else { panic!() };
+        let stmt = parse("INSERT INTO t VALUES (1, 'a', NULL), (-2, 'b''c', 3.5)").unwrap();
+        let Stmt::Insert { table, rows } = stmt else {
+            panic!()
+        };
         assert_eq!(table, "t");
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0][0], Value::Long(1));
@@ -626,8 +659,12 @@ mod tests {
 
     #[test]
     fn expression_precedence() {
-        let Stmt::Select(s) = parse("SELECT 1 + 2 * 3 FROM t").unwrap() else { panic!() };
-        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        let Stmt::Select(s) = parse("SELECT 1 + 2 * 3 FROM t").unwrap() else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
         // 1 + (2 * 3)
         match expr {
             Expr::Bin(BinOp::Add, _, rhs) => {
@@ -654,18 +691,26 @@ mod tests {
         };
         assert_eq!(
             s.items[0],
-            SelectItem::Expr { expr: Expr::Agg(AggFunc::Count, None), alias: None }
+            SelectItem::Expr {
+                expr: Expr::Agg(AggFunc::Count, None),
+                alias: None
+            }
         );
         assert!(matches!(
             &s.items[1],
-            SelectItem::Expr { expr: Expr::Agg(AggFunc::Count, Some(_)), .. }
+            SelectItem::Expr {
+                expr: Expr::Agg(AggFunc::Count, Some(_)),
+                ..
+            }
         ));
     }
 
     #[test]
     fn min_as_column_name_is_allowed() {
         // MIN not followed by '(' is an ordinary identifier.
-        let Stmt::Select(s) = parse("SELECT min FROM t").unwrap() else { panic!() };
+        let Stmt::Select(s) = parse("SELECT min FROM t").unwrap() else {
+            panic!()
+        };
         assert!(matches!(
             &s.items[0],
             SelectItem::Expr { expr: Expr::Col(c), .. } if c.column == "min"

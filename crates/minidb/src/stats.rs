@@ -195,14 +195,18 @@ impl TableStats {
             .collect();
         TableStats {
             table: table.def().name.clone(),
-            row_count: rows.map(|r| r.len() as u64).unwrap_or(table.row_count() as u64),
+            row_count: rows
+                .map(|r| r.len() as u64)
+                .unwrap_or(table.row_count() as u64),
             columns,
         }
     }
 
     /// Stats for a column by name.
     pub fn column(&self, name: &str) -> Option<&ColumnStats> {
-        self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
     }
 }
 
@@ -294,9 +298,8 @@ mod tests {
 
     #[test]
     fn all_null_column_has_no_min_max() {
-        let mut t = TableData::new(
-            TableDef::new("x").column(ColumnDef::new("v", SqlType::Integer)),
-        );
+        let mut t =
+            TableData::new(TableDef::new("x").column(ColumnDef::new("v", SqlType::Integer)));
         for _ in 0..5 {
             t.insert(vec![Value::Null]).unwrap();
         }

@@ -53,16 +53,17 @@ pub fn value_fits(value: &Value, ty: SqlType) -> bool {
 /// coercion applies; type errors surface later in [`value_fits`].
 pub fn coerce_value(value: Value, ty: SqlType) -> Value {
     match (&value, ty) {
-        (Value::Long(v), SqlType::Decimal(_, s)) => {
-            match v.checked_mul(10i64.pow(u32::from(s))) {
-                Some(unscaled) => Value::Decimal { unscaled, scale: s },
-                None => value,
-            }
-        }
+        (Value::Long(v), SqlType::Decimal(_, s)) => match v.checked_mul(10i64.pow(u32::from(s))) {
+            Some(unscaled) => Value::Decimal { unscaled, scale: s },
+            None => value,
+        },
         (Value::Double(v), SqlType::Decimal(_, s)) => {
             let scaled = v * 10f64.powi(i32::from(s));
             if scaled.is_finite() && scaled.abs() < 9e18 {
-                Value::Decimal { unscaled: scaled.round() as i64, scale: s }
+                Value::Decimal {
+                    unscaled: scaled.round() as i64,
+                    scale: s,
+                }
             } else {
                 value
             }
@@ -70,7 +71,10 @@ pub fn coerce_value(value: Value, ty: SqlType) -> Value {
         (Value::Decimal { unscaled, scale }, SqlType::Decimal(_, s)) if *scale != s => {
             if s > *scale {
                 match unscaled.checked_mul(10i64.pow(u32::from(s - *scale))) {
-                    Some(u) => Value::Decimal { unscaled: u, scale: s },
+                    Some(u) => Value::Decimal {
+                        unscaled: u,
+                        scale: s,
+                    },
                     None => value,
                 }
             } else {
@@ -88,7 +92,10 @@ pub fn coerce_value(value: Value, ty: SqlType) -> Value {
 impl TableData {
     /// Empty table with the given definition.
     pub fn new(def: TableDef) -> Self {
-        Self { def, rows: Vec::new() }
+        Self {
+            def,
+            rows: Vec::new(),
+        }
     }
 
     fn coerce_row(&self, row: Vec<Value>) -> Vec<Value> {
@@ -198,7 +205,11 @@ impl TableData {
         matches: &[bool],
         columns: &[(usize, Value)],
     ) -> Result<usize, ConstraintError> {
-        assert_eq!(matches.len(), self.rows.len(), "flag vector length mismatch");
+        assert_eq!(
+            matches.len(),
+            self.rows.len(),
+            "flag vector length mismatch"
+        );
         // Validate assignments once against the column definitions.
         for (idx, value) in columns {
             let col = self
@@ -312,7 +323,10 @@ mod tests {
     fn integer_width_is_enforced() {
         assert!(value_fits(&Value::Long(40_000), SqlType::Integer));
         assert!(!value_fits(&Value::Long(40_000), SqlType::SmallInt));
-        assert!(!value_fits(&Value::Long(i64::from(i32::MAX) + 1), SqlType::Integer));
+        assert!(!value_fits(
+            &Value::Long(i64::from(i32::MAX) + 1),
+            SqlType::Integer
+        ));
         assert!(value_fits(&Value::Long(i64::MAX), SqlType::BigInt));
     }
 

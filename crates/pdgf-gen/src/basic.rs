@@ -219,7 +219,9 @@ impl Generator for RandomStringGenerator {
     fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
         let span = u64::from(self.max_len - self.min_len) + 1;
         let len = self.min_len + ctx.rng.next_bounded(span) as u32;
-        let mut out = String::with_capacity(len as usize);
+        let mut out = std::mem::take(&mut ctx.scratch.text);
+        out.clear();
+        out.reserve(len as usize);
         // Pack ~10 charset draws (62^10 < 2^64) per u64 to cut RNG calls.
         let mut remaining = len;
         while remaining > 0 {
@@ -231,7 +233,9 @@ impl Generator for RandomStringGenerator {
             }
             remaining -= batch;
         }
-        Value::text(out)
+        let v = Value::text(out.as_str());
+        ctx.scratch.text = out;
+        v
     }
 
     fn name(&self) -> &'static str {
@@ -307,8 +311,15 @@ impl HistogramGenerator {
         output: pdgf_schema::model::HistogramOutput,
     ) -> Self {
         assert_eq!(bounds.len(), weights.len() + 1, "bounds/buckets mismatch");
-        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
-        Self { bounds, alias: pdgf_prng::Alias::new(weights), output }
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must increase"
+        );
+        Self {
+            bounds,
+            alias: pdgf_prng::Alias::new(weights),
+            output,
+        }
     }
 }
 
@@ -398,7 +409,9 @@ mod tests {
         let g = DecimalGenerator::new(100, 10_000, 2);
         for seed in 0..200u64 {
             let v = with_ctx(seed, 0, |ctx| g.generate(ctx));
-            let Value::Decimal { unscaled, scale } = v else { panic!() };
+            let Value::Decimal { unscaled, scale } = v else {
+                panic!()
+            };
             assert_eq!(scale, 2);
             assert!((100..=10_000).contains(&unscaled));
         }
@@ -413,7 +426,9 @@ mod tests {
         let mut hit_late = false;
         for seed in 0..3000u64 {
             let v = with_ctx(seed, 0, |ctx| g.generate(ctx));
-            let Value::Date(d) = v else { panic!("expected typed date") };
+            let Value::Date(d) = v else {
+                panic!("expected typed date")
+            };
             assert!(d >= min && d <= max);
             hit_min |= d.0 - min.0 < 100;
             hit_late |= max.0 - d.0 < 100;
@@ -450,9 +465,7 @@ mod tests {
     fn bool_generator_probability() {
         let g = RandomBoolGenerator::new(0.2);
         let trues = (0..10_000u64)
-            .filter(|&seed| {
-                with_ctx(seed, 0, |ctx| g.generate(ctx)) == Value::Bool(true)
-            })
+            .filter(|&seed| with_ctx(seed, 0, |ctx| g.generate(ctx)) == Value::Bool(true))
             .count();
         let frac = trues as f64 / 10_000.0;
         assert!((0.18..0.22).contains(&frac), "frac {frac}");
@@ -473,11 +486,8 @@ mod tests {
     fn histogram_generator_follows_bucket_weights() {
         use pdgf_schema::model::HistogramOutput;
         // Two buckets, 9:1 weighting.
-        let g = HistogramGenerator::new(
-            vec![0.0, 10.0, 20.0],
-            &[9.0, 1.0],
-            HistogramOutput::Double,
-        );
+        let g =
+            HistogramGenerator::new(vec![0.0, 10.0, 20.0], &[9.0, 1.0], HistogramOutput::Double);
         let mut low = 0;
         for seed in 0..10_000u64 {
             let v = with_ctx(seed, 0, |ctx| g.generate(ctx));
@@ -499,10 +509,8 @@ mod tests {
             with_ctx(1, 0, |ctx| long.generate(ctx)),
             Value::Long(5 | 6)
         ));
-        let dec =
-            HistogramGenerator::new(vec![1.0, 2.0], &[1.0], HistogramOutput::Decimal(2));
-        let Value::Decimal { unscaled, scale } = with_ctx(1, 0, |ctx| dec.generate(ctx))
-        else {
+        let dec = HistogramGenerator::new(vec![1.0, 2.0], &[1.0], HistogramOutput::Decimal(2));
+        let Value::Decimal { unscaled, scale } = with_ctx(1, 0, |ctx| dec.generate(ctx)) else {
             panic!()
         };
         assert_eq!(scale, 2);

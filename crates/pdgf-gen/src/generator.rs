@@ -5,6 +5,22 @@ use pdgf_schema::Value;
 
 use crate::runtime::SchemaRuntime;
 
+/// Reusable string buffers for text-building generators.
+///
+/// Generators that assemble strings (Markov text, concatenation, random
+/// strings) build into these buffers instead of allocating a fresh
+/// `String` per value; the scratch is threaded through consecutive cells
+/// by [`SchemaRuntime::row_into_with_scratch`], so after warm-up the
+/// builds reuse capacity. Two buffers exist because a concatenating meta
+/// generator holds `concat` while its sub-generators may use `text`.
+#[derive(Debug, Default)]
+pub struct GenScratch {
+    /// Scratch for leaf text generators (Markov, random strings).
+    pub text: String,
+    /// Scratch for concatenating meta generators.
+    pub concat: String,
+}
+
 /// Per-field generation state handed to every generator.
 ///
 /// The context owns the field-seeded RNG stream; meta generators pass the
@@ -21,6 +37,10 @@ pub struct GenContext<'rt> {
     /// The schema runtime, used by reference generators to recompute
     /// other tables' cells.
     pub runtime: &'rt SchemaRuntime,
+    /// Reusable string buffers. Fresh (empty, unallocated) by default;
+    /// the runtime's `*_with_scratch` entry points swap in a long-lived
+    /// scratch so capacity carries across cells.
+    pub scratch: GenScratch,
 }
 
 impl<'rt> GenContext<'rt> {
@@ -31,6 +51,7 @@ impl<'rt> GenContext<'rt> {
             row,
             update,
             runtime,
+            scratch: GenScratch::default(),
         }
     }
 

@@ -29,6 +29,6 @@ pub mod resolver;
 pub mod runtime;
 pub mod text;
 
-pub use generator::{GenContext, Generator};
+pub use generator::{GenContext, GenScratch, Generator};
 pub use resolver::{FsResolver, MapResolver, ResolveError, ResourceResolver};
 pub use runtime::{BuildError, SchemaRuntime};

@@ -72,7 +72,11 @@ impl SequentialGenerator {
 
 impl Generator for SequentialGenerator {
     fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
-        let mut out = String::new();
+        // Taking `concat` leaves an empty (unallocated) String behind, so
+        // a nested SequentialGenerator part still works — it just builds
+        // into a fresh buffer for that cell.
+        let mut out = std::mem::take(&mut ctx.scratch.concat);
+        out.clear();
         for (i, part) in self.parts.iter().enumerate() {
             if i > 0 {
                 out.push_str(&self.separator);
@@ -80,7 +84,9 @@ impl Generator for SequentialGenerator {
             let v = part.generate(ctx);
             write!(out, "{v}").expect("writing to String cannot fail");
         }
-        Value::text(out)
+        let v = Value::text(out.as_str());
+        ctx.scratch.concat = out;
+        v
     }
 
     fn name(&self) -> &'static str {
@@ -148,7 +154,11 @@ pub struct FormulaGenerator {
 impl FormulaGenerator {
     /// Formula generator over pre-resolved properties.
     pub fn new(expr: Expr, props: BTreeMap<String, f64>, as_long: bool) -> Self {
-        Self { expr, props, as_long }
+        Self {
+            expr,
+            props,
+            as_long,
+        }
     }
 }
 
@@ -298,10 +308,8 @@ mod tests {
 
     #[test]
     fn probability_branches_are_calibrated() {
-        let g = ProbabilityGenerator::new(vec![
-            (0.7, static_text("hot")),
-            (0.3, static_text("cold")),
-        ]);
+        let g =
+            ProbabilityGenerator::new(vec![(0.7, static_text("hot")), (0.3, static_text("cold"))]);
         let hots = (0..10_000u64)
             .filter(|&s| gen_with_seed(&g, s, 0) == Value::text("hot"))
             .count();
@@ -312,11 +320,7 @@ mod tests {
     #[test]
     fn formula_generator_uses_row_and_props() {
         let props: BTreeMap<String, f64> = [("BASE".to_string(), 100.0)].into();
-        let g = FormulaGenerator::new(
-            Expr::parse("${BASE} + ${ROW} % 7").unwrap(),
-            props,
-            true,
-        );
+        let g = FormulaGenerator::new(Expr::parse("${BASE} + ${ROW} % 7").unwrap(), props, true);
         assert_eq!(gen_with_seed(&g, 1, 0), Value::Long(100));
         assert_eq!(gen_with_seed(&g, 1, 13), Value::Long(106));
     }
@@ -339,10 +343,8 @@ mod tests {
         // Short text and non-text pass through untouched.
         let g4 = TruncateGenerator::new(static_text("ok"), 10);
         assert_eq!(gen_with_seed(&g4, 1, 0), Value::text("ok"));
-        let g5 = TruncateGenerator::new(
-            Arc::new(StaticValueGenerator::new(Value::Long(1234567))),
-            3,
-        );
+        let g5 =
+            TruncateGenerator::new(Arc::new(StaticValueGenerator::new(Value::Long(1234567))), 3);
         assert_eq!(gen_with_seed(&g5, 1, 0), Value::Long(1234567));
     }
 }

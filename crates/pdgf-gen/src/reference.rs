@@ -42,7 +42,12 @@ impl ReferenceGenerator {
         strategy: RefStrategy,
     ) -> Self {
         assert!(parent_size > 0, "cannot reference an empty table");
-        Self { target_table, target_column, parent_size, strategy }
+        Self {
+            target_table,
+            target_column,
+            parent_size,
+            strategy,
+        }
     }
 
     /// The parent row this child cell references (exposed for tests and
@@ -89,21 +94,23 @@ mod tests {
         let schema = Schema::new("reftest", 99)
             .table(
                 Table::new("parent", "50").field(
-                    Field::new("p_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                        .primary(),
+                    Field::new(
+                        "p_id",
+                        SqlType::BigInt,
+                        GeneratorSpec::Id { permute: false },
+                    )
+                    .primary(),
                 ),
             )
-            .table(
-                Table::new("child", "500").field(Field::new(
-                    "c_ref",
-                    SqlType::BigInt,
-                    GeneratorSpec::Reference {
-                        table: "parent".into(),
-                        field: "p_id".into(),
-                        distribution: dist_spec,
-                    },
-                )),
-            );
+            .table(Table::new("child", "500").field(Field::new(
+                "c_ref",
+                SqlType::BigInt,
+                GeneratorSpec::Reference {
+                    table: "parent".into(),
+                    field: "p_id".into(),
+                    distribution: dist_spec,
+                },
+            )));
         SchemaRuntime::build(&schema, &MapResolver::default()).unwrap()
     }
 
@@ -124,7 +131,11 @@ mod tests {
         for row in 0..500u64 {
             seen.insert(rt.value(1, 0, 0, row).as_i64().unwrap());
         }
-        assert!(seen.len() >= 45, "only {} of 50 parents referenced", seen.len());
+        assert!(
+            seen.len() >= 45,
+            "only {} of 50 parents referenced",
+            seen.len()
+        );
     }
 
     #[test]

@@ -106,7 +106,9 @@ impl ResourceResolver for FsResolver {
             Dictionary::from_file_format(&data)
                 .map_err(|e| ResolveError(format!("{}: {e}", full.display())))?,
         );
-        self.dict_cache.lock().insert(path.to_string(), dict.clone());
+        self.dict_cache
+            .lock()
+            .insert(path.to_string(), dict.clone());
         Ok(dict)
     }
 
@@ -121,7 +123,9 @@ impl ResourceResolver for FsResolver {
             MarkovModel::from_bytes(&data)
                 .map_err(|e| ResolveError(format!("{}: {e}", full.display())))?,
         );
-        self.markov_cache.lock().insert(path.to_string(), model.clone());
+        self.markov_cache
+            .lock()
+            .insert(path.to_string(), model.clone());
         Ok(model)
     }
 }

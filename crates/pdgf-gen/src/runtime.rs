@@ -19,7 +19,7 @@ use crate::basic::{
     DateGenerator, DecimalGenerator, DoubleGenerator, IdGenerator, LongGenerator,
     RandomBoolGenerator, RandomStringGenerator, StaticValueGenerator, TimestampGenerator,
 };
-use crate::generator::{GenContext, Generator};
+use crate::generator::{GenContext, GenScratch, Generator};
 use crate::meta::{FormulaGenerator, NullGenerator, ProbabilityGenerator, SequentialGenerator};
 use crate::reference::{RefStrategy, ReferenceGenerator};
 use crate::resolver::ResourceResolver;
@@ -81,10 +81,7 @@ impl fmt::Debug for SchemaRuntime {
 impl SchemaRuntime {
     /// Compile `schema` (validated first) against `resolver` for external
     /// dictionaries and Markov models.
-    pub fn build(
-        schema: &Schema,
-        resolver: &dyn ResourceResolver,
-    ) -> Result<Self, BuildError> {
+    pub fn build(schema: &Schema, resolver: &dyn ResourceResolver) -> Result<Self, BuildError> {
         schema.validate().map_err(|e| BuildError(e.to_string()))?;
         Self::check_reference_dag(schema)?;
         let props = schema
@@ -125,9 +122,7 @@ impl SchemaRuntime {
                     .map(|(c_idx, f)| {
                         let mut generator = builder
                             .build_spec(&f.generator, t_idx as u32, c_idx as u32, sizes[t_idx])
-                            .map_err(|e| {
-                                BuildError(format!("{}.{}: {}", t.name, f.name, e.0))
-                            })?;
+                            .map_err(|e| BuildError(format!("{}.{}: {}", t.name, f.name, e.0)))?;
                         // Text columns truncate overflowing values to the
                         // declared width, as dbgen-style generators do.
                         if f.sql_type.is_text() && f.size > 0 {
@@ -144,7 +139,11 @@ impl SchemaRuntime {
                         })
                     })
                     .collect::<Result<Vec<_>, BuildError>>()?;
-                Ok(TableRuntime { name: t.name.clone(), size: sizes[t_idx], columns })
+                Ok(TableRuntime {
+                    name: t.name.clone(),
+                    size: sizes[t_idx],
+                    columns,
+                })
             })
             .collect::<Result<Vec<_>, BuildError>>()?;
 
@@ -241,22 +240,62 @@ impl SchemaRuntime {
     /// scratch. Pure in `(self, table, column, update, row)`.
     #[inline]
     pub fn value(&self, table: u32, column: u32, update: u32, row: u64) -> Value {
-        let coord = FieldCoord { table, column, update, row };
+        let mut scratch = GenScratch::default();
+        self.value_with_scratch(table, column, update, row, &mut scratch)
+    }
+
+    /// [`value`](Self::value) with caller-provided string scratch, so
+    /// text-building generators reuse capacity across cells. The result
+    /// is identical to [`value`](Self::value) — the scratch only carries
+    /// buffer capacity, never data.
+    #[inline]
+    pub fn value_with_scratch(
+        &self,
+        table: u32,
+        column: u32,
+        update: u32,
+        row: u64,
+        scratch: &mut GenScratch,
+    ) -> Value {
+        let coord = FieldCoord {
+            table,
+            column,
+            update,
+            row,
+        };
         let seed = self.seed_tree.field_seed(coord);
         let mut ctx = GenContext::new(self, seed, row, update);
-        self.tables[table as usize].columns[column as usize]
+        std::mem::swap(&mut ctx.scratch, scratch);
+        let v = self.tables[table as usize].columns[column as usize]
             .generator
-            .generate(&mut ctx)
+            .generate(&mut ctx);
+        std::mem::swap(&mut ctx.scratch, scratch);
+        v
     }
 
     /// Generate a full row into `out` (cleared first). Reuses the caller's
     /// buffer — this is the worker hot path.
     #[inline]
     pub fn row_into(&self, table: u32, update: u32, row: u64, out: &mut Vec<Value>) {
+        let mut scratch = GenScratch::default();
+        self.row_into_with_scratch(table, update, row, out, &mut scratch);
+    }
+
+    /// [`row_into`](Self::row_into) with caller-provided string scratch —
+    /// the form the scheduler's workers use, one scratch per worker.
+    #[inline]
+    pub fn row_into_with_scratch(
+        &self,
+        table: u32,
+        update: u32,
+        row: u64,
+        out: &mut Vec<Value>,
+        scratch: &mut GenScratch,
+    ) {
         out.clear();
         let t = &self.tables[table as usize];
         for column in 0..t.columns.len() as u32 {
-            out.push(self.value(table, column, update, row));
+            out.push(self.value_with_scratch(table, column, update, row, scratch));
         }
     }
 
@@ -335,8 +374,7 @@ impl GeneratorBuilder<'_> {
             GeneratorSpec::Dict { source, weighted } => {
                 let dict: Arc<Dictionary> = match source {
                     DictSource::Inline { entries } => Arc::new(
-                        Dictionary::new(entries.clone())
-                            .map_err(|e| BuildError(e.to_string()))?,
+                        Dictionary::new(entries.clone()).map_err(|e| BuildError(e.to_string()))?,
                     ),
                     DictSource::File(path) => self
                         .resolver
@@ -348,8 +386,7 @@ impl GeneratorBuilder<'_> {
             GeneratorSpec::DictByRow { source } => {
                 let dict: Arc<Dictionary> = match source {
                     DictSource::Inline { entries } => Arc::new(
-                        Dictionary::new(entries.clone())
-                            .map_err(|e| BuildError(e.to_string()))?,
+                        Dictionary::new(entries.clone()).map_err(|e| BuildError(e.to_string()))?,
                     ),
                     DictSource::File(path) => self
                         .resolver
@@ -358,11 +395,14 @@ impl GeneratorBuilder<'_> {
                 };
                 Arc::new(crate::text::DictByRowGenerator::new(dict))
             }
-            GeneratorSpec::Markov { source, min_words, max_words } => {
+            GeneratorSpec::Markov {
+                source,
+                min_words,
+                max_words,
+            } => {
                 let model: Arc<MarkovModel> = match source {
                     MarkovSource::Inline(text) => Arc::new(
-                        MarkovModel::from_text(text)
-                            .map_err(|e| BuildError(e.to_string()))?,
+                        MarkovModel::from_text(text).map_err(|e| BuildError(e.to_string()))?,
                     ),
                     MarkovSource::File(path) => self
                         .resolver
@@ -371,7 +411,11 @@ impl GeneratorBuilder<'_> {
                 };
                 Arc::new(MarkovChainGenerator::new(model, *min_words, *max_words))
             }
-            GeneratorSpec::Reference { table: t_name, field, distribution } => {
+            GeneratorSpec::Reference {
+                table: t_name,
+                field,
+                distribution,
+            } => {
                 let t_idx = self
                     .schema
                     .table_index(t_name)
@@ -382,9 +426,7 @@ impl GeneratorBuilder<'_> {
                     .ok_or_else(|| BuildError(format!("unknown field {t_name}.{field}")))?;
                 let parent_size = self.sizes[t_idx];
                 if parent_size == 0 {
-                    return Err(BuildError(format!(
-                        "reference into empty table {t_name:?}"
-                    )));
+                    return Err(BuildError(format!("reference into empty table {t_name:?}")));
                 }
                 let strategy = match distribution {
                     RefDistribution::Uniform => RefStrategy::Uniform,
@@ -392,8 +434,7 @@ impl GeneratorBuilder<'_> {
                         RefStrategy::Zipf(Zipf::new(parent_size, *theta))
                     }
                     RefDistribution::Permutation => {
-                        let key =
-                            mix64_pair(self.seed_tree.column_seed(table, column), 0x2E);
+                        let key = mix64_pair(self.seed_tree.column_seed(table, column), 0x2E);
                         RefStrategy::Permutation(pdgf_prng::FeistelPermutation::new(
                             parent_size,
                             key,
@@ -411,9 +452,7 @@ impl GeneratorBuilder<'_> {
                 let inner = self.build_spec(inner, table, column, table_size)?;
                 Arc::new(NullGenerator::new(*probability, inner))
             }
-            GeneratorSpec::Static { value } => {
-                Arc::new(StaticValueGenerator::new(value.clone()))
-            }
+            GeneratorSpec::Static { value } => Arc::new(StaticValueGenerator::new(value.clone())),
             GeneratorSpec::Sequential { parts, separator } => {
                 let parts = parts
                     .iter()
@@ -424,9 +463,7 @@ impl GeneratorBuilder<'_> {
             GeneratorSpec::Probability { branches } => {
                 let branches = branches
                     .iter()
-                    .map(|(p, g)| {
-                        Ok((*p, self.build_spec(g, table, column, table_size)?))
-                    })
+                    .map(|(p, g)| Ok((*p, self.build_spec(g, table, column, table_size)?)))
                     .collect::<Result<Vec<_>, BuildError>>()?;
                 Arc::new(ProbabilityGenerator::new(branches))
             }
@@ -435,9 +472,15 @@ impl GeneratorBuilder<'_> {
                 self.props.clone(),
                 *as_long,
             )),
-            GeneratorSpec::HistogramNumeric { bounds, weights, output } => Arc::new(
-                crate::basic::HistogramGenerator::new(bounds.clone(), weights, *output),
-            ),
+            GeneratorSpec::HistogramNumeric {
+                bounds,
+                weights,
+                output,
+            } => Arc::new(crate::basic::HistogramGenerator::new(
+                bounds.clone(),
+                weights,
+                *output,
+            )),
         })
     }
 }
@@ -454,8 +497,12 @@ mod tests {
         s.table(
             Table::new("customer", "100 * ${SF}")
                 .field(
-                    Field::new("c_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                        .primary(),
+                    Field::new(
+                        "c_id",
+                        SqlType::BigInt,
+                        GeneratorSpec::Id { permute: false },
+                    )
+                    .primary(),
                 )
                 .field(Field::new(
                     "c_balance",
@@ -628,10 +675,16 @@ mod tests {
         // grandparent cell.
         let mut s = Schema::new("chain", 5);
         s = s
-            .table(Table::new("g", "7").field(
-                Field::new("g_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+            .table(
+                Table::new("g", "7").field(
+                    Field::new(
+                        "g_id",
+                        SqlType::BigInt,
+                        GeneratorSpec::Id { permute: false },
+                    )
                     .primary(),
-            ))
+                ),
+            )
             .table(Table::new("p", "20").field(Field::new(
                 "p_gref",
                 SqlType::BigInt,
@@ -652,12 +705,16 @@ mod tests {
             )));
         let rt = SchemaRuntime::build(&s, &MapResolver::new()).unwrap();
         // Every child value must be a valid grandparent id.
-        let parents: std::collections::HashSet<i64> =
-            (0..20).map(|r| rt.value(1, 0, 0, r).as_i64().unwrap()).collect();
+        let parents: std::collections::HashSet<i64> = (0..20)
+            .map(|r| rt.value(1, 0, 0, r).as_i64().unwrap())
+            .collect();
         for row in 0..100u64 {
             let v = rt.value(2, 0, 0, row).as_i64().unwrap();
             assert!((1..=7).contains(&v));
-            assert!(parents.contains(&v), "child references non-existent parent value");
+            assert!(
+                parents.contains(&v),
+                "child references non-existent parent value"
+            );
         }
     }
 }

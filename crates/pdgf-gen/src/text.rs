@@ -80,7 +80,11 @@ impl MarkovChainGenerator {
     /// Markov text generator over the inclusive word-count range.
     pub fn new(model: Arc<MarkovModel>, min_words: u32, max_words: u32) -> Self {
         assert!(min_words <= max_words, "empty word-count range");
-        Self { model, min_words, max_words }
+        Self {
+            model,
+            min_words,
+            max_words,
+        }
     }
 
     /// The underlying model (exposed for statistics reporting).
@@ -91,8 +95,14 @@ impl MarkovChainGenerator {
 
 impl Generator for MarkovChainGenerator {
     fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
+        let mut out = std::mem::take(&mut ctx.scratch.text);
+        out.clear();
         let mut draw = || ctx.rng.next_u64();
-        Value::text(self.model.generate_range(&mut draw, self.min_words, self.max_words))
+        self.model
+            .generate_range_into(&mut draw, self.min_words, self.max_words, &mut out);
+        let v = Value::text(out.as_str());
+        ctx.scratch.text = out;
+        v
     }
 
     fn name(&self) -> &'static str {

@@ -4,9 +4,15 @@
 //! the resulting strategy lazy formatting — "even very complex values will
 //! only be formatted once", and formatting cost (the dominant cost in
 //! Figure 9) is paid only for cells that are actually emitted.
+//!
+//! Formatters append straight to a `Vec<u8>` package buffer through the
+//! [`fmtfast`](crate::fmtfast) kernels. No formatter allocates on the row
+//! path: numeric, date, and timestamp values are rendered digit-by-digit
+//! into the output buffer, and text values are copied (and escaped)
+//! directly from their backing storage.
 
+use crate::fmtfast;
 use pdgf_schema::Value;
-use std::fmt::Write as _;
 
 /// Static description of the table being formatted.
 #[derive(Debug, Clone)]
@@ -30,19 +36,21 @@ impl TableMeta {
 /// Converts rows of values into output bytes.
 ///
 /// Formatters are stateless and shared across worker threads; all output
-/// goes through the caller-provided buffer so the hot path performs no
-/// allocation beyond buffer growth.
+/// goes through the caller-provided byte buffer so the steady-state hot
+/// path performs no allocation at all (buffer growth amortizes to zero
+/// once package buffers recycle through the
+/// [`BufferPool`](crate::BufferPool)).
 pub trait Formatter: Send + Sync {
     /// Emit anything that precedes the first row (headers, openers).
-    fn begin(&self, out: &mut String, meta: &TableMeta) {
+    fn begin(&self, out: &mut Vec<u8>, meta: &TableMeta) {
         let _ = (out, meta);
     }
 
     /// Emit one row.
-    fn row(&self, out: &mut String, meta: &TableMeta, values: &[Value]);
+    fn row(&self, out: &mut Vec<u8>, meta: &TableMeta, values: &[Value]);
 
     /// Emit anything that follows the last row (closers).
-    fn end(&self, out: &mut String, meta: &TableMeta) {
+    fn end(&self, out: &mut Vec<u8>, meta: &TableMeta) {
         let _ = (out, meta);
     }
 
@@ -50,22 +58,43 @@ pub trait Formatter: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
+/// Append one `char` as UTF-8.
+#[inline]
+fn push_char(out: &mut Vec<u8>, c: char) {
+    let mut buf = [0u8; 4];
+    out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+}
+
+/// Every byte a non-text [`Value`] rendering can contain: digits, sign,
+/// point, time separators, and the letters of `true`/`false`/`NaN`/`inf`.
+/// Used to decide whether typed CSV fields can ever need quoting.
+const TYPED_VALUE_CHARS: &str = "0123456789-.: truefalsNni";
+
 /// Delimiter-separated values. Fields containing the delimiter, quotes,
 /// or newlines are quoted with `"` and embedded quotes doubled (RFC 4180).
 pub struct CsvFormatter {
     delimiter: char,
     header: bool,
+    /// Whether a typed (non-text) rendering could contain the delimiter.
+    /// False for every sane delimiter (`,`, `|`, tab, `;`), letting typed
+    /// fields skip the quoting scan entirely.
+    scan_typed: bool,
 }
 
 impl CsvFormatter {
     /// Standard comma-separated output without a header row (DBGen-style).
     pub fn new() -> Self {
-        Self { delimiter: ',', header: false }
+        Self {
+            delimiter: ',',
+            header: false,
+            scan_typed: false,
+        }
     }
 
     /// Customize the delimiter (e.g. `'|'` for TPC-H tbl files).
     pub fn with_delimiter(mut self, delimiter: char) -> Self {
         self.delimiter = delimiter;
+        self.scan_typed = TYPED_VALUE_CHARS.contains(delimiter);
         self
     }
 
@@ -75,21 +104,42 @@ impl CsvFormatter {
         self
     }
 
-    fn push_field(&self, out: &mut String, text: &str) {
+    fn push_field(&self, out: &mut Vec<u8>, text: &str) {
         let needs_quoting = text
             .chars()
             .any(|c| c == self.delimiter || c == '"' || c == '\n' || c == '\r');
         if needs_quoting {
-            out.push('"');
+            out.push(b'"');
             for c in text.chars() {
                 if c == '"' {
-                    out.push('"');
+                    out.push(b'"');
                 }
-                out.push(c);
+                push_char(out, c);
             }
-            out.push('"');
+            out.push(b'"');
         } else {
-            out.push_str(text);
+            out.extend_from_slice(text.as_bytes());
+        }
+    }
+
+    /// Render a typed (non-text) value. Typed renderings can never contain
+    /// `"`, `\n`, or `\r`, so quoting is only needed when the delimiter
+    /// itself appears — and that in turn is only possible when the
+    /// delimiter is drawn from [`TYPED_VALUE_CHARS`].
+    fn push_typed(&self, out: &mut Vec<u8>, v: &Value) {
+        let start = out.len();
+        fmtfast::write_value(out, v);
+        if self.scan_typed {
+            let mut delim = [0u8; 4];
+            let delim = self.delimiter.encode_utf8(&mut delim).as_bytes();
+            let written = &out[start..];
+            let hit = written.windows(delim.len()).any(|w| w == delim);
+            if hit {
+                // Wrap in quotes in place; typed renderings contain no
+                // embedded quotes, so no doubling is needed.
+                out.insert(start, b'"');
+                out.push(b'"');
+            }
         }
     }
 }
@@ -101,39 +151,31 @@ impl Default for CsvFormatter {
 }
 
 impl Formatter for CsvFormatter {
-    fn begin(&self, out: &mut String, meta: &TableMeta) {
+    fn begin(&self, out: &mut Vec<u8>, meta: &TableMeta) {
         if self.header {
             for (i, c) in meta.columns.iter().enumerate() {
                 if i > 0 {
-                    out.push(self.delimiter);
+                    push_char(out, self.delimiter);
                 }
                 self.push_field(out, c);
             }
-            out.push('\n');
+            out.push(b'\n');
         }
     }
 
-    fn row(&self, out: &mut String, _meta: &TableMeta, values: &[Value]) {
-        let mut scratch = String::new();
+    fn row(&self, out: &mut Vec<u8>, _meta: &TableMeta, values: &[Value]) {
         for (i, v) in values.iter().enumerate() {
             if i > 0 {
-                out.push(self.delimiter);
+                push_char(out, self.delimiter);
             }
             match v {
-                // Fast paths that cannot need quoting.
                 Value::Null => {}
-                Value::Long(x) => {
-                    let _ = write!(out, "{x}");
-                }
+                Value::Long(x) => fmtfast::write_i64(out, *x),
                 Value::Text(s) => self.push_field(out, s),
-                other => {
-                    scratch.clear();
-                    let _ = write!(scratch, "{other}");
-                    self.push_field(out, &scratch);
-                }
+                other => self.push_typed(out, other),
             }
         }
-        out.push('\n');
+        out.push(b'\n');
     }
 
     fn name(&self) -> &'static str {
@@ -144,59 +186,68 @@ impl Formatter for CsvFormatter {
 /// Newline-delimited JSON: one object per row.
 pub struct JsonFormatter;
 
-fn json_escape_into(out: &mut String, s: &str) {
-    out.push('"');
+fn json_escape_into(out: &mut Vec<u8>, s: &str) {
+    out.push(b'"');
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
+            '"' => out.extend_from_slice(b"\\\""),
+            '\\' => out.extend_from_slice(b"\\\\"),
+            '\n' => out.extend_from_slice(b"\\n"),
+            '\r' => out.extend_from_slice(b"\\r"),
+            '\t' => out.extend_from_slice(b"\\t"),
             c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+                // `\u00XX` — control characters only, so two hex digits.
+                let n = c as u32;
+                out.extend_from_slice(b"\\u00");
+                out.push(char::from_digit(n >> 4, 16).unwrap() as u8);
+                out.push(char::from_digit(n & 0xF, 16).unwrap() as u8);
             }
-            c => out.push(c),
+            c => push_char(out, c),
         }
     }
-    out.push('"');
+    out.push(b'"');
 }
 
 impl Formatter for JsonFormatter {
-    fn row(&self, out: &mut String, meta: &TableMeta, values: &[Value]) {
-        out.push('{');
+    fn row(&self, out: &mut Vec<u8>, meta: &TableMeta, values: &[Value]) {
+        out.push(b'{');
         for (i, (col, v)) in meta.columns.iter().zip(values).enumerate() {
             if i > 0 {
-                out.push(',');
+                out.push(b',');
             }
             json_escape_into(out, col);
-            out.push(':');
+            out.push(b':');
             match v {
-                Value::Null => out.push_str("null"),
-                Value::Bool(b) => {
-                    let _ = write!(out, "{b}");
-                }
-                Value::Long(x) => {
-                    let _ = write!(out, "{x}");
-                }
+                Value::Null => out.extend_from_slice(b"null"),
+                Value::Bool(b) => fmtfast::write_bool(out, *b),
+                Value::Long(x) => fmtfast::write_i64(out, *x),
                 Value::Double(x) => {
                     if x.is_finite() {
-                        let _ = write!(out, "{x}");
+                        // Raw f64 rendering: no forced trailing `.0`.
+                        fmtfast::write_f64_shortest(out, *x);
                     } else {
-                        out.push_str("null");
+                        out.extend_from_slice(b"null");
                     }
                 }
-                Value::Decimal { .. } => {
-                    let _ = write!(out, "{v}");
+                Value::Decimal { unscaled, scale } => {
+                    fmtfast::write_decimal(out, *unscaled, *scale);
                 }
-                other => {
-                    let mut scratch = String::new();
-                    let _ = write!(scratch, "{other}");
-                    json_escape_into(out, &scratch);
+                // Date/timestamp renderings contain no JSON-escapable
+                // characters; quote them directly.
+                Value::Date(d) => {
+                    out.push(b'"');
+                    fmtfast::write_date(out, *d);
+                    out.push(b'"');
                 }
+                Value::Timestamp(t) => {
+                    out.push(b'"');
+                    fmtfast::write_timestamp(out, *t);
+                    out.push(b'"');
+                }
+                Value::Text(s) => json_escape_into(out, s),
             }
         }
-        out.push_str("}\n");
+        out.extend_from_slice(b"}\n");
     }
 
     fn name(&self) -> &'static str {
@@ -207,41 +258,51 @@ impl Formatter for JsonFormatter {
 /// XML rows: `<table><row><col>value</col>…</row>…</table>`.
 pub struct XmlFormatter;
 
-fn xml_escape_into(out: &mut String, s: &str) {
+fn xml_escape_into(out: &mut Vec<u8>, s: &str) {
     for c in s.chars() {
         match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            c => out.push(c),
+            '&' => out.extend_from_slice(b"&amp;"),
+            '<' => out.extend_from_slice(b"&lt;"),
+            '>' => out.extend_from_slice(b"&gt;"),
+            c => push_char(out, c),
         }
     }
 }
 
 impl Formatter for XmlFormatter {
-    fn begin(&self, out: &mut String, meta: &TableMeta) {
-        let _ = writeln!(out, "<{}>", meta.name);
+    fn begin(&self, out: &mut Vec<u8>, meta: &TableMeta) {
+        out.push(b'<');
+        out.extend_from_slice(meta.name.as_bytes());
+        out.extend_from_slice(b">\n");
     }
 
-    fn row(&self, out: &mut String, meta: &TableMeta, values: &[Value]) {
-        out.push_str("  <row>");
-        let mut scratch = String::new();
+    fn row(&self, out: &mut Vec<u8>, meta: &TableMeta, values: &[Value]) {
+        out.extend_from_slice(b"  <row>");
         for (col, v) in meta.columns.iter().zip(values) {
+            out.push(b'<');
+            out.extend_from_slice(col.as_bytes());
             if v.is_null() {
-                let _ = write!(out, "<{col} null=\"true\"/>");
+                out.extend_from_slice(b" null=\"true\"/>");
                 continue;
             }
-            let _ = write!(out, "<{col}>");
-            scratch.clear();
-            let _ = write!(scratch, "{v}");
-            xml_escape_into(out, &scratch);
-            let _ = write!(out, "</{col}>");
+            out.push(b'>');
+            match v {
+                // Text can contain markup characters; typed renderings
+                // never do, so they skip the escaping walk.
+                Value::Text(s) => xml_escape_into(out, s),
+                other => fmtfast::write_value(out, other),
+            }
+            out.extend_from_slice(b"</");
+            out.extend_from_slice(col.as_bytes());
+            out.push(b'>');
         }
-        out.push_str("</row>\n");
+        out.extend_from_slice(b"</row>\n");
     }
 
-    fn end(&self, out: &mut String, meta: &TableMeta) {
-        let _ = writeln!(out, "</{}>", meta.name);
+    fn end(&self, out: &mut Vec<u8>, meta: &TableMeta) {
+        out.extend_from_slice(b"</");
+        out.extend_from_slice(meta.name.as_bytes());
+        out.extend_from_slice(b">\n");
     }
 
     fn name(&self) -> &'static str {
@@ -277,49 +338,62 @@ impl Default for SqlFormatter {
     }
 }
 
+/// Append `s` single-quoted with embedded `'` doubled. Safe on raw bytes:
+/// `'` is ASCII and UTF-8 continuation bytes can never alias it.
+fn sql_quote_into(out: &mut Vec<u8>, s: &str) {
+    out.push(b'\'');
+    for &b in s.as_bytes() {
+        if b == b'\'' {
+            out.push(b'\'');
+        }
+        out.push(b);
+    }
+    out.push(b'\'');
+}
+
 impl Formatter for SqlFormatter {
-    fn row(&self, out: &mut String, meta: &TableMeta, values: &[Value]) {
-        let _ = write!(out, "INSERT INTO {} (", meta.name);
+    fn row(&self, out: &mut Vec<u8>, meta: &TableMeta, values: &[Value]) {
+        out.extend_from_slice(b"INSERT INTO ");
+        out.extend_from_slice(meta.name.as_bytes());
+        out.extend_from_slice(b" (");
         for (i, c) in meta.columns.iter().enumerate() {
             if i > 0 {
-                out.push_str(", ");
+                out.extend_from_slice(b", ");
             }
-            out.push_str(c);
+            out.extend_from_slice(c.as_bytes());
         }
-        out.push_str(") VALUES (");
-        let mut scratch = String::new();
+        out.extend_from_slice(b") VALUES (");
         for (i, v) in values.iter().enumerate() {
             if i > 0 {
-                out.push_str(", ");
+                out.extend_from_slice(b", ");
             }
             match v {
-                Value::Null => out.push_str("NULL"),
-                Value::Bool(b) => {
-                    let _ = write!(out, "{}", if *b { "TRUE" } else { "FALSE" });
+                Value::Null => out.extend_from_slice(b"NULL"),
+                Value::Bool(b) => out.extend_from_slice(if *b {
+                    b"TRUE".as_ref()
+                } else {
+                    b"FALSE".as_ref()
+                }),
+                Value::Long(x) => fmtfast::write_i64(out, *x),
+                Value::Double(x) => fmtfast::write_f64_display(out, *x),
+                Value::Decimal { unscaled, scale } => {
+                    fmtfast::write_decimal(out, *unscaled, *scale);
                 }
-                Value::Long(x) => {
-                    let _ = write!(out, "{x}");
+                Value::Text(s) => sql_quote_into(out, s),
+                // Dates and timestamps contain no quotes to double.
+                Value::Date(d) => {
+                    out.push(b'\'');
+                    fmtfast::write_date(out, *d);
+                    out.push(b'\'');
                 }
-                Value::Double(_) | Value::Decimal { .. } => {
-                    let _ = write!(out, "{v}");
-                }
-                other => {
-                    // Text, dates, timestamps as quoted literals with
-                    // doubled single quotes.
-                    scratch.clear();
-                    let _ = write!(scratch, "{other}");
-                    out.push('\'');
-                    for c in scratch.chars() {
-                        if c == '\'' {
-                            out.push('\'');
-                        }
-                        out.push(c);
-                    }
-                    out.push('\'');
+                Value::Timestamp(t) => {
+                    out.push(b'\'');
+                    fmtfast::write_timestamp(out, *t);
+                    out.push(b'\'');
                 }
             }
         }
-        out.push_str(");\n");
+        out.extend_from_slice(b");\n");
     }
 
     fn name(&self) -> &'static str {
@@ -338,13 +412,13 @@ mod tests {
 
     fn run(f: &dyn Formatter, rows: &[Vec<Value>]) -> String {
         let m = meta();
-        let mut out = String::new();
+        let mut out = Vec::new();
         f.begin(&mut out, &m);
         for r in rows {
             f.row(&mut out, &m, r);
         }
         f.end(&mut out, &m);
-        out
+        String::from_utf8(out).expect("formatter output is UTF-8")
     }
 
     fn sample_row() -> Vec<Value> {
@@ -389,6 +463,21 @@ mod tests {
     }
 
     #[test]
+    fn csv_quotes_typed_values_containing_the_delimiter() {
+        // A '-' delimiter collides with date and sign renderings; the
+        // affected typed fields must be quoted like any other field.
+        // (Longs are emitted bare by contract, like Null — only fields
+        // that historically went through the quoting scan still do.)
+        let row = vec![
+            Value::Date(Date::from_ymd(1995, 6, 17)),
+            Value::decimal(-425, 1),
+            Value::Long(7),
+        ];
+        let out = run(&CsvFormatter::new().with_delimiter('-'), &[row]);
+        assert_eq!(out, "\"1995-06-17\"-\"-42.5\"-7\n");
+    }
+
+    #[test]
     fn json_rows_are_parseable_objects() {
         let out = run(&JsonFormatter, &[sample_row()]);
         assert_eq!(out, "{\"a\":7,\"b\":\"hi\",\"c\":null}\n");
@@ -409,6 +498,17 @@ mod tests {
     }
 
     #[test]
+    fn json_escapes_control_characters() {
+        let row = vec![
+            Value::text("a\u{1}b\u{1f}c"),
+            Value::Long(1),
+            Value::Long(2),
+        ];
+        let out = run(&JsonFormatter, &[row]);
+        assert!(out.contains("a\\u0001b\\u001fc"), "{out}");
+    }
+
+    #[test]
     fn json_nonfinite_doubles_become_null() {
         let row = vec![
             Value::Double(f64::NAN),
@@ -417,6 +517,20 @@ mod tests {
         ];
         let out = run(&JsonFormatter, &[row]);
         assert_eq!(out, "{\"a\":null,\"b\":null,\"c\":1.5}\n");
+    }
+
+    #[test]
+    fn json_quotes_dates_and_timestamps() {
+        let row = vec![
+            Value::Date(Date::from_ymd(1995, 6, 17)),
+            Value::Timestamp(86_400 + 3_723),
+            Value::Null,
+        ];
+        let out = run(&JsonFormatter, &[row]);
+        assert_eq!(
+            out,
+            "{\"a\":\"1995-06-17\",\"b\":\"1970-01-02 01:02:03\",\"c\":null}\n"
+        );
     }
 
     #[test]

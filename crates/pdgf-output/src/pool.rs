@@ -1,0 +1,107 @@
+//! Package-buffer recycling.
+//!
+//! The parallel scheduler formats each work package into a `Vec<u8>` and
+//! ships it to the output stage. Without recycling, every package pays
+//! one large allocation (and its eventual free) plus the growth doublings
+//! to reach steady-state package size. The [`BufferPool`] closes the
+//! loop: the output stage returns written buffers to the pool and workers
+//! take them back out, so after warm-up every package reuses a buffer
+//! that is already at full capacity — the formatting hot path performs no
+//! heap allocation at all.
+
+use parking_lot::Mutex;
+
+/// A bounded stack of recycled byte buffers, shared across threads.
+///
+/// `take` pops a cleared buffer (or creates an empty one when the pool
+/// has been drained); `put` clears and returns a buffer, dropping it
+/// instead if the pool is already full, so a burst of in-flight packages
+/// cannot pin memory forever.
+#[derive(Debug)]
+pub struct BufferPool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+    max: usize,
+}
+
+impl BufferPool {
+    /// Pool retaining at most `max` idle buffers.
+    pub fn new(max: usize) -> Self {
+        Self {
+            bufs: Mutex::new(Vec::with_capacity(max)),
+            max,
+        }
+    }
+
+    /// Pop a cleared buffer, or a fresh empty one if none is idle.
+    pub fn take(&self) -> Vec<u8> {
+        self.bufs.lock().pop().unwrap_or_default()
+    }
+
+    /// Clear `buf` (keeping its capacity) and park it for reuse; drops it
+    /// when `max` buffers are already idle.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut bufs = self.bufs.lock();
+        if bufs.len() < self.max {
+            bufs.push(buf);
+        }
+    }
+
+    /// Number of idle buffers currently parked.
+    pub fn idle(&self) -> usize {
+        self.bufs.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_from_empty_pool_allocates_fresh() {
+        let pool = BufferPool::new(2);
+        assert_eq!(pool.idle(), 0);
+        let buf = pool.take();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn put_then_take_recycles_capacity() {
+        let pool = BufferPool::new(2);
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(b"payload");
+        pool.put(buf);
+        assert_eq!(pool.idle(), 1);
+        let reused = pool.take();
+        assert!(reused.is_empty(), "returned buffers are cleared");
+        assert!(reused.capacity() >= 4096, "capacity is retained");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let pool = BufferPool::new(2);
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(16));
+        }
+        assert_eq!(pool.idle(), 2, "excess buffers are dropped");
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = std::sync::Arc::new(BufferPool::new(8));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = pool.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let mut b = pool.take();
+                        b.extend_from_slice(b"x");
+                        pool.put(b);
+                    }
+                });
+            }
+        });
+        assert!(pool.idle() <= 8);
+    }
+}

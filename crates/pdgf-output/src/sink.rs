@@ -240,9 +240,7 @@ mod tests {
         // Concatenating parts in order reconstructs the stream.
         let mut all = String::new();
         for i in 0..3 {
-            all.push_str(
-                &std::fs::read_to_string(dir.join(format!("part-{i:05}"))).unwrap(),
-            );
+            all.push_str(&std::fs::read_to_string(dir.join(format!("part-{i:05}"))).unwrap());
         }
         assert_eq!(all, "chunk0\nchunk1\nchunk2\nchunk3\nchunk4\nchunk5\n");
         std::fs::remove_dir_all(&dir).ok();
@@ -250,8 +248,7 @@ mod tests {
 
     #[test]
     fn partitioned_sink_never_splits_a_chunk() {
-        let dir =
-            std::env::temp_dir().join(format!("pdgf-parts2-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("pdgf-parts2-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let mut s = PartitionedDirSink::create(&dir, 4).unwrap();
         s.write_chunk(b"0123456789").unwrap(); // bigger than a part
@@ -262,7 +259,10 @@ mod tests {
             std::fs::read_to_string(dir.join("part-00000")).unwrap(),
             "0123456789"
         );
-        assert_eq!(std::fs::read_to_string(dir.join("part-00001")).unwrap(), "ab");
+        assert_eq!(
+            std::fs::read_to_string(dir.join("part-00001")).unwrap(),
+            "ab"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

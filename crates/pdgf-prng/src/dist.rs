@@ -60,7 +60,10 @@ impl UniformI64 {
     /// A uniform distribution over `[lo, hi]`. `lo` must be `<= hi`.
     pub fn new(lo: i64, hi: i64) -> Self {
         assert!(lo <= hi, "invalid uniform range");
-        Self { lo, span: (hi as i128 - lo as i128 + 1) as u64 }
+        Self {
+            lo,
+            span: (hi as i128 - lo as i128 + 1) as u64,
+        }
     }
 
     /// Sample an integer directly.
@@ -161,7 +164,14 @@ impl Zipf {
         let zeta2 = Self::zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Self { n, theta, alpha, zetan, eta, zeta2 }
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -193,8 +203,7 @@ impl Zipf {
         if uz < 1.0 + 0.5f64.powf(self.theta) && self.n >= 2 {
             return 2;
         }
-        let rank = 1.0
-            + (self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        let rank = 1.0 + (self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha);
         (rank as u64).clamp(1, self.n)
     }
 

@@ -37,7 +37,12 @@ pub fn stafford13(mut z: u64) -> u64 {
 #[inline(always)]
 pub fn mix64_pair(parent: u64, index: u64) -> u64 {
     stafford13(
-        parent ^ mix64(index.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(0xD1B5_4A32_D192_ED03)),
+        parent
+            ^ mix64(
+                index
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_mul(0xD1B5_4A32_D192_ED03),
+            ),
     )
 }
 

@@ -37,7 +37,12 @@ impl FeistelPermutation {
         for (i, key) in round_keys.iter_mut().enumerate() {
             *key = mix64_pair(seed, i as u64);
         }
-        Self { n, half_bits, half_mask, round_keys }
+        Self {
+            n,
+            half_bits,
+            half_mask,
+            round_keys,
+        }
     }
 
     /// Domain size.

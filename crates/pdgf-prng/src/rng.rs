@@ -176,7 +176,11 @@ impl PdgfRng for XorShift64Star {
     #[inline]
     fn reseed(&mut self, seed: u64) {
         let mixed = mix64(seed);
-        self.state = if mixed == 0 { 0x9E37_79B9_7F4A_7C15 } else { mixed };
+        self.state = if mixed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            mixed
+        };
     }
 
     #[inline]
@@ -220,10 +224,7 @@ impl PdgfRng for Xoroshiro128PlusPlus {
     #[inline]
     fn next_u64(&mut self) -> u64 {
         let (s0, mut s1) = (self.s0, self.s1);
-        let result = s0
-            .wrapping_add(s1)
-            .rotate_left(17)
-            .wrapping_add(s0);
+        let result = s0.wrapping_add(s1).rotate_left(17).wrapping_add(s0);
         s1 ^= s0;
         self.s0 = s0.rotate_left(49) ^ s1 ^ (s1 << 21);
         self.s1 = s1.rotate_left(28);

@@ -30,7 +30,12 @@ pub struct FieldCoord {
 impl FieldCoord {
     /// Coordinate for the initial-load version of a cell.
     pub fn initial(table: u32, column: u32, row: u64) -> Self {
-        Self { table, column, update: 0, row }
+        Self {
+            table,
+            column,
+            update: 0,
+            row,
+        }
     }
 }
 
@@ -61,7 +66,11 @@ impl SeedTree {
             .zip(columns_per_table)
             .map(|(&ts, &ncols)| (0..u64::from(ncols)).map(|c| mix64_pair(ts, c)).collect())
             .collect();
-        Self { project_seed, table_seeds, column_seeds }
+        Self {
+            project_seed,
+            table_seeds,
+            column_seeds,
+        }
     }
 
     /// The raw project seed this tree was built from.
@@ -101,7 +110,10 @@ impl SeedTree {
     /// Seed of a single field: the value generators' stream starts here.
     #[inline]
     pub fn field_seed(&self, coord: FieldCoord) -> u64 {
-        mix64_pair(self.update_seed(coord.table, coord.column, coord.update), coord.row)
+        mix64_pair(
+            self.update_seed(coord.table, coord.column, coord.update),
+            coord.row,
+        )
     }
 
     /// Row seed derived *without* the cache, recomputing the whole chain
@@ -140,7 +152,12 @@ mod tests {
             for column in 0..3u32 {
                 for update in 0..4u32 {
                     for row in [0u64, 1, 17, 1_000_000] {
-                        let coord = FieldCoord { table, column, update, row };
+                        let coord = FieldCoord {
+                            table,
+                            column,
+                            update,
+                            row,
+                        };
                         assert_eq!(
                             t.field_seed(coord),
                             SeedTree::field_seed_uncached(12_456_789, coord)
@@ -176,7 +193,12 @@ mod tests {
                 for update in 0..3u32 {
                     assert!(seen.insert(t.update_seed(table, column, update)));
                     for row in 0..50u64 {
-                        assert!(seen.insert(t.field_seed(FieldCoord { table, column, update, row })));
+                        assert!(seen.insert(t.field_seed(FieldCoord {
+                            table,
+                            column,
+                            update,
+                            row
+                        })));
                     }
                 }
             }

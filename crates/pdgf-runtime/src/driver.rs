@@ -67,7 +67,11 @@ pub struct GenerationRun<'rt> {
 impl<'rt> GenerationRun<'rt> {
     /// Run over `rt` with the given scheduler configuration.
     pub fn new(rt: &'rt SchemaRuntime, config: RunConfig) -> Self {
-        Self { rt, config, monitor: None }
+        Self {
+            rt,
+            config,
+            monitor: None,
+        }
     }
 
     /// Attach a progress monitor.
@@ -105,7 +109,10 @@ impl<'rt> GenerationRun<'rt> {
                 seconds: stats.seconds,
             });
         }
-        Ok(RunReport { tables, seconds: started.elapsed().as_secs_f64() })
+        Ok(RunReport {
+            tables,
+            seconds: started.elapsed().as_secs_f64(),
+        })
     }
 }
 
@@ -137,9 +144,14 @@ mod tests {
     #[test]
     fn run_covers_all_tables() {
         let rt = runtime();
-        let run = GenerationRun::new(&rt, RunConfig { workers: 2, package_rows: 32 });
-        let mut make =
-            |_: &str| -> io::Result<Box<dyn Sink>> { Ok(Box::new(NullSink::new())) };
+        let run = GenerationRun::new(
+            &rt,
+            RunConfig {
+                workers: 2,
+                package_rows: 32,
+            },
+        );
+        let mut make = |_: &str| -> io::Result<Box<dyn Sink>> { Ok(Box::new(NullSink::new())) };
         let report = run.run(&CsvFormatter::new(), &mut make).unwrap();
         assert_eq!(report.tables.len(), 2);
         assert_eq!(report.tables[0].table, "a");
@@ -153,10 +165,15 @@ mod tests {
     fn monitor_tracks_whole_run() {
         let rt = runtime();
         let monitor = Monitor::new();
-        let run = GenerationRun::new(&rt, RunConfig { workers: 1, package_rows: 64 })
-            .with_monitor(monitor.clone());
-        let mut make =
-            |_: &str| -> io::Result<Box<dyn Sink>> { Ok(Box::new(NullSink::new())) };
+        let run = GenerationRun::new(
+            &rt,
+            RunConfig {
+                workers: 1,
+                package_rows: 64,
+            },
+        )
+        .with_monitor(monitor.clone());
+        let mut make = |_: &str| -> io::Result<Box<dyn Sink>> { Ok(Box::new(NullSink::new())) };
         let report = run.run(&CsvFormatter::new(), &mut make).unwrap();
         assert_eq!(monitor.snapshot().rows, report.total_rows());
         assert_eq!(monitor.snapshot().bytes, report.total_bytes());
@@ -165,7 +182,13 @@ mod tests {
     #[test]
     fn sink_factory_sees_table_names() {
         let rt = runtime();
-        let run = GenerationRun::new(&rt, RunConfig { workers: 0, package_rows: 64 });
+        let run = GenerationRun::new(
+            &rt,
+            RunConfig {
+                workers: 0,
+                package_rows: 64,
+            },
+        );
         let mut names = Vec::new();
         let mut make = |name: &str| -> io::Result<Box<dyn Sink>> {
             names.push(name.to_string());

@@ -33,14 +33,24 @@ impl WorkPackage {
 
 /// Split `rows` of `table` into packages of at most `package_rows` rows,
 /// numbered from 0.
-pub fn packages_for(table: u32, update: u32, rows: Range<u64>, package_rows: u64) -> Vec<WorkPackage> {
+pub fn packages_for(
+    table: u32,
+    update: u32,
+    rows: Range<u64>,
+    package_rows: u64,
+) -> Vec<WorkPackage> {
     assert!(package_rows > 0, "package size must be positive");
     let mut out = Vec::new();
     let mut start = rows.start;
     let mut seq = 0;
     while start < rows.end {
         let end = rows.end.min(start + package_rows);
-        out.push(WorkPackage { seq, table, update, rows: start..end });
+        out.push(WorkPackage {
+            seq,
+            table,
+            update,
+            rows: start..end,
+        });
         start = end;
         seq += 1;
     }

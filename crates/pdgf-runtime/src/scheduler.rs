@@ -4,18 +4,20 @@
 //! The pipeline is the paper's data flow: scheduler → workers (seed +
 //! generate + format) → output system (reorder + sink). Workers claim
 //! packages from a shared counter (packages are uniform, so a ticket
-//! counter beats work stealing), format rows into private buffers, and
-//! hand completed buffers to the output stage through a bounded channel
-//! for backpressure. A reorder buffer releases buffers in package order,
-//! so the sink receives bytes identical to a sequential run.
+//! counter beats work stealing), format rows into recycled byte buffers,
+//! and hand completed buffers to the output stage through a bounded
+//! channel for backpressure. A reorder buffer releases buffers in package
+//! order, so the sink receives bytes identical to a sequential run, and
+//! written buffers return to a [`BufferPool`] shared with the workers —
+//! after warm-up the steady state allocates nothing per package.
 
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use crossbeam::channel;
-use pdgf_gen::SchemaRuntime;
-use pdgf_output::{Formatter, ReorderBuffer, Sink, TableMeta};
+use pdgf_gen::{GenScratch, SchemaRuntime};
+use pdgf_output::{BufferPool, Formatter, ReorderBuffer, Sink, TableMeta};
 use pdgf_schema::Value;
 
 use crate::monitor::Monitor;
@@ -33,19 +35,25 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { workers: available_workers(), package_rows: 10_000 }
+        Self {
+            workers: available_workers(),
+            package_rows: 10_000,
+        }
     }
 }
 
 /// Default worker count: one per available core.
 pub fn available_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Result of generating one table (or table shard).
 #[derive(Debug, Clone)]
 pub struct TableRunStats {
-    /// Rows generated.
+    /// Rows actually written to the sink (counted from the packages the
+    /// output stage wrote, not assumed from the requested range).
     pub rows: u64,
     /// Bytes written to the sink.
     pub bytes: u64,
@@ -89,28 +97,29 @@ pub fn generate_table_range(
 ) -> io::Result<TableRunStats> {
     let started = Instant::now();
     let meta = table_meta(rt, table);
-    let total_rows = rows.end.saturating_sub(rows.start);
 
-    let mut head = String::new();
+    let mut head = Vec::new();
     formatter.begin(&mut head, &meta);
     if !head.is_empty() {
-        sink.write_chunk(head.as_bytes())?;
+        sink.write_chunk(&head)?;
     }
 
-    if cfg.workers == 0 {
-        generate_inline(rt, table, update, rows, formatter, &meta, sink, monitor)?;
+    let rows_written = if cfg.workers == 0 {
+        generate_inline(rt, table, update, rows, formatter, &meta, sink, monitor)?
     } else {
-        generate_parallel(rt, table, update, rows, formatter, &meta, sink, cfg, monitor)?;
-    }
+        generate_parallel(
+            rt, table, update, rows, formatter, &meta, sink, cfg, monitor,
+        )?
+    };
 
-    let mut tail = String::new();
+    let mut tail = Vec::new();
     formatter.end(&mut tail, &meta);
     if !tail.is_empty() {
-        sink.write_chunk(tail.as_bytes())?;
+        sink.write_chunk(&tail)?;
     }
 
     Ok(TableRunStats {
-        rows: total_rows,
+        rows: rows_written,
         bytes: sink.bytes_written(),
         seconds: started.elapsed().as_secs_f64(),
     })
@@ -125,10 +134,11 @@ fn format_package(
     formatter: &dyn Formatter,
     meta: &TableMeta,
     row_buf: &mut Vec<Value>,
-    out: &mut String,
+    scratch: &mut GenScratch,
+    out: &mut Vec<u8>,
 ) {
     for row in rows {
-        rt.row_into(table, update, row, row_buf);
+        rt.row_into_with_scratch(table, update, row, row_buf, scratch);
         formatter.row(out, meta, row_buf);
     }
 }
@@ -143,20 +153,33 @@ fn generate_inline(
     meta: &TableMeta,
     sink: &mut dyn Sink,
     monitor: Option<&Monitor>,
-) -> io::Result<()> {
+) -> io::Result<u64> {
     let mut row_buf = Vec::new();
-    let mut out = String::new();
+    let mut scratch = GenScratch::default();
+    let mut out = Vec::new();
+    let mut written_rows = 0u64;
     // Inline mode still chunks so the buffer does not grow unbounded.
     for pkg in packages_for(table, update, rows, 10_000) {
         out.clear();
         let n = pkg.len();
-        format_package(rt, table, update, pkg.rows, formatter, meta, &mut row_buf, &mut out);
-        sink.write_chunk(out.as_bytes())?;
+        format_package(
+            rt,
+            table,
+            update,
+            pkg.rows,
+            formatter,
+            meta,
+            &mut row_buf,
+            &mut scratch,
+            &mut out,
+        );
+        sink.write_chunk(&out)?;
+        written_rows += n;
         if let Some(m) = monitor {
             m.record_package(n, out.len() as u64);
         }
     }
-    Ok(())
+    Ok(written_rows)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -170,32 +193,40 @@ fn generate_parallel(
     sink: &mut dyn Sink,
     cfg: &RunConfig,
     monitor: Option<&Monitor>,
-) -> io::Result<()> {
+) -> io::Result<u64> {
     let packages = packages_for(table, update, rows, cfg.package_rows);
     if packages.is_empty() {
-        return Ok(());
+        return Ok(0);
     }
     let next_package = AtomicU64::new(0);
     let n_packages = packages.len() as u64;
     // Bounded channel: workers stall rather than buffering the whole
     // table when the sink is slow.
-    let (tx, rx) = channel::bounded::<(u64, u64, String)>(cfg.workers * 4);
+    let channel_depth = cfg.workers * 4;
+    let (tx, rx) = channel::bounded::<(u64, u64, Vec<u8>)>(channel_depth);
+    // Written buffers return here and workers take them back out; sized
+    // past the channel depth so even a full pipeline keeps recycling.
+    let pool = BufferPool::new(channel_depth + cfg.workers + 1);
 
     let mut result: io::Result<()> = Ok(());
+    let mut written_rows = 0u64;
+    let mut written_packages = 0u64;
     std::thread::scope(|scope| {
         for _ in 0..cfg.workers {
             let tx = tx.clone();
             let packages = &packages;
             let next_package = &next_package;
+            let pool = &pool;
             scope.spawn(move || {
                 let mut row_buf = Vec::new();
+                let mut scratch = GenScratch::default();
                 loop {
                     let idx = next_package.fetch_add(1, Ordering::Relaxed);
                     if idx >= n_packages {
                         return;
                     }
                     let pkg = &packages[idx as usize];
-                    let mut out = String::new();
+                    let mut out = pool.take();
                     format_package(
                         rt,
                         table,
@@ -204,6 +235,7 @@ fn generate_parallel(
                         formatter,
                         meta,
                         &mut row_buf,
+                        &mut scratch,
                         &mut out,
                     );
                     if tx.send((pkg.seq, pkg.len(), out)).is_err() {
@@ -216,29 +248,43 @@ fn generate_parallel(
         }
         drop(tx);
 
-        // Output stage on the calling thread: reorder and write.
+        // Output stage on the calling thread: reorder, write, recycle.
         let mut reorder = ReorderBuffer::new();
         for (seq, rows, buf) in rx {
-            for (ready_rows, ready) in reorder.push(seq, (rows, buf)) {
-                if let Err(e) = sink.write_chunk(ready.as_bytes()) {
+            let mut ready = reorder.push(seq, (rows, buf));
+            while let Some((ready_rows, ready_buf)) = ready {
+                if let Err(e) = sink.write_chunk(&ready_buf) {
                     result = Err(e);
-                    return;
+                    return; // drops `rx`; workers see the hangup and stop
                 }
                 if let Some(m) = monitor {
-                    m.record_package(ready_rows, ready.len() as u64);
+                    m.record_package(ready_rows, ready_buf.len() as u64);
                 }
+                pool.put(ready_buf);
+                written_rows += ready_rows;
+                written_packages += 1;
+                ready = reorder.pop_ready();
             }
         }
-        debug_assert!(reorder.is_drained(), "packages lost");
+        // Every sender completed, so a shortfall here means packages were
+        // dropped between the workers and the sink — corrupt output, not
+        // a debug-only concern.
+        if written_packages != n_packages {
+            result = Err(io::Error::other(format!(
+                "output stage lost packages: wrote {written_packages} of \
+                 {n_packages} ({} parked out of order)",
+                reorder.pending()
+            )));
+        }
     });
-    result
+    result.map(|()| written_rows)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pdgf_gen::MapResolver;
-    use pdgf_output::{CsvFormatter, MemorySink};
+    use pdgf_output::{CsvFormatter, JsonFormatter, MemorySink, SqlFormatter, XmlFormatter};
     use pdgf_schema::{Expr, Field, GeneratorSpec, Schema, SqlType, Table};
 
     fn runtime(rows: u64) -> SchemaRuntime {
@@ -260,15 +306,23 @@ mod tests {
         SchemaRuntime::build(&schema, &MapResolver::new()).unwrap()
     }
 
-    fn run(rt: &SchemaRuntime, workers: usize, package_rows: u64) -> String {
+    fn run_fmt(
+        rt: &SchemaRuntime,
+        formatter: &dyn Formatter,
+        workers: usize,
+        package_rows: u64,
+    ) -> String {
         let mut sink = MemorySink::new();
-        let cfg = RunConfig { workers, package_rows };
+        let cfg = RunConfig {
+            workers,
+            package_rows,
+        };
         let stats = generate_table_range(
             rt,
             0,
             0,
             0..rt.tables()[0].size,
-            &CsvFormatter::new(),
+            formatter,
             &mut sink,
             &cfg,
             None,
@@ -277,6 +331,10 @@ mod tests {
         assert_eq!(stats.rows, rt.tables()[0].size);
         assert_eq!(stats.bytes, sink.bytes_written());
         sink.as_str().to_string()
+    }
+
+    fn run(rt: &SchemaRuntime, workers: usize, package_rows: u64) -> String {
+        run_fmt(rt, &CsvFormatter::new(), workers, package_rows)
     }
 
     #[test]
@@ -303,21 +361,49 @@ mod tests {
     }
 
     #[test]
+    fn every_format_is_byte_identical_across_parallelism() {
+        let rt = runtime(2_000);
+        let formatters: [&dyn Formatter; 4] = [
+            &CsvFormatter::new(),
+            &JsonFormatter,
+            &XmlFormatter,
+            &SqlFormatter::new(),
+        ];
+        for formatter in formatters {
+            let reference = run_fmt(&rt, formatter, 0, 128);
+            for workers in [1, 2, 4] {
+                for pkg in [7, 256, 100_000] {
+                    assert_eq!(
+                        run_fmt(&rt, formatter, workers, pkg),
+                        reference,
+                        "format={} workers={workers} pkg={pkg}",
+                        formatter.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn sub_ranges_generate_the_matching_slice() {
         let rt = runtime(1000);
         let all = run(&rt, 0, 100);
         let mut sink = MemorySink::new();
-        generate_table_range(
+        let stats = generate_table_range(
             &rt,
             0,
             0,
             200..300,
             &CsvFormatter::new(),
             &mut sink,
-            &RunConfig { workers: 2, package_rows: 17 },
+            &RunConfig {
+                workers: 2,
+                package_rows: 17,
+            },
             None,
         )
         .unwrap();
+        assert_eq!(stats.rows, 100, "rows reflect the requested sub-range");
         let slice: Vec<&str> = all.lines().skip(200).take(100).collect();
         let got: Vec<&str> = sink.as_str().lines().collect();
         assert_eq!(got, slice);
@@ -335,7 +421,10 @@ mod tests {
             0..1000,
             &CsvFormatter::new(),
             &mut sink,
-            &RunConfig { workers: 3, package_rows: 64 },
+            &RunConfig {
+                workers: 3,
+                package_rows: 64,
+            },
             Some(&monitor),
         )
         .unwrap();
@@ -362,12 +451,58 @@ mod tests {
             0..10,
             &CsvFormatter::new().with_header(),
             &mut sink,
-            &RunConfig { workers: 2, package_rows: 3 },
+            &RunConfig {
+                workers: 2,
+                package_rows: 3,
+            },
             None,
         )
         .unwrap();
         let out = sink.as_str();
         assert!(out.starts_with("id,v\n"));
         assert_eq!(out.matches("id,v").count(), 1);
+    }
+
+    #[test]
+    fn failing_sink_surfaces_the_error() {
+        struct FailingSink {
+            wrote: u64,
+            budget: u64,
+        }
+        impl Sink for FailingSink {
+            fn write_chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
+                if self.wrote + bytes.len() as u64 > self.budget {
+                    return Err(io::Error::other("disk full"));
+                }
+                self.wrote += bytes.len() as u64;
+                Ok(())
+            }
+            fn finish(&mut self) -> io::Result<u64> {
+                Ok(self.wrote)
+            }
+            fn bytes_written(&self) -> u64 {
+                self.wrote
+            }
+        }
+        let rt = runtime(10_000);
+        let mut sink = FailingSink {
+            wrote: 0,
+            budget: 4_096,
+        };
+        let err = generate_table_range(
+            &rt,
+            0,
+            0,
+            0..10_000,
+            &CsvFormatter::new(),
+            &mut sink,
+            &RunConfig {
+                workers: 2,
+                package_rows: 100,
+            },
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
     }
 }

@@ -33,7 +33,11 @@ pub struct UpdateConfig {
 
 impl Default for UpdateConfig {
     fn default() -> Self {
-        Self { insert_fraction: 0.05, update_fraction: 0.05, delete_fraction: 0.01 }
+        Self {
+            insert_fraction: 0.05,
+            update_fraction: 0.05,
+            delete_fraction: 0.01,
+        }
     }
 }
 
@@ -169,8 +173,7 @@ impl UpdateBlackBox {
         let mut high_water = base;
         for _ in 1..epoch {
             let inserts = (live as f64 * self.config.insert_fraction).round() as u64;
-            let deletes =
-                ((live as f64 * self.config.delete_fraction).round() as u64).min(live);
+            let deletes = ((live as f64 * self.config.delete_fraction).round() as u64).min(live);
             live = live + inserts - deletes;
             high_water += inserts;
         }
@@ -182,10 +185,8 @@ impl UpdateBlackBox {
         assert!(epoch >= 1, "epoch 0 is the initial load");
         let (live, high_water) = self.sizes_before(rt, epoch);
         let n_inserts = (live as f64 * self.config.insert_fraction).round() as u64;
-        let n_updates =
-            ((live as f64 * self.config.update_fraction).round() as u64).min(live);
-        let n_deletes =
-            ((live as f64 * self.config.delete_fraction).round() as u64).min(live);
+        let n_updates = ((live as f64 * self.config.update_fraction).round() as u64).min(live);
+        let n_deletes = ((live as f64 * self.config.delete_fraction).round() as u64).min(live);
 
         // The operation stream is seeded from the table's auxiliary seed
         // and the epoch, independent of any column stream.
@@ -235,11 +236,17 @@ impl UpdateBlackBox {
         // epoch's seed level so each epoch's inserts are distinct data.
         for i in 0..n_inserts {
             let row = high_water + i;
-            let values = (0..n_cols).map(|c| rt.value(self.table, c, epoch, row)).collect();
+            let values = (0..n_cols)
+                .map(|c| rt.value(self.table, c, epoch, row))
+                .collect();
             ops.push(UpdateOp::Insert { row, values });
         }
 
-        UpdateBatch { epoch, ops, high_water: high_water + n_inserts }
+        UpdateBatch {
+            epoch,
+            ops,
+            high_water: high_water + n_inserts,
+        }
     }
 }
 
@@ -271,7 +278,11 @@ mod tests {
     fn bb() -> UpdateBlackBox {
         UpdateBlackBox::new(
             0,
-            UpdateConfig { insert_fraction: 0.10, update_fraction: 0.05, delete_fraction: 0.02 },
+            UpdateConfig {
+                insert_fraction: 0.10,
+                update_fraction: 0.05,
+                delete_fraction: 0.02,
+            },
         )
     }
 
@@ -287,9 +298,21 @@ mod tests {
     fn epoch_one_counts_match_fractions() {
         let rt = runtime();
         let batch = bb().batch(&rt, 1);
-        let inserts = batch.ops.iter().filter(|o| matches!(o, UpdateOp::Insert { .. })).count();
-        let updates = batch.ops.iter().filter(|o| matches!(o, UpdateOp::Update { .. })).count();
-        let deletes = batch.ops.iter().filter(|o| matches!(o, UpdateOp::Delete { .. })).count();
+        let inserts = batch
+            .ops
+            .iter()
+            .filter(|o| matches!(o, UpdateOp::Insert { .. }))
+            .count();
+        let updates = batch
+            .ops
+            .iter()
+            .filter(|o| matches!(o, UpdateOp::Update { .. }))
+            .count();
+        let deletes = batch
+            .ops
+            .iter()
+            .filter(|o| matches!(o, UpdateOp::Delete { .. }))
+            .count();
         assert_eq!(inserts, 100);
         assert_eq!(updates, 50);
         assert_eq!(deletes, 20);
@@ -387,7 +410,9 @@ mod tests {
         let columns = vec!["id".to_string(), "v".to_string()];
         let stmts = batch.to_sql("t", &columns, 0, &|row| rt.value(0, 0, 0, row));
         assert_eq!(stmts.len(), batch.ops.len());
-        assert!(stmts.iter().any(|s| s.starts_with("DELETE FROM t WHERE id = ")));
+        assert!(stmts
+            .iter()
+            .any(|s| s.starts_with("DELETE FROM t WHERE id = ")));
         assert!(stmts.iter().any(|s| s.starts_with("UPDATE t SET v = ")));
         assert!(stmts
             .iter()

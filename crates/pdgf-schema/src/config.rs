@@ -10,8 +10,8 @@
 
 use crate::expr::Expr;
 use crate::model::{
-    DateFormat, DictSource, Field, GeneratorSpec, HistogramOutput, MarkovSource,
-    RefDistribution, Schema, SchemaError, Table,
+    DateFormat, DictSource, Field, GeneratorSpec, HistogramOutput, MarkovSource, RefDistribution,
+    Schema, SchemaError, Table,
 };
 
 fn pdgf_schema_histogram_output(name: &str) -> Result<HistogramOutput, ConfigError> {
@@ -89,7 +89,10 @@ pub fn from_xml_string(doc: &str) -> Result<Schema, ConfigError> {
 /// Parse a schema from an XML element tree and validate it.
 pub fn from_xml(root: &XmlNode) -> Result<Schema, ConfigError> {
     if root.name != "schema" {
-        return Err(ConfigError(format!("expected <schema>, got <{}>", root.name)));
+        return Err(ConfigError(format!(
+            "expected <schema>, got <{}>",
+            root.name
+        )));
     }
     let name = root
         .get_attr("name")
@@ -119,9 +122,12 @@ pub fn from_xml(root: &XmlNode) -> Result<Schema, ConfigError> {
         let size_src = tnode
             .child_text("size")
             .ok_or_else(|| ConfigError(format!("table {tname} missing <size>")))?;
-        let size = Expr::parse(size_src)
-            .map_err(|e| ConfigError(format!("table {tname}: {e}")))?;
-        let mut table = Table { name: tname.to_string(), size, fields: Vec::new() };
+        let size = Expr::parse(size_src).map_err(|e| ConfigError(format!("table {tname}: {e}")))?;
+        let mut table = Table {
+            name: tname.to_string(),
+            size,
+            fields: Vec::new(),
+        };
         for fnode in tnode.find_all("field") {
             table.fields.push(field_from_xml(fnode)?);
         }
@@ -198,9 +204,7 @@ fn gen_to_xml(spec: &GeneratorSpec) -> XmlNode {
                 DictSource::File(path) => n = n.attr("file", path),
                 DictSource::Inline { entries } => {
                     for (text, weight) in entries {
-                        n = n.child(
-                            XmlNode::new("entry").attr("weight", weight).with_text(text),
-                        );
+                        n = n.child(XmlNode::new("entry").attr("weight", weight).with_text(text));
                     }
                 }
             }
@@ -212,38 +216,44 @@ fn gen_to_xml(spec: &GeneratorSpec) -> XmlNode {
                 DictSource::File(path) => n = n.attr("file", path),
                 DictSource::Inline { entries } => {
                     for (text, weight) in entries {
-                        n = n.child(
-                            XmlNode::new("entry").attr("weight", weight).with_text(text),
-                        );
+                        n = n.child(XmlNode::new("entry").attr("weight", weight).with_text(text));
                     }
                 }
             }
             n
         }
-        GeneratorSpec::Markov { source, min_words, max_words } => {
+        GeneratorSpec::Markov {
+            source,
+            min_words,
+            max_words,
+        } => {
             let n = node
                 .child(XmlNode::new("min").with_text(min_words))
                 .child(XmlNode::new("max").with_text(max_words));
             match source {
                 MarkovSource::File(path) => n.child(XmlNode::new("file").with_text(path)),
-                MarkovSource::Inline(data) => {
-                    n.child(XmlNode::new("inline").with_text(data))
-                }
+                MarkovSource::Inline(data) => n.child(XmlNode::new("inline").with_text(data)),
             }
         }
-        GeneratorSpec::Reference { table, field, distribution } => {
+        GeneratorSpec::Reference {
+            table,
+            field,
+            distribution,
+        } => {
             let dist = match distribution {
                 RefDistribution::Uniform => "uniform".to_string(),
                 RefDistribution::Permutation => "permutation".to_string(),
                 RefDistribution::Zipf { theta } => format!("zipf:{theta}"),
             };
             node.attr("distribution", dist).child(
-                XmlNode::new("reference").attr("table", table).attr("field", field),
+                XmlNode::new("reference")
+                    .attr("table", table)
+                    .attr("field", field),
             )
         }
-        GeneratorSpec::Null { probability, inner } => {
-            node.attr("probability", probability).child(gen_to_xml(inner))
-        }
+        GeneratorSpec::Null { probability, inner } => node
+            .attr("probability", probability)
+            .child(gen_to_xml(inner)),
         GeneratorSpec::Static { value } => {
             let (ty, text) = match value {
                 Value::Null => ("null", String::new()),
@@ -276,10 +286,12 @@ fn gen_to_xml(spec: &GeneratorSpec) -> XmlNode {
             }
             n
         }
-        GeneratorSpec::Formula { expr, as_long } => {
-            node.attr("as_long", as_long).with_text(expr)
-        }
-        GeneratorSpec::HistogramNumeric { bounds, weights, output } => {
+        GeneratorSpec::Formula { expr, as_long } => node.attr("as_long", as_long).with_text(expr),
+        GeneratorSpec::HistogramNumeric {
+            bounds,
+            weights,
+            output,
+        } => {
             let join = |xs: &[f64]| {
                 xs.iter()
                     .map(|v| format!("{v}"))
@@ -324,9 +336,10 @@ fn gen_from_xml(node: &XmlNode) -> Result<GeneratorSpec, ConfigError> {
             min: child_expr(node, "min")?,
             max: child_expr(node, "max")?,
             decimals: match node.get_attr("decimals") {
-                Some(d) => Some(d.parse().map_err(|_| {
-                    ConfigError(format!("bad decimals {d:?}"))
-                })?),
+                Some(d) => Some(
+                    d.parse()
+                        .map_err(|_| ConfigError(format!("bad decimals {d:?}")))?,
+                ),
                 None => None,
             },
         },
@@ -452,15 +465,11 @@ fn gen_from_xml(node: &XmlNode) -> Result<GeneratorSpec, ConfigError> {
             let text = node.text.as_str();
             let value = match ty {
                 "null" => Value::Null,
-                "bool" => Value::Bool(
-                    text.parse().map_err(|_| ConfigError("bad bool".into()))?,
-                ),
-                "long" => Value::Long(
-                    text.parse().map_err(|_| ConfigError("bad long".into()))?,
-                ),
-                "double" => Value::Double(
-                    text.parse().map_err(|_| ConfigError("bad double".into()))?,
-                ),
+                "bool" => Value::Bool(text.parse().map_err(|_| ConfigError("bad bool".into()))?),
+                "long" => Value::Long(text.parse().map_err(|_| ConfigError("bad long".into()))?),
+                "double" => {
+                    Value::Double(text.parse().map_err(|_| ConfigError("bad double".into()))?)
+                }
                 "decimal" => Value::Decimal {
                     unscaled: text
                         .parse()
@@ -471,7 +480,8 @@ fn gen_from_xml(node: &XmlNode) -> Result<GeneratorSpec, ConfigError> {
                     Date::parse_iso(text).ok_or_else(|| ConfigError("bad date".into()))?,
                 ),
                 "timestamp" => Value::Timestamp(
-                    text.parse().map_err(|_| ConfigError("bad timestamp".into()))?,
+                    text.parse()
+                        .map_err(|_| ConfigError("bad timestamp".into()))?,
                 ),
                 "text" => Value::text(text),
                 other => return Err(ConfigError(format!("unknown static type {other:?}"))),
@@ -502,8 +512,7 @@ fn gen_from_xml(node: &XmlNode) -> Result<GeneratorSpec, ConfigError> {
                 .collect::<Result<Vec<_>, ConfigError>>()?,
         },
         "gen_FormulaGenerator" => GeneratorSpec::Formula {
-            expr: Expr::parse(&node.text)
-                .map_err(|e| ConfigError(format!("formula: {e}")))?,
+            expr: Expr::parse(&node.text).map_err(|e| ConfigError(format!("formula: {e}")))?,
             as_long: node.get_attr("as_long") == Some("true"),
         },
         "gen_HistogramGenerator" => {
@@ -542,12 +551,9 @@ mod tests {
     fn kitchen_sink() -> Schema {
         let mut s = Schema::new("sink", 7);
         s.properties.define("SF", "2").unwrap();
-        s.table(
-            Table::new("parent", "100 * ${SF}").field(
-                Field::new("p_id", SqlType::BigInt, GeneratorSpec::Id { permute: true })
-                    .primary(),
-            ),
-        )
+        s.table(Table::new("parent", "100 * ${SF}").field(
+            Field::new("p_id", SqlType::BigInt, GeneratorSpec::Id { permute: true }).primary(),
+        ))
         .table(
             Table::new("child", "1000")
                 .field(Field::new(
@@ -588,12 +594,18 @@ mod tests {
                 .field(Field::new(
                     "c_ts",
                     SqlType::Timestamp,
-                    GeneratorSpec::TimestampRange { min: 0, max: 1_000_000 },
+                    GeneratorSpec::TimestampRange {
+                        min: 0,
+                        max: 1_000_000,
+                    },
                 ))
                 .field(Field::new(
                     "c_str",
                     SqlType::Varchar(20),
-                    GeneratorSpec::RandomString { min_len: 5, max_len: 20 },
+                    GeneratorSpec::RandomString {
+                        min_len: 5,
+                        max_len: 20,
+                    },
                 ))
                 .field(Field::new(
                     "c_bool",
@@ -650,7 +662,9 @@ mod tests {
                 .field(Field::new(
                     "c_static",
                     SqlType::Varchar(8),
-                    GeneratorSpec::Static { value: Value::text("fixed") },
+                    GeneratorSpec::Static {
+                        value: Value::text("fixed"),
+                    },
                 ))
                 .field(Field::new(
                     "c_seq",
@@ -662,7 +676,10 @@ mod tests {
                                 min: Expr::parse("0").unwrap(),
                                 max: Expr::parse("9").unwrap(),
                             },
-                            GeneratorSpec::RandomString { min_len: 3, max_len: 3 },
+                            GeneratorSpec::RandomString {
+                                min_len: 3,
+                                max_len: 3,
+                            },
                         ],
                     },
                 ))
@@ -671,8 +688,18 @@ mod tests {
                     SqlType::Varchar(16),
                     GeneratorSpec::Probability {
                         branches: vec![
-                            (0.7, GeneratorSpec::Static { value: Value::text("a") }),
-                            (0.3, GeneratorSpec::Static { value: Value::text("b") }),
+                            (
+                                0.7,
+                                GeneratorSpec::Static {
+                                    value: Value::text("a"),
+                                },
+                            ),
+                            (
+                                0.3,
+                                GeneratorSpec::Static {
+                                    value: Value::text("b"),
+                                },
+                            ),
                         ],
                     },
                 ))
@@ -775,7 +802,11 @@ mod tests {
             GeneratorSpec::Null { probability, inner } => {
                 assert_eq!(*probability, 0.0);
                 match inner.as_ref() {
-                    GeneratorSpec::Markov { source, min_words, max_words } => {
+                    GeneratorSpec::Markov {
+                        source,
+                        min_words,
+                        max_words,
+                    } => {
                         assert_eq!(
                             source,
                             &MarkovSource::File("markov/l_comment_markovSamples.bin".into())
@@ -792,7 +823,10 @@ mod tests {
     #[test]
     fn invalid_documents_are_rejected() {
         assert!(from_xml_string("<notschema/>").is_err());
-        assert!(from_xml_string("<schema name='x'/>").is_err(), "missing seed");
+        assert!(
+            from_xml_string("<schema name='x'/>").is_err(),
+            "missing seed"
+        );
         assert!(
             from_xml_string(
                 "<schema name='x'><seed>1</seed><table name='t'><size>1</size>\
@@ -827,7 +861,9 @@ mod tests {
                 .field(Field::new(
                     "v",
                     SqlType::Decimal(10, 2),
-                    GeneratorSpec::Static { value: Value::decimal(-12_345, 2) },
+                    GeneratorSpec::Static {
+                        value: Value::decimal(-12_345, 2),
+                    },
                 ))
                 .field(Field::new(
                     "n",
@@ -838,7 +874,9 @@ mod tests {
         let parsed = from_xml_string(&to_xml_string(&s)).unwrap();
         assert_eq!(
             parsed.tables[0].fields[0].generator,
-            GeneratorSpec::Static { value: Value::decimal(-12_345, 2) }
+            GeneratorSpec::Static {
+                value: Value::decimal(-12_345, 2)
+            }
         );
         assert_eq!(
             parsed.tables[0].fields[1].generator,

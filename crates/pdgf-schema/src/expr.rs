@@ -113,7 +113,10 @@ impl std::error::Error for ExprError {}
 impl Expr {
     /// Parse a source string into an expression tree.
     pub fn parse(src: &str) -> Result<Expr, ExprError> {
-        let mut p = Parser { src: src.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        };
         let e = p.parse_expr()?;
         p.skip_ws();
         if p.pos != p.src.len() {
@@ -129,8 +132,9 @@ impl Expr {
     pub fn eval(&self, env: &dyn Fn(&str) -> Option<f64>) -> Result<f64, ExprError> {
         Ok(match self {
             Expr::Num(v) => *v,
-            Expr::Prop(name) => env(name)
-                .ok_or_else(|| ExprError(format!("unknown property ${{{name}}}")))?,
+            Expr::Prop(name) => {
+                env(name).ok_or_else(|| ExprError(format!("unknown property ${{{name}}}")))?
+            }
             Expr::Neg(e) => -e.eval(env)?,
             Expr::Bin(op, a, b) => {
                 let (x, y) = (a.eval(env)?, b.eval(env)?);
@@ -153,8 +157,7 @@ impl Expr {
                 }
             }
             Expr::Call(f, args) => {
-                let vals: Vec<f64> =
-                    args.iter().map(|a| a.eval(env)).collect::<Result<_, _>>()?;
+                let vals: Vec<f64> = args.iter().map(|a| a.eval(env)).collect::<Result<_, _>>()?;
                 match f {
                     Func::Ceil => vals[0].ceil(),
                     Func::Floor => vals[0].floor(),
@@ -401,8 +404,7 @@ mod tests {
     use super::*;
 
     fn eval(src: &str, props: &[(&str, f64)]) -> f64 {
-        let map: BTreeMap<String, f64> =
-            props.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let map: BTreeMap<String, f64> = props.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         Expr::parse(src).unwrap().eval_map(&map).unwrap()
     }
 
@@ -451,10 +453,7 @@ mod tests {
     #[test]
     fn nested_props() {
         assert_eq!(
-            eval(
-                "ceil(${a} / ${b}) * 100",
-                &[("a", 7.0), ("b", 2.0)]
-            ),
+            eval("ceil(${a} / ${b}) * 100", &[("a", 7.0), ("b", 2.0)]),
             400.0
         );
     }

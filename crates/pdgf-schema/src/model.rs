@@ -504,7 +504,11 @@ impl Schema {
     fn check_spec(&self, g: &GeneratorSpec, t: &Table, f: &Field) -> Option<String> {
         let at = || format!("{}.{}", t.name, f.name);
         match g {
-            GeneratorSpec::Reference { table, field, distribution } => {
+            GeneratorSpec::Reference {
+                table,
+                field,
+                distribution,
+            } => {
                 let Some(target) = self.table_by_name(table) else {
                     return Some(format!("{}: reference to unknown table {table:?}", at()));
                 };
@@ -526,7 +530,10 @@ impl Schema {
             }
             GeneratorSpec::Null { probability, .. } => {
                 if !(0.0..=1.0).contains(probability) {
-                    Some(format!("{}: NULL probability {probability} out of [0,1]", at()))
+                    Some(format!(
+                        "{}: NULL probability {probability} out of [0,1]",
+                        at()
+                    ))
                 } else {
                     None
                 }
@@ -551,7 +558,11 @@ impl Schema {
                     None
                 }
             }
-            GeneratorSpec::Markov { min_words, max_words, .. } => {
+            GeneratorSpec::Markov {
+                min_words,
+                max_words,
+                ..
+            } => {
                 if min_words > max_words {
                     Some(format!("{}: min_words > max_words", at()))
                 } else {
@@ -572,7 +583,9 @@ impl Schema {
                     None
                 }
             }
-            GeneratorSpec::HistogramNumeric { bounds, weights, .. } => {
+            GeneratorSpec::HistogramNumeric {
+                bounds, weights, ..
+            } => {
                 if bounds.len() != weights.len() + 1 {
                     return Some(format!(
                         "{}: histogram needs {} bounds for {} buckets",
@@ -584,13 +597,17 @@ impl Schema {
                 if weights.is_empty() {
                     return Some(format!("{}: histogram with no buckets", at()));
                 }
-                if bounds.windows(2).any(|w| w[0] >= w[1]) || bounds.iter().any(|b| !b.is_finite()) {
+                if bounds.windows(2).any(|w| w[0] >= w[1]) || bounds.iter().any(|b| !b.is_finite())
+                {
                     return Some(format!("{}: histogram bounds must strictly increase", at()));
                 }
                 if weights.iter().any(|w| !w.is_finite() || *w < 0.0)
                     || weights.iter().sum::<f64>() <= 0.0
                 {
-                    return Some(format!("{}: histogram weights must be non-negative with positive sum", at()));
+                    return Some(format!(
+                        "{}: histogram weights must be non-negative with positive sum",
+                        at()
+                    ));
                 }
                 None
             }
@@ -713,8 +730,18 @@ mod tests {
 
         s.tables[1].fields[2].generator = GeneratorSpec::Probability {
             branches: vec![
-                (0.5, GeneratorSpec::Static { value: Value::Long(1) }),
-                (0.2, GeneratorSpec::Static { value: Value::Long(2) }),
+                (
+                    0.5,
+                    GeneratorSpec::Static {
+                        value: Value::Long(1),
+                    },
+                ),
+                (
+                    0.2,
+                    GeneratorSpec::Static {
+                        value: Value::Long(2),
+                    },
+                ),
             ],
         };
         assert!(s.validate().is_err(), "probabilities must sum to 1");
@@ -740,7 +767,10 @@ mod tests {
         s.tables[1].fields[2].generator = GeneratorSpec::Null {
             probability: 0.1,
             inner: Box::new(GeneratorSpec::Sequential {
-                parts: vec![GeneratorSpec::RandomString { min_len: 5, max_len: 2 }],
+                parts: vec![GeneratorSpec::RandomString {
+                    min_len: 5,
+                    max_len: 2,
+                }],
                 separator: " ".to_string(),
             }),
         };
@@ -771,9 +801,16 @@ mod tests {
             probability: 0.1,
             inner: Box::new(GeneratorSpec::Sequential {
                 parts: vec![
-                    GeneratorSpec::Static { value: Value::Long(1) },
+                    GeneratorSpec::Static {
+                        value: Value::Long(1),
+                    },
                     GeneratorSpec::Probability {
-                        branches: vec![(1.0, GeneratorSpec::Static { value: Value::Long(2) })],
+                        branches: vec![(
+                            1.0,
+                            GeneratorSpec::Static {
+                                value: Value::Long(2),
+                            },
+                        )],
                     },
                 ],
                 separator: String::new(),

@@ -59,9 +59,10 @@ impl PropertyBag {
         if self.entries.iter().any(|(n, _, _)| n == name) {
             return Err(PropError::Duplicate(name.to_string()));
         }
-        let expr = Expr::parse(source)
-            .map_err(|e| PropError::Expr(name.to_string(), e.to_string()))?;
-        self.entries.push((name.to_string(), source.to_string(), expr));
+        let expr =
+            Expr::parse(source).map_err(|e| PropError::Expr(name.to_string(), e.to_string()))?;
+        self.entries
+            .push((name.to_string(), source.to_string(), expr));
         Ok(())
     }
 
@@ -78,13 +79,14 @@ impl PropertyBag {
     /// Replace a property's definition (the command-line override path).
     /// Defines the property if it does not exist yet.
     pub fn override_value(&mut self, name: &str, source: &str) -> Result<(), PropError> {
-        let expr = Expr::parse(source)
-            .map_err(|e| PropError::Expr(name.to_string(), e.to_string()))?;
+        let expr =
+            Expr::parse(source).map_err(|e| PropError::Expr(name.to_string(), e.to_string()))?;
         if let Some(entry) = self.entries.iter_mut().find(|(n, _, _)| n == name) {
             entry.1 = source.to_string();
             entry.2 = expr;
         } else {
-            self.entries.push((name.to_string(), source.to_string(), expr));
+            self.entries
+                .push((name.to_string(), source.to_string(), expr));
         }
         Ok(())
     }
@@ -104,7 +106,9 @@ impl PropertyBag {
 
     /// Iterate (name, source) in definition order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.entries.iter().map(|(n, s, _)| (n.as_str(), s.as_str()))
+        self.entries
+            .iter()
+            .map(|(n, s, _)| (n.as_str(), s.as_str()))
     }
 
     /// Number of properties.

@@ -43,8 +43,7 @@ impl SqlType {
 
     /// Is this any numeric type (integer, decimal, float)?
     pub fn is_numeric(self) -> bool {
-        self.is_integer()
-            || matches!(self, SqlType::Decimal(..) | SqlType::Real | SqlType::Double)
+        self.is_integer() || matches!(self, SqlType::Decimal(..) | SqlType::Real | SqlType::Double)
     }
 
     /// Is this a character type?

@@ -122,7 +122,10 @@ impl XmlNode {
 
     /// Parse a document, returning its root element.
     pub fn parse(input: &str) -> Result<XmlNode, XmlError> {
-        let mut p = XmlParser { src: input.as_bytes(), pos: 0 };
+        let mut p = XmlParser {
+            src: input.as_bytes(),
+            pos: 0,
+        };
         p.skip_misc()?;
         let root = p.parse_element()?;
         p.skip_misc()?;
@@ -343,8 +346,7 @@ fn unescape(s: &str) -> Result<String, XmlError> {
                         char::from_u32(code)
                             .ok_or_else(|| XmlError(format!("invalid codepoint {code}")))?,
                     );
-                } else if let Some(dec) =
-                    other.strip_prefix("&#").and_then(|o| o.strip_suffix(';'))
+                } else if let Some(dec) = other.strip_prefix("&#").and_then(|o| o.strip_suffix(';'))
                 {
                     let code = dec
                         .parse::<u32>()
@@ -415,16 +417,14 @@ mod tests {
 
     #[test]
     fn entities_are_unescaped() {
-        let root =
-            XmlNode::parse("<a x=\"&lt;&gt;&amp;&quot;&apos;\">&#65;&#x42;c</a>").unwrap();
+        let root = XmlNode::parse("<a x=\"&lt;&gt;&amp;&quot;&apos;\">&#65;&#x42;c</a>").unwrap();
         assert_eq!(root.get_attr("x"), Some("<>&\"'"));
         assert_eq!(root.text, "ABc");
     }
 
     #[test]
     fn comments_are_skipped() {
-        let root = XmlNode::parse("<!-- head --><a><!-- inner --><b/><!-- tail --></a>")
-            .unwrap();
+        let root = XmlNode::parse("<!-- head --><a><!-- inner --><b/><!-- tail --></a>").unwrap();
         assert_eq!(root.children.len(), 1);
         assert_eq!(root.children[0].name, "b");
     }

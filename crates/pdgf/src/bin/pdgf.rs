@@ -69,12 +69,14 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                 }
             }
             "--workers" => {
-                args.workers =
-                    Some(value("--workers")?.parse().map_err(|_| "bad --workers")?)
+                args.workers = Some(value("--workers")?.parse().map_err(|_| "bad --workers")?)
             }
             "--package-rows" => {
-                args.package_rows =
-                    Some(value("--package-rows")?.parse().map_err(|_| "bad --package-rows")?)
+                args.package_rows = Some(
+                    value("--package-rows")?
+                        .parse()
+                        .map_err(|_| "bad --package-rows")?,
+                )
             }
             "--seed" => args.seed = Some(value("--seed")?.parse().map_err(|_| "bad --seed")?),
             "--table" => args.table = Some(value("--table")?),
@@ -197,7 +199,12 @@ fn cmd_info(args: &Args) -> Result<(), PdgfError> {
     }
     println!("tables:");
     for t in rt.tables() {
-        println!("  {:<20} {:>14} rows, {} columns", t.name, t.size, t.columns.len());
+        println!(
+            "  {:<20} {:>14} rows, {} columns",
+            t.name,
+            t.size,
+            t.columns.len()
+        );
     }
     Ok(())
 }

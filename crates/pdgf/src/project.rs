@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use pdgf_gen::{FsResolver, MapResolver, ResourceResolver, SchemaRuntime};
 use pdgf_output::{
-    CsvFormatter, FileSink, Formatter, JsonFormatter, MemorySink, NullSink, Sink,
-    SqlFormatter, XmlFormatter,
+    CsvFormatter, FileSink, Formatter, JsonFormatter, MemorySink, NullSink, Sink, SqlFormatter,
+    XmlFormatter,
 };
 use pdgf_runtime::{GenerationRun, Monitor, RunConfig, RunReport};
 use pdgf_schema::config as xmlconfig;
@@ -112,7 +112,10 @@ impl Pdgf {
     pub fn from_xml_file(path: impl AsRef<Path>) -> Result<Self, PdgfError> {
         let path = path.as_ref();
         let doc = std::fs::read_to_string(path)?;
-        let base = path.parent().unwrap_or_else(|| Path::new(".")).to_path_buf();
+        let base = path
+            .parent()
+            .unwrap_or_else(|| Path::new("."))
+            .to_path_buf();
         Ok(Self::from_xml_str(&doc)?.resolver(FsResolver::new(base)))
     }
 
@@ -161,7 +164,11 @@ impl Pdgf {
         }
         let runtime = SchemaRuntime::build(&self.schema, self.resolver.as_ref())
             .map_err(|e| PdgfError::Build(e.to_string()))?;
-        Ok(PdgfProject { schema: self.schema, runtime, config: self.config })
+        Ok(PdgfProject {
+            schema: self.schema,
+            runtime,
+            config: self.config,
+        })
     }
 }
 
@@ -211,8 +218,7 @@ impl PdgfProject {
     /// configuration of the paper's experiments.
     pub fn generate_to_null(&self, monitor: Option<Monitor>) -> Result<RunReport, PdgfError> {
         let formatter = CsvFormatter::new();
-        let mut make =
-            |_: &str| -> io::Result<Box<dyn Sink>> { Ok(Box::new(NullSink::new())) };
+        let mut make = |_: &str| -> io::Result<Box<dyn Sink>> { Ok(Box::new(NullSink::new())) };
         let mut run = GenerationRun::new(&self.runtime, self.config.clone());
         if let Some(m) = monitor {
             run = run.with_monitor(m);
@@ -221,11 +227,7 @@ impl PdgfProject {
     }
 
     /// Render one table to a string (testing and previews).
-    pub fn table_to_string(
-        &self,
-        table: &str,
-        format: OutputFormat,
-    ) -> Result<String, PdgfError> {
+    pub fn table_to_string(&self, table: &str, format: OutputFormat) -> Result<String, PdgfError> {
         let (idx, t) = self
             .runtime
             .table_by_name(table)
@@ -261,13 +263,8 @@ impl PdgfProject {
         let mut out = Vec::new();
         for (t_idx, table) in rt.tables().iter().enumerate() {
             let bb = pdgf_runtime::UpdateBlackBox::new(t_idx as u32, config);
-            let columns: Vec<String> =
-                table.columns.iter().map(|c| c.name.clone()).collect();
-            let key_column = table
-                .columns
-                .iter()
-                .position(|c| c.primary)
-                .unwrap_or(0);
+            let columns: Vec<String> = table.columns.iter().map(|c| c.name.clone()).collect();
+            let key_column = table.columns.iter().position(|c| c.primary).unwrap_or(0);
             for epoch in 1..=epochs {
                 let batch = bb.batch(rt, epoch);
                 let statements = batch.to_sql(&table.name, &columns, key_column, &|row| {
@@ -351,7 +348,11 @@ mod tests {
     #[test]
     fn seed_override_changes_data_but_not_shape() {
         let a = Pdgf::from_schema(schema()).workers(0).build().unwrap();
-        let b = Pdgf::from_schema(schema()).seed(999).workers(0).build().unwrap();
+        let b = Pdgf::from_schema(schema())
+            .seed(999)
+            .workers(0)
+            .build()
+            .unwrap();
         let csv_a = a.table_to_string("t", OutputFormat::Csv).unwrap();
         let csv_b = b.table_to_string("t", OutputFormat::Csv).unwrap();
         assert_eq!(csv_a.lines().count(), csv_b.lines().count());
@@ -440,7 +441,11 @@ mod tests {
     #[test]
     fn xml_roundtrip_through_facade() {
         let doc = xmlconfig::to_xml_string(&schema());
-        let project = Pdgf::from_xml_str(&doc).unwrap().workers(0).build().unwrap();
+        let project = Pdgf::from_xml_str(&doc)
+            .unwrap()
+            .workers(0)
+            .build()
+            .unwrap();
         let direct = Pdgf::from_schema(schema()).workers(0).build().unwrap();
         assert_eq!(
             project.table_to_string("t", OutputFormat::Csv).unwrap(),

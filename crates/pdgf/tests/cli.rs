@@ -50,7 +50,11 @@ fn generate_writes_csv_files() {
         ])
         .output()
         .expect("binary runs");
-    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let csv = std::fs::read_to_string(out.join("t.csv")).expect("output exists");
     assert_eq!(csv.lines().count(), 40, "SF=2 doubles the 20 rows");
     let stdout = String::from_utf8_lossy(&output.stdout);
@@ -136,7 +140,10 @@ fn bad_invocations_fail_cleanly() {
     assert_eq!(output.status.code(), Some(2));
 
     // Missing model → error, exit code 1.
-    let output = bin().args(["generate", "--out", "/tmp/x"]).output().expect("runs");
+    let output = bin()
+        .args(["generate", "--out", "/tmp/x"])
+        .output()
+        .expect("runs");
     assert_eq!(output.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&output.stderr).contains("--model"));
 

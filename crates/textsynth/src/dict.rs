@@ -132,9 +132,10 @@ impl Dictionary {
             }
             match line.split_once('\t') {
                 Some((w, text)) => {
-                    let weight: f64 = w.trim().parse().map_err(|_| {
-                        DictError(format!("line {}: bad weight {w:?}", lineno + 1))
-                    })?;
+                    let weight: f64 = w
+                        .trim()
+                        .parse()
+                        .map_err(|_| DictError(format!("line {}: bad weight {w:?}", lineno + 1)))?;
                     entries.push((text.to_string(), weight));
                 }
                 None => entries.push((line.to_string(), 1.0)),

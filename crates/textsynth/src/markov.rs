@@ -90,14 +90,16 @@ impl MarkovBuilder {
             .collect();
         start.sort_by_key(|(id, _)| *id);
         let mut successors: Vec<Vec<(u32, f64)>> = vec![Vec::new(); self.words.len()];
-        let mut transitions: Vec<((u32, u32), u64)> =
-            self.transition_counts.into_iter().collect();
+        let mut transitions: Vec<((u32, u32), u64)> = self.transition_counts.into_iter().collect();
         transitions.sort_by_key(|(k, _)| *k);
         for ((from, to), count) in transitions {
             successors[from as usize].push((to, count as f64));
         }
         MarkovModel::from_parts(
-            self.words.into_iter().map(|w| Arc::from(w.as_str())).collect(),
+            self.words
+                .into_iter()
+                .map(|w| Arc::from(w.as_str()))
+                .collect(),
             start,
             successors,
         )
@@ -161,11 +163,23 @@ impl MarkovModel {
                     check_id(*id)?;
                 }
                 let (ids, weights): (Vec<u32>, Vec<f64>) = list.into_iter().unzip();
-                let alias = if ids.is_empty() { None } else { Some(Alias::new(&weights)) };
-                Ok(Successors { ids, weights, alias })
+                let alias = if ids.is_empty() {
+                    None
+                } else {
+                    Some(Alias::new(&weights))
+                };
+                Ok(Successors {
+                    ids,
+                    weights,
+                    alias,
+                })
             })
             .collect::<Result<Vec<_>, MarkovError>>()?;
-        Ok(Self { words, start, successors })
+        Ok(Self {
+            words,
+            start,
+            successors,
+        })
     }
 
     /// Number of distinct words (the paper's "1500 words" statistic).
@@ -188,8 +202,15 @@ impl MarkovModel {
     /// distribution, mimicking sentence boundaries.
     pub fn generate(&self, rng: &mut dyn FnMut() -> u64, target_words: u32) -> String {
         let mut out = String::new();
+        self.generate_into(rng, target_words, &mut out);
+        out
+    }
+
+    /// [`generate`](Self::generate) appending into a caller-provided
+    /// buffer — the allocation-free form used on the generation hot path.
+    pub fn generate_into(&self, rng: &mut dyn FnMut() -> u64, target_words: u32, out: &mut String) {
         if target_words == 0 {
-            return out;
+            return;
         }
         let mut current = self.sample_start(rng);
         for i in 0..target_words {
@@ -202,7 +223,6 @@ impl MarkovModel {
                 None => self.sample_start(rng),
             };
         }
-        out
     }
 
     /// Generate with a word count drawn uniformly from
@@ -213,10 +233,26 @@ impl MarkovModel {
         min_words: u32,
         max_words: u32,
     ) -> String {
+        let mut out = String::new();
+        self.generate_range_into(rng, min_words, max_words, &mut out);
+        out
+    }
+
+    /// [`generate_range`](Self::generate_range) appending into a
+    /// caller-provided buffer. Draws the word count *before* generating,
+    /// exactly as the owned form does, so the RNG stream position is
+    /// identical for both entry points.
+    pub fn generate_range_into(
+        &self,
+        rng: &mut dyn FnMut() -> u64,
+        min_words: u32,
+        max_words: u32,
+        out: &mut String,
+    ) {
         debug_assert!(min_words <= max_words);
         let span = u64::from(max_words - min_words) + 1;
         let extra = ((u128::from(rng()) * u128::from(span)) >> 64) as u32;
-        self.generate(rng, min_words + extra)
+        self.generate_into(rng, min_words + extra, out);
     }
 
     fn sample_start(&self, rng: &mut dyn FnMut() -> u64) -> u32 {
@@ -288,8 +324,7 @@ impl MarkovModel {
             need(data, len)?;
             let mut bytes = vec![0u8; len];
             data.copy_to_slice(&mut bytes);
-            let s = String::from_utf8(bytes)
-                .map_err(|_| MarkovError("non-UTF8 word".into()))?;
+            let s = String::from_utf8(bytes).map_err(|_| MarkovError("non-UTF8 word".into()))?;
             words.push(Arc::from(s.as_str()));
         }
         need(data, 4)?;
@@ -467,8 +502,10 @@ mod tests {
                     .collect::<Vec<_>>()
             })
             .collect();
-        let starts: std::collections::HashSet<&str> =
-            SAMPLES.iter().map(|s| s.split_whitespace().next().unwrap()).collect();
+        let starts: std::collections::HashSet<&str> = SAMPLES
+            .iter()
+            .map(|s| s.split_whitespace().next().unwrap())
+            .collect();
         let mut rng = rng_fn(3);
         let text = m.generate(&mut rng, 500);
         let words: Vec<&str> = text.split_whitespace().collect();
@@ -535,7 +572,10 @@ mod tests {
     fn corrupted_text_is_rejected() {
         assert!(MarkovModel::from_text("").is_err());
         assert!(MarkovModel::from_text("markov-v1\n").is_err(), "no starts");
-        assert!(MarkovModel::from_text("markov-v1\nW a\nS 5 1\n").is_err(), "bad id");
+        assert!(
+            MarkovModel::from_text("markov-v1\nW a\nS 5 1\n").is_err(),
+            "bad id"
+        );
         assert!(MarkovModel::from_text("markov-v1\nW a\nS 0 1\nT 3 0 1\n").is_err());
         assert!(MarkovModel::from_text("markov-v1\nW a\nX nope\n").is_err());
     }

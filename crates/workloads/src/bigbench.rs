@@ -20,8 +20,16 @@ pub const REVIEW_MODEL_PATH: &str = "markov/product_reviews_markovSamples.bin";
 
 /// Product categories.
 pub const CATEGORIES: &[&str] = &[
-    "Books", "Electronics", "Home", "Garden", "Sports", "Toys", "Clothing", "Music",
-    "Grocery", "Automotive",
+    "Books",
+    "Electronics",
+    "Home",
+    "Garden",
+    "Sports",
+    "Toys",
+    "Clothing",
+    "Music",
+    "Grocery",
+    "Automotive",
 ];
 
 fn expr(src: &str) -> Expr {
@@ -75,8 +83,12 @@ pub fn schema(seed: u64) -> Schema {
     s = s.table(
         Table::new("item", "${item_size}")
             .field(
-                Field::new("i_item_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "i_item_id",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
             .field(Field::new(
                 "i_name",
@@ -86,37 +98,60 @@ pub fn schema(seed: u64) -> Schema {
                     separator: " ".to_string(),
                 },
             ))
-            .field(Field::new("i_category", SqlType::Varchar(20), dict(CATEGORIES)))
+            .field(Field::new(
+                "i_category",
+                SqlType::Varchar(20),
+                dict(CATEGORIES),
+            ))
             .field(Field::new(
                 "i_price",
                 SqlType::Decimal(10, 2),
-                GeneratorSpec::Decimal { min: expr("99"), max: expr("99999"), scale: 2 },
+                GeneratorSpec::Decimal {
+                    min: expr("99"),
+                    max: expr("99999"),
+                    scale: 2,
+                },
             )),
     );
 
     s = s.table(
         Table::new("customer", "${customer_size}")
             .field(
-                Field::new("c_customer_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "c_customer_id",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
             .field(Field::new(
                 "c_name",
                 SqlType::Varchar(40),
-                GeneratorSpec::RandomString { min_len: 8, max_len: 24 },
+                GeneratorSpec::RandomString {
+                    min_len: 8,
+                    max_len: 24,
+                },
             ))
             .field(Field::new(
                 "c_birth_year",
                 SqlType::Integer,
-                GeneratorSpec::Long { min: expr("1930"), max: expr("2005") },
+                GeneratorSpec::Long {
+                    min: expr("1930"),
+                    max: expr("2005"),
+                },
             ))
             .field(Field::new(
                 "c_email",
                 SqlType::Varchar(60),
                 GeneratorSpec::Sequential {
                     parts: vec![
-                        GeneratorSpec::RandomString { min_len: 5, max_len: 12 },
-                        GeneratorSpec::Static { value: pdgf_schema::Value::text("@example.com") },
+                        GeneratorSpec::RandomString {
+                            min_len: 5,
+                            max_len: 12,
+                        },
+                        GeneratorSpec::Static {
+                            value: pdgf_schema::Value::text("@example.com"),
+                        },
                     ],
                     separator: String::new(),
                 },
@@ -126,21 +161,36 @@ pub fn schema(seed: u64) -> Schema {
     s = s.table(
         Table::new("store", "${store_size}")
             .field(
-                Field::new("s_store_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "s_store_id",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
             .field(Field::new(
                 "s_city",
                 SqlType::Varchar(30),
-                dict(&["Toronto", "Passau", "Melbourne", "Berlin", "Chicago", "Osaka"]),
+                dict(&[
+                    "Toronto",
+                    "Passau",
+                    "Melbourne",
+                    "Berlin",
+                    "Chicago",
+                    "Osaka",
+                ]),
             )),
     );
 
     s = s.table(
         Table::new("web_page", "${web_page_size}")
             .field(
-                Field::new("wp_page_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "wp_page_id",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
             .field(Field::new(
                 "wp_url",
@@ -150,7 +200,10 @@ pub fn schema(seed: u64) -> Schema {
                         GeneratorSpec::Static {
                             value: pdgf_schema::Value::text("https://shop.example/p/"),
                         },
-                        GeneratorSpec::RandomString { min_len: 6, max_len: 12 },
+                        GeneratorSpec::RandomString {
+                            min_len: 6,
+                            max_len: 12,
+                        },
                     ],
                     separator: String::new(),
                 },
@@ -160,8 +213,12 @@ pub fn schema(seed: u64) -> Schema {
     s = s.table(
         Table::new("store_sales", "${store_sales_size}")
             .field(
-                Field::new("ss_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "ss_id",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
             .field(Field::new(
                 "ss_item",
@@ -169,12 +226,23 @@ pub fn schema(seed: u64) -> Schema {
                 // Popular items sell more: BigBench's skewed sales.
                 zipf_reference("item", "i_item_id", 0.6),
             ))
-            .field(Field::new("ss_customer", SqlType::BigInt, reference("customer", "c_customer_id")))
-            .field(Field::new("ss_store", SqlType::BigInt, reference("store", "s_store_id")))
+            .field(Field::new(
+                "ss_customer",
+                SqlType::BigInt,
+                reference("customer", "c_customer_id"),
+            ))
+            .field(Field::new(
+                "ss_store",
+                SqlType::BigInt,
+                reference("store", "s_store_id"),
+            ))
             .field(Field::new(
                 "ss_quantity",
                 SqlType::Integer,
-                GeneratorSpec::Long { min: expr("1"), max: expr("100") },
+                GeneratorSpec::Long {
+                    min: expr("1"),
+                    max: expr("100"),
+                },
             ))
             .field(Field::new(
                 "ss_date",
@@ -190,16 +258,35 @@ pub fn schema(seed: u64) -> Schema {
     s = s.table(
         Table::new("web_sales", "${web_sales_size}")
             .field(
-                Field::new("ws_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "ws_id",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
-            .field(Field::new("ws_item", SqlType::BigInt, zipf_reference("item", "i_item_id", 0.6)))
-            .field(Field::new("ws_customer", SqlType::BigInt, reference("customer", "c_customer_id")))
-            .field(Field::new("ws_page", SqlType::BigInt, reference("web_page", "wp_page_id")))
+            .field(Field::new(
+                "ws_item",
+                SqlType::BigInt,
+                zipf_reference("item", "i_item_id", 0.6),
+            ))
+            .field(Field::new(
+                "ws_customer",
+                SqlType::BigInt,
+                reference("customer", "c_customer_id"),
+            ))
+            .field(Field::new(
+                "ws_page",
+                SqlType::BigInt,
+                reference("web_page", "wp_page_id"),
+            ))
             .field(Field::new(
                 "ws_quantity",
                 SqlType::Integer,
-                GeneratorSpec::Long { min: expr("1"), max: expr("20") },
+                GeneratorSpec::Long {
+                    min: expr("1"),
+                    max: expr("20"),
+                },
             )),
     );
 
@@ -207,15 +294,30 @@ pub fn schema(seed: u64) -> Schema {
     s = s.table(
         Table::new("product_reviews", "${reviews_size}")
             .field(
-                Field::new("pr_review_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "pr_review_id",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
-            .field(Field::new("pr_item", SqlType::BigInt, zipf_reference("item", "i_item_id", 0.7)))
-            .field(Field::new("pr_user", SqlType::BigInt, reference("customer", "c_customer_id")))
+            .field(Field::new(
+                "pr_item",
+                SqlType::BigInt,
+                zipf_reference("item", "i_item_id", 0.7),
+            ))
+            .field(Field::new(
+                "pr_user",
+                SqlType::BigInt,
+                reference("customer", "c_customer_id"),
+            ))
             .field(Field::new(
                 "pr_rating",
                 SqlType::Integer,
-                GeneratorSpec::Long { min: expr("1"), max: expr("5") },
+                GeneratorSpec::Long {
+                    min: expr("1"),
+                    max: expr("5"),
+                },
             ))
             .field(Field::new(
                 "pr_content",
@@ -283,7 +385,10 @@ mod tests {
         let (_, item) = rt.table_by_name("item").unwrap();
         let avg = ss.size / item.size;
         let hottest = counts.values().copied().max().unwrap();
-        assert!(hottest > 5 * avg, "zipf skew absent: hottest {hottest}, avg {avg}");
+        assert!(
+            hottest > 5 * avg,
+            "zipf skew absent: hottest {hottest}, avg {avg}"
+        );
     }
 
     #[test]

@@ -4,9 +4,17 @@ fn main() {
     std::fs::write("models/tpch.xml", &xml).unwrap();
     let markov = workloads::corpus::tpch_comment_model();
     std::fs::create_dir_all("models/markov").unwrap();
-    std::fs::write("models/markov/l_comment_markovSamples.bin", markov.to_bytes()).unwrap();
+    std::fs::write(
+        "models/markov/l_comment_markovSamples.bin",
+        markov.to_bytes(),
+    )
+    .unwrap();
     let ssb = workloads::ssb::schema(19_920_601);
     std::fs::write("models/ssb.xml", pdgf_schema::config::to_xml_string(&ssb)).unwrap();
-    std::fs::write("models/markov/ssb_comment_markovSamples.bin", markov.to_bytes()).unwrap();
+    std::fs::write(
+        "models/markov/ssb_comment_markovSamples.bin",
+        markov.to_bytes(),
+    )
+    .unwrap();
     println!("wrote models/");
 }

@@ -12,63 +12,297 @@ use textsynth::{MarkovBuilder, MarkovModel};
 
 /// TPC-H grammar adverbs.
 pub const ADVERBS: &[&str] = &[
-    "sometimes", "always", "never", "furiously", "slyly", "carefully", "blithely",
-    "quickly", "fluffily", "silently", "daringly", "busily", "ruthlessly", "finally",
-    "ironically", "evenly", "boldly", "quietly",
+    "sometimes",
+    "always",
+    "never",
+    "furiously",
+    "slyly",
+    "carefully",
+    "blithely",
+    "quickly",
+    "fluffily",
+    "silently",
+    "daringly",
+    "busily",
+    "ruthlessly",
+    "finally",
+    "ironically",
+    "evenly",
+    "boldly",
+    "quietly",
 ];
 
 /// TPC-H grammar adjectives.
 pub const ADJECTIVES: &[&str] = &[
-    "special", "pending", "unusual", "express", "furious", "sly", "careful", "blithe",
-    "quick", "fluffy", "slow", "quiet", "ruthless", "thin", "close", "dogged", "daring",
-    "brave", "stealthy", "permanent", "enticing", "idle", "busy", "regular", "final",
-    "ironic", "even", "bold", "silent",
+    "special",
+    "pending",
+    "unusual",
+    "express",
+    "furious",
+    "sly",
+    "careful",
+    "blithe",
+    "quick",
+    "fluffy",
+    "slow",
+    "quiet",
+    "ruthless",
+    "thin",
+    "close",
+    "dogged",
+    "daring",
+    "brave",
+    "stealthy",
+    "permanent",
+    "enticing",
+    "idle",
+    "busy",
+    "regular",
+    "final",
+    "ironic",
+    "even",
+    "bold",
+    "silent",
 ];
 
 /// TPC-H grammar nouns.
 pub const NOUNS: &[&str] = &[
-    "foxes", "ideas", "theodolites", "pinto", "beans", "instructions", "dependencies",
-    "excuses", "platelets", "asymptotes", "courts", "dolphins", "multipliers",
-    "sauternes", "warthogs", "frets", "dinos", "attainments", "somas", "braids",
-    "frays", "warhorses", "dugouts", "notornis", "epitaphs", "pearls", "tithes",
-    "waters", "orbits", "gifts", "sheaves", "depths", "sentiments", "decoys",
-    "realms", "pains", "grouches", "escapades", "hockey", "players", "requests",
-    "accounts", "packages", "deposits", "patterns",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto",
+    "beans",
+    "instructions",
+    "dependencies",
+    "excuses",
+    "platelets",
+    "asymptotes",
+    "courts",
+    "dolphins",
+    "multipliers",
+    "sauternes",
+    "warthogs",
+    "frets",
+    "dinos",
+    "attainments",
+    "somas",
+    "braids",
+    "frays",
+    "warhorses",
+    "dugouts",
+    "notornis",
+    "epitaphs",
+    "pearls",
+    "tithes",
+    "waters",
+    "orbits",
+    "gifts",
+    "sheaves",
+    "depths",
+    "sentiments",
+    "decoys",
+    "realms",
+    "pains",
+    "grouches",
+    "escapades",
+    "hockey",
+    "players",
+    "requests",
+    "accounts",
+    "packages",
+    "deposits",
+    "patterns",
 ];
 
 /// TPC-H grammar verbs.
 pub const VERBS: &[&str] = &[
-    "sleep", "wake", "are", "cajole", "haggle", "nag", "use", "boost", "affix",
-    "detect", "integrate", "maintain", "nod", "was", "lose", "sublate", "solve",
-    "thrash", "promise", "engage", "hinder", "print", "x-ray", "breach", "eat",
-    "grow", "impress", "mold", "poach", "serve", "run", "dazzle", "snooze", "doze",
-    "unwind", "kindle", "play", "hang", "believe", "doubt",
+    "sleep",
+    "wake",
+    "are",
+    "cajole",
+    "haggle",
+    "nag",
+    "use",
+    "boost",
+    "affix",
+    "detect",
+    "integrate",
+    "maintain",
+    "nod",
+    "was",
+    "lose",
+    "sublate",
+    "solve",
+    "thrash",
+    "promise",
+    "engage",
+    "hinder",
+    "print",
+    "x-ray",
+    "breach",
+    "eat",
+    "grow",
+    "impress",
+    "mold",
+    "poach",
+    "serve",
+    "run",
+    "dazzle",
+    "snooze",
+    "doze",
+    "unwind",
+    "kindle",
+    "play",
+    "hang",
+    "believe",
+    "doubt",
 ];
 
 /// TPC-H grammar prepositions (abridged).
 pub const PREPOSITIONS: &[&str] = &[
-    "about", "above", "according to", "across", "after", "against", "along",
-    "among", "around", "at", "atop", "before", "behind", "beneath", "beside",
-    "besides", "between", "beyond", "by", "despite", "during", "except", "for",
-    "from", "in", "inside", "instead of", "into", "near", "of", "on", "outside",
-    "over", "past", "since", "through", "throughout", "to", "toward", "under",
-    "until", "up", "upon", "without", "with", "within",
+    "about",
+    "above",
+    "according to",
+    "across",
+    "after",
+    "against",
+    "along",
+    "among",
+    "around",
+    "at",
+    "atop",
+    "before",
+    "behind",
+    "beneath",
+    "beside",
+    "besides",
+    "between",
+    "beyond",
+    "by",
+    "despite",
+    "during",
+    "except",
+    "for",
+    "from",
+    "in",
+    "inside",
+    "instead of",
+    "into",
+    "near",
+    "of",
+    "on",
+    "outside",
+    "over",
+    "past",
+    "since",
+    "through",
+    "throughout",
+    "to",
+    "toward",
+    "under",
+    "until",
+    "up",
+    "upon",
+    "without",
+    "with",
+    "within",
 ];
 
 /// TPC-H part color words (used by `p_name`).
 pub const COLORS: &[&str] = &[
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
-    "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon",
-    "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan", "dark", "deep",
-    "dim", "dodger", "drab", "firebrick", "floral", "forest", "frosted", "gainsboro",
-    "ghost", "goldenrod", "green", "grey", "honeydew", "hot", "hotpink", "indian",
-    "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime", "linen",
-    "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
-    "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru",
-    "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal",
-    "saddle", "salmon", "sandy", "seashell", "sienna", "sky", "slate", "smoke",
-    "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise", "violet",
-    "wheat", "white", "yellow",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "hotpink",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lawn",
+    "lemon",
+    "light",
+    "lime",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
+    "navajo",
+    "navy",
+    "olive",
+    "orange",
+    "orchid",
+    "pale",
+    "papaya",
+    "peach",
+    "peru",
+    "pink",
+    "plum",
+    "powder",
+    "puff",
+    "purple",
+    "red",
+    "rose",
+    "rosy",
+    "royal",
+    "saddle",
+    "salmon",
+    "sandy",
+    "seashell",
+    "sienna",
+    "sky",
+    "slate",
+    "smoke",
+    "snow",
+    "spring",
+    "steel",
+    "tan",
+    "thistle",
+    "tomato",
+    "turquoise",
+    "violet",
+    "wheat",
+    "white",
+    "yellow",
 ];
 
 /// Deterministically synthesize a dbgen-style comment sentence.

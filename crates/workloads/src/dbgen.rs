@@ -24,9 +24,7 @@ use pdgf_output::Sink;
 use pdgf_prng::{PdgfRng, XorShift64Star};
 
 use crate::corpus;
-use crate::tpch::{
-    INSTRUCTIONS, MFGRS, MODES, NATIONS, PRIORITIES, REGIONS, SEGMENTS,
-};
+use crate::tpch::{INSTRUCTIONS, MFGRS, MODES, NATIONS, PRIORITIES, REGIONS, SEGMENTS};
 
 /// The eight TPC-H tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -250,25 +248,19 @@ impl DbGen {
             if i > 0 {
                 out.push(' ');
             }
-            out.push_str(
-                corpus::COLORS[rng.next_bounded(corpus::COLORS.len() as u64) as usize],
-            );
+            out.push_str(corpus::COLORS[rng.next_bounded(corpus::COLORS.len() as u64) as usize]);
         }
         out.push('|');
         out.push_str(MFGRS[rng.next_bounded(5) as usize]);
         out.push_str(&format!("|Brand#{}|", 11 + rng.next_bounded(45)));
-        out.push_str(
-            crate::tpch::TYPE_SYLL1[rng.next_bounded(6) as usize],
-        );
+        out.push_str(crate::tpch::TYPE_SYLL1[rng.next_bounded(6) as usize]);
         out.push(' ');
         out.push_str(crate::tpch::TYPE_SYLL2[rng.next_bounded(5) as usize]);
         out.push(' ');
         out.push_str(crate::tpch::TYPE_SYLL3[rng.next_bounded(5) as usize]);
         out.push('|');
         out.push_str(&format!("{}|", 1 + rng.next_bounded(50)));
-        out.push_str(
-            crate::tpch::CONTAINER_SYLL1[rng.next_bounded(5) as usize],
-        );
+        out.push_str(crate::tpch::CONTAINER_SYLL1[rng.next_bounded(5) as usize]);
         out.push(' ');
         out.push_str(crate::tpch::CONTAINER_SYLL2[rng.next_bounded(8) as usize]);
         out.push('|');
@@ -327,7 +319,11 @@ impl DbGen {
         out.push_str(&format!("{}|", 1 + rng.next_bounded(50)));
         self.money(rng, 90_000, 10_000_000, out);
         out.push('|');
-        out.push_str(&format!("0.{:02}|0.{:02}|", rng.next_bounded(11), rng.next_bounded(9)));
+        out.push_str(&format!(
+            "0.{:02}|0.{:02}|",
+            rng.next_bounded(11),
+            rng.next_bounded(9)
+        ));
         let rf = ["R", "A", "N", "N"][rng.next_bounded(4) as usize];
         let ls = ["O", "F"][rng.next_bounded(2) as usize];
         out.push_str(rf);
@@ -395,7 +391,9 @@ mod tests {
             let lo = total * i / 4;
             let hi = total * (i + 1) / 4;
             let mut sink = MemorySink::new();
-            combined += g.generate_chunk(TpchTable::Orders, lo, hi, &mut sink).unwrap();
+            combined += g
+                .generate_chunk(TpchTable::Orders, lo, hi, &mut sink)
+                .unwrap();
             assert_eq!(sink.as_str().lines().count() as u64, hi - lo);
         }
         assert_eq!(combined, total);
@@ -405,18 +403,24 @@ mod tests {
     fn generation_is_repeatable_per_seed() {
         let a = {
             let mut s = MemorySink::new();
-            DbGen::new(0.0005, 1).generate_table(TpchTable::Customer, &mut s).unwrap();
+            DbGen::new(0.0005, 1)
+                .generate_table(TpchTable::Customer, &mut s)
+                .unwrap();
             s.as_str().to_string()
         };
         let b = {
             let mut s = MemorySink::new();
-            DbGen::new(0.0005, 1).generate_table(TpchTable::Customer, &mut s).unwrap();
+            DbGen::new(0.0005, 1)
+                .generate_table(TpchTable::Customer, &mut s)
+                .unwrap();
             s.as_str().to_string()
         };
         assert_eq!(a, b);
         let c = {
             let mut s = MemorySink::new();
-            DbGen::new(0.0005, 2).generate_table(TpchTable::Customer, &mut s).unwrap();
+            DbGen::new(0.0005, 2)
+                .generate_table(TpchTable::Customer, &mut s)
+                .unwrap();
             s.as_str().to_string()
         };
         assert_ne!(a, c);

@@ -14,44 +14,89 @@ use pdgf_schema::{SqlType, Value};
 
 /// Movie genres.
 pub const GENRES: &[&str] = &[
-    "Drama", "Comedy", "Action", "Documentary", "Horror", "Romance", "Thriller",
-    "Animation", "Crime", "Adventure",
+    "Drama",
+    "Comedy",
+    "Action",
+    "Documentary",
+    "Horror",
+    "Romance",
+    "Thriller",
+    "Animation",
+    "Crime",
+    "Adventure",
 ];
 
 /// Cast roles.
-pub const ROLES: &[&str] = &["actor", "actress", "director", "producer", "writer", "composer"];
+pub const ROLES: &[&str] = &[
+    "actor", "actress", "director", "producer", "writer", "composer",
+];
 
 const TITLE_HEADS: &[&str] = &[
     "The", "A", "Last", "First", "Dark", "Bright", "Silent", "Hidden", "Lost", "Eternal",
 ];
 const TITLE_NOUNS: &[&str] = &[
-    "Journey", "Night", "River", "Garden", "Secret", "Promise", "City", "Storm",
-    "Mirror", "Harvest", "Voyage", "Letter", "Shadow", "Dream", "Winter",
+    "Journey", "Night", "River", "Garden", "Secret", "Promise", "City", "Storm", "Mirror",
+    "Harvest", "Voyage", "Letter", "Shadow", "Dream", "Winter",
 ];
 const PLOT_SUBJECTS: &[&str] = &[
-    "a young detective", "an aging pianist", "two estranged siblings", "a retired sailor",
-    "an ambitious reporter", "a quiet librarian", "a travelling circus", "a small village",
+    "a young detective",
+    "an aging pianist",
+    "two estranged siblings",
+    "a retired sailor",
+    "an ambitious reporter",
+    "a quiet librarian",
+    "a travelling circus",
+    "a small village",
 ];
 const PLOT_VERBS: &[&str] = &[
-    "discovers", "confronts", "escapes", "rebuilds", "follows", "betrays", "rescues",
-    "remembers", "loses", "finds",
+    "discovers",
+    "confronts",
+    "escapes",
+    "rebuilds",
+    "follows",
+    "betrays",
+    "rescues",
+    "remembers",
+    "loses",
+    "finds",
 ];
 const PLOT_OBJECTS: &[&str] = &[
-    "a long buried secret", "the family estate", "an impossible love", "a stolen fortune",
-    "the edge of the world", "a forgotten promise", "the last train home",
+    "a long buried secret",
+    "the family estate",
+    "an impossible love",
+    "a stolen fortune",
+    "the edge of the world",
+    "a forgotten promise",
+    "the last train home",
     "an unlikely friendship",
 ];
 const PLOT_TAILS: &[&str] = &[
-    "before the winter ends", "against all odds", "in the heart of the city",
-    "under a relentless sun", "as the war begins", "with nothing left to lose",
+    "before the winter ends",
+    "against all odds",
+    "in the heart of the city",
+    "under a relentless sun",
+    "as the war begins",
+    "with nothing left to lose",
 ];
 const FIRST: &[&str] = &[
-    "Ava", "Noah", "Mia", "Liam", "Zoe", "Ethan", "Lena", "Omar", "Iris", "Hugo",
-    "Nina", "Felix", "Clara", "Jonas", "Maya", "Victor",
+    "Ava", "Noah", "Mia", "Liam", "Zoe", "Ethan", "Lena", "Omar", "Iris", "Hugo", "Nina", "Felix",
+    "Clara", "Jonas", "Maya", "Victor",
 ];
 const LAST: &[&str] = &[
-    "Moreau", "Tanaka", "Okafor", "Lindqvist", "Costa", "Novak", "Fischer", "Romero",
-    "Haddad", "Petrov", "Keller", "Braun", "Silva", "Varga",
+    "Moreau",
+    "Tanaka",
+    "Okafor",
+    "Lindqvist",
+    "Costa",
+    "Novak",
+    "Fischer",
+    "Romero",
+    "Haddad",
+    "Petrov",
+    "Keller",
+    "Braun",
+    "Silva",
+    "Varga",
 ];
 
 fn pick<'a>(rng: &mut PdgfDefaultRandom, list: &[&'a str]) -> &'a str {
@@ -145,7 +190,11 @@ pub fn build(seed: u64, movies: u64) -> Database {
             "persons",
             vec![
                 Value::Long(i as i64 + 1),
-                Value::text(format!("{} {}", pick(&mut rng, FIRST), pick(&mut rng, LAST))),
+                Value::text(format!(
+                    "{} {}",
+                    pick(&mut rng, FIRST),
+                    pick(&mut rng, LAST)
+                )),
                 birth,
             ],
         )

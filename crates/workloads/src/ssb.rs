@@ -44,8 +44,13 @@ fn reference(table: &str, field: &str, dist: RefDistribution) -> GeneratorSpec {
 fn labeled_id(prefix: &str) -> GeneratorSpec {
     GeneratorSpec::Sequential {
         parts: vec![
-            GeneratorSpec::Static { value: pdgf_schema::Value::text(prefix) },
-            GeneratorSpec::Formula { expr: expr("${ROW} + 1"), as_long: true },
+            GeneratorSpec::Static {
+                value: pdgf_schema::Value::text(prefix),
+            },
+            GeneratorSpec::Formula {
+                expr: expr("${ROW} + 1"),
+                as_long: true,
+            },
         ],
         separator: String::new(),
     }
@@ -72,50 +77,95 @@ fn build(seed: u64, fact_dist: RefDistribution) -> Schema {
     s = s.table(
         Table::new("date_dim", "${date_size}")
             .field(
-                Field::new("d_datekey", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "d_datekey",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
             // d_date derives from the key: day k of the 7-year span.
             .field(Field::new(
                 "d_year",
                 SqlType::Integer,
-                GeneratorSpec::Formula { expr: expr("1992 + floor(${ROW} / 365.25)"), as_long: true },
+                GeneratorSpec::Formula {
+                    expr: expr("1992 + floor(${ROW} / 365.25)"),
+                    as_long: true,
+                },
             ))
             .field(Field::new(
                 "d_month",
                 SqlType::Integer,
-                GeneratorSpec::Formula { expr: expr("floor(${ROW} / 30.44) % 12 + 1"), as_long: true },
+                GeneratorSpec::Formula {
+                    expr: expr("floor(${ROW} / 30.44) % 12 + 1"),
+                    as_long: true,
+                },
             ))
             .field(Field::new(
                 "d_weekday",
                 SqlType::Integer,
-                GeneratorSpec::Formula { expr: expr("${ROW} % 7 + 1"), as_long: true },
+                GeneratorSpec::Formula {
+                    expr: expr("${ROW} % 7 + 1"),
+                    as_long: true,
+                },
             )),
     );
 
     s = s.table(
         Table::new("customer", "${customer_size}")
             .field(
-                Field::new("c_custkey", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "c_custkey",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
-            .field(Field::new("c_name", SqlType::Varchar(25), labeled_id("Customer#")))
-            .field(Field::new("c_city", SqlType::Char(10), dict(&[
-                "UNITED KI1", "UNITED KI5", "CHINA    4", "CHINA    9", "INDIA    6",
-                "JAPAN    2", "RUSSIA   7", "GERMANY  3", "FRANCE   8", "PERU     0",
-            ])))
+            .field(Field::new(
+                "c_name",
+                SqlType::Varchar(25),
+                labeled_id("Customer#"),
+            ))
+            .field(Field::new(
+                "c_city",
+                SqlType::Char(10),
+                dict(&[
+                    "UNITED KI1",
+                    "UNITED KI5",
+                    "CHINA    4",
+                    "CHINA    9",
+                    "INDIA    6",
+                    "JAPAN    2",
+                    "RUSSIA   7",
+                    "GERMANY  3",
+                    "FRANCE   8",
+                    "PERU     0",
+                ]),
+            ))
             .field(Field::new("c_nation", SqlType::Char(15), dict(NATIONS)))
             .field(Field::new("c_region", SqlType::Char(12), dict(REGIONS)))
-            .field(Field::new("c_mktsegment", SqlType::Char(10), dict(SEGMENTS))),
+            .field(Field::new(
+                "c_mktsegment",
+                SqlType::Char(10),
+                dict(SEGMENTS),
+            )),
     );
 
     s = s.table(
         Table::new("supplier", "${supplier_size}")
             .field(
-                Field::new("s_suppkey", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "s_suppkey",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
-            .field(Field::new("s_name", SqlType::Char(25), labeled_id("Supplier#")))
+            .field(Field::new(
+                "s_name",
+                SqlType::Char(25),
+                labeled_id("Supplier#"),
+            ))
             .field(Field::new("s_nation", SqlType::Char(15), dict(NATIONS)))
             .field(Field::new("s_region", SqlType::Char(12), dict(REGIONS))),
     );
@@ -123,8 +173,12 @@ fn build(seed: u64, fact_dist: RefDistribution) -> Schema {
     s = s.table(
         Table::new("part", "${part_size}")
             .field(
-                Field::new("p_partkey", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "p_partkey",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
             .field(Field::new(
                 "p_name",
@@ -140,8 +194,13 @@ fn build(seed: u64, fact_dist: RefDistribution) -> Schema {
                 SqlType::Char(7),
                 GeneratorSpec::Sequential {
                     parts: vec![
-                        GeneratorSpec::Static { value: pdgf_schema::Value::text("MFGR#") },
-                        GeneratorSpec::Long { min: expr("11"), max: expr("55") },
+                        GeneratorSpec::Static {
+                            value: pdgf_schema::Value::text("MFGR#"),
+                        },
+                        GeneratorSpec::Long {
+                            min: expr("11"),
+                            max: expr("55"),
+                        },
                     ],
                     separator: String::new(),
                 },
@@ -156,8 +215,12 @@ fn build(seed: u64, fact_dist: RefDistribution) -> Schema {
     s = s.table(
         Table::new("lineorder", "${lineorder_size}")
             .field(
-                Field::new("lo_orderkey", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "lo_orderkey",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
             .field(Field::new(
                 "lo_custkey",
@@ -182,22 +245,36 @@ fn build(seed: u64, fact_dist: RefDistribution) -> Schema {
             .field(Field::new(
                 "lo_quantity",
                 SqlType::Integer,
-                GeneratorSpec::Long { min: expr("1"), max: expr("50") },
+                GeneratorSpec::Long {
+                    min: expr("1"),
+                    max: expr("50"),
+                },
             ))
             .field(Field::new(
                 "lo_extendedprice",
                 SqlType::Decimal(12, 2),
-                GeneratorSpec::Decimal { min: expr("90000"), max: expr("10000000"), scale: 2 },
+                GeneratorSpec::Decimal {
+                    min: expr("90000"),
+                    max: expr("10000000"),
+                    scale: 2,
+                },
             ))
             .field(Field::new(
                 "lo_discount",
                 SqlType::Integer,
-                GeneratorSpec::Long { min: expr("0"), max: expr("10") },
+                GeneratorSpec::Long {
+                    min: expr("0"),
+                    max: expr("10"),
+                },
             ))
             .field(Field::new(
                 "lo_revenue",
                 SqlType::Decimal(14, 2),
-                GeneratorSpec::Decimal { min: expr("80000"), max: expr("9000000"), scale: 2 },
+                GeneratorSpec::Decimal {
+                    min: expr("80000"),
+                    max: expr("9000000"),
+                    scale: 2,
+                },
             ))
             .field(Field::new(
                 "lo_shipmode",

@@ -26,36 +26,67 @@ pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EA
 
 /// TPC-H nation names (fixed enumeration).
 pub const NATIONS: &[&str] = &[
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
-    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
-    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM",
-    "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
 ];
 
 /// Market segments.
-pub const SEGMENTS: &[&str] =
-    &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Order priorities.
-pub const PRIORITIES: &[&str] =
-    &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// Ship instructions.
-pub const INSTRUCTIONS: &[&str] =
-    &["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const INSTRUCTIONS: &[&str] = &[
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// Ship modes.
 pub const MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// Part manufacturers / brands bases.
 pub const MFGRS: &[&str] = &[
-    "Manufacturer#1", "Manufacturer#2", "Manufacturer#3", "Manufacturer#4",
+    "Manufacturer#1",
+    "Manufacturer#2",
+    "Manufacturer#3",
+    "Manufacturer#4",
     "Manufacturer#5",
 ];
 
 /// Part type components (6 × 5 × 5 = 150 types, as in the spec).
-pub const TYPE_SYLL1: &[&str] =
-    &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_SYLL1: &[&str] = &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 /// Second type syllable.
 pub const TYPE_SYLL2: &[&str] = &["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 /// Third type syllable.
@@ -64,8 +95,7 @@ pub const TYPE_SYLL3: &[&str] = &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 /// Container components (5 × 8 = 40 containers).
 pub const CONTAINER_SYLL1: &[&str] = &["SM", "LG", "MED", "JUMBO", "WRAP"];
 /// Second container syllable.
-pub const CONTAINER_SYLL2: &[&str] =
-    &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+pub const CONTAINER_SYLL2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 /// The Markov resource path the configuration references (Listing 1's
 /// `markov\l_comment_markovSamples.bin`, with forward slashes).
@@ -119,8 +149,13 @@ fn labeled_id(prefix: &str) -> GeneratorSpec {
     // dbgen's "Customer#000000001" style names.
     GeneratorSpec::Sequential {
         parts: vec![
-            GeneratorSpec::Static { value: pdgf_schema::Value::text(prefix) },
-            GeneratorSpec::Formula { expr: expr("${ROW} + 1"), as_long: true },
+            GeneratorSpec::Static {
+                value: pdgf_schema::Value::text(prefix),
+            },
+            GeneratorSpec::Formula {
+                expr: expr("${ROW} + 1"),
+                as_long: true,
+            },
         ],
         separator: String::new(),
     }
@@ -129,10 +164,22 @@ fn labeled_id(prefix: &str) -> GeneratorSpec {
 fn phone() -> GeneratorSpec {
     GeneratorSpec::Sequential {
         parts: vec![
-            GeneratorSpec::Long { min: expr("10"), max: expr("34") },
-            GeneratorSpec::Long { min: expr("100"), max: expr("999") },
-            GeneratorSpec::Long { min: expr("100"), max: expr("999") },
-            GeneratorSpec::Long { min: expr("1000"), max: expr("9999") },
+            GeneratorSpec::Long {
+                min: expr("10"),
+                max: expr("34"),
+            },
+            GeneratorSpec::Long {
+                min: expr("100"),
+                max: expr("999"),
+            },
+            GeneratorSpec::Long {
+                min: expr("100"),
+                max: expr("999"),
+            },
+            GeneratorSpec::Long {
+                min: expr("1000"),
+                max: expr("9999"),
+            },
         ],
         separator: "-".to_string(),
     }
@@ -167,20 +214,40 @@ pub fn schema(seed: u64) -> Schema {
     s = s.table(
         Table::new("region", "5")
             .field(
-                Field::new("r_regionkey", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "r_regionkey",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
-            .field(Field::new("r_name", SqlType::Char(25), dict_by_row(REGIONS)))
-            .field(Field::new("r_comment", SqlType::Varchar(152), comment(4, 20))),
+            .field(Field::new(
+                "r_name",
+                SqlType::Char(25),
+                dict_by_row(REGIONS),
+            ))
+            .field(Field::new(
+                "r_comment",
+                SqlType::Varchar(152),
+                comment(4, 20),
+            )),
     );
 
     s = s.table(
         Table::new("nation", "25")
             .field(
-                Field::new("n_nationkey", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "n_nationkey",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
-            .field(Field::new("n_name", SqlType::Char(25), dict_by_row(NATIONS)))
+            .field(Field::new(
+                "n_name",
+                SqlType::Char(25),
+                dict_by_row(NATIONS),
+            ))
             .field(Field::new(
                 "n_regionkey",
                 SqlType::BigInt,
@@ -190,59 +257,117 @@ pub fn schema(seed: u64) -> Schema {
                     distribution: RefDistribution::Permutation,
                 },
             ))
-            .field(Field::new("n_comment", SqlType::Varchar(152), comment(4, 18))),
+            .field(Field::new(
+                "n_comment",
+                SqlType::Varchar(152),
+                comment(4, 18),
+            )),
     );
 
     s = s.table(
         Table::new("supplier", "${supplier_size}")
             .field(
-                Field::new("s_suppkey", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "s_suppkey",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
-            .field(Field::new("s_name", SqlType::Char(25), labeled_id("Supplier#")))
+            .field(Field::new(
+                "s_name",
+                SqlType::Char(25),
+                labeled_id("Supplier#"),
+            ))
             .field(Field::new(
                 "s_address",
                 SqlType::Varchar(40),
-                GeneratorSpec::RandomString { min_len: 10, max_len: 40 },
+                GeneratorSpec::RandomString {
+                    min_len: 10,
+                    max_len: 40,
+                },
             ))
-            .field(Field::new("s_nationkey", SqlType::BigInt, reference("nation", "n_nationkey")))
+            .field(Field::new(
+                "s_nationkey",
+                SqlType::BigInt,
+                reference("nation", "n_nationkey"),
+            ))
             .field(Field::new("s_phone", SqlType::Char(15), phone()))
             .field(Field::new(
                 "s_acctbal",
                 SqlType::Decimal(12, 2),
-                GeneratorSpec::Decimal { min: expr("-99999"), max: expr("999999"), scale: 2 },
+                GeneratorSpec::Decimal {
+                    min: expr("-99999"),
+                    max: expr("999999"),
+                    scale: 2,
+                },
             ))
-            .field(Field::new("s_comment", SqlType::Varchar(101), comment(4, 12))),
+            .field(Field::new(
+                "s_comment",
+                SqlType::Varchar(101),
+                comment(4, 12),
+            )),
     );
 
     s = s.table(
         Table::new("customer", "${customer_size}")
             .field(
-                Field::new("c_custkey", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "c_custkey",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
-            .field(Field::new("c_name", SqlType::Varchar(25), labeled_id("Customer#")))
+            .field(Field::new(
+                "c_name",
+                SqlType::Varchar(25),
+                labeled_id("Customer#"),
+            ))
             .field(Field::new(
                 "c_address",
                 SqlType::Varchar(40),
-                GeneratorSpec::RandomString { min_len: 10, max_len: 40 },
+                GeneratorSpec::RandomString {
+                    min_len: 10,
+                    max_len: 40,
+                },
             ))
-            .field(Field::new("c_nationkey", SqlType::BigInt, reference("nation", "n_nationkey")))
+            .field(Field::new(
+                "c_nationkey",
+                SqlType::BigInt,
+                reference("nation", "n_nationkey"),
+            ))
             .field(Field::new("c_phone", SqlType::Char(15), phone()))
             .field(Field::new(
                 "c_acctbal",
                 SqlType::Decimal(12, 2),
-                GeneratorSpec::Decimal { min: expr("-99999"), max: expr("999999"), scale: 2 },
+                GeneratorSpec::Decimal {
+                    min: expr("-99999"),
+                    max: expr("999999"),
+                    scale: 2,
+                },
             ))
-            .field(Field::new("c_mktsegment", SqlType::Char(10), dict(SEGMENTS)))
-            .field(Field::new("c_comment", SqlType::Varchar(117), comment(4, 14))),
+            .field(Field::new(
+                "c_mktsegment",
+                SqlType::Char(10),
+                dict(SEGMENTS),
+            ))
+            .field(Field::new(
+                "c_comment",
+                SqlType::Varchar(117),
+                comment(4, 14),
+            )),
     );
 
     s = s.table(
         Table::new("part", "${part_size}")
             .field(
-                Field::new("p_partkey", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "p_partkey",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
             .field(Field::new(
                 "p_name",
@@ -259,8 +384,13 @@ pub fn schema(seed: u64) -> Schema {
                 SqlType::Char(10),
                 GeneratorSpec::Sequential {
                     parts: vec![
-                        GeneratorSpec::Static { value: pdgf_schema::Value::text("Brand#") },
-                        GeneratorSpec::Long { min: expr("11"), max: expr("55") },
+                        GeneratorSpec::Static {
+                            value: pdgf_schema::Value::text("Brand#"),
+                        },
+                        GeneratorSpec::Long {
+                            min: expr("11"),
+                            max: expr("55"),
+                        },
                     ],
                     separator: String::new(),
                 },
@@ -273,7 +403,10 @@ pub fn schema(seed: u64) -> Schema {
             .field(Field::new(
                 "p_size",
                 SqlType::Integer,
-                GeneratorSpec::Long { min: expr("1"), max: expr("50") },
+                GeneratorSpec::Long {
+                    min: expr("1"),
+                    max: expr("50"),
+                },
             ))
             .field(Field::new(
                 "p_container",
@@ -283,7 +416,11 @@ pub fn schema(seed: u64) -> Schema {
             .field(Field::new(
                 "p_retailprice",
                 SqlType::Decimal(12, 2),
-                GeneratorSpec::Decimal { min: expr("90000"), max: expr("200000"), scale: 2 },
+                GeneratorSpec::Decimal {
+                    min: expr("90000"),
+                    max: expr("200000"),
+                    scale: 2,
+                },
             ))
             .field(Field::new("p_comment", SqlType::Varchar(23), comment(1, 5))),
     );
@@ -313,52 +450,104 @@ pub fn schema(seed: u64) -> Schema {
             .field(Field::new(
                 "ps_availqty",
                 SqlType::Integer,
-                GeneratorSpec::Long { min: expr("1"), max: expr("9999") },
+                GeneratorSpec::Long {
+                    min: expr("1"),
+                    max: expr("9999"),
+                },
             ))
             .field(Field::new(
                 "ps_supplycost",
                 SqlType::Decimal(12, 2),
-                GeneratorSpec::Decimal { min: expr("100"), max: expr("100000"), scale: 2 },
+                GeneratorSpec::Decimal {
+                    min: expr("100"),
+                    max: expr("100000"),
+                    scale: 2,
+                },
             ))
-            .field(Field::new("ps_comment", SqlType::Varchar(199), comment(10, 30))),
+            .field(Field::new(
+                "ps_comment",
+                SqlType::Varchar(199),
+                comment(10, 30),
+            )),
     );
 
     s = s.table(
         Table::new("orders", "${orders_size}")
             .field(
-                Field::new("o_orderkey", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "o_orderkey",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
-            .field(Field::new("o_custkey", SqlType::BigInt, reference("customer", "c_custkey")))
+            .field(Field::new(
+                "o_custkey",
+                SqlType::BigInt,
+                reference("customer", "c_custkey"),
+            ))
             .field(Field::new(
                 "o_orderstatus",
                 SqlType::Char(1),
                 GeneratorSpec::Probability {
                     branches: vec![
-                        (0.49, GeneratorSpec::Static { value: pdgf_schema::Value::text("F") }),
-                        (0.49, GeneratorSpec::Static { value: pdgf_schema::Value::text("O") }),
-                        (0.02, GeneratorSpec::Static { value: pdgf_schema::Value::text("P") }),
+                        (
+                            0.49,
+                            GeneratorSpec::Static {
+                                value: pdgf_schema::Value::text("F"),
+                            },
+                        ),
+                        (
+                            0.49,
+                            GeneratorSpec::Static {
+                                value: pdgf_schema::Value::text("O"),
+                            },
+                        ),
+                        (
+                            0.02,
+                            GeneratorSpec::Static {
+                                value: pdgf_schema::Value::text("P"),
+                            },
+                        ),
                     ],
                 },
             ))
             .field(Field::new(
                 "o_totalprice",
                 SqlType::Decimal(12, 2),
-                GeneratorSpec::Decimal { min: expr("85000"), max: expr("55000000"), scale: 2 },
+                GeneratorSpec::Decimal {
+                    min: expr("85000"),
+                    max: expr("55000000"),
+                    scale: 2,
+                },
             ))
             .field(Field::new(
                 "o_orderdate",
                 SqlType::Date,
                 date_range((1992, 1, 1), (1998, 8, 2)),
             ))
-            .field(Field::new("o_orderpriority", SqlType::Char(15), dict(PRIORITIES)))
-            .field(Field::new("o_clerk", SqlType::Char(15), labeled_id("Clerk#")))
+            .field(Field::new(
+                "o_orderpriority",
+                SqlType::Char(15),
+                dict(PRIORITIES),
+            ))
+            .field(Field::new(
+                "o_clerk",
+                SqlType::Char(15),
+                labeled_id("Clerk#"),
+            ))
             .field(Field::new(
                 "o_shippriority",
                 SqlType::Integer,
-                GeneratorSpec::Static { value: pdgf_schema::Value::Long(0) },
+                GeneratorSpec::Static {
+                    value: pdgf_schema::Value::Long(0),
+                },
             ))
-            .field(Field::new("o_comment", SqlType::Varchar(79), comment(4, 16))),
+            .field(Field::new(
+                "o_comment",
+                SqlType::Varchar(79),
+                comment(4, 16),
+            )),
     );
 
     s = s.table(
@@ -374,41 +563,83 @@ pub fn schema(seed: u64) -> Schema {
                     distribution: RefDistribution::Permutation,
                 },
             ))
-            .field(Field::new("l_partkey", SqlType::BigInt, reference("part", "p_partkey")))
-            .field(Field::new("l_suppkey", SqlType::BigInt, reference("supplier", "s_suppkey")))
+            .field(Field::new(
+                "l_partkey",
+                SqlType::BigInt,
+                reference("part", "p_partkey"),
+            ))
+            .field(Field::new(
+                "l_suppkey",
+                SqlType::BigInt,
+                reference("supplier", "s_suppkey"),
+            ))
             .field(Field::new(
                 "l_linenumber",
                 SqlType::Integer,
-                GeneratorSpec::Formula { expr: expr("${ROW} % 4 + 1"), as_long: true },
+                GeneratorSpec::Formula {
+                    expr: expr("${ROW} % 4 + 1"),
+                    as_long: true,
+                },
             ))
             .field(Field::new(
                 "l_quantity",
                 SqlType::Decimal(12, 2),
-                GeneratorSpec::Decimal { min: expr("100"), max: expr("5000"), scale: 2 },
+                GeneratorSpec::Decimal {
+                    min: expr("100"),
+                    max: expr("5000"),
+                    scale: 2,
+                },
             ))
             .field(Field::new(
                 "l_extendedprice",
                 SqlType::Decimal(12, 2),
-                GeneratorSpec::Decimal { min: expr("90000"), max: expr("10000000"), scale: 2 },
+                GeneratorSpec::Decimal {
+                    min: expr("90000"),
+                    max: expr("10000000"),
+                    scale: 2,
+                },
             ))
             .field(Field::new(
                 "l_discount",
                 SqlType::Decimal(12, 2),
-                GeneratorSpec::Decimal { min: expr("0"), max: expr("10"), scale: 2 },
+                GeneratorSpec::Decimal {
+                    min: expr("0"),
+                    max: expr("10"),
+                    scale: 2,
+                },
             ))
             .field(Field::new(
                 "l_tax",
                 SqlType::Decimal(12, 2),
-                GeneratorSpec::Decimal { min: expr("0"), max: expr("8"), scale: 2 },
+                GeneratorSpec::Decimal {
+                    min: expr("0"),
+                    max: expr("8"),
+                    scale: 2,
+                },
             ))
             .field(Field::new(
                 "l_returnflag",
                 SqlType::Char(1),
                 GeneratorSpec::Probability {
                     branches: vec![
-                        (0.25, GeneratorSpec::Static { value: pdgf_schema::Value::text("R") }),
-                        (0.25, GeneratorSpec::Static { value: pdgf_schema::Value::text("A") }),
-                        (0.50, GeneratorSpec::Static { value: pdgf_schema::Value::text("N") }),
+                        (
+                            0.25,
+                            GeneratorSpec::Static {
+                                value: pdgf_schema::Value::text("R"),
+                            },
+                        ),
+                        (
+                            0.25,
+                            GeneratorSpec::Static {
+                                value: pdgf_schema::Value::text("A"),
+                            },
+                        ),
+                        (
+                            0.50,
+                            GeneratorSpec::Static {
+                                value: pdgf_schema::Value::text("N"),
+                            },
+                        ),
                     ],
                 },
             ))
@@ -417,8 +648,18 @@ pub fn schema(seed: u64) -> Schema {
                 SqlType::Char(1),
                 GeneratorSpec::Probability {
                     branches: vec![
-                        (0.5, GeneratorSpec::Static { value: pdgf_schema::Value::text("O") }),
-                        (0.5, GeneratorSpec::Static { value: pdgf_schema::Value::text("F") }),
+                        (
+                            0.5,
+                            GeneratorSpec::Static {
+                                value: pdgf_schema::Value::text("O"),
+                            },
+                        ),
+                        (
+                            0.5,
+                            GeneratorSpec::Static {
+                                value: pdgf_schema::Value::text("F"),
+                            },
+                        ),
                     ],
                 },
             ))
@@ -437,14 +678,21 @@ pub fn schema(seed: u64) -> Schema {
                 SqlType::Date,
                 date_range((1992, 1, 3), (1998, 12, 31)),
             ))
-            .field(Field::new("l_shipinstruct", SqlType::Char(25), dict(INSTRUCTIONS)))
+            .field(Field::new(
+                "l_shipinstruct",
+                SqlType::Char(25),
+                dict(INSTRUCTIONS),
+            ))
             .field(Field::new("l_shipmode", SqlType::Char(10), dict(MODES)))
             .field(Field::new(
                 "l_comment",
                 SqlType::Varchar(44),
                 // Listing 1: NULL wrapper at probability 0 around the
                 // Markov generator with 1..10 words.
-                GeneratorSpec::Null { probability: 0.0, inner: Box::new(comment(1, 10)) },
+                GeneratorSpec::Null {
+                    probability: 0.0,
+                    inner: Box::new(comment(1, 10)),
+                },
             )),
     );
 
@@ -506,7 +754,10 @@ mod tests {
         // Reference integrity: every l_orderkey is a valid order key.
         for row in (0..li.size).step_by(97) {
             let v = rt.value(li_idx, 0, 0, row).as_i64().unwrap();
-            assert!((1..=orders.size as i64).contains(&v), "dangling order key {v}");
+            assert!(
+                (1..=orders.size as i64).contains(&v),
+                "dangling order key {v}"
+            );
         }
     }
 
@@ -550,11 +801,19 @@ mod tests {
     #[test]
     fn csv_output_shape_matches_tpch() {
         let project = project(0.0002).workers(0).build().unwrap();
-        let csv = project.table_to_string("lineitem", OutputFormat::Csv).unwrap();
+        let csv = project
+            .table_to_string("lineitem", OutputFormat::Csv)
+            .unwrap();
         let first = csv.lines().next().unwrap();
-        assert_eq!(first.split(',').count(), 16, "lineitem has 16 columns: {first}");
+        assert_eq!(
+            first.split(',').count(),
+            16,
+            "lineitem has 16 columns: {first}"
+        );
         // Dates render ISO.
-        assert!(first.split(',').any(|f| f.len() == 10 && f.as_bytes()[4] == b'-'));
+        assert!(first
+            .split(',')
+            .any(|f| f.len() == 10 && f.as_bytes()[4] == b'-'));
     }
 
     #[test]

@@ -21,12 +21,19 @@ use dbsynth_suite::minidb::Database;
 use dbsynth_suite::workloads::tpch;
 
 fn main() {
-    let project = tpch::project(0.001).workers(2).build().expect("tpch builds");
+    let project = tpch::project(0.001)
+        .workers(2)
+        .build()
+        .expect("tpch builds");
     let schema = project.schema();
     let rt = project.runtime();
 
     // 2. The workload.
-    let cfg = QueryGenConfig { seed: 20_150_531, count: 24, range_selectivity: 0.15 };
+    let cfg = QueryGenConfig {
+        seed: 20_150_531,
+        count: 24,
+        range_selectivity: 0.15,
+    };
     let workload = generate_queries(schema, rt, &cfg);
     println!("generated {} queries; first few:", workload.len());
     for q in workload.iter().take(5) {
@@ -48,11 +55,11 @@ fn main() {
 
     // 4. Generate, load, verify.
     let mut db = Database::new();
-    dbsynth_suite::dbsynth::translate::create_target_tables(&mut db, schema)
-        .expect("DDL applies");
+    dbsynth_suite::dbsynth::translate::create_target_tables(&mut db, schema).expect("DDL applies");
     for (t_idx, table) in rt.tables().iter().enumerate() {
-        let rows: Vec<Vec<dbsynth_suite::pdgf::schema::Value>> =
-            (0..table.size).map(|r| rt.row(t_idx as u32, 0, r)).collect();
+        let rows: Vec<Vec<dbsynth_suite::pdgf::schema::Value>> = (0..table.size)
+            .map(|r| rt.row(t_idx as u32, 0, r))
+            .collect();
         db.bulk_load(&table.name, rows).expect("rows satisfy DDL");
     }
     println!("\nloaded the data; verifying:");
@@ -91,7 +98,6 @@ fn main() {
          ({total_checked} of {} queries had analytic answers)",
         workload.len()
     );
-    let kinds: std::collections::HashSet<QueryKind> =
-        workload.iter().map(|q| q.kind).collect();
+    let kinds: std::collections::HashSet<QueryKind> = workload.iter().map(|q| q.kind).collect();
     println!("  query classes exercised: {kinds:?}");
 }

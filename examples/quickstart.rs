@@ -30,8 +30,12 @@ fn main() {
         .table(
             Table::new("users", "${users_size}")
                 .field(
-                    Field::new("u_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                        .primary(),
+                    Field::new(
+                        "u_id",
+                        SqlType::BigInt,
+                        GeneratorSpec::Id { permute: false },
+                    )
+                    .primary(),
                 )
                 .field(Field::new(
                     "u_country",
@@ -91,7 +95,10 @@ fn main() {
     let csv = project
         .table_to_string("orders", OutputFormat::Csv)
         .expect("generation succeeds");
-    println!("\ngenerated {} orders rows; first three:", csv.lines().count());
+    println!(
+        "\ngenerated {} orders rows; first three:",
+        csv.lines().count()
+    );
     for line in csv.lines().take(3) {
         println!("  {line}");
     }

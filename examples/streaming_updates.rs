@@ -17,8 +17,12 @@ fn main() {
     let schema = Schema::new("stream", 2_718).table(
         Table::new("accounts", "1000")
             .field(
-                Field::new("a_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "a_id",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
             .field(Field::new(
                 "a_balance",
@@ -33,8 +37,10 @@ fn main() {
     let rt = SchemaRuntime::build(&schema, &MapResolver::new()).expect("model validates");
 
     // Initial load: epoch 0.
-    let mut live: std::collections::BTreeMap<u64, Vec<dbsynth_suite::pdgf::schema::Value>> =
-        (0..rt.tables()[0].size).map(|r| (r, rt.row(0, 0, r))).collect();
+    let mut live: std::collections::BTreeMap<u64, Vec<dbsynth_suite::pdgf::schema::Value>> = (0
+        ..rt.tables()[0].size)
+        .map(|r| (r, rt.row(0, 0, r)))
+        .collect();
     println!("initial load: {} accounts", live.len());
 
     // Stream five epochs of changes: 5% inserts, 5% updates, 1% deletes.

@@ -17,17 +17,18 @@ use dbsynth_suite::workloads::tpch;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let sf: f64 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(0.01);
+    let sf: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.01);
     let out_dir = args
         .next()
         .unwrap_or_else(|| std::env::temp_dir().join("tpch-out").display().to_string());
 
     println!("TPC-H at SF {sf} → {out_dir}");
     let project = tpch::project(sf)
-        .workers(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2))
+        .workers(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+        )
         .build()
         .expect("TPC-H model validates");
 
@@ -74,7 +75,11 @@ fn main() {
         let report = project
             .generate_to_dir(&dir, format)
             .expect("file generation succeeds");
-        println!("\n{} files in {}:", format.extension().to_uppercase(), dir.display());
+        println!(
+            "\n{} files in {}:",
+            format.extension().to_uppercase(),
+            dir.display()
+        );
         for t in &report.tables {
             println!(
                 "  {:<10} {:>10} rows {:>12.2} MB",

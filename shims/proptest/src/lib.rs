@@ -1,0 +1,642 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the `proptest!` macro, `prop_assert*` macros, integer and
+//! float range strategies, `any::<T>()`, `prop::collection::vec`, and
+//! string strategies from a small regex-pattern subset (literals,
+//! classes, `.`, groups, `{m,n}` repetition).
+//!
+//! Differences from the real crate, by design:
+//! - no shrinking — a failing case reports its generated inputs and the
+//!   deterministic seed instead of minimizing them;
+//! - case count defaults to 48 (`PROPTEST_CASES` overrides);
+//! - generation is seeded from the test name, so runs are reproducible
+//!   without a persistence file.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// Deterministic RNG (SplitMix64) used to drive all strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u128) -> u128 {
+        if n == 0 {
+            0
+        } else {
+            ((self.next_u64() as u128) * n) >> 64
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Error carried out of a failing property body by the `prop_assert*`
+/// macros; the tuple field is the failure message.
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Construct from any message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value: fmt::Debug;
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy producing one fixed value every time.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Produce an arbitrary value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `T` (see [`any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.f64_unit() * (self.end - self.start)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Any bit pattern — including infinities, NaNs, and subnormals.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+/// A size specification accepted by [`collection::vec`]: `a..b`
+/// (half-open, like proptest), `a..=b`, or an exact `usize`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_excl: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_excl: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max_excl: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_excl: n + 1,
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection` in the real crate).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a random length.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose length is drawn from `size` and whose
+    /// elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_excl - self.size.min) as u128;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// String generation from a regex-pattern subset.
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    enum Piece {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Dot,
+        Group(Vec<Quantified>),
+    }
+
+    struct Quantified {
+        piece: Piece,
+        min: u32,
+        max: u32, // inclusive, regex-style
+    }
+
+    /// Characters `.` draws from: printable ASCII plus two non-ASCII
+    /// code points for Unicode coverage. Newline is excluded, matching
+    /// regex `.` semantics.
+    const DOT_EXTRA: [char; 2] = ['\u{e9}', '\u{2192}']; // é, →
+
+    fn parse_seq(
+        chars: &mut std::iter::Peekable<std::str::Chars>,
+        in_group: bool,
+    ) -> Vec<Quantified> {
+        let mut out = Vec::new();
+        while let Some(&c) = chars.peek() {
+            let piece = match c {
+                ')' if in_group => break,
+                '(' => {
+                    chars.next();
+                    let inner = parse_seq(chars, true);
+                    assert_eq!(chars.next(), Some(')'), "unclosed group in pattern");
+                    Piece::Group(inner)
+                }
+                '[' => {
+                    chars.next();
+                    Piece::Class(parse_class(chars))
+                }
+                '.' => {
+                    chars.next();
+                    Piece::Dot
+                }
+                '\\' => {
+                    chars.next();
+                    let esc = chars.next().expect("dangling escape in pattern");
+                    Piece::Lit(unescape(esc))
+                }
+                other => {
+                    chars.next();
+                    Piece::Lit(other)
+                }
+            };
+            let (min, max) = parse_quantifier(chars);
+            out.push(Quantified { piece, min, max });
+        }
+        out
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = chars.next().expect("unclosed class in pattern");
+            match c {
+                ']' => break,
+                '^' if ranges.is_empty() => {
+                    panic!("negated classes are not supported by the proptest shim")
+                }
+                _ => {
+                    let lo = if c == '\\' {
+                        unescape(chars.next().expect("dangling escape in class"))
+                    } else {
+                        c
+                    };
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next(); // consume '-'
+                        match ahead.peek() {
+                            Some(&']') | None => ranges.push((lo, lo)), // literal '-' handled next loop
+                            Some(&hi) => {
+                                chars.next();
+                                chars.next();
+                                assert!(lo <= hi, "inverted class range in pattern");
+                                ranges.push((lo, hi));
+                            }
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+        }
+        assert!(!ranges.is_empty(), "empty class in pattern");
+        ranges
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> (u32, u32) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo: u32 = lo.trim().parse().expect("bad quantifier");
+                        let hi: u32 = hi.trim().parse().expect("bad quantifier");
+                        assert!(lo <= hi, "inverted quantifier in pattern");
+                        (lo, hi)
+                    }
+                    None => {
+                        let n: u32 = spec.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn generate_seq(seq: &[Quantified], rng: &mut TestRng, out: &mut String) {
+        for q in seq {
+            let reps = q.min as u128 + rng.below((q.max - q.min + 1) as u128);
+            for _ in 0..reps {
+                match &q.piece {
+                    Piece::Lit(c) => out.push(*c),
+                    Piece::Dot => {
+                        // 95 printable ASCII chars + DOT_EXTRA.
+                        let i = rng.below(95 + DOT_EXTRA.len() as u128) as u32;
+                        if i < 95 {
+                            out.push(char::from_u32(0x20 + i).expect("printable ascii"));
+                        } else {
+                            out.push(DOT_EXTRA[(i - 95) as usize]);
+                        }
+                    }
+                    Piece::Class(ranges) => {
+                        let total: u128 = ranges
+                            .iter()
+                            .map(|&(lo, hi)| (hi as u128) - (lo as u128) + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for &(lo, hi) in ranges {
+                            let n = (hi as u128) - (lo as u128) + 1;
+                            if pick < n {
+                                out.push(
+                                    char::from_u32(lo as u32 + pick as u32)
+                                        .expect("valid class char"),
+                                );
+                                break;
+                            }
+                            pick -= n;
+                        }
+                    }
+                    Piece::Group(inner) => generate_seq(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let seq = parse_seq(&mut chars, false);
+        assert_eq!(chars.next(), None, "unbalanced ')' in pattern");
+        let mut out = String::new();
+        generate_seq(&seq, rng, &mut out);
+        out
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate(self, rng)
+        }
+    }
+}
+
+/// Case-running machinery behind the `proptest!` macro.
+pub mod test_runner {
+    use super::{TestCaseError, TestRng};
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Number of cases per property: `PROPTEST_CASES` or 48.
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(48)
+    }
+
+    /// Run `body` for [`cases`] deterministic seeds derived from `name`;
+    /// panic with diagnostics on the first failure.
+    pub fn run(name: &str, mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+        let base = fnv1a(name);
+        let n = cases();
+        for case in 0..n {
+            let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = TestRng::new(seed);
+            if let Err(e) = body(&mut rng) {
+                panic!("property `{name}` failed at case {case}/{n} (seed {seed:#018x})\n  {e}");
+            }
+        }
+    }
+}
+
+/// Everything the tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Just, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::string;
+    }
+}
+
+/// Define property tests. Each function body runs for many generated
+/// inputs; use `prop_assert*` inside (plain `assert!` also works but
+/// reports less context).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    let __case = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __res: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body;
+                            ::std::result::Result::Ok(())
+                        })();
+                    __res.map_err(|e| $crate::TestCaseError(format!("{e}\n  with {__case}")))
+                });
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion `left == right` failed\n  left: {:?}\n right: {:?}",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion `left == right` failed: {}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion `left != right` failed\n  both: {:?}",
+                __l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion `left != right` failed: {}\n  both: {:?}",
+                format!($($fmt)+),
+                __l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn int_range_stays_in_bounds() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(-50i64..50), &mut rng);
+            assert!((-50..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pattern_generates_matching_strings() {
+        let mut rng = crate::TestRng::new(42);
+        for _ in 0..500 {
+            let s = crate::string::generate("[a-d]{1,3}( [a-d]{1,3}){0,5}", &mut rng);
+            for word in s.split(' ') {
+                assert!((1..=3).contains(&word.len()), "bad word {word:?} in {s:?}");
+                assert!(word.chars().all(|c| ('a'..='d').contains(&c)));
+            }
+        }
+    }
+
+    #[test]
+    fn dot_never_generates_newline() {
+        let mut rng = crate::TestRng::new(9);
+        for _ in 0..500 {
+            let s = crate::string::generate(".{0,50}", &mut rng);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..500 {
+            let v = crate::Strategy::generate(&crate::collection::vec(0u32..10, 1..40), &mut rng);
+            assert!((1..40).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        /// The macro itself: bindings, early return, and assertions.
+        #[test]
+        fn macro_smoke(x in 1u64..100, s in "[a-z]{0,6}", v in prop::collection::vec(any::<i32>(), 0..4)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(s.len() <= 6, "len was {}", s.len());
+            prop_assert_eq!(v.len(), v.capacity().min(v.len()));
+            if s.is_empty() {
+                return Ok(());
+            }
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+}

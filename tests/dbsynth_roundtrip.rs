@@ -2,8 +2,8 @@
 //! source: extract → save/load model files → generate → load → validate.
 
 use dbsynth_suite::dbsynth::{
-    compare_databases, generate_into, load_model_dir, save_model_dir, ExtractionOptions,
-    Extractor, SamplingOptions,
+    compare_databases, generate_into, load_model_dir, save_model_dir, ExtractionOptions, Extractor,
+    SamplingOptions,
 };
 use dbsynth_suite::minidb::sql::query;
 use dbsynth_suite::minidb::{Database, SampleStrategy};
@@ -56,13 +56,23 @@ fn full_roundtrip_preserves_statistics() {
         "{}",
         fidelity.to_summary_string()
     );
-    assert!(fidelity.all_ranges_contained(), "{}", fidelity.to_summary_string());
+    assert!(
+        fidelity.all_ranges_contained(),
+        "{}",
+        fidelity.to_summary_string()
+    );
 
     // Categorical domains survive: genres are exactly the source's set.
-    let orig_genres = query(&original, "SELECT m_genre, COUNT(*) FROM movies GROUP BY m_genre")
-        .expect("orig genres");
-    let syn_genres = query(&synthetic, "SELECT m_genre, COUNT(*) FROM movies GROUP BY m_genre")
-        .expect("syn genres");
+    let orig_genres = query(
+        &original,
+        "SELECT m_genre, COUNT(*) FROM movies GROUP BY m_genre",
+    )
+    .expect("orig genres");
+    let syn_genres = query(
+        &synthetic,
+        "SELECT m_genre, COUNT(*) FROM movies GROUP BY m_genre",
+    )
+    .expect("syn genres");
     let to_set = |r: &dbsynth_suite::minidb::sql::QueryResult| {
         r.rows
             .iter()
@@ -80,7 +90,10 @@ fn scaling_up_multiplies_rows_and_keeps_referential_integrity() {
         .expect("extraction");
     let mut synthetic = Database::new();
     generate_into(&mut synthetic, &model, 3.0, 0).expect("generate+load");
-    assert_eq!(synthetic.table("movies").expect("movies").row_count(), 1_800);
+    assert_eq!(
+        synthetic.table("movies").expect("movies").row_count(),
+        1_800
+    );
     // Foreign keys were re-pointed at the *scaled* parent domain.
     let orphans = query(
         &synthetic,
@@ -128,8 +141,12 @@ fn model_directory_roundtrip_is_faithful() {
         .expect("build from memory");
     for table in ["movies", "persons", "cast_info"] {
         assert_eq!(
-            from_disk.table_to_string(table, OutputFormat::Csv).expect("disk render"),
-            from_memory.table_to_string(table, OutputFormat::Csv).expect("mem render"),
+            from_disk
+                .table_to_string(table, OutputFormat::Csv)
+                .expect("disk render"),
+            from_memory
+                .table_to_string(table, OutputFormat::Csv)
+                .expect("mem render"),
             "{table}"
         );
     }
@@ -152,7 +169,11 @@ fn histogram_extraction_preserves_skew_that_uniform_bounds_lose() {
         )
         .expect("create");
     for i in 0..2_000i64 {
-        let amount = if i % 10 == 9 { 100 + (i % 100) * 99 } else { i % 100 };
+        let amount = if i % 10 == 9 {
+            100 + (i % 100) * 99
+        } else {
+            i % 100
+        };
         original
             .insert("sales", vec![Value::Long(i + 1), Value::Long(amount)])
             .expect("insert");
@@ -160,7 +181,10 @@ fn histogram_extraction_preserves_skew_that_uniform_bounds_lose() {
     let small_fraction = |db: &Database| {
         let t = db.table("sales").expect("sales");
         let idx = t.def().column_index("s_amount").expect("column");
-        let small = t.column(idx).filter(|v| v.as_i64().unwrap_or(0) < 100).count();
+        let small = t
+            .column(idx)
+            .filter(|v| v.as_i64().unwrap_or(0) < 100)
+            .count();
         small as f64 / t.row_count() as f64
     };
     let original_frac = small_fraction(&original);
@@ -175,7 +199,9 @@ fn histogram_extraction_preserves_skew_that_uniform_bounds_lose() {
             histogram_buckets: 128,
             ..elaborate_options()
         };
-        let model = Extractor::new(&original, opts).extract("skew").expect("extract");
+        let model = Extractor::new(&original, opts)
+            .extract("skew")
+            .expect("extract");
         let mut target = Database::new();
         generate_into(&mut target, &model, 1.0, 0).expect("generate");
         small_fraction(&target)

@@ -41,7 +41,13 @@ fn node_sharding_is_transparent() {
     // comparison must be per table).
     type TableBytes = std::collections::BTreeMap<String, Vec<u8>>;
     let collect = |nodes: usize| -> TableBytes {
-        let sched = MetaScheduler::new(nodes, RunConfig { workers: 2, package_rows: 97 });
+        let sched = MetaScheduler::new(
+            nodes,
+            RunConfig {
+                workers: 2,
+                package_rows: 97,
+            },
+        );
         let shared = std::sync::Arc::new(parking_lot::Mutex::new(TableBytes::new()));
         let mut make = {
             let shared = shared.clone();
@@ -120,7 +126,10 @@ fn seed_change_modifies_every_random_value() {
 
 #[test]
 fn xml_roundtrip_preserves_generated_bytes() {
-    let direct = tpch::project(0.0002).workers(0).build().expect("direct build");
+    let direct = tpch::project(0.0002)
+        .workers(0)
+        .build()
+        .expect("direct build");
     let xml = dbsynth_suite::pdgf::schema::config::to_xml_string(direct.schema());
     let via_xml = Pdgf::from_xml_str(&xml)
         .expect("parse own XML")
@@ -130,8 +139,12 @@ fn xml_roundtrip_preserves_generated_bytes() {
         .expect("build from XML");
     for table in ["customer", "orders", "lineitem"] {
         assert_eq!(
-            direct.table_to_string(table, OutputFormat::Csv).expect("render"),
-            via_xml.table_to_string(table, OutputFormat::Csv).expect("render"),
+            direct
+                .table_to_string(table, OutputFormat::Csv)
+                .expect("render"),
+            via_xml
+                .table_to_string(table, OutputFormat::Csv)
+                .expect("render"),
             "{table}"
         );
     }
@@ -142,13 +155,23 @@ fn formats_carry_identical_data() {
     // The same cells must appear in every output format: compare the CSV
     // and JSON renderings of the first rows field by field.
     let project = tpch::project(0.0002).workers(0).build().expect("build");
-    let csv = project.table_to_string("customer", OutputFormat::Csv).expect("csv");
-    let json = project.table_to_string("customer", OutputFormat::Json).expect("json");
+    let csv = project
+        .table_to_string("customer", OutputFormat::Csv)
+        .expect("csv");
+    let json = project
+        .table_to_string("customer", OutputFormat::Json)
+        .expect("json");
     let first_csv = csv.lines().next().expect("has rows");
     let first_json = json.lines().next().expect("has rows");
     // The customer key and name must appear verbatim in both.
     let key = first_csv.split(',').next().expect("key field");
     assert!(first_json.contains(&format!("\"c_custkey\":{key}")));
-    let sql = project.table_to_string("customer", OutputFormat::Sql).expect("sql");
-    assert!(sql.lines().next().expect("has rows").contains(&format!("VALUES ({key}")));
+    let sql = project
+        .table_to_string("customer", OutputFormat::Sql)
+        .expect("sql");
+    assert!(sql
+        .lines()
+        .next()
+        .expect("has rows")
+        .contains(&format!("VALUES ({key}")));
 }

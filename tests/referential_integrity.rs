@@ -15,8 +15,9 @@ fn load_project(project: &dbsynth_suite::pdgf::PdgfProject) -> Database {
         .expect("DDL applies");
     let rt = project.runtime();
     for (t_idx, table) in rt.tables().iter().enumerate() {
-        let rows: Vec<Vec<Value>> =
-            (0..table.size).map(|r| rt.row(t_idx as u32, 0, r)).collect();
+        let rows: Vec<Vec<Value>> = (0..table.size)
+            .map(|r| rt.row(t_idx as u32, 0, r))
+            .collect();
         db.bulk_load(&table.name, rows).expect("rows satisfy DDL");
     }
     db
@@ -24,7 +25,10 @@ fn load_project(project: &dbsynth_suite::pdgf::PdgfProject) -> Database {
 
 #[test]
 fn tpch_foreign_keys_join_without_orphans() {
-    let project = tpch::project(0.0005).workers(0).build().expect("tpch builds");
+    let project = tpch::project(0.0005)
+        .workers(0)
+        .build()
+        .expect("tpch builds");
     let db = load_project(&project);
 
     // Every lineitem joins to an order; the join count equals lineitem's
@@ -53,13 +57,19 @@ fn tpch_foreign_keys_join_without_orphans() {
     .expect("chain join")
     .rows[0][0]
         .clone();
-    let o_count = query(&db, "SELECT COUNT(*) FROM orders").expect("count").rows[0][0].clone();
+    let o_count = query(&db, "SELECT COUNT(*) FROM orders")
+        .expect("count")
+        .rows[0][0]
+        .clone();
     assert_eq!(chain, o_count);
 }
 
 #[test]
 fn tpch_business_queries_return_sane_shapes() {
-    let project = tpch::project(0.0005).workers(2).build().expect("tpch builds");
+    let project = tpch::project(0.0005)
+        .workers(2)
+        .build()
+        .expect("tpch builds");
     let db = load_project(&project);
 
     // A pricing-summary-flavoured aggregation (Q1-like).
@@ -91,7 +101,9 @@ fn tpch_business_queries_return_sane_shapes() {
     )
     .expect("dated");
     let n = dated.rows[0][0].as_i64().expect("count");
-    let total = query(&db, "SELECT COUNT(*) FROM orders").expect("count").rows[0][0]
+    let total = query(&db, "SELECT COUNT(*) FROM orders")
+        .expect("count")
+        .rows[0][0]
         .as_i64()
         .expect("count");
     // Uniform over ~6.6 years: one year holds roughly 15%.
@@ -101,9 +113,14 @@ fn tpch_business_queries_return_sane_shapes() {
 
 #[test]
 fn bigbench_reviews_reference_items_and_customers() {
-    let project = bigbench::project(0.05).workers(0).build().expect("bigbench builds");
+    let project = bigbench::project(0.05)
+        .workers(0)
+        .build()
+        .expect("bigbench builds");
     let db = load_project(&project);
-    let reviews = query(&db, "SELECT COUNT(*) FROM product_reviews").expect("count").rows[0][0]
+    let reviews = query(&db, "SELECT COUNT(*) FROM product_reviews")
+        .expect("count")
+        .rows[0][0]
         .clone();
     let joined = query(
         &db,
@@ -121,7 +138,10 @@ fn bigbench_reviews_reference_items_and_customers() {
 fn generated_sql_format_loads_through_the_sql_engine() {
     // The SQL output format must be executable DDL+DML: build the target
     // through INSERT statements only.
-    let project = tpch::project(0.0001).workers(0).build().expect("tpch builds");
+    let project = tpch::project(0.0001)
+        .workers(0)
+        .build()
+        .expect("tpch builds");
     let mut db = Database::new();
     dbsynth_suite::dbsynth::translate::create_target_tables(&mut db, project.schema())
         .expect("DDL applies");
@@ -131,7 +151,10 @@ fn generated_sql_format_loads_through_the_sql_engine() {
     for stmt in inserts.lines() {
         execute(&mut db, stmt).expect("insert executes");
     }
-    let n = query(&db, "SELECT COUNT(*) FROM region").expect("count").rows[0][0].clone();
+    let n = query(&db, "SELECT COUNT(*) FROM region")
+        .expect("count")
+        .rows[0][0]
+        .clone();
     assert_eq!(n, Value::Long(5));
     let names = query(&db, "SELECT r_name FROM region ORDER BY r_regionkey").expect("names");
     assert_eq!(names.rows[0][0], Value::text("AFRICA"));

@@ -23,10 +23,9 @@ fn shipped_tpch_xml_matches_the_builder() {
 
 #[test]
 fn shipped_ssb_xml_matches_the_builder() {
-    let shipped = std::fs::read_to_string(repo_path("models/ssb.xml"))
-        .expect("models/ssb.xml is checked in");
-    let built =
-        dbsynth_suite::pdgf::schema::config::to_xml_string(&ssb::schema(19_920_601));
+    let shipped =
+        std::fs::read_to_string(repo_path("models/ssb.xml")).expect("models/ssb.xml is checked in");
+    let built = dbsynth_suite::pdgf::schema::config::to_xml_string(&ssb::schema(19_920_601));
     assert_eq!(
         shipped, built,
         "models/ssb.xml is stale — run `cargo run -p workloads --bin dump-models`"

@@ -14,8 +14,12 @@ fn runtime() -> SchemaRuntime {
     let schema = Schema::new("etl", 77).table(
         Table::new("accounts", "500")
             .field(
-                Field::new("a_id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
-                    .primary(),
+                Field::new(
+                    "a_id",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                )
+                .primary(),
             )
             .field(Field::new(
                 "a_balance",
@@ -31,7 +35,10 @@ fn runtime() -> SchemaRuntime {
                 SqlType::Varchar(20),
                 GeneratorSpec::Null {
                     probability: 0.2,
-                    inner: Box::new(GeneratorSpec::RandomString { min_len: 3, max_len: 12 }),
+                    inner: Box::new(GeneratorSpec::RandomString {
+                        min_len: 3,
+                        max_len: 12,
+                    }),
                 },
             )),
     );
@@ -55,9 +62,17 @@ fn sql_applied_epochs_track_black_box_bookkeeping() {
 
     let bb = UpdateBlackBox::new(
         0,
-        UpdateConfig { insert_fraction: 0.10, update_fraction: 0.10, delete_fraction: 0.04 },
+        UpdateConfig {
+            insert_fraction: 0.10,
+            update_fraction: 0.10,
+            delete_fraction: 0.04,
+        },
     );
-    let columns = vec!["a_id".to_string(), "a_balance".to_string(), "a_note".to_string()];
+    let columns = vec![
+        "a_id".to_string(),
+        "a_balance".to_string(),
+        "a_note".to_string(),
+    ];
 
     let mut expected_live = 500i64;
     for epoch in 1..=4 {
@@ -94,10 +109,15 @@ fn sql_applied_epochs_track_black_box_bookkeeping() {
             execute(&mut db, &stmt).expect("DML applies");
         }
         expected_live += ins - actually_deleted;
-        let live = query(&db, "SELECT COUNT(*) FROM accounts").expect("count").rows[0][0]
+        let live = query(&db, "SELECT COUNT(*) FROM accounts")
+            .expect("count")
+            .rows[0][0]
             .as_i64()
             .expect("count");
-        assert_eq!(live, expected_live, "epoch {epoch}: {del} deletes requested");
+        assert_eq!(
+            live, expected_live,
+            "epoch {epoch}: {del} deletes requested"
+        );
     }
     assert!(expected_live > 500, "stream should grow net of deletes");
 
