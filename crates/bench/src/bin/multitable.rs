@@ -1,0 +1,213 @@
+//! Multi-table scheduling: persistent project-wide pool vs per-table pools.
+//!
+//! The old scheduler built a fresh worker pool for every table, so a
+//! project run paid pool setup/teardown per table and left workers idle
+//! during each table's tail packages. The project-wide scheduler keeps
+//! one pool busy across all tables. This harness times the full TPC-H
+//! table set (8 tables, sizes spanning 5 rows to SF·6M) both ways:
+//!
+//! * `per_table_pools` — one `run_project` call per table, sequentially
+//!   (exactly the old per-table architecture),
+//! * `persistent_pool` — one `run_project` call with every table as a
+//!   job in the global queue.
+//!
+//! It also times the single biggest table alone both ways: with one job
+//! the two paths collapse to the same pool, so the ratio there is a
+//! no-regression check on the new queue plumbing.
+//!
+//! Results merge into `BENCH_throughput.json` under `"multi_table"`.
+//!
+//! Knobs: `MULTITABLE_SF` (default 0.02), `MULTITABLE_WORKERS` (default
+//! 4), `MULTITABLE_REPEATS` (default 3, best-of),
+//! `MULTITABLE_PACKAGE_ROWS` (default 2000), `MULTITABLE_OUT` (default
+//! `BENCH_throughput.json`).
+
+use bench::{banner, check, env_f64, env_usize, timed};
+use pdgf::Pdgf;
+use pdgf_gen::SchemaRuntime;
+use pdgf_output::{CsvFormatter, NullSink, Sink};
+use pdgf_runtime::{run_project, RunConfig, TableJob};
+use workloads::tpch;
+
+struct Measure {
+    rows: u64,
+    bytes: u64,
+    seconds: f64,
+}
+
+/// One `run_project` call over `jobs` into fresh null sinks.
+fn run_once(rt: &SchemaRuntime, jobs: &[TableJob], cfg: &RunConfig) -> Measure {
+    let mut sinks: Vec<NullSink> = jobs.iter().map(|_| NullSink::new()).collect();
+    let mut refs: Vec<&mut dyn Sink> = sinks.iter_mut().map(|s| s as &mut dyn Sink).collect();
+    let t = timed(|| {
+        run_project(rt, jobs, &CsvFormatter::new(), &mut refs, cfg, None).expect("run succeeds")
+    });
+    Measure {
+        rows: t.value.iter().map(|s| s.rows).sum(),
+        bytes: t.value.iter().map(|s| s.bytes).sum(),
+        seconds: t.seconds,
+    }
+}
+
+/// Best-of-`repeats` for `f`.
+fn best(repeats: usize, mut f: impl FnMut() -> Measure) -> Measure {
+    let mut out: Option<Measure> = None;
+    for _ in 0..repeats {
+        let m = f();
+        if out.as_ref().is_none_or(|b| m.seconds < b.seconds) {
+            out = Some(m);
+        }
+    }
+    out.expect("at least one repeat")
+}
+
+/// Merge `payload` into `path` as the `"multi_table"` member, replacing a
+/// previous run's entry if present; creates the file if missing.
+fn merge_into(path: &str, payload: &str) {
+    const MARKER: &str = ",\n  \"multi_table\": ";
+    let merged = match std::fs::read_to_string(path) {
+        Ok(content) => {
+            let head = match content.find(MARKER) {
+                Some(i) => content[..i].to_string(),
+                None => {
+                    let trimmed = content.trim_end();
+                    trimmed
+                        .strip_suffix('}')
+                        .expect("existing file is a JSON object")
+                        .trim_end()
+                        .to_string()
+                }
+            };
+            format!("{head}{MARKER}{payload}\n}}\n")
+        }
+        Err(_) => format!("{{\n  \"multi_table\": {payload}\n}}\n"),
+    };
+    std::fs::write(path, merged).expect("write benchmark json");
+}
+
+fn main() {
+    banner(
+        "Multi-table scheduling: persistent pool vs per-table pools",
+        "one worker pool drains a global queue across all tables, so \
+         small tables ride along with big ones instead of each paying \
+         pool startup and tail idling",
+    );
+    let sf = env_f64("MULTITABLE_SF", 0.02);
+    let workers = env_usize("MULTITABLE_WORKERS", 4);
+    let repeats = env_usize("MULTITABLE_REPEATS", 3);
+    let package_rows = env_usize("MULTITABLE_PACKAGE_ROWS", 2_000) as u64;
+    let out_path =
+        std::env::var("MULTITABLE_OUT").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
+    let cfg = RunConfig {
+        workers,
+        package_rows,
+    };
+
+    let project = Pdgf::from_schema(tpch::schema(12_456_789))
+        .resolver(tpch::resolver())
+        .set_property("SF", &format!("{sf}"))
+        .build()
+        .expect("tpch model builds");
+    let rt = project.runtime();
+    let jobs: Vec<TableJob> = rt
+        .tables()
+        .iter()
+        .enumerate()
+        .map(|(t, table)| TableJob::full_table(t as u32, table.size))
+        .collect();
+    assert!(jobs.len() >= 6, "need a multi-table project");
+    let (big_idx, big) = rt
+        .tables()
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, t)| t.size)
+        .expect("non-empty project");
+    println!(
+        "{} tables at SF {sf} ({} total rows), biggest {} ({} rows); \
+         workers {workers}, package_rows {package_rows}, best of {repeats}\n",
+        jobs.len(),
+        rt.tables().iter().map(|t| t.size).sum::<u64>(),
+        big.name,
+        big.size
+    );
+
+    // Warm-up (dictionaries, markov corpora, seed caches).
+    let _ = run_once(
+        rt,
+        &jobs,
+        &RunConfig {
+            workers,
+            package_rows,
+        },
+    );
+
+    let big_job = [TableJob::full_table(big_idx as u32, big.size)];
+    let big_seq = best(repeats, || run_once(rt, &big_job, &cfg));
+    let big_pool = best(repeats, || run_once(rt, &big_job, &cfg));
+
+    let many_per_table = best(repeats, || {
+        let mut total = Measure {
+            rows: 0,
+            bytes: 0,
+            seconds: 0.0,
+        };
+        for job in &jobs {
+            let m = run_once(rt, std::slice::from_ref(job), &cfg);
+            total.rows += m.rows;
+            total.bytes += m.bytes;
+            total.seconds += m.seconds;
+        }
+        total
+    });
+    let many_persistent = best(repeats, || run_once(rt, &jobs, &cfg));
+    assert_eq!(many_per_table.rows, many_persistent.rows);
+    assert_eq!(many_per_table.bytes, many_persistent.bytes);
+
+    let big_ratio = big_seq.seconds / big_pool.seconds;
+    let many_ratio = many_per_table.seconds / many_persistent.seconds;
+    println!("{:<28} {:>10} {:>12}", "configuration", "seconds", "MB/s");
+    for (name, m) in [
+        ("one big table (baseline)", &big_seq),
+        ("one big table (pool)", &big_pool),
+        ("8 tables, per-table pools", &many_per_table),
+        ("8 tables, persistent pool", &many_persistent),
+    ] {
+        println!(
+            "{:<28} {:>10.4} {:>12.2}",
+            name,
+            m.seconds,
+            m.bytes as f64 / 1e6 / m.seconds
+        );
+    }
+    println!();
+    check(
+        "one-big-table no-regression",
+        big_ratio >= 0.9,
+        &format!("ratio {big_ratio:.2}x (>= 0.9 allows noise)"),
+    );
+    check(
+        "many-tables speedup",
+        many_ratio >= 1.0,
+        &format!("persistent pool {many_ratio:.2}x vs per-table pools"),
+    );
+
+    let payload = format!(
+        "{{\n    \"benchmark\": \"multi_table_pool\",\n    \"sf\": {sf},\n    \
+         \"workers\": {workers},\n    \"package_rows\": {package_rows},\n    \
+         \"tables\": {},\n    \"rows\": {},\n    \"bytes\": {},\n    \
+         \"one_big_table\": {{\"baseline_s\": {:.6}, \"pool_s\": {:.6}, \"speedup\": {:.3}}},\n    \
+         \"many_tables\": {{\"per_table_pools_s\": {:.6}, \"persistent_pool_s\": {:.6}, \
+         \"speedup\": {:.3}}}\n  }}",
+        jobs.len(),
+        many_persistent.rows,
+        many_persistent.bytes,
+        big_seq.seconds,
+        big_pool.seconds,
+        big_ratio,
+        many_per_table.seconds,
+        many_persistent.seconds,
+        many_ratio,
+    );
+    merge_into(&out_path, &payload);
+    println!("\nmerged into {out_path}");
+}

@@ -154,16 +154,25 @@ pub struct Zipf {
 }
 
 impl Zipf {
-    /// Zipf over `1..=n` with skew `theta` in `(0, 1)`.
+    /// Zipf over `1..=n` with skew `theta` in `[0, 1)`.
     ///
-    /// `theta` near 0 approaches uniform; values near 1 are highly skewed.
+    /// `theta = 0` is exactly uniform; values near 1 are highly skewed.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "domain must be non-empty");
         assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        // For n <= 2 the sampler never leaves the explicit rank-1/rank-2
+        // branches (zeta2 == zetan makes their CDF thresholds exhaustive),
+        // but the Gray et al. eta formula divides by `1 - zeta2/zetan`,
+        // which is 0/0 there. Store a finite placeholder instead of
+        // NaN/inf so the struct stays well-formed.
+        let eta = if n <= 2 {
+            0.0
+        } else {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan)
+        };
         Self {
             n,
             theta,
@@ -297,10 +306,14 @@ impl Alias {
     pub fn sample_index(&self, rng: &mut dyn FnMut() -> u64) -> usize {
         let draw = rng();
         let n = self.prob.len() as u64;
-        let i = ((u128::from(draw) * u128::from(n)) >> 64) as usize;
-        // Reuse the low bits for the biased coin; they are independent of
-        // the bucket choice for an avalanche-mixed source.
-        let coin = (draw & ((1 << 53) - 1)) as f64 * (1.0 / (1u64 << 53) as f64);
+        // Bucket and coin must come from disjoint bits: the bucket claims a
+        // contiguous range of the full 64-bit draw, so within one bucket the
+        // draw's low bits are *not* uniform (for large n they are pinned to
+        // a narrow window), which skews the acceptance coin. High 32 bits
+        // pick the bucket, low 32 bits flip the coin.
+        let hi = draw >> 32;
+        let i = ((hi * n) >> 32) as usize;
+        let coin = (draw & 0xFFFF_FFFF) as f64 * (1.0 / 4_294_967_296.0);
         if coin < self.prob[i] {
             i
         } else {
@@ -411,6 +424,40 @@ mod tests {
     }
 
     #[test]
+    fn zipf_tiny_domains_are_finite_and_exact() {
+        // n = 1 and n = 2 make the Gray et al. eta denominator 0/0; the
+        // constructor must not poison the struct with NaN/inf.
+        let one = Zipf::new(1, 0.5);
+        assert!(one.zetan().is_finite());
+        let mut rng = PdgfDefaultRandom::seed_from(40);
+        for _ in 0..1_000 {
+            assert_eq!(one.sample_rank(&mut || rng.next_u64()), 1);
+        }
+
+        for theta in [0.0, 0.3, 0.99] {
+            let two = Zipf::new(2, theta);
+            assert!(two.zetan().is_finite(), "theta={theta}");
+            let mut rng = PdgfDefaultRandom::seed_from(41);
+            let n = 100_000u32;
+            let mut ones = 0u32;
+            for _ in 0..n {
+                match two.sample_rank(&mut || rng.next_u64()) {
+                    1 => ones += 1,
+                    2 => {}
+                    r => panic!("rank {r} out of domain"),
+                }
+            }
+            // P(rank 1) = 1 / (1 + 0.5^theta).
+            let expect = 1.0 / (1.0 + 0.5f64.powf(theta));
+            let got = f64::from(ones) / f64::from(n);
+            assert!(
+                (got - expect).abs() < 0.01,
+                "theta={theta}: wanted {expect}, got {got}"
+            );
+        }
+    }
+
+    #[test]
     fn alias_matches_weights() {
         let weights = [0.5, 0.25, 0.125, 0.125];
         let a = Alias::new(&weights);
@@ -427,6 +474,38 @@ mod tests {
                 "weight {i}: wanted {w}, got {frac}"
             );
         }
+    }
+
+    /// Regression for a bucket/coin correlation: when bucket index and
+    /// acceptance coin were carved from overlapping bits of one draw, each
+    /// bucket's contiguous draw range pinned its coin to a narrow window
+    /// once the table grew past ~2^11 entries, so near-1.0 bucket
+    /// probabilities were accepted either always or never. A chi-squared
+    /// fit over a large alternating-weight table catches that immediately
+    /// (the biased sampler scores in the millions here).
+    #[test]
+    fn alias_large_table_chi_squared() {
+        let n = 1usize << 14;
+        let weights: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.9 } else { 1.1 }).collect();
+        let total: f64 = weights.iter().sum();
+        let a = Alias::new(&weights);
+
+        let mut rng = PdgfDefaultRandom::seed_from(55);
+        let samples = 40 * n as u64;
+        let mut counts = vec![0u64; n];
+        for _ in 0..samples {
+            counts[a.sample_index(&mut || rng.next_u64())] += 1;
+        }
+
+        let mut chi2 = 0.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = samples as f64 * weights[i] / total;
+            let d = c as f64 - expect;
+            chi2 += d * d / expect;
+        }
+        // df = n - 1 = 16383; mean 16383, stddev ~181. Anything under
+        // mean + 6 sigma is an excellent fit.
+        assert!(chi2 < 17_500.0, "chi-squared {chi2} for {n} buckets");
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub mod update;
 
 pub use driver::{GenerationRun, RunReport, TableReport};
 pub use meta::{MetaScheduler, NodeReport};
-pub use monitor::Monitor;
-pub use package::{packages_for, WorkPackage};
-pub use scheduler::{generate_table_range, RunConfig};
+pub use monitor::{Monitor, Snapshot, TableSnapshot};
+pub use package::{
+    packages_for, packages_for_jobs, Framing, ProjectPackage, TableJob, WorkPackage,
+};
+pub use scheduler::{generate_table_range, run_project, RunConfig, TableRunStats};
 pub use update::{UpdateBatch, UpdateBlackBox, UpdateConfig, UpdateOp};

@@ -4,10 +4,13 @@
 //! JMX; the equivalent observability surface here is a cheap shared
 //! counter set that workers bump and a UI (or test) can snapshot at any
 //! time: "the progress of single tables and the complete data set as well
-//! as general performance parameters can be visualized".
+//! as general performance parameters can be visualized". The monitor
+//! tracks both the aggregate run and each table's own progress, and its
+//! throughput clock starts at the *first recorded package* — a monitor
+//! created long before the run starts does not understate MB/s.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Shared progress counters for one generation run.
@@ -21,7 +24,19 @@ struct MonitorInner {
     rows: AtomicU64,
     bytes: AtomicU64,
     packages: AtomicU64,
-    started: Instant,
+    /// Set when the first package (or framing bytes) is recorded; the
+    /// throughput clock measures from here, not from `Monitor::new()`.
+    started: OnceLock<Instant>,
+    /// Per-table counters, keyed by table name in first-seen order.
+    tables: Mutex<Vec<TableCounters>>,
+}
+
+#[derive(Debug)]
+struct TableCounters {
+    name: String,
+    rows: u64,
+    bytes: u64,
+    packages: u64,
 }
 
 /// A point-in-time view of a [`Monitor`].
@@ -33,10 +48,23 @@ pub struct Snapshot {
     pub bytes: u64,
     /// Work packages completed so far.
     pub packages: u64,
-    /// Seconds since the monitor was created.
+    /// Seconds since the first recorded package (0 before any).
     pub elapsed_secs: f64,
-    /// Megabytes per second since the monitor was created.
+    /// Megabytes per second since the first recorded package.
     pub throughput_mb_s: f64,
+}
+
+/// A point-in-time view of one table's progress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSnapshot {
+    /// Table name.
+    pub table: String,
+    /// Rows generated so far for this table.
+    pub rows: u64,
+    /// Output bytes produced so far for this table.
+    pub bytes: u64,
+    /// Work packages completed so far for this table.
+    pub packages: u64,
 }
 
 impl Default for Monitor {
@@ -46,29 +74,74 @@ impl Default for Monitor {
 }
 
 impl Monitor {
-    /// Fresh counters, clock starting now.
+    /// Fresh counters. The throughput clock starts lazily at the first
+    /// recorded package, so creating the monitor early costs nothing.
     pub fn new() -> Self {
         Self {
             inner: Arc::new(MonitorInner {
                 rows: AtomicU64::new(0),
                 bytes: AtomicU64::new(0),
                 packages: AtomicU64::new(0),
-                started: Instant::now(),
+                started: OnceLock::new(),
+                tables: Mutex::new(Vec::new()),
             }),
         }
     }
 
-    /// Record a completed package of `rows` rows and `bytes` output bytes.
+    /// Record a completed package of `rows` rows and `bytes` output bytes
+    /// (aggregate counters only).
     #[inline]
     pub fn record_package(&self, rows: u64, bytes: u64) {
+        self.inner.started.get_or_init(Instant::now);
         self.inner.rows.fetch_add(rows, Ordering::Relaxed);
         self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.inner.packages.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Current totals and derived throughput.
+    /// Record a completed package of `table`, updating both the aggregate
+    /// and the table's own counters.
+    pub fn record_table_package(&self, table: &str, rows: u64, bytes: u64) {
+        self.record_package(rows, bytes);
+        let mut tables = self.inner.tables.lock().expect("monitor lock");
+        let entry = Self::entry(&mut tables, table);
+        entry.rows += rows;
+        entry.bytes += bytes;
+        entry.packages += 1;
+    }
+
+    /// Record framing bytes (headers, document closers) of `table`: bytes
+    /// that reach the sink outside any work package.
+    pub fn record_table_framing(&self, table: &str, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        self.inner.started.get_or_init(Instant::now);
+        self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
+        let mut tables = self.inner.tables.lock().expect("monitor lock");
+        Self::entry(&mut tables, table).bytes += bytes;
+    }
+
+    fn entry<'t>(tables: &'t mut Vec<TableCounters>, table: &str) -> &'t mut TableCounters {
+        if let Some(i) = tables.iter().position(|t| t.name == table) {
+            return &mut tables[i];
+        }
+        tables.push(TableCounters {
+            name: table.to_string(),
+            rows: 0,
+            bytes: 0,
+            packages: 0,
+        });
+        tables.last_mut().expect("just pushed")
+    }
+
+    /// Current aggregate totals and derived throughput.
     pub fn snapshot(&self) -> Snapshot {
-        let elapsed = self.inner.started.elapsed().as_secs_f64();
+        let elapsed = self
+            .inner
+            .started
+            .get()
+            .map(|s| s.elapsed().as_secs_f64())
+            .unwrap_or(0.0);
         let bytes = self.inner.bytes.load(Ordering::Relaxed);
         Snapshot {
             rows: self.inner.rows.load(Ordering::Relaxed),
@@ -81,6 +154,29 @@ impl Monitor {
                 0.0
             },
         }
+    }
+
+    /// Per-table progress, in first-seen order.
+    pub fn table_snapshots(&self) -> Vec<TableSnapshot> {
+        self.inner
+            .tables
+            .lock()
+            .expect("monitor lock")
+            .iter()
+            .map(|t| TableSnapshot {
+                table: t.name.clone(),
+                rows: t.rows,
+                bytes: t.bytes,
+                packages: t.packages,
+            })
+            .collect()
+    }
+
+    /// Progress of one table, if any of its packages have been recorded.
+    pub fn table_snapshot(&self, table: &str) -> Option<TableSnapshot> {
+        self.table_snapshots()
+            .into_iter()
+            .find(|t| t.table == table)
     }
 }
 
@@ -127,5 +223,52 @@ mod tests {
         assert_eq!(snap.rows, 8000);
         assert_eq!(snap.bytes, 16_000);
         assert_eq!(snap.packages, 8000);
+    }
+
+    #[test]
+    fn clock_starts_at_first_package_not_construction() {
+        let m = Monitor::new();
+        assert_eq!(m.snapshot().elapsed_secs, 0.0, "no packages, no clock");
+        assert_eq!(m.snapshot().throughput_mb_s, 0.0);
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        m.record_package(10, 1_000_000);
+        let s = m.snapshot();
+        // The 60 ms spent idle before the run must not count: a delayed
+        // run's throughput is measured from its own first package.
+        assert!(
+            s.elapsed_secs < 0.05,
+            "clock includes pre-run idle time: {}s",
+            s.elapsed_secs
+        );
+    }
+
+    #[test]
+    fn per_table_counters_track_each_table() {
+        let m = Monitor::new();
+        m.record_table_package("a", 10, 100);
+        m.record_table_package("b", 20, 200);
+        m.record_table_package("a", 5, 50);
+        m.record_table_framing("a", 7);
+        m.record_table_framing("b", 0); // no-op
+
+        let a = m.table_snapshot("a").expect("table a recorded");
+        assert_eq!(a.rows, 15);
+        assert_eq!(a.bytes, 157);
+        assert_eq!(a.packages, 2);
+        let b = m.table_snapshot("b").expect("table b recorded");
+        assert_eq!(b.rows, 20);
+        assert_eq!(b.bytes, 200);
+        assert_eq!(b.packages, 1);
+        assert!(m.table_snapshot("c").is_none());
+
+        // Aggregate view includes framing bytes and both tables.
+        let s = m.snapshot();
+        assert_eq!(s.rows, 35);
+        assert_eq!(s.bytes, 357);
+        assert_eq!(s.packages, 3);
+
+        let all = m.table_snapshots();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].table, "a", "first-seen order");
     }
 }

@@ -2,14 +2,19 @@
 //!
 //! "A work package is a set of rows of a table that need to be generated."
 //! Packages are contiguous row ranges; their sequence number doubles as
-//! the sort key for ordered output.
+//! the sort key for ordered output. Since the scheduler went project-wide
+//! the queue spans every table (and update epoch) of a run: a [`TableJob`]
+//! describes one table shard with its framing obligations, and
+//! [`packages_for_jobs`] flattens a whole project into one global package
+//! list whose entries are keyed by `(job, seq)` — `job` routes a finished
+//! package to its sink, `seq` sorts it within that sink's stream.
 
 use std::ops::Range;
 
 /// A contiguous run of rows of one table at one update epoch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkPackage {
-    /// Sequence number within the generation run (sort key for output).
+    /// Sequence number within the job (sort key for output).
     pub seq: u64,
     /// Table index.
     pub table: u32,
@@ -29,6 +34,99 @@ impl WorkPackage {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+}
+
+/// Which of the formatter's `begin`/`end` bytes a table shard owns.
+///
+/// A whole-table run owns both. A node shard of a framed format (CSV with
+/// header, XML document, SQL script) owns `begin` only when it starts at
+/// row 0 and `end` only when it finishes the table, so that concatenating
+/// shard outputs in node order reproduces the single-node byte stream
+/// exactly — headers appear once, documents close once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Framing {
+    /// Emit the formatter's `begin` bytes before the first row.
+    pub begin: bool,
+    /// Emit the formatter's `end` bytes after the last row.
+    pub end: bool,
+}
+
+impl Framing {
+    /// Both `begin` and `end`: a self-contained document.
+    pub fn full() -> Self {
+        Self {
+            begin: true,
+            end: true,
+        }
+    }
+
+    /// Neither: a middle fragment of a larger stream.
+    pub fn none() -> Self {
+        Self {
+            begin: false,
+            end: false,
+        }
+    }
+
+    /// Framing implied by a row range of a `table_size`-row table: `begin`
+    /// iff the range starts at row 0, `end` iff it reaches the table end.
+    pub fn for_range(rows: &Range<u64>, table_size: u64) -> Self {
+        Self {
+            begin: rows.start == 0,
+            end: rows.end >= table_size,
+        }
+    }
+}
+
+/// One table shard in a project run: the rows to generate plus the
+/// framing bytes this shard is responsible for. The project scheduler
+/// drains the packages of every job through one worker pool; each job has
+/// its own sink and its own reorder stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableJob {
+    /// Table index.
+    pub table: u32,
+    /// Update epoch.
+    pub update: u32,
+    /// Row range (global row numbers).
+    pub rows: Range<u64>,
+    /// Framing obligations of this shard.
+    pub framing: Framing,
+}
+
+impl TableJob {
+    /// Job covering all `size` rows of `table` at update epoch 0, with
+    /// full framing.
+    pub fn full_table(table: u32, size: u64) -> Self {
+        Self {
+            table,
+            update: 0,
+            rows: 0..size,
+            framing: Framing::full(),
+        }
+    }
+
+    /// Job for a sub-range of a `table_size`-row table, framed by
+    /// position ([`Framing::for_range`]).
+    pub fn shard(table: u32, update: u32, rows: Range<u64>, table_size: u64) -> Self {
+        let framing = Framing::for_range(&rows, table_size);
+        Self {
+            table,
+            update,
+            rows,
+            framing,
+        }
+    }
+}
+
+/// A work package within a project run: the job index routes the output,
+/// the embedded package's `seq` orders it within the job's stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProjectPackage {
+    /// Index into the run's job list.
+    pub job: u32,
+    /// The row range and per-job sequence number.
+    pub pkg: WorkPackage,
 }
 
 /// Split `rows` of `table` into packages of at most `package_rows` rows,
@@ -53,6 +151,28 @@ pub fn packages_for(
         });
         start = end;
         seq += 1;
+    }
+    out
+}
+
+/// Flatten every job of a project into one global package list, job-major
+/// (all of job 0's packages, then job 1's, …) with per-job sequence
+/// numbers from 0. Workers claim entries in list order, so a run tends to
+/// finish tables in schema order while later tables absorb idle workers
+/// during each table's tail.
+pub fn packages_for_jobs(jobs: &[TableJob], package_rows: u64) -> Vec<ProjectPackage> {
+    assert!(
+        jobs.len() <= u32::MAX as usize,
+        "job index limited to u32::MAX"
+    );
+    let mut out = Vec::new();
+    for (idx, job) in jobs.iter().enumerate() {
+        for pkg in packages_for(job.table, job.update, job.rows.clone(), package_rows) {
+            out.push(ProjectPackage {
+                job: idx as u32,
+                pkg,
+            });
+        }
     }
     out
 }
@@ -104,5 +224,41 @@ mod tests {
             expected_start = w.rows.end;
         }
         assert_eq!(covered, 1013);
+    }
+
+    #[test]
+    fn framing_from_range_position() {
+        assert_eq!(Framing::for_range(&(0..100), 100), Framing::full());
+        assert!(Framing::for_range(&(0..50), 100).begin);
+        assert!(!Framing::for_range(&(0..50), 100).end);
+        assert!(!Framing::for_range(&(50..100), 100).begin);
+        assert!(Framing::for_range(&(50..100), 100).end);
+        assert_eq!(Framing::for_range(&(25..75), 100), Framing::none());
+        // Empty table: the full range is 0..0, a complete document.
+        assert_eq!(Framing::for_range(&(0..0), 0), Framing::full());
+    }
+
+    #[test]
+    fn project_packages_are_job_major_with_per_job_sequences() {
+        let jobs = [
+            TableJob::full_table(0, 10),
+            TableJob::full_table(3, 0),
+            TableJob::shard(1, 2, 4..12, 20),
+        ];
+        let p = packages_for_jobs(&jobs, 4);
+        // Job 0: 10 rows → 3 packages; job 1: empty → none; job 2: 8 rows
+        // → 2 packages.
+        assert_eq!(p.len(), 5);
+        assert_eq!(
+            p.iter().map(|x| x.job).collect::<Vec<_>>(),
+            vec![0, 0, 0, 2, 2]
+        );
+        assert_eq!(p[0].pkg.seq, 0);
+        assert_eq!(p[2].pkg.seq, 2);
+        assert_eq!(p[3].pkg.seq, 0, "sequences restart per job");
+        assert_eq!(p[3].pkg.table, 1);
+        assert_eq!(p[3].pkg.update, 2);
+        assert_eq!(p[3].pkg.rows, 4..8);
+        assert_eq!(p[4].pkg.rows, 8..12);
     }
 }

@@ -1,15 +1,26 @@
-//! The single-node scheduler: a worker pool generating work packages with
-//! sorted, single-stream output.
+//! The project-wide scheduler: one worker pool generating the work
+//! packages of *every* table with sorted, per-table output streams.
 //!
 //! The pipeline is the paper's data flow: scheduler → workers (seed +
-//! generate + format) → output system (reorder + sink). Workers claim
-//! packages from a shared counter (packages are uniform, so a ticket
-//! counter beats work stealing), format rows into recycled byte buffers,
-//! and hand completed buffers to the output stage through a bounded
-//! channel for backpressure. A reorder buffer releases buffers in package
-//! order, so the sink receives bytes identical to a sequential run, and
+//! generate + format) → output system (reorder + sink). Where earlier
+//! revisions spawned a fresh pool per table and ran tables strictly
+//! sequentially — paying the spawn cost for every small table and idling
+//! workers during each table's tail — [`run_project`] creates one pool
+//! per run and drains a single global queue of packages spanning all
+//! tables (and update epochs). Workers claim packages from a shared
+//! ticket counter (packages are uniform, so a ticket counter beats work
+//! stealing), format rows into recycled byte buffers, and hand completed
+//! buffers to the output stage through a bounded channel for
+//! backpressure. The output stage routes each package to its job's
+//! [`ReorderBuffer`] and sink, so every table's stream stays byte-
+//! identical to a sequential run even while tables overlap in time, and
 //! written buffers return to a [`BufferPool`] shared with the workers —
 //! after warm-up the steady state allocates nothing per package.
+//!
+//! Framing ([`Framing`]) makes node sharding exact for framed formats: a
+//! shard emits the formatter's `begin`/`end` bytes only when it owns the
+//! start/end of the table, so concatenated shard outputs equal the
+//! single-node byte stream for CSV-with-header, XML, and SQL alike.
 
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,7 +32,7 @@ use pdgf_output::{BufferPool, Formatter, ReorderBuffer, Sink, TableMeta};
 use pdgf_schema::Value;
 
 use crate::monitor::Monitor;
-use crate::package::packages_for;
+use crate::package::{packages_for_jobs, Framing, ProjectPackage, TableJob};
 
 /// Scheduler configuration.
 #[derive(Debug, Clone)]
@@ -50,14 +61,18 @@ pub fn available_workers() -> usize {
 }
 
 /// Result of generating one table (or table shard).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct TableRunStats {
     /// Rows actually written to the sink (counted from the packages the
     /// output stage wrote, not assumed from the requested range).
     pub rows: u64,
-    /// Bytes written to the sink.
+    /// Bytes this run wrote to the sink — the delta produced by this job,
+    /// not the sink's cumulative total, so reusing one sink across table
+    /// runs (single-file multi-table output) does not over-count.
     pub bytes: u64,
-    /// Wall-clock seconds.
+    /// Wall-clock seconds from run start until this job's output was
+    /// fully written. In a project run tables overlap in time, so this is
+    /// a completion time, not an exclusive-occupancy time.
     pub seconds: f64,
 }
 
@@ -84,6 +99,12 @@ pub fn table_meta(rt: &SchemaRuntime, table: u32) -> TableMeta {
 /// Generate rows `rows` of `table` (update epoch `update`), formatted by
 /// `formatter`, into `sink`. Output bytes are identical for any worker
 /// count — the determinism contract the test suite checks.
+///
+/// Framing is positional: `formatter.begin` is emitted only when the
+/// range starts at row 0 and `formatter.end` only when it reaches the
+/// table's last row, so node shards of framed formats concatenate into
+/// exactly the single-node byte stream. Build a [`TableJob`] and call
+/// [`run_project`] for explicit control over framing.
 #[allow(clippy::too_many_arguments)] // the full coordinate set is the API
 pub fn generate_table_range(
     rt: &SchemaRuntime,
@@ -95,126 +116,290 @@ pub fn generate_table_range(
     cfg: &RunConfig,
     monitor: Option<&Monitor>,
 ) -> io::Result<TableRunStats> {
-    let started = Instant::now();
-    let meta = table_meta(rt, table);
-
-    let mut head = Vec::new();
-    formatter.begin(&mut head, &meta);
-    if !head.is_empty() {
-        sink.write_chunk(&head)?;
-    }
-
-    let rows_written = if cfg.workers == 0 {
-        generate_inline(rt, table, update, rows, formatter, &meta, sink, monitor)?
-    } else {
-        generate_parallel(
-            rt, table, update, rows, formatter, &meta, sink, cfg, monitor,
-        )?
+    let size = rt.tables()[table as usize].size;
+    let job = TableJob {
+        table,
+        update,
+        framing: Framing::for_range(&rows, size),
+        rows,
     };
-
-    let mut tail = Vec::new();
-    formatter.end(&mut tail, &meta);
-    if !tail.is_empty() {
-        sink.write_chunk(&tail)?;
-    }
-
-    Ok(TableRunStats {
-        rows: rows_written,
-        bytes: sink.bytes_written(),
-        seconds: started.elapsed().as_secs_f64(),
-    })
+    let stats = run_project(rt, &[job], formatter, &mut [sink], cfg, monitor)?;
+    Ok(stats.into_iter().next().expect("one job, one stat"))
 }
 
+/// Per-job bookkeeping of the output stage.
+struct JobOutput {
+    /// Packages of this job not yet written to the sink.
+    remaining: u64,
+    reorder: ReorderBuffer<(u64, Vec<u8>)>,
+    stats: TableRunStats,
+}
+
+/// Generate every job of a project through one persistent worker pool.
+///
+/// `jobs[i]` writes to `sinks[i]`; each sink receives its job's bytes in
+/// row order (byte-identical to a sequential run of that job alone),
+/// while the pool keeps all workers busy across job boundaries. Sinks are
+/// *not* [`finish`](Sink::finish)ed — that stays with the caller, which
+/// may reuse a sink across runs.
+///
+/// On the first sink error the run aborts: the error is returned, and the
+/// channel hang-up stops every worker regardless of which job it was
+/// generating — an error on one table cannot deadlock workers that have
+/// moved on to the next.
+pub fn run_project(
+    rt: &SchemaRuntime,
+    jobs: &[TableJob],
+    formatter: &dyn Formatter,
+    sinks: &mut [&mut dyn Sink],
+    cfg: &RunConfig,
+    monitor: Option<&Monitor>,
+) -> io::Result<Vec<TableRunStats>> {
+    assert_eq!(jobs.len(), sinks.len(), "one sink per job");
+    let started = Instant::now();
+    let metas: Vec<TableMeta> = jobs.iter().map(|j| table_meta(rt, j.table)).collect();
+    let packages = packages_for_jobs(jobs, cfg.package_rows);
+
+    let mut outputs: Vec<JobOutput> = jobs
+        .iter()
+        .map(|_| JobOutput {
+            remaining: 0,
+            reorder: ReorderBuffer::new(),
+            stats: TableRunStats::default(),
+        })
+        .collect();
+    for p in &packages {
+        outputs[p.job as usize].remaining += 1;
+    }
+
+    // Begin framing is written up front: jobs have disjoint sinks, so
+    // cross-job write order never affects per-sink byte identity. Jobs
+    // with no packages (empty shards that still own framing — e.g. an
+    // empty table with a CSV header) complete right here.
+    let mut frame_buf = Vec::new();
+    for (idx, job) in jobs.iter().enumerate() {
+        if job.framing.begin {
+            frame_buf.clear();
+            formatter.begin(&mut frame_buf, &metas[idx]);
+            write_framing(&frame_buf, idx, &metas[idx], sinks, &mut outputs, monitor)?;
+        }
+        if outputs[idx].remaining == 0 {
+            finish_job(
+                formatter,
+                job,
+                idx,
+                &metas[idx],
+                sinks,
+                &mut outputs,
+                monitor,
+                started,
+            )?;
+        }
+    }
+
+    if !packages.is_empty() {
+        if cfg.workers == 0 {
+            run_inline(
+                rt,
+                jobs,
+                &packages,
+                formatter,
+                &metas,
+                sinks,
+                &mut outputs,
+                monitor,
+                started,
+            )?;
+        } else {
+            run_pool(
+                rt,
+                jobs,
+                &packages,
+                formatter,
+                &metas,
+                sinks,
+                &mut outputs,
+                cfg,
+                monitor,
+                started,
+            )?;
+        }
+    }
+
+    Ok(outputs.into_iter().map(|o| o.stats).collect())
+}
+
+/// Append `bytes` framing output to job `idx`'s sink and counters.
+fn write_framing(
+    bytes: &[u8],
+    idx: usize,
+    meta: &TableMeta,
+    sinks: &mut [&mut dyn Sink],
+    outputs: &mut [JobOutput],
+    monitor: Option<&Monitor>,
+) -> io::Result<()> {
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    sinks[idx].write_chunk(bytes)?;
+    outputs[idx].stats.bytes += bytes.len() as u64;
+    if let Some(m) = monitor {
+        m.record_table_framing(&meta.name, bytes.len() as u64);
+    }
+    Ok(())
+}
+
+/// Write job `idx`'s end framing (if owned) and stamp its completion
+/// time. Called exactly once per job, when its last package is written —
+/// or immediately for jobs with no packages.
 #[allow(clippy::too_many_arguments)]
+fn finish_job(
+    formatter: &dyn Formatter,
+    job: &TableJob,
+    idx: usize,
+    meta: &TableMeta,
+    sinks: &mut [&mut dyn Sink],
+    outputs: &mut [JobOutput],
+    monitor: Option<&Monitor>,
+    started: Instant,
+) -> io::Result<()> {
+    if job.framing.end {
+        let mut tail = Vec::new();
+        formatter.end(&mut tail, meta);
+        write_framing(&tail, idx, meta, sinks, outputs, monitor)?;
+    }
+    outputs[idx].stats.seconds = started.elapsed().as_secs_f64();
+    Ok(())
+}
+
+/// Write one completed package of job `idx` and, when it was the job's
+/// last, finish the job.
+#[allow(clippy::too_many_arguments)]
+fn write_package(
+    rows: u64,
+    buf: &[u8],
+    idx: usize,
+    formatter: &dyn Formatter,
+    jobs: &[TableJob],
+    metas: &[TableMeta],
+    sinks: &mut [&mut dyn Sink],
+    outputs: &mut [JobOutput],
+    monitor: Option<&Monitor>,
+    started: Instant,
+) -> io::Result<()> {
+    sinks[idx].write_chunk(buf)?;
+    let out = &mut outputs[idx];
+    out.stats.rows += rows;
+    out.stats.bytes += buf.len() as u64;
+    out.remaining -= 1;
+    if let Some(m) = monitor {
+        m.record_table_package(&metas[idx].name, rows, buf.len() as u64);
+    }
+    if out.remaining == 0 {
+        finish_job(
+            formatter,
+            &jobs[idx],
+            idx,
+            &metas[idx],
+            sinks,
+            outputs,
+            monitor,
+            started,
+        )?;
+    }
+    Ok(())
+}
+
 fn format_package(
     rt: &SchemaRuntime,
-    table: u32,
-    update: u32,
-    rows: std::ops::Range<u64>,
+    pkg: &ProjectPackage,
     formatter: &dyn Formatter,
     meta: &TableMeta,
     row_buf: &mut Vec<Value>,
     scratch: &mut GenScratch,
     out: &mut Vec<u8>,
 ) {
-    for row in rows {
-        rt.row_into_with_scratch(table, update, row, row_buf, scratch);
+    for row in pkg.pkg.rows.clone() {
+        rt.row_into_with_scratch(pkg.pkg.table, pkg.pkg.update, row, row_buf, scratch);
         formatter.row(out, meta, row_buf);
     }
 }
 
+/// Inline execution on the calling thread: packages run in global queue
+/// order, which is already per-job row order.
 #[allow(clippy::too_many_arguments)]
-fn generate_inline(
+fn run_inline(
     rt: &SchemaRuntime,
-    table: u32,
-    update: u32,
-    rows: std::ops::Range<u64>,
+    jobs: &[TableJob],
+    packages: &[ProjectPackage],
     formatter: &dyn Formatter,
-    meta: &TableMeta,
-    sink: &mut dyn Sink,
+    metas: &[TableMeta],
+    sinks: &mut [&mut dyn Sink],
+    outputs: &mut [JobOutput],
     monitor: Option<&Monitor>,
-) -> io::Result<u64> {
+    started: Instant,
+) -> io::Result<()> {
     let mut row_buf = Vec::new();
     let mut scratch = GenScratch::default();
     let mut out = Vec::new();
-    let mut written_rows = 0u64;
-    // Inline mode still chunks so the buffer does not grow unbounded.
-    for pkg in packages_for(table, update, rows, 10_000) {
+    for p in packages {
         out.clear();
-        let n = pkg.len();
+        let idx = p.job as usize;
         format_package(
             rt,
-            table,
-            update,
-            pkg.rows,
+            p,
             formatter,
-            meta,
+            &metas[idx],
             &mut row_buf,
             &mut scratch,
             &mut out,
         );
-        sink.write_chunk(&out)?;
-        written_rows += n;
-        if let Some(m) = monitor {
-            m.record_package(n, out.len() as u64);
-        }
+        write_package(
+            p.pkg.len(),
+            &out,
+            idx,
+            formatter,
+            jobs,
+            metas,
+            sinks,
+            outputs,
+            monitor,
+            started,
+        )?;
     }
-    Ok(written_rows)
+    Ok(())
 }
 
+/// Pooled execution: one scope of workers drains the global package
+/// queue; the output stage on the calling thread reorders per job.
 #[allow(clippy::too_many_arguments)]
-fn generate_parallel(
+fn run_pool(
     rt: &SchemaRuntime,
-    table: u32,
-    update: u32,
-    rows: std::ops::Range<u64>,
+    jobs: &[TableJob],
+    packages: &[ProjectPackage],
     formatter: &dyn Formatter,
-    meta: &TableMeta,
-    sink: &mut dyn Sink,
+    metas: &[TableMeta],
+    sinks: &mut [&mut dyn Sink],
+    outputs: &mut [JobOutput],
     cfg: &RunConfig,
     monitor: Option<&Monitor>,
-) -> io::Result<u64> {
-    let packages = packages_for(table, update, rows, cfg.package_rows);
-    if packages.is_empty() {
-        return Ok(0);
-    }
+    started: Instant,
+) -> io::Result<()> {
     let next_package = AtomicU64::new(0);
     let n_packages = packages.len() as u64;
     // Bounded channel: workers stall rather than buffering the whole
-    // table when the sink is slow.
+    // project when a sink is slow.
     let channel_depth = cfg.workers * 4;
-    let (tx, rx) = channel::bounded::<(u64, u64, Vec<u8>)>(channel_depth);
+    let (tx, rx) = channel::bounded::<(u32, u64, u64, Vec<u8>)>(channel_depth);
     // Written buffers return here and workers take them back out; sized
     // past the channel depth so even a full pipeline keeps recycling.
     let pool = BufferPool::new(channel_depth + cfg.workers + 1);
 
     let mut result: io::Result<()> = Ok(());
-    let mut written_rows = 0u64;
     let mut written_packages = 0u64;
     std::thread::scope(|scope| {
         for _ in 0..cfg.workers {
             let tx = tx.clone();
-            let packages = &packages;
             let next_package = &next_package;
             let pool = &pool;
             scope.spawn(move || {
@@ -225,20 +410,18 @@ fn generate_parallel(
                     if idx >= n_packages {
                         return;
                     }
-                    let pkg = &packages[idx as usize];
+                    let p = &packages[idx as usize];
                     let mut out = pool.take();
                     format_package(
                         rt,
-                        table,
-                        update,
-                        pkg.rows.clone(),
+                        p,
                         formatter,
-                        meta,
+                        &metas[p.job as usize],
                         &mut row_buf,
                         &mut scratch,
                         &mut out,
                     );
-                    if tx.send((pkg.seq, pkg.len(), out)).is_err() {
+                    if tx.send((p.job, p.pkg.seq, p.pkg.len(), out)).is_err() {
                         // Output stage failed and hung up; stop quietly,
                         // the error is reported from the output side.
                         return;
@@ -248,36 +431,36 @@ fn generate_parallel(
         }
         drop(tx);
 
-        // Output stage on the calling thread: reorder, write, recycle.
-        let mut reorder = ReorderBuffer::new();
-        for (seq, rows, buf) in rx {
-            let mut ready = reorder.push(seq, (rows, buf));
+        // Output stage on the calling thread: route each package to its
+        // job's reorder buffer and sink, recycle written buffers.
+        for (job, seq, rows, buf) in rx {
+            let idx = job as usize;
+            let mut ready = outputs[idx].reorder.push(seq, (rows, buf));
             while let Some((ready_rows, ready_buf)) = ready {
-                if let Err(e) = sink.write_chunk(&ready_buf) {
+                if let Err(e) = write_package(
+                    ready_rows, &ready_buf, idx, formatter, jobs, metas, sinks, outputs, monitor,
+                    started,
+                ) {
                     result = Err(e);
                     return; // drops `rx`; workers see the hangup and stop
                 }
-                if let Some(m) = monitor {
-                    m.record_package(ready_rows, ready_buf.len() as u64);
-                }
                 pool.put(ready_buf);
-                written_rows += ready_rows;
                 written_packages += 1;
-                ready = reorder.pop_ready();
+                ready = outputs[idx].reorder.pop_ready();
             }
         }
         // Every sender completed, so a shortfall here means packages were
         // dropped between the workers and the sink — corrupt output, not
         // a debug-only concern.
         if written_packages != n_packages {
+            let parked: usize = outputs.iter().map(|o| o.reorder.pending()).sum();
             result = Err(io::Error::other(format!(
                 "output stage lost packages: wrote {written_packages} of \
-                 {n_packages} ({} parked out of order)",
-                reorder.pending()
+                 {n_packages} ({parked} parked out of order)"
             )));
         }
     });
-    result.map(|()| written_rows)
+    result
 }
 
 #[cfg(test)]
@@ -303,6 +486,29 @@ mod tests {
                     },
                 )),
         );
+        SchemaRuntime::build(&schema, &MapResolver::new()).unwrap()
+    }
+
+    /// Runtime with several tables of mixed sizes for project runs.
+    fn multi_runtime(sizes: &[u64]) -> SchemaRuntime {
+        let mut schema = Schema::new("multi", 23);
+        for (i, rows) in sizes.iter().enumerate() {
+            schema = schema.table(
+                Table::new(&format!("t{i}"), &format!("{rows}"))
+                    .field(
+                        Field::new("id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+                            .primary(),
+                    )
+                    .field(Field::new(
+                        "v",
+                        SqlType::Integer,
+                        GeneratorSpec::Long {
+                            min: Expr::parse("0").unwrap(),
+                            max: Expr::parse("999999").unwrap(),
+                        },
+                    )),
+            );
+        }
         SchemaRuntime::build(&schema, &MapResolver::new()).unwrap()
     }
 
@@ -384,6 +590,74 @@ mod tests {
         }
     }
 
+    /// The heart of the project pool: every table's stream is byte-
+    /// identical to its own sequential run, for every worker count, even
+    /// though the pool interleaves tables.
+    #[test]
+    fn project_run_streams_match_sequential_per_table_runs() {
+        let rt = multi_runtime(&[1, 700, 0, 2_500, 35, 1_200]);
+        let formatters: [&dyn Formatter; 2] = [&CsvFormatter::new().with_header(), &XmlFormatter];
+        for formatter in formatters {
+            let reference: Vec<String> = (0..rt.tables().len())
+                .map(|t| {
+                    let mut sink = MemorySink::new();
+                    generate_table_range(
+                        &rt,
+                        t as u32,
+                        0,
+                        0..rt.tables()[t].size,
+                        formatter,
+                        &mut sink,
+                        &RunConfig {
+                            workers: 0,
+                            package_rows: 64,
+                        },
+                        None,
+                    )
+                    .unwrap();
+                    sink.as_str().to_string()
+                })
+                .collect();
+            for workers in [0usize, 1, 2, 4, 8] {
+                let jobs: Vec<TableJob> = rt
+                    .tables()
+                    .iter()
+                    .enumerate()
+                    .map(|(t, table)| TableJob::full_table(t as u32, table.size))
+                    .collect();
+                let mut sinks: Vec<MemorySink> =
+                    (0..jobs.len()).map(|_| MemorySink::new()).collect();
+                {
+                    let mut refs: Vec<&mut dyn Sink> =
+                        sinks.iter_mut().map(|s| s as &mut dyn Sink).collect();
+                    let stats = run_project(
+                        &rt,
+                        &jobs,
+                        formatter,
+                        &mut refs,
+                        &RunConfig {
+                            workers,
+                            package_rows: 77,
+                        },
+                        None,
+                    )
+                    .unwrap();
+                    for (t, s) in stats.iter().enumerate() {
+                        assert_eq!(s.rows, rt.tables()[t].size, "table {t} rows");
+                    }
+                }
+                for (t, sink) in sinks.iter().enumerate() {
+                    assert_eq!(
+                        sink.as_str(),
+                        reference[t],
+                        "format={} workers={workers} table={t}",
+                        formatter.name()
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn sub_ranges_generate_the_matching_slice() {
         let rt = runtime(1000);
@@ -409,6 +683,42 @@ mod tests {
         assert_eq!(got, slice);
     }
 
+    /// Sharded framing: only the shard containing row 0 emits `begin`,
+    /// only the shard reaching the last row emits `end`, so concatenated
+    /// shards equal the whole-table bytes for framed formats.
+    #[test]
+    fn shards_concatenate_to_whole_table_bytes_for_framed_formats() {
+        let rt = runtime(100);
+        let formatters: [&dyn Formatter; 3] = [
+            &CsvFormatter::new().with_header(),
+            &XmlFormatter,
+            &SqlFormatter::new(),
+        ];
+        for formatter in formatters {
+            let whole = run_fmt(&rt, formatter, 2, 13);
+            let mut concat = String::new();
+            for shard in [0..40u64, 40..70, 70..100] {
+                let mut sink = MemorySink::new();
+                generate_table_range(
+                    &rt,
+                    0,
+                    0,
+                    shard,
+                    formatter,
+                    &mut sink,
+                    &RunConfig {
+                        workers: 2,
+                        package_rows: 13,
+                    },
+                    None,
+                )
+                .unwrap();
+                concat.push_str(sink.as_str());
+            }
+            assert_eq!(concat, whole, "format={}", formatter.name());
+        }
+    }
+
     #[test]
     fn monitor_sees_all_rows_and_bytes() {
         let rt = runtime(1000);
@@ -432,12 +742,61 @@ mod tests {
         assert_eq!(snap.rows, 1000);
         assert_eq!(snap.bytes, sink.bytes_written());
         assert!(snap.packages >= 1000 / 64);
+        // Per-table counters agree with the aggregate for a one-table run.
+        let t = monitor.table_snapshot("t").expect("table t recorded");
+        assert_eq!(t.rows, 1000);
+        assert_eq!(t.bytes, snap.bytes);
+    }
+
+    #[test]
+    fn monitor_tracks_headers_and_tables_separately() {
+        let rt = multi_runtime(&[100, 300]);
+        let monitor = Monitor::new();
+        let jobs = [TableJob::full_table(0, 100), TableJob::full_table(1, 300)];
+        let mut s0 = MemorySink::new();
+        let mut s1 = MemorySink::new();
+        {
+            let mut refs: Vec<&mut dyn Sink> = vec![&mut s0, &mut s1];
+            run_project(
+                &rt,
+                &jobs,
+                &CsvFormatter::new().with_header(),
+                &mut refs,
+                &RunConfig {
+                    workers: 2,
+                    package_rows: 32,
+                },
+                Some(&monitor),
+            )
+            .unwrap();
+        }
+        let t0 = monitor.table_snapshot("t0").expect("t0 recorded");
+        let t1 = monitor.table_snapshot("t1").expect("t1 recorded");
+        assert_eq!(t0.rows, 100);
+        assert_eq!(t1.rows, 300);
+        assert_eq!(t0.bytes, s0.bytes_written(), "header bytes included");
+        assert_eq!(t1.bytes, s1.bytes_written());
+        let snap = monitor.snapshot();
+        assert_eq!(snap.rows, 400);
+        assert_eq!(snap.bytes, s0.bytes_written() + s1.bytes_written());
     }
 
     #[test]
     fn empty_table_produces_no_rows() {
         let rt = runtime(0);
         assert_eq!(run(&rt, 2, 10), "");
+    }
+
+    #[test]
+    fn empty_table_still_owns_its_framing() {
+        let rt = runtime(0);
+        // A header-CSV empty table is a header and nothing else; an XML
+        // empty table is an open+close pair.
+        let header = run_fmt(&rt, &CsvFormatter::new().with_header(), 2, 10);
+        assert_eq!(header, "id,v\n");
+        let xml = run_fmt(&rt, &XmlFormatter, 2, 10);
+        assert!(xml.starts_with("<t>"), "{xml}");
+        assert!(xml.trim_end().ends_with("</t>"), "{xml}");
     }
 
     #[test]
@@ -463,27 +822,72 @@ mod tests {
         assert_eq!(out.matches("id,v").count(), 1);
     }
 
+    /// `TableRunStats::bytes` reports this run's delta, not the sink's
+    /// cumulative counter, so reusing one sink across table runs (single-
+    /// file multi-table output) does not over-count.
+    #[test]
+    fn stats_bytes_are_per_run_deltas_on_a_shared_sink() {
+        let rt = multi_runtime(&[200, 500]);
+        let mut sink = MemorySink::new();
+        let cfg = RunConfig {
+            workers: 2,
+            package_rows: 64,
+        };
+        let first = generate_table_range(
+            &rt,
+            0,
+            0,
+            0..200,
+            &CsvFormatter::new(),
+            &mut sink,
+            &cfg,
+            None,
+        )
+        .unwrap();
+        let after_first = sink.bytes_written();
+        assert_eq!(first.bytes, after_first);
+        let second = generate_table_range(
+            &rt,
+            1,
+            0,
+            0..500,
+            &CsvFormatter::new(),
+            &mut sink,
+            &cfg,
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            second.bytes,
+            sink.bytes_written() - after_first,
+            "second run must report its own bytes, not the sink total"
+        );
+        assert!(second.bytes > 0);
+    }
+
+    struct FailingSink {
+        wrote: u64,
+        budget: u64,
+    }
+
+    impl Sink for FailingSink {
+        fn write_chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
+            if self.wrote + bytes.len() as u64 > self.budget {
+                return Err(io::Error::other("disk full"));
+            }
+            self.wrote += bytes.len() as u64;
+            Ok(())
+        }
+        fn finish(&mut self) -> io::Result<u64> {
+            Ok(self.wrote)
+        }
+        fn bytes_written(&self) -> u64 {
+            self.wrote
+        }
+    }
+
     #[test]
     fn failing_sink_surfaces_the_error() {
-        struct FailingSink {
-            wrote: u64,
-            budget: u64,
-        }
-        impl Sink for FailingSink {
-            fn write_chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
-                if self.wrote + bytes.len() as u64 > self.budget {
-                    return Err(io::Error::other("disk full"));
-                }
-                self.wrote += bytes.len() as u64;
-                Ok(())
-            }
-            fn finish(&mut self) -> io::Result<u64> {
-                Ok(self.wrote)
-            }
-            fn bytes_written(&self) -> u64 {
-                self.wrote
-            }
-        }
         let rt = runtime(10_000);
         let mut sink = FailingSink {
             wrote: 0,
@@ -498,6 +902,41 @@ mod tests {
             &mut sink,
             &RunConfig {
                 workers: 2,
+                package_rows: 100,
+            },
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+    }
+
+    /// A sink error on table k must stop the whole pool without
+    /// deadlocking workers that are already generating table k+1: the
+    /// channel hang-up reaches every worker regardless of which job its
+    /// current package belongs to.
+    #[test]
+    fn failing_sink_on_one_table_does_not_deadlock_the_project_pool() {
+        let rt = multi_runtime(&[20_000, 20_000, 20_000]);
+        let jobs: Vec<TableJob> = rt
+            .tables()
+            .iter()
+            .enumerate()
+            .map(|(t, table)| TableJob::full_table(t as u32, table.size))
+            .collect();
+        let mut ok0 = MemorySink::new();
+        let mut bad = FailingSink {
+            wrote: 0,
+            budget: 2_048,
+        };
+        let mut ok2 = MemorySink::new();
+        let mut refs: Vec<&mut dyn Sink> = vec![&mut ok0, &mut bad, &mut ok2];
+        let err = run_project(
+            &rt,
+            &jobs,
+            &CsvFormatter::new(),
+            &mut refs,
+            &RunConfig {
+                workers: 4,
                 package_rows: 100,
             },
             None,

@@ -7,6 +7,7 @@
 //! ```text
 //! pdgf generate --model tpch.xml --out out/ [--format csv|json|xml|sql]
 //!               [--workers N] [--package-rows N] [--seed N] [-p NAME=EXPR]...
+//!               [--node I --nodes N]
 //! pdgf preview  --model tpch.xml --table lineitem [--rows 10] [-p ...]
 //! pdgf info     --model tpch.xml [-p ...]
 //! pdgf validate --model tpch.xml
@@ -25,6 +26,8 @@ struct Args {
     seed: Option<u64>,
     table: Option<String>,
     rows: u64,
+    node: usize,
+    nodes: usize,
     props: Vec<(String, String)>,
 }
 
@@ -34,6 +37,7 @@ fn usage() -> ExitCode {
          \n\
          generate options: --out <dir> --format csv|json|xml|sql --workers N\n\
          \u{20}                 --package-rows N --seed N -p NAME=EXPR\n\
+         \u{20}                 --node I --nodes N   (write only node I's shard of N)\n\
          preview options:  --table <name> --rows N\n"
     );
     ExitCode::from(2)
@@ -50,6 +54,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         seed: None,
         table: None,
         rows: 10,
+        node: 0,
+        nodes: 1,
         props: Vec::new(),
     };
     while let Some(flag) = argv.next() {
@@ -80,6 +86,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             }
             "--seed" => args.seed = Some(value("--seed")?.parse().map_err(|_| "bad --seed")?),
             "--table" => args.table = Some(value("--table")?),
+            "--node" => args.node = value("--node")?.parse().map_err(|_| "bad --node")?,
+            "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|_| "bad --nodes")?,
             "--rows" => args.rows = value("--rows")?.parse().map_err(|_| "bad --rows")?,
             "-p" => {
                 let kv = value("-p")?;
@@ -149,6 +157,19 @@ fn cmd_generate(args: &Args) -> Result<(), PdgfError> {
         .out
         .as_ref()
         .ok_or_else(|| PdgfError::Config("--out is required for generate".into()))?;
+    if args.nodes > 1 || args.node > 0 {
+        let report = project.generate_shard_to_dir(out, args.format, args.node, args.nodes)?;
+        println!(
+            "node {}/{}: {} rows, {:.2} MB in {:.2} s ({:.1} MB/s)",
+            report.node,
+            args.nodes,
+            report.rows,
+            report.bytes as f64 / 1e6,
+            report.seconds,
+            report.throughput_mb_s()
+        );
+        return Ok(());
+    }
     let report = project.generate_to_dir(out, args.format)?;
     for t in &report.tables {
         println!(

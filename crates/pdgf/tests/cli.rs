@@ -63,6 +63,72 @@ fn generate_writes_csv_files() {
 }
 
 #[test]
+fn node_shards_concatenate_to_the_single_node_file() {
+    let dir = workdir("shard");
+    let model = model_file(&dir);
+    let whole = dir.join("whole");
+    let output = bin()
+        .args([
+            "generate",
+            "--model",
+            model.to_str().expect("utf8 path"),
+            "--out",
+            whole.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let reference = std::fs::read(whole.join("t.csv")).expect("output exists");
+
+    let shards = dir.join("shards");
+    let mut concat = Vec::new();
+    for node in 0..3 {
+        let output = bin()
+            .args([
+                "generate",
+                "--model",
+                model.to_str().expect("utf8 path"),
+                "--out",
+                shards.to_str().expect("utf8 path"),
+                "--node",
+                &node.to_string(),
+                "--nodes",
+                "3",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(stdout.contains(&format!("node {node}/3:")), "{stdout}");
+        concat
+            .extend(std::fs::read(shards.join(format!("t.part{node}.csv"))).expect("shard exists"));
+    }
+    assert_eq!(concat, reference);
+
+    // Out-of-range node is rejected.
+    let output = bin()
+        .args([
+            "generate",
+            "--model",
+            model.to_str().expect("utf8 path"),
+            "--out",
+            shards.to_str().expect("utf8 path"),
+            "--node",
+            "3",
+            "--nodes",
+            "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn preview_prints_rows_and_headers() {
     let dir = workdir("preview");
     let model = model_file(&dir);
