@@ -5,7 +5,9 @@
 //! same rows/series the paper plots, plus explicit *shape checks*
 //! (linearity fits, ordering assertions) so a run is self-judging.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
 
 use std::time::Instant;
 

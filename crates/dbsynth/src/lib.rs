@@ -21,7 +21,9 @@
 //! The source/target "database" is the [`minidb`] substrate (the paper's
 //! JDBC-attached PostgreSQL/MySQL stand-in; see DESIGN.md).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
 
 pub mod extract;
 pub mod querygen;

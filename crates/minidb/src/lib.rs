@@ -21,7 +21,9 @@
 //! * **CSV import/export and bulk load** for the generation target path
 //!   ([`db`]).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
 
 pub mod catalog;
 pub mod db;

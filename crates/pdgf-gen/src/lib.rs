@@ -19,7 +19,9 @@
 //! fundamental operation of PDGF: *`value(table, column, update, row)` as
 //! a pure function*.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
 
 pub mod basic;
 pub mod generator;

@@ -5,7 +5,7 @@
 //! those references through this trait so tests and demos can supply
 //! in-memory resources while production loads from disk.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -36,8 +36,8 @@ pub trait ResourceResolver {
 /// resources. Unknown paths are errors.
 #[derive(Default)]
 pub struct MapResolver {
-    dicts: HashMap<String, Arc<Dictionary>>,
-    markovs: HashMap<String, Arc<MarkovModel>>,
+    dicts: BTreeMap<String, Arc<Dictionary>>,
+    markovs: BTreeMap<String, Arc<MarkovModel>>,
 }
 
 impl MapResolver {
@@ -79,8 +79,8 @@ impl ResourceResolver for MapResolver {
 /// referenced by many fields is loaded once.
 pub struct FsResolver {
     base: PathBuf,
-    dict_cache: parking_lot::Mutex<HashMap<String, Arc<Dictionary>>>,
-    markov_cache: parking_lot::Mutex<HashMap<String, Arc<MarkovModel>>>,
+    dict_cache: parking_lot::Mutex<BTreeMap<String, Arc<Dictionary>>>,
+    markov_cache: parking_lot::Mutex<BTreeMap<String, Arc<MarkovModel>>>,
 }
 
 impl FsResolver {
@@ -88,8 +88,8 @@ impl FsResolver {
     pub fn new(base: impl Into<PathBuf>) -> Self {
         Self {
             base: base.into(),
-            dict_cache: parking_lot::Mutex::new(HashMap::new()),
-            markov_cache: parking_lot::Mutex::new(HashMap::new()),
+            dict_cache: parking_lot::Mutex::new(BTreeMap::new()),
+            markov_cache: parking_lot::Mutex::new(BTreeMap::new()),
         }
     }
 }

@@ -66,6 +66,7 @@ pub struct SchemaRuntime {
     seed_tree: SeedTree,
     tables: Vec<TableRuntime>,
     props: BTreeMap<String, f64>,
+    generation_order: Vec<u32>,
 }
 
 impl fmt::Debug for SchemaRuntime {
@@ -82,8 +83,11 @@ impl SchemaRuntime {
     /// Compile `schema` (validated first) against `resolver` for external
     /// dictionaries and Markov models.
     pub fn build(schema: &Schema, resolver: &dyn ResourceResolver) -> Result<Self, BuildError> {
-        schema.validate().map_err(|e| BuildError(e.to_string()))?;
-        Self::check_reference_dag(schema)?;
+        let analysis = schema.analyze();
+        if let Some(d) = analysis.first_error() {
+            return Err(BuildError(format!("schema error: {}", d.message)));
+        }
+        let generation_order = analysis.generation_order;
         let props = schema
             .properties
             .resolve_all()
@@ -153,47 +157,8 @@ impl SchemaRuntime {
             seed_tree,
             tables,
             props,
+            generation_order,
         })
-    }
-
-    /// Reject reference cycles across tables (A→B→A would make
-    /// recomputation recurse forever).
-    fn check_reference_dag(schema: &Schema) -> Result<(), BuildError> {
-        let n = schema.tables.len();
-        // adjacency: edges child -> parent
-        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, t) in schema.tables.iter().enumerate() {
-            for f in &t.fields {
-                f.generator.walk(&mut |g| {
-                    if let GeneratorSpec::Reference { table, .. } = g {
-                        if let Some(j) = schema.table_index(table) {
-                            edges[i].push(j);
-                        }
-                    }
-                });
-            }
-        }
-        // 0 = unvisited, 1 = on stack, 2 = done
-        fn dfs(v: usize, edges: &[Vec<usize>], state: &mut [u8]) -> bool {
-            state[v] = 1;
-            for &w in &edges[v] {
-                if state[w] == 1 || (state[w] == 0 && !dfs(w, edges, state)) {
-                    return false;
-                }
-            }
-            state[v] = 2;
-            true
-        }
-        let mut state = vec![0u8; n];
-        for v in 0..n {
-            if state[v] == 0 && !dfs(v, &edges, &mut state) {
-                return Err(BuildError(format!(
-                    "reference cycle involving table {:?}",
-                    schema.tables[v].name
-                )));
-            }
-        }
-        Ok(())
     }
 
     /// Testing hook: a runtime with no tables, usable as a [`GenContext`]
@@ -205,6 +170,7 @@ impl SchemaRuntime {
             seed_tree: SeedTree::new(0, &[]),
             tables: Vec::new(),
             props: BTreeMap::new(),
+            generation_order: Vec::new(),
         }
     }
 
@@ -226,6 +192,15 @@ impl SchemaRuntime {
     /// Compiled tables.
     pub fn tables(&self) -> &[TableRuntime] {
         &self.tables
+    }
+
+    /// Table indices in dependency order: referenced (parent) tables come
+    /// before the tables referencing them, derived by the schema
+    /// analyzer's toposort. Schedulers start jobs in this order so parent
+    /// tables finish earliest, without affecting output bytes (every cell
+    /// is position-determined).
+    pub fn generation_order(&self) -> &[u32] {
+        &self.generation_order
     }
 
     /// Compiled table by name.
@@ -603,6 +578,23 @@ mod tests {
         rt.row_into(0, 0, 4, &mut buf);
         assert_eq!(buf.len(), 2);
         assert_ne!(first[0], buf[0]);
+    }
+
+    #[test]
+    fn generation_order_flips_child_before_parent() {
+        // "orders" references "customer"; whatever the declaration order,
+        // the derived generation order must put customer first.
+        let rt = SchemaRuntime::build(&demo_schema(), &MapResolver::new()).unwrap();
+        assert_eq!(rt.generation_order(), &[0, 1]);
+
+        let mut flipped = Schema::new("demo2", 1);
+        flipped.properties.define("SF", "1").unwrap();
+        let orig = demo_schema();
+        let flipped = flipped
+            .table(orig.tables[1].clone())
+            .table(orig.tables[0].clone());
+        let rt = SchemaRuntime::build(&flipped, &MapResolver::new()).unwrap();
+        assert_eq!(rt.generation_order(), &[1, 0]);
     }
 
     #[test]

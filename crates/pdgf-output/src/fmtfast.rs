@@ -150,9 +150,12 @@ pub fn write_date(out: &mut Vec<u8>, date: Date) {
 pub fn write_timestamp(out: &mut Vec<u8>, t: i64) {
     let days = t.div_euclid(86_400);
     let secs = t.rem_euclid(86_400);
+    // Saturate instead of panicking on day counts beyond the i32 calendar:
+    // the schema analyzer rejects such TimestampRange bounds (E028), so
+    // this clamp is unreachable through validated models.
     write_date(
         out,
-        Date(i32::try_from(days).expect("timestamp out of date range")),
+        Date(days.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32),
     );
     out.push(b' ');
     write_u64_padded(out, (secs / 3600) as u64, 2);

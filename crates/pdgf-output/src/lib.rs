@@ -44,13 +44,16 @@
 //! [`fmtfast`] round-trip tests pin each kernel to the exact `std::fmt`
 //! bytes it replaces, so the contract survives kernel changes.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
 
 pub mod fmtfast;
 pub mod formatter;
 pub mod pool;
 pub mod reorder;
 pub mod sink;
+mod sync;
 
 pub use formatter::{
     CsvFormatter, Formatter, JsonFormatter, SqlFormatter, TableMeta, XmlFormatter,

@@ -9,7 +9,8 @@
 //! that is already at full capacity — the formatting hot path performs no
 //! heap allocation at all.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
+use std::sync::{MutexGuard, PoisonError};
 
 /// A bounded stack of recycled byte buffers, shared across threads.
 ///
@@ -32,16 +33,23 @@ impl BufferPool {
         }
     }
 
+    /// A poisoned pool lock is harmless — the protected state is a stack
+    /// of empty buffers, which is valid after any panic — so recover the
+    /// guard instead of propagating the poison.
+    fn bufs(&self) -> MutexGuard<'_, Vec<Vec<u8>>> {
+        self.bufs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Pop a cleared buffer, or a fresh empty one if none is idle.
     pub fn take(&self) -> Vec<u8> {
-        self.bufs.lock().pop().unwrap_or_default()
+        self.bufs().pop().unwrap_or_default()
     }
 
     /// Clear `buf` (keeping its capacity) and park it for reuse; drops it
     /// when `max` buffers are already idle.
     pub fn put(&self, mut buf: Vec<u8>) {
         buf.clear();
-        let mut bufs = self.bufs.lock();
+        let mut bufs = self.bufs();
         if bufs.len() < self.max {
             bufs.push(buf);
         }
@@ -49,7 +57,7 @@ impl BufferPool {
 
     /// Number of idle buffers currently parked.
     pub fn idle(&self) -> usize {
-        self.bufs.lock().len()
+        self.bufs().len()
     }
 }
 

@@ -105,6 +105,8 @@ impl MemorySink {
 
     /// The collected bytes as UTF-8 (output formats are all UTF-8).
     pub fn as_str(&self) -> &str {
+        // audit:allow(unwrap) test-facing accessor; every built-in formatter
+        // emits valid UTF-8 by the crate's byte-API contract
         std::str::from_utf8(&self.data).expect("formatters emit UTF-8")
     }
 
@@ -175,7 +177,10 @@ impl PartitionedDirSink {
             self.parts += 1;
             self.current_bytes = 0;
         }
-        Ok(self.current.as_mut().expect("just ensured"))
+        match &mut self.current {
+            Some(w) => Ok(w),
+            None => Err(io::Error::other("part file vanished after roll")),
+        }
     }
 }
 

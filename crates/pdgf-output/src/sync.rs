@@ -1,0 +1,15 @@
+//! Synchronization facade for loom model checking.
+//!
+//! Concurrency-bearing types in this crate import their primitives from
+//! here instead of `std::sync` directly. A normal build re-exports the
+//! std types unchanged (zero cost); building with `RUSTFLAGS="--cfg
+//! loom"` swaps in `loom`'s instrumented equivalents so the
+//! `tests/loom.rs` models can explore thread interleavings. Both expose
+//! std's poison-aware `lock()` signature, so call sites are identical
+//! under either cfg.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::Mutex;
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::Mutex;

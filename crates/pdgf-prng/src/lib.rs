@@ -30,7 +30,9 @@
 //! Everything in this crate is deterministic, `Send + Sync` friendly, and
 //! allocation-free on the hot path.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
 
 pub mod dist;
 pub mod mix;

@@ -16,18 +16,24 @@
 //!   delete batches per abstract time unit,
 //! * [`monitor`] — live progress counters (the demo's Mission Control
 //!   substitute),
-//! * [`driver`] — whole-project generation runs and reports.
+//! * [`driver`] — whole-project generation runs and reports,
+//! * [`handoff`] — the worker/output-stage handoff primitives (ticket
+//!   counter and bounded channel), model-checkable under `--cfg loom`.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod driver;
+pub mod handoff;
 pub mod meta;
 pub mod monitor;
 pub mod package;
 pub mod scheduler;
+mod sync;
 pub mod update;
 
 pub use driver::{GenerationRun, RunReport, TableReport};
+pub use handoff::TicketCounter;
 pub use meta::{MetaScheduler, NodeReport};
 pub use monitor::{Monitor, Snapshot, TableSnapshot};
 pub use package::{

@@ -10,7 +10,7 @@
 //! created long before the run starts does not understate MB/s.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// Shared progress counters for one generation run.
@@ -98,11 +98,21 @@ impl Monitor {
         self.inner.packages.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A poisoned monitor lock only risks slightly stale counters — the
+    /// run's correctness never depends on them — so recover the guard
+    /// instead of propagating the panic.
+    fn tables(&self) -> MutexGuard<'_, Vec<TableCounters>> {
+        self.inner
+            .tables
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Record a completed package of `table`, updating both the aggregate
     /// and the table's own counters.
     pub fn record_table_package(&self, table: &str, rows: u64, bytes: u64) {
         self.record_package(rows, bytes);
-        let mut tables = self.inner.tables.lock().expect("monitor lock");
+        let mut tables = self.tables();
         let entry = Self::entry(&mut tables, table);
         entry.rows += rows;
         entry.bytes += bytes;
@@ -117,21 +127,24 @@ impl Monitor {
         }
         self.inner.started.get_or_init(Instant::now);
         self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
-        let mut tables = self.inner.tables.lock().expect("monitor lock");
+        let mut tables = self.tables();
         Self::entry(&mut tables, table).bytes += bytes;
     }
 
     fn entry<'t>(tables: &'t mut Vec<TableCounters>, table: &str) -> &'t mut TableCounters {
-        if let Some(i) = tables.iter().position(|t| t.name == table) {
-            return &mut tables[i];
-        }
-        tables.push(TableCounters {
-            name: table.to_string(),
-            rows: 0,
-            bytes: 0,
-            packages: 0,
-        });
-        tables.last_mut().expect("just pushed")
+        let i = match tables.iter().position(|t| t.name == table) {
+            Some(i) => i,
+            None => {
+                tables.push(TableCounters {
+                    name: table.to_string(),
+                    rows: 0,
+                    bytes: 0,
+                    packages: 0,
+                });
+                tables.len() - 1
+            }
+        };
+        &mut tables[i]
     }
 
     /// Current aggregate totals and derived throughput.
@@ -158,10 +171,7 @@ impl Monitor {
 
     /// Per-table progress, in first-seen order.
     pub fn table_snapshots(&self) -> Vec<TableSnapshot> {
-        self.inner
-            .tables
-            .lock()
-            .expect("monitor lock")
+        self.tables()
             .iter()
             .map(|t| TableSnapshot {
                 table: t.name.clone(),

@@ -23,14 +23,13 @@
 //! single-node byte stream for CSV-with-header, XML, and SQL alike.
 
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use crossbeam::channel;
 use pdgf_gen::{GenScratch, SchemaRuntime};
 use pdgf_output::{BufferPool, Formatter, ReorderBuffer, Sink, TableMeta};
 use pdgf_schema::Value;
 
+use crate::handoff::{channel, TicketCounter};
 use crate::monitor::Monitor;
 use crate::package::{packages_for_jobs, Framing, ProjectPackage, TableJob};
 
@@ -124,7 +123,10 @@ pub fn generate_table_range(
         rows,
     };
     let stats = run_project(rt, &[job], formatter, &mut [sink], cfg, monitor)?;
-    Ok(stats.into_iter().next().expect("one job, one stat"))
+    stats
+        .into_iter()
+        .next()
+        .ok_or_else(|| io::Error::other("run_project returned no stats for its single job"))
 }
 
 /// Per-job bookkeeping of the output stage.
@@ -156,6 +158,7 @@ pub fn run_project(
     monitor: Option<&Monitor>,
 ) -> io::Result<Vec<TableRunStats>> {
     assert_eq!(jobs.len(), sinks.len(), "one sink per job");
+    // audit:allow(wall-clock) run statistics only; never influences generated bytes
     let started = Instant::now();
     let metas: Vec<TableMeta> = jobs.iter().map(|j| table_meta(rt, j.table)).collect();
     let packages = packages_for_jobs(jobs, cfg.package_rows);
@@ -385,12 +388,12 @@ fn run_pool(
     monitor: Option<&Monitor>,
     started: Instant,
 ) -> io::Result<()> {
-    let next_package = AtomicU64::new(0);
     let n_packages = packages.len() as u64;
+    let tickets = TicketCounter::new(n_packages);
     // Bounded channel: workers stall rather than buffering the whole
     // project when a sink is slow.
     let channel_depth = cfg.workers * 4;
-    let (tx, rx) = channel::bounded::<(u32, u64, u64, Vec<u8>)>(channel_depth);
+    let (tx, rx) = channel::<(u32, u64, u64, Vec<u8>)>(channel_depth);
     // Written buffers return here and workers take them back out; sized
     // past the channel depth so even a full pipeline keeps recycling.
     let pool = BufferPool::new(channel_depth + cfg.workers + 1);
@@ -400,16 +403,12 @@ fn run_pool(
     std::thread::scope(|scope| {
         for _ in 0..cfg.workers {
             let tx = tx.clone();
-            let next_package = &next_package;
+            let tickets = &tickets;
             let pool = &pool;
             scope.spawn(move || {
                 let mut row_buf = Vec::new();
                 let mut scratch = GenScratch::default();
-                loop {
-                    let idx = next_package.fetch_add(1, Ordering::Relaxed);
-                    if idx >= n_packages {
-                        return;
-                    }
+                while let Some(idx) = tickets.claim() {
                     let p = &packages[idx as usize];
                     let mut out = pool.take();
                     format_package(

@@ -203,7 +203,9 @@ impl UpdateBlackBox {
         let mut ops = Vec::with_capacity((n_deletes + n_updates + n_inserts) as usize);
 
         // Deletes: distinct existing row numbers below the high-water mark.
-        let mut deleted = std::collections::HashSet::new();
+        // (BTreeSet, not HashSet: only membership is queried, but the
+        // deterministic path stays hash-free by policy — see xtask audit.)
+        let mut deleted = std::collections::BTreeSet::new();
         while (deleted.len() as u64) < n_deletes.min(high_water) {
             let row = rng.next_bounded(high_water);
             if deleted.insert(row) {
@@ -214,7 +216,7 @@ impl UpdateBlackBox {
         // Updates: distinct rows, not deleted this epoch, values
         // regenerated at this epoch's seed level (key columns keep their
         // epoch-0 identity).
-        let mut updated = std::collections::HashSet::new();
+        let mut updated = std::collections::BTreeSet::new();
         while (updated.len() as u64) < n_updates.min(high_water - deleted.len() as u64) {
             let row = rng.next_bounded(high_water);
             if deleted.contains(&row) || !updated.insert(row) {

@@ -81,12 +81,19 @@ pub fn to_xml_string(schema: &Schema) -> String {
     to_xml(schema).to_document()
 }
 
-/// Parse a schema from an XML document string and validate it.
+/// Parse a schema from an XML document string.
+///
+/// Parsing is purely syntactic; semantic checks (references, cycles,
+/// distribution domains) live in [`Schema::analyze`] so that tooling like
+/// `pdgf validate` can report *every* problem with stable diagnostic
+/// codes instead of stopping at the first. Compiling the model (e.g.
+/// `SchemaRuntime::build`) still rejects semantically invalid schemas.
 pub fn from_xml_string(doc: &str) -> Result<Schema, ConfigError> {
     from_xml(&XmlNode::parse(doc)?)
 }
 
-/// Parse a schema from an XML element tree and validate it.
+/// Parse a schema from an XML element tree (syntax only — see
+/// [`from_xml_string`]).
 pub fn from_xml(root: &XmlNode) -> Result<Schema, ConfigError> {
     if root.name != "schema" {
         return Err(ConfigError(format!(
@@ -133,7 +140,6 @@ pub fn from_xml(root: &XmlNode) -> Result<Schema, ConfigError> {
         }
         schema.tables.push(table);
     }
-    schema.validate()?;
     Ok(schema)
 }
 

@@ -16,11 +16,16 @@
 //!   command-line overrides,
 //! * [`model`] — the schema model: project, tables, fields, and
 //!   [`GeneratorSpec`]s,
+//! * [`analyze`] — the multi-pass static analyzer behind
+//!   `Schema::validate` and `pdgf validate`,
 //! * [`xml`] — a minimal XML reader/writer,
 //! * [`config`] — the mapping between schema model and its XML form.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
 
+pub mod analyze;
 pub mod config;
 pub mod expr;
 pub mod model;
@@ -29,6 +34,7 @@ pub mod types;
 pub mod value;
 pub mod xml;
 
+pub use analyze::{Analysis, Diagnostic, Severity};
 pub use expr::Expr;
 pub use model::{Field, GeneratorSpec, Schema, Table};
 pub use props::PropertyBag;

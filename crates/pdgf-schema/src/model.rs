@@ -469,149 +469,16 @@ impl Schema {
     }
 
     /// Structural validation: unique names, resolvable sizes, references
-    /// pointing at real fields, probabilities in range.
+    /// pointing at real fields and forming no cycles, probabilities in
+    /// range.
+    ///
+    /// This is a thin wrapper over the full analyzer ([`Schema::analyze`]
+    /// in [`crate::analyze`]): the first error-severity diagnostic
+    /// becomes the [`SchemaError`]; warnings never fail validation.
     pub fn validate(&self) -> Result<(), SchemaError> {
-        for (i, t) in self.tables.iter().enumerate() {
-            if self.tables[..i].iter().any(|o| o.name == t.name) {
-                return Err(SchemaError(format!("duplicate table {:?}", t.name)));
-            }
-            if t.fields.is_empty() {
-                return Err(SchemaError(format!("table {:?} has no fields", t.name)));
-            }
-            for (j, f) in t.fields.iter().enumerate() {
-                if t.fields[..j].iter().any(|o| o.name == f.name) {
-                    return Err(SchemaError(format!(
-                        "duplicate field {:?} in table {:?}",
-                        f.name, t.name
-                    )));
-                }
-                let mut err: Option<String> = None;
-                f.generator.walk(&mut |g| {
-                    if err.is_some() {
-                        return;
-                    }
-                    err = self.check_spec(g, t, f);
-                });
-                if let Some(msg) = err {
-                    return Err(SchemaError(msg));
-                }
-            }
-            self.table_size(t)?;
-        }
-        Ok(())
-    }
-
-    fn check_spec(&self, g: &GeneratorSpec, t: &Table, f: &Field) -> Option<String> {
-        let at = || format!("{}.{}", t.name, f.name);
-        match g {
-            GeneratorSpec::Reference {
-                table,
-                field,
-                distribution,
-            } => {
-                let Some(target) = self.table_by_name(table) else {
-                    return Some(format!("{}: reference to unknown table {table:?}", at()));
-                };
-                if target.field_index(field).is_none() {
-                    return Some(format!(
-                        "{}: reference to unknown field {table}.{field}",
-                        at()
-                    ));
-                }
-                if target.name == t.name {
-                    return Some(format!("{}: self-referencing table", at()));
-                }
-                if let RefDistribution::Zipf { theta } = distribution {
-                    if !(0.0..1.0).contains(theta) {
-                        return Some(format!("{}: zipf theta {theta} out of [0,1)", at()));
-                    }
-                }
-                None
-            }
-            GeneratorSpec::Null { probability, .. } => {
-                if !(0.0..=1.0).contains(probability) {
-                    Some(format!(
-                        "{}: NULL probability {probability} out of [0,1]",
-                        at()
-                    ))
-                } else {
-                    None
-                }
-            }
-            GeneratorSpec::Probability { branches } => {
-                if branches.is_empty() {
-                    return Some(format!("{}: probability generator with no branches", at()));
-                }
-                let total: f64 = branches.iter().map(|(p, _)| *p).sum();
-                if (total - 1.0).abs() > 1e-6 {
-                    return Some(format!(
-                        "{}: branch probabilities sum to {total}, expected 1",
-                        at()
-                    ));
-                }
-                None
-            }
-            GeneratorSpec::RandomString { min_len, max_len } => {
-                if min_len > max_len {
-                    Some(format!("{}: min_len > max_len", at()))
-                } else {
-                    None
-                }
-            }
-            GeneratorSpec::Markov {
-                min_words,
-                max_words,
-                ..
-            } => {
-                if min_words > max_words {
-                    Some(format!("{}: min_words > max_words", at()))
-                } else {
-                    None
-                }
-            }
-            GeneratorSpec::DateRange { min, max, .. } => {
-                if min > max {
-                    Some(format!("{}: date min after max", at()))
-                } else {
-                    None
-                }
-            }
-            GeneratorSpec::Sequential { parts, .. } => {
-                if parts.is_empty() {
-                    Some(format!("{}: sequential generator with no parts", at()))
-                } else {
-                    None
-                }
-            }
-            GeneratorSpec::HistogramNumeric {
-                bounds, weights, ..
-            } => {
-                if bounds.len() != weights.len() + 1 {
-                    return Some(format!(
-                        "{}: histogram needs {} bounds for {} buckets",
-                        at(),
-                        weights.len() + 1,
-                        weights.len()
-                    ));
-                }
-                if weights.is_empty() {
-                    return Some(format!("{}: histogram with no buckets", at()));
-                }
-                if bounds.windows(2).any(|w| w[0] >= w[1]) || bounds.iter().any(|b| !b.is_finite())
-                {
-                    return Some(format!("{}: histogram bounds must strictly increase", at()));
-                }
-                if weights.iter().any(|w| !w.is_finite() || *w < 0.0)
-                    || weights.iter().sum::<f64>() <= 0.0
-                {
-                    return Some(format!(
-                        "{}: histogram weights must be non-negative with positive sum",
-                        at()
-                    ));
-                }
-                None
-            }
-            _ => None,
+        match self.analyze().first_error() {
+            Some(d) => Err(SchemaError(d.message.clone())),
+            None => Ok(()),
         }
     }
 }
@@ -717,6 +584,37 @@ mod tests {
             distribution: RefDistribution::Uniform,
         };
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn mutual_reference_cycle_fails_validation() {
+        // a -> b -> a: neither table self-references, but generating
+        // either requires the other. Historically this passed validation
+        // and only failed when the runtime was built.
+        let make_ref = |table: &str| GeneratorSpec::Reference {
+            table: table.to_string(),
+            field: "id".to_string(),
+            distribution: RefDistribution::Uniform,
+        };
+        let s = Schema::new("cyc", 1)
+            .table(
+                Table::new("a", "10")
+                    .field(
+                        Field::new("id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+                            .primary(),
+                    )
+                    .field(Field::new("fk", SqlType::BigInt, make_ref("b"))),
+            )
+            .table(
+                Table::new("b", "10")
+                    .field(
+                        Field::new("id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+                            .primary(),
+                    )
+                    .field(Field::new("fk", SqlType::BigInt, make_ref("a"))),
+            );
+        let err = s.validate().expect_err("mutual cycle must fail validate");
+        assert!(err.0.contains("cycle"), "{}", err.0);
     }
 
     #[test]

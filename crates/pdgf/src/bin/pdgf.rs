@@ -10,7 +10,7 @@
 //!               [--node I --nodes N]
 //! pdgf preview  --model tpch.xml --table lineitem [--rows 10] [-p ...]
 //! pdgf info     --model tpch.xml [-p ...]
-//! pdgf validate --model tpch.xml
+//! pdgf validate --model tpch.xml [--format json] [-p NAME=EXPR]...
 //! ```
 
 use std::process::ExitCode;
@@ -102,7 +102,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
     Ok((command, args))
 }
 
-fn build_project(args: &Args) -> Result<pdgf::PdgfProject, PdgfError> {
+fn make_builder(args: &Args) -> Result<Pdgf, PdgfError> {
     let model = args
         .model
         .as_ref()
@@ -120,7 +120,11 @@ fn build_project(args: &Args) -> Result<pdgf::PdgfProject, PdgfError> {
     if let Some(rows) = args.package_rows {
         builder = builder.package_rows(rows);
     }
-    builder.build()
+    Ok(builder)
+}
+
+fn build_project(args: &Args) -> Result<pdgf::PdgfProject, PdgfError> {
+    make_builder(args)?.build()
 }
 
 fn main() -> ExitCode {
@@ -230,8 +234,79 @@ fn cmd_info(args: &Args) -> Result<(), PdgfError> {
     Ok(())
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_opt(v: &Option<String>) -> String {
+    match v {
+        Some(s) => format!("\"{}\"", json_escape(s)),
+        None => "null".to_string(),
+    }
+}
+
+/// Run the deep model analyzer and report every diagnostic.
+///
+/// Human mode prints `warning[Wxxx]`/`error[Exxx]` lines to stderr and, on
+/// a clean model, compiles it and prints the `OK:` summary. `--format
+/// json` prints one machine-readable object on stdout with stable
+/// diagnostic codes (see `pdgf_schema::analyze`) and never compiles the
+/// runtime. Both modes exit non-zero when the model has errors.
 fn cmd_validate(args: &Args) -> Result<(), PdgfError> {
-    let project = build_project(args)?;
+    let builder = make_builder(args)?;
+    let analysis = builder.analyze()?;
+    let errors = analysis.error_count();
+    let warnings = analysis.warning_count();
+
+    if args.format == OutputFormat::Json {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{{\"model\":{},\"ok\":{},\"errors\":{errors},\"warnings\":{warnings},\"diagnostics\":[",
+            json_opt(&args.model),
+            errors == 0,
+        ));
+        for (i, d) in analysis.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"severity\":\"{}\",\"code\":\"{}\",\"table\":{},\"field\":{},\"message\":\"{}\"}}",
+                d.severity.name(),
+                d.code,
+                json_opt(&d.table),
+                json_opt(&d.field),
+                json_escape(&d.message),
+            ));
+        }
+        s.push_str("]}");
+        println!("{s}");
+        if errors > 0 {
+            return Err(PdgfError::Config(format!(
+                "model failed validation with {errors} error(s)"
+            )));
+        }
+        return Ok(());
+    }
+
+    for d in &analysis.diagnostics {
+        eprintln!("{d}");
+    }
+    if errors > 0 {
+        return Err(PdgfError::Config(format!(
+            "model failed validation with {errors} error(s), {warnings} warning(s)"
+        )));
+    }
+    let project = builder.build()?;
     println!(
         "OK: {} tables, {} total rows at current properties",
         project.runtime().tables().len(),

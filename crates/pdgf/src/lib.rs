@@ -30,7 +30,9 @@
 //! The member crates are re-exported under their roles: [`prng`],
 //! [`schema`], [`gen`], [`output`], [`runtime`].
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
 
 pub use pdgf_gen as gen;
 pub use pdgf_output as output;

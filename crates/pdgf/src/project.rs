@@ -151,6 +151,26 @@ impl Pdgf {
         self
     }
 
+    /// Run the deep static analyzer on the model — with the builder's
+    /// property and seed overrides applied — without compiling a runtime.
+    /// Returns every diagnostic (warnings included), unlike [`build`],
+    /// which stops at the first error.
+    ///
+    /// [`build`]: Pdgf::build
+    pub fn analyze(&self) -> Result<pdgf_schema::Analysis, PdgfError> {
+        let mut schema = self.schema.clone();
+        for (name, value) in &self.overrides {
+            schema
+                .properties
+                .override_value(name, value)
+                .map_err(|e| PdgfError::Config(e.to_string()))?;
+        }
+        if let Some(seed) = self.seed_override {
+            schema.seed = seed;
+        }
+        Ok(schema.analyze())
+    }
+
     /// Validate and compile into a runnable project.
     pub fn build(mut self) -> Result<PdgfProject, PdgfError> {
         for (name, value) in &self.overrides {

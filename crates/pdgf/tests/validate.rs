@@ -1,0 +1,84 @@
+//! End-to-end tests for `pdgf validate`: the `models/bad/` corpus must
+//! fail with its documented stable diagnostic code in `--format json`
+//! output, and the shipped good models must validate clean.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn model_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn validate_json(rel: &str) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pdgf"))
+        .args(["validate", "--model"])
+        .arg(model_path(rel))
+        .args(["--format", "json"])
+        .output()
+        .expect("run pdgf validate");
+    let stdout = String::from_utf8(out.stdout).expect("json output is UTF-8");
+    (out.status.success(), stdout)
+}
+
+#[test]
+fn bad_corpus_fails_with_stable_codes() {
+    // One (model, code) row per corpus file; the code is the analyzer's
+    // documented, stable identifier for that defect class.
+    let corpus = [
+        ("models/bad/unknown_reference.xml", "E010"),
+        ("models/bad/zipf_theta.xml", "E020"),
+        ("models/bad/cycle.xml", "E013"),
+        ("models/bad/zero_fields.xml", "E002"),
+        ("models/bad/bad_size.xml", "E030"),
+    ];
+    for (model, code) in corpus {
+        let (ok, json) = validate_json(model);
+        assert!(!ok, "{model}: expected a validation failure, got:\n{json}");
+        assert!(
+            json.contains(&format!("\"code\":\"{code}\"")),
+            "{model}: expected diagnostic code {code}, got:\n{json}"
+        );
+        assert!(
+            json.contains("\"ok\":false") && json.contains("\"severity\":\"error\""),
+            "{model}: malformed report:\n{json}"
+        );
+    }
+}
+
+#[test]
+fn cycle_report_names_the_cycle() {
+    let (_, json) = validate_json("models/bad/cycle.xml");
+    assert!(
+        json.contains("reference cycle: a -> b -> a"),
+        "cycle message should spell out the path, got:\n{json}"
+    );
+}
+
+#[test]
+fn shipped_models_validate_clean() {
+    for model in ["models/tpch.xml", "models/ssb.xml"] {
+        let (ok, json) = validate_json(model);
+        assert!(ok, "{model} should validate, got:\n{json}");
+        assert!(
+            json.contains("\"ok\":true") && json.contains("\"errors\":0"),
+            "{model}: malformed report:\n{json}"
+        );
+    }
+}
+
+#[test]
+fn human_mode_still_prints_ok_summary() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pdgf"))
+        .args(["validate", "--model"])
+        .arg(model_path("models/bad/cycle.xml"))
+        .output()
+        .expect("run pdgf validate");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error[E013]") && stderr.contains("reference cycle"),
+        "human mode should print rustc-style diagnostics, got:\n{stderr}"
+    );
+}

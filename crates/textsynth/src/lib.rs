@@ -13,7 +13,9 @@
 //!   combinations, start-state distribution, O(1) sampling, and the
 //!   binary `*.bin` model format referenced from PDGF configurations.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
 
 pub mod dict;
 pub mod markov;

@@ -19,7 +19,9 @@
 //! * [`corpus`] — shared word lists and the curated TPC-H comment Markov
 //!   model.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
 
 pub mod bigbench;
 pub mod corpus;

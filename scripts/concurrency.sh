@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Concurrency model checks — NOT part of the tier-1 gate (they rebuild the
+# workspace under --cfg loom and, when available, run Miri).
+# Run from the repository root: ./scripts/concurrency.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Loom models of the scheduler handoff (ticket queue, bounded channel,
+# BufferPool/ReorderBuffer). The in-tree loom shim explores interleavings
+# by reseeding a deterministic yield schedule per iteration; raise
+# LOOM_MAX_ITERS for a deeper search.
+echo "== loom models (LOOM_MAX_ITERS=${LOOM_MAX_ITERS:-64})"
+RUSTFLAGS="--cfg loom" cargo test -p pdgf-output -p pdgf-runtime --test loom
+
+# Miri catches undefined behaviour and unsynchronized accesses that loom's
+# schedule exploration cannot. It needs a nightly toolchain, which offline
+# build environments may not have — skip gracefully rather than fail.
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    echo "== cargo miri (pdgf-prng, pdgf-output)"
+    cargo +nightly miri test -p pdgf-prng
+    cargo +nightly miri test -p pdgf-output --lib
+else
+    echo "== cargo miri: nightly toolchain with miri not installed; skipping"
+fi
+
+echo "Concurrency checks passed."

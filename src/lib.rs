@@ -3,6 +3,9 @@
 //! Re-exports the member crates so examples and integration tests can use
 //! one coherent namespace. See `README.md` for the tour.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub use dbsynth;
 pub use minidb;
 pub use pdgf;
