@@ -45,13 +45,7 @@ fn main() {
     let rt = project.runtime();
     // Warm up caches and the allocator before measuring.
     {
-        let sched = MetaScheduler::new(
-            1,
-            RunConfig {
-                workers,
-                package_rows: 5_000,
-            },
-        );
+        let sched = MetaScheduler::new(1, RunConfig::new().workers(workers).package_rows(5_000));
         let mut make =
             |_: &str, _: usize| -> io::Result<Box<dyn Sink>> { Ok(Box::new(NullSink::new())) };
         sched
@@ -68,13 +62,8 @@ fn main() {
     let mut tput_series = Vec::new();
     let mut duration_series = Vec::new();
     for &nodes in &nodes_list {
-        let sched = MetaScheduler::new(
-            nodes,
-            RunConfig {
-                workers,
-                package_rows: 5_000,
-            },
-        );
+        let sched =
+            MetaScheduler::new(nodes, RunConfig::new().workers(workers).package_rows(5_000));
         let mut make =
             |_: &str, _: usize| -> io::Result<Box<dyn Sink>> { Ok(Box::new(NullSink::new())) };
         let reports = sched

@@ -15,7 +15,10 @@
 //! the two paths collapse to the same pool, so the ratio there is a
 //! no-regression check on the new queue plumbing.
 //!
-//! Results merge into `BENCH_throughput.json` under `"multi_table"`.
+//! Results merge into `BENCH_throughput.json` under `"multi_table"`,
+//! including a `"phase_latency"` breakdown (generate/format/write
+//! p50/p95/p99 and worker utilization) from one telemetry-attached
+//! persistent-pool run.
 //!
 //! Knobs: `MULTITABLE_SF` (default 0.02), `MULTITABLE_WORKERS` (default
 //! 4), `MULTITABLE_REPEATS` (default 3, best-of),
@@ -26,7 +29,7 @@ use bench::{banner, check, env_f64, env_usize, timed};
 use pdgf::Pdgf;
 use pdgf_gen::SchemaRuntime;
 use pdgf_output::{CsvFormatter, NullSink, Sink};
-use pdgf_runtime::{run_project, RunConfig, TableJob};
+use pdgf_runtime::{run_project, Observability, PhaseStats, RunConfig, TableJob, Telemetry};
 use workloads::tpch;
 
 struct Measure {
@@ -37,16 +40,41 @@ struct Measure {
 
 /// One `run_project` call over `jobs` into fresh null sinks.
 fn run_once(rt: &SchemaRuntime, jobs: &[TableJob], cfg: &RunConfig) -> Measure {
+    run_observed(rt, jobs, cfg, None)
+}
+
+/// Like [`run_once`], optionally with a [`Telemetry`] attached.
+fn run_observed(
+    rt: &SchemaRuntime,
+    jobs: &[TableJob],
+    cfg: &RunConfig,
+    telemetry: Option<&Telemetry>,
+) -> Measure {
     let mut sinks: Vec<NullSink> = jobs.iter().map(|_| NullSink::new()).collect();
     let mut refs: Vec<&mut dyn Sink> = sinks.iter_mut().map(|s| s as &mut dyn Sink).collect();
     let t = timed(|| {
-        run_project(rt, jobs, &CsvFormatter::new(), &mut refs, cfg, None).expect("run succeeds")
+        run_project(
+            rt,
+            jobs,
+            &CsvFormatter::new(),
+            &mut refs,
+            cfg,
+            Observability::new(None, telemetry),
+        )
+        .expect("run succeeds")
     });
     Measure {
         rows: t.value.iter().map(|s| s.rows).sum(),
         bytes: t.value.iter().map(|s| s.bytes).sum(),
         seconds: t.seconds,
     }
+}
+
+fn phase_json(p: &PhaseStats) -> String {
+    format!(
+        "{{\"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+        p.count, p.mean_ns, p.p50_ns, p.p95_ns, p.p99_ns
+    )
 }
 
 /// Best-of-`repeats` for `f`.
@@ -98,10 +126,7 @@ fn main() {
     let package_rows = env_usize("MULTITABLE_PACKAGE_ROWS", 2_000) as u64;
     let out_path =
         std::env::var("MULTITABLE_OUT").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
-    let cfg = RunConfig {
-        workers,
-        package_rows,
-    };
+    let cfg = RunConfig::new().workers(workers).package_rows(package_rows);
 
     let project = Pdgf::from_schema(tpch::schema(12_456_789))
         .resolver(tpch::resolver())
@@ -132,14 +157,7 @@ fn main() {
     );
 
     // Warm-up (dictionaries, markov corpora, seed caches).
-    let _ = run_once(
-        rt,
-        &jobs,
-        &RunConfig {
-            workers,
-            package_rows,
-        },
-    );
+    let _ = run_once(rt, &jobs, &cfg);
 
     let big_job = [TableJob::full_table(big_idx as u32, big.size)];
     let big_seq = best(repeats, || run_once(rt, &big_job, &cfg));
@@ -162,6 +180,14 @@ fn main() {
     let many_persistent = best(repeats, || run_once(rt, &jobs, &cfg));
     assert_eq!(many_per_table.rows, many_persistent.rows);
     assert_eq!(many_per_table.bytes, many_persistent.bytes);
+
+    // One telemetry-attached persistent-pool run for the phase-latency
+    // breakdown (where does a package's time go: generate, format, or
+    // sink write?).
+    let telemetry = Telemetry::new();
+    let _ = run_observed(rt, &jobs, &cfg, Some(&telemetry));
+    telemetry.close();
+    let metrics = telemetry.metrics();
 
     let big_ratio = big_seq.seconds / big_pool.seconds;
     let many_ratio = many_per_table.seconds / many_persistent.seconds;
@@ -197,7 +223,9 @@ fn main() {
          \"tables\": {},\n    \"rows\": {},\n    \"bytes\": {},\n    \
          \"one_big_table\": {{\"baseline_s\": {:.6}, \"pool_s\": {:.6}, \"speedup\": {:.3}}},\n    \
          \"many_tables\": {{\"per_table_pools_s\": {:.6}, \"persistent_pool_s\": {:.6}, \
-         \"speedup\": {:.3}}}\n  }}",
+         \"speedup\": {:.3}}},\n    \
+         \"phase_latency\": {{\"utilization\": {:.4}, \"generate\": {}, \"format\": {}, \
+         \"write\": {}}}\n  }}",
         jobs.len(),
         many_persistent.rows,
         many_persistent.bytes,
@@ -207,6 +235,10 @@ fn main() {
         many_per_table.seconds,
         many_persistent.seconds,
         many_ratio,
+        metrics.utilization,
+        phase_json(&metrics.generate),
+        phase_json(&metrics.format),
+        phase_json(&metrics.write),
     );
     merge_into(&out_path, &payload);
     println!("\nmerged into {out_path}");

@@ -6,14 +6,21 @@
 //! `BENCH_BASELINE=<path>`; it is embedded verbatim under `"baseline"`
 //! and per-worker speedups are reported.
 //!
+//! A final pass re-runs the 8-worker point with a [`Telemetry`] attached
+//! and gates its overhead below 3%: the event stream, phase histograms
+//! and watchdog must be cheap enough to leave on. The phase-latency
+//! breakdown lands under `"telemetry"` in the JSON and the raw event
+//! stream in `BENCH_telemetry.jsonl`.
+//!
 //! Knobs: `THROUGHPUT_SF` (default 0.02), `THROUGHPUT_REPEATS` (default
 //! 3, best-of), `THROUGHPUT_PACKAGE_ROWS` (default 5000),
-//! `THROUGHPUT_OUT` (default `BENCH_throughput.json`).
+//! `THROUGHPUT_OUT` (default `BENCH_throughput.json`),
+//! `THROUGHPUT_EVENTS_OUT` (default `BENCH_telemetry.jsonl`).
 
 use bench::{banner, check, env_f64, env_usize, timed};
 use pdgf::Pdgf;
 use pdgf_output::{CsvFormatter, NullSink};
-use pdgf_runtime::{generate_table_range, RunConfig};
+use pdgf_runtime::{generate_table_range, Observability, PhaseStats, RunConfig, Telemetry};
 use workloads::tpch;
 
 struct Point {
@@ -51,14 +58,12 @@ fn measure(
     workers: usize,
     package_rows: u64,
     repeats: usize,
+    telemetry: Option<&Telemetry>,
 ) -> Point {
     let mut best: Option<Point> = None;
     for _ in 0..repeats {
         let mut sink = NullSink::new();
-        let cfg = RunConfig {
-            workers,
-            package_rows,
-        };
+        let cfg = RunConfig::new().workers(workers).package_rows(package_rows);
         let t = timed(|| {
             generate_table_range(
                 rt,
@@ -68,7 +73,7 @@ fn measure(
                 &CsvFormatter::new(),
                 &mut sink,
                 &cfg,
-                None,
+                Observability::new(None, telemetry),
             )
             .expect("generation succeeds")
         });
@@ -83,6 +88,13 @@ fn measure(
         }
     }
     best.expect("at least one repeat")
+}
+
+fn phase_json(p: &PhaseStats) -> String {
+    format!(
+        "{{\"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+        p.count, p.mean_ns, p.p50_ns, p.p95_ns, p.p99_ns
+    )
 }
 
 /// Pull the `mb_per_s` series out of a prior run's JSON without a JSON
@@ -123,12 +135,12 @@ fn main() {
     println!("lineitem rows: {size} (SF {sf}), package_rows {package_rows}, best of {repeats}, host cores {cores}\n");
 
     // Warm-up pass (touches dictionaries, markov models, seed caches).
-    let _ = measure(rt, table, size.min(10_000), 1, package_rows, 1);
+    let _ = measure(rt, table, size.min(10_000), 1, package_rows, 1, None);
 
     println!("{:>8} {:>14} {:>12}", "workers", "rows/s", "MB/s");
     let mut series = Vec::new();
     for workers in [1usize, 2, 4, 8] {
-        let p = measure(rt, table, size, workers, package_rows, repeats);
+        let p = measure(rt, table, size, workers, package_rows, repeats, None);
         println!(
             "{:>8} {:>14.0} {:>12.2}",
             p.workers,
@@ -137,6 +149,50 @@ fn main() {
         );
         series.push(p);
     }
+
+    // Telemetry overhead: the 8-worker point again with the full
+    // observability stack attached — event bus with a live subscriber,
+    // phase histograms, watchdog. Gated below 3% so telemetry is cheap
+    // enough to leave on. Plain and observed repeats are interleaved so
+    // slow drift on a shared host cancels out of the comparison.
+    let telemetry = Telemetry::new();
+    let subscriber = telemetry.subscribe();
+    let drain = std::thread::spawn(move || {
+        let mut lines = Vec::new();
+        while let Some(event) = subscriber.recv() {
+            lines.push(event.to_json());
+        }
+        lines
+    });
+    let mut plain = measure(rt, table, size, 8, package_rows, 1, None);
+    let mut observed = measure(rt, table, size, 8, package_rows, 1, Some(&telemetry));
+    for _ in 1..repeats {
+        let p = measure(rt, table, size, 8, package_rows, 1, None);
+        if p.seconds < plain.seconds {
+            plain = p;
+        }
+        let o = measure(rt, table, size, 8, package_rows, 1, Some(&telemetry));
+        if o.seconds < observed.seconds {
+            observed = o;
+        }
+    }
+    telemetry.close();
+    let events = drain.join().expect("event drain thread");
+    let events_path = std::env::var("THROUGHPUT_EVENTS_OUT")
+        .unwrap_or_else(|_| "BENCH_telemetry.jsonl".to_string());
+    let mut jsonl = events.join("\n");
+    jsonl.push('\n');
+    std::fs::write(&events_path, jsonl).expect("write telemetry jsonl");
+    let metrics = telemetry.metrics();
+    let overhead = observed.seconds / plain.seconds - 1.0;
+    println!(
+        "\ntelemetry @8w: {:.2}% overhead ({:.4}s → {:.4}s), {} events → {events_path}, {} dropped",
+        overhead * 100.0,
+        plain.seconds,
+        observed.seconds,
+        events.len(),
+        telemetry.dropped_events()
+    );
 
     let baseline = std::env::var("BENCH_BASELINE")
         .ok()
@@ -156,6 +212,27 @@ fn main() {
         json.push_str(if i + 1 < series.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    json.push_str("  \"telemetry\": {\n");
+    json.push_str(&format!("    \"overhead_pct\": {:.3},\n", overhead * 100.0));
+    json.push_str(&format!("    \"events\": {},\n", events.len()));
+    json.push_str(&format!(
+        "    \"dropped_events\": {},\n",
+        telemetry.dropped_events()
+    ));
+    json.push_str(&format!(
+        "    \"utilization\": {:.4},\n",
+        metrics.utilization
+    ));
+    json.push_str(&format!(
+        "    \"generate\": {},\n",
+        phase_json(&metrics.generate)
+    ));
+    json.push_str(&format!(
+        "    \"format\": {},\n",
+        phase_json(&metrics.format)
+    ));
+    json.push_str(&format!("    \"write\": {}\n", phase_json(&metrics.write)));
+    json.push_str("  },\n");
     match &baseline {
         Some(b) => {
             json.push_str("  \"baseline\": ");
@@ -167,6 +244,15 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write throughput json");
     println!("\nwrote {out_path}");
+
+    check(
+        "telemetry-overhead",
+        overhead < 0.03,
+        &format!(
+            "{:.2}% @8w with subscriber attached (< 3%)",
+            overhead * 100.0
+        ),
+    );
 
     if let Some(b) = &baseline {
         let base = mb_per_s_series(b);

@@ -20,7 +20,10 @@
 //!   sorted output into a single file");
 //! * [`pool`] — package-buffer recycling between the output stage and
 //!   the workers, which removes per-package allocation from the steady
-//!   state.
+//!   state;
+//! * [`factory`] — [`SinkFactory`]: how a run obtains one sink per
+//!   table, with ready-made directory/null/memory factories and a
+//!   blanket impl for plain closures.
 //!
 //! # The byte API
 //!
@@ -48,6 +51,7 @@
 #![deny(missing_docs)]
 #![deny(rust_2018_idioms)]
 
+pub mod factory;
 pub mod fmtfast;
 pub mod formatter;
 pub mod pool;
@@ -55,6 +59,7 @@ pub mod reorder;
 pub mod sink;
 mod sync;
 
+pub use factory::{DirSinkFactory, MemorySinkFactory, NullSinkFactory, SinkFactory};
 pub use formatter::{
     CsvFormatter, Formatter, JsonFormatter, SqlFormatter, TableMeta, XmlFormatter,
 };

@@ -16,6 +16,12 @@
 //!   delete batches per abstract time unit,
 //! * [`monitor`] — live progress counters (the demo's Mission Control
 //!   substitute),
+//! * [`events`] — the structured run-event stream (bounded, never
+//!   blocking; a slow subscriber drops events, it cannot stall the run),
+//! * [`metrics`] — per-worker phase-latency histograms, utilization and
+//!   queue-depth sampling,
+//! * [`telemetry`] — the handle tying events + metrics + the stall
+//!   watchdog to a run ([`Observability`] attaches them),
 //! * [`driver`] — whole-project generation runs and reports,
 //! * [`handoff`] — the worker/output-stage handoff primitives (ticket
 //!   counter and bounded channel), model-checkable under `--cfg loom`.
@@ -24,20 +30,28 @@
 #![deny(missing_docs)]
 
 pub mod driver;
+pub mod events;
 pub mod handoff;
 pub mod meta;
+pub mod metrics;
 pub mod monitor;
 pub mod package;
 pub mod scheduler;
 mod sync;
+pub mod telemetry;
 pub mod update;
 
 pub use driver::{GenerationRun, RunReport, TableReport};
+pub use events::{EventBus, EventSubscriber, RunEvent, StampedEvent};
 pub use handoff::TicketCounter;
-pub use meta::{MetaScheduler, NodeReport};
-pub use monitor::{Monitor, Snapshot, TableSnapshot};
+pub use meta::{MetaScheduler, NodeReport, NodeSinkFactory};
+pub use metrics::{
+    Histogram, HistogramSnapshot, MetricsSnapshot, PackageTimings, PhaseStats, QueueDepthStats,
+};
+pub use monitor::{Monitor, Snapshot, TableHandle, TableSnapshot};
 pub use package::{
     packages_for, packages_for_jobs, Framing, ProjectPackage, TableJob, WorkPackage,
 };
 pub use scheduler::{generate_table_range, run_project, RunConfig, TableRunStats};
+pub use telemetry::{Observability, Telemetry, TelemetryConfig};
 pub use update::{UpdateBatch, UpdateBlackBox, UpdateConfig, UpdateOp};

@@ -8,6 +8,14 @@
 //! tracks both the aggregate run and each table's own progress, and its
 //! throughput clock starts at the *first recorded package* — a monitor
 //! created long before the run starts does not understate MB/s.
+//!
+//! Recording is designed for the output stage's per-package cadence: a
+//! run pre-registers its tables once ([`Monitor::register_table`]) and
+//! records through the returned [`TableHandle`] with a handful of relaxed
+//! atomic adds — no name lookup, no lock. The name-keyed
+//! [`record_table_package`](Monitor::record_table_package) entry point
+//! remains for callers without a handle; it pays a registry lock plus a
+//! linear scan per call and is not meant for hot paths.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
@@ -27,16 +35,69 @@ struct MonitorInner {
     /// Set when the first package (or framing bytes) is recorded; the
     /// throughput clock measures from here, not from `Monitor::new()`.
     started: OnceLock<Instant>,
-    /// Per-table counters, keyed by table name in first-seen order.
-    tables: Mutex<Vec<TableCounters>>,
+    /// Per-table counter cells, in first-registered order. The lock only
+    /// guards the registry vector; the cells themselves are atomic.
+    tables: Mutex<Vec<Arc<TableCell>>>,
+}
+
+impl MonitorInner {
+    fn start_clock(&self) {
+        self.started.get_or_init(Instant::now);
+    }
 }
 
 #[derive(Debug)]
-struct TableCounters {
+struct TableCell {
     name: String,
-    rows: u64,
-    bytes: u64,
-    packages: u64,
+    rows: AtomicU64,
+    bytes: AtomicU64,
+    packages: AtomicU64,
+}
+
+impl TableCell {
+    fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            rows: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            packages: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A pre-registered table's recording handle: bumps its table's and the
+/// aggregate counters with relaxed atomics only — the per-package fast
+/// path ([`Monitor::register_table`]).
+#[derive(Debug, Clone)]
+pub struct TableHandle {
+    inner: Arc<MonitorInner>,
+    cell: Arc<TableCell>,
+}
+
+impl TableHandle {
+    /// Record a completed package of this table.
+    #[inline]
+    pub fn record_package(&self, rows: u64, bytes: u64) {
+        self.inner.start_clock();
+        self.inner.rows.fetch_add(rows, Ordering::Relaxed);
+        self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.inner.packages.fetch_add(1, Ordering::Relaxed);
+        self.cell.rows.fetch_add(rows, Ordering::Relaxed);
+        self.cell.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.cell.packages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record framing bytes (headers, document closers): bytes that reach
+    /// the sink outside any work package.
+    #[inline]
+    pub fn record_framing(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        self.inner.start_clock();
+        self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.cell.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
 }
 
 /// A point-in-time view of a [`Monitor`].
@@ -92,7 +153,7 @@ impl Monitor {
     /// (aggregate counters only).
     #[inline]
     pub fn record_package(&self, rows: u64, bytes: u64) {
-        self.inner.started.get_or_init(Instant::now);
+        self.inner.start_clock();
         self.inner.rows.fetch_add(rows, Ordering::Relaxed);
         self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.inner.packages.fetch_add(1, Ordering::Relaxed);
@@ -101,50 +162,46 @@ impl Monitor {
     /// A poisoned monitor lock only risks slightly stale counters — the
     /// run's correctness never depends on them — so recover the guard
     /// instead of propagating the panic.
-    fn tables(&self) -> MutexGuard<'_, Vec<TableCounters>> {
+    fn tables(&self) -> MutexGuard<'_, Vec<Arc<TableCell>>> {
         self.inner
             .tables
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Record a completed package of `table`, updating both the aggregate
-    /// and the table's own counters.
-    pub fn record_table_package(&self, table: &str, rows: u64, bytes: u64) {
-        self.record_package(rows, bytes);
+    /// Register `table` (idempotently) and return its lock-free recording
+    /// handle. A run registers every table once up front; per-package
+    /// recording through the handle then never takes the registry lock.
+    /// First-registered order is the order [`table_snapshots`]
+    /// (Self::table_snapshots) reports.
+    pub fn register_table(&self, table: &str) -> TableHandle {
         let mut tables = self.tables();
-        let entry = Self::entry(&mut tables, table);
-        entry.rows += rows;
-        entry.bytes += bytes;
-        entry.packages += 1;
+        let cell = match tables.iter().find(|c| c.name == table) {
+            Some(cell) => Arc::clone(cell),
+            None => {
+                let cell = Arc::new(TableCell::new(table));
+                tables.push(Arc::clone(&cell));
+                cell
+            }
+        };
+        drop(tables);
+        TableHandle {
+            inner: Arc::clone(&self.inner),
+            cell,
+        }
+    }
+
+    /// Record a completed package of `table`, updating both the aggregate
+    /// and the table's own counters. Convenience path: resolves the name
+    /// on every call — hot loops should hold a [`TableHandle`] instead.
+    pub fn record_table_package(&self, table: &str, rows: u64, bytes: u64) {
+        self.register_table(table).record_package(rows, bytes);
     }
 
     /// Record framing bytes (headers, document closers) of `table`: bytes
     /// that reach the sink outside any work package.
     pub fn record_table_framing(&self, table: &str, bytes: u64) {
-        if bytes == 0 {
-            return;
-        }
-        self.inner.started.get_or_init(Instant::now);
-        self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
-        let mut tables = self.tables();
-        Self::entry(&mut tables, table).bytes += bytes;
-    }
-
-    fn entry<'t>(tables: &'t mut Vec<TableCounters>, table: &str) -> &'t mut TableCounters {
-        let i = match tables.iter().position(|t| t.name == table) {
-            Some(i) => i,
-            None => {
-                tables.push(TableCounters {
-                    name: table.to_string(),
-                    rows: 0,
-                    bytes: 0,
-                    packages: 0,
-                });
-                tables.len() - 1
-            }
-        };
-        &mut tables[i]
+        self.register_table(table).record_framing(bytes);
     }
 
     /// Current aggregate totals and derived throughput.
@@ -169,20 +226,21 @@ impl Monitor {
         }
     }
 
-    /// Per-table progress, in first-seen order.
+    /// Per-table progress, in first-registered order. Tables registered
+    /// but not yet producing output appear with zero counts.
     pub fn table_snapshots(&self) -> Vec<TableSnapshot> {
         self.tables()
             .iter()
-            .map(|t| TableSnapshot {
-                table: t.name.clone(),
-                rows: t.rows,
-                bytes: t.bytes,
-                packages: t.packages,
+            .map(|c| TableSnapshot {
+                table: c.name.clone(),
+                rows: c.rows.load(Ordering::Relaxed),
+                bytes: c.bytes.load(Ordering::Relaxed),
+                packages: c.packages.load(Ordering::Relaxed),
             })
             .collect()
     }
 
-    /// Progress of one table, if any of its packages have been recorded.
+    /// Progress of one table, if it has been registered.
     pub fn table_snapshot(&self, table: &str) -> Option<TableSnapshot> {
         self.table_snapshots()
             .into_iter()
@@ -280,5 +338,42 @@ mod tests {
         let all = m.table_snapshots();
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].table, "a", "first-seen order");
+    }
+
+    #[test]
+    fn handles_record_without_the_registry_lock() {
+        let m = Monitor::new();
+        let a = m.register_table("a");
+        let a2 = m.register_table("a");
+        let b = m.register_table("b");
+        // Pre-registered tables appear immediately, with zero counts, in
+        // registration order — the shape a progress UI wants up front.
+        let all = m.table_snapshots();
+        assert_eq!(all.len(), 2);
+        assert_eq!((all[0].table.as_str(), all[0].rows), ("a", 0));
+
+        std::thread::scope(|s| {
+            for handle in [&a, &a2] {
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        handle.record_package(2, 10);
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..100 {
+                    b.record_package(1, 1);
+                }
+                b.record_framing(9);
+            });
+        });
+        let sa = m.table_snapshot("a").expect("a");
+        assert_eq!(sa.rows, 2000, "both handles hit the same cell");
+        assert_eq!(sa.packages, 1000);
+        let sb = m.table_snapshot("b").expect("b");
+        assert_eq!(sb.bytes, 109);
+        let total = m.snapshot();
+        assert_eq!(total.rows, 2100);
+        assert_eq!(total.bytes, 10_109);
     }
 }

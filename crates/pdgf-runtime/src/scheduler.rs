@@ -21,8 +21,17 @@
 //! shard emits the formatter's `begin`/`end` bytes only when it owns the
 //! start/end of the table, so concatenated shard outputs equal the
 //! single-node byte stream for CSV-with-header, XML, and SQL alike.
+//!
+//! Observability rides along without touching the bytes: a run accepts an
+//! [`Observability`] bundle (progress [`Monitor`] and/or [`Telemetry`]).
+//! With telemetry attached, workers time a sampled subset of rows into
+//! per-worker histograms and the output stage publishes run/job/package
+//! events — all copies of counters flowing outward, nothing flowing back
+//! into generation, so output stays a pure function of (schema, seed,
+//! format) with or without observers.
 
 use std::io;
+use std::sync::Arc;
 use std::time::Instant;
 
 use pdgf_gen::{GenScratch, SchemaRuntime};
@@ -30,17 +39,26 @@ use pdgf_output::{BufferPool, Formatter, ReorderBuffer, Sink, TableMeta};
 use pdgf_schema::Value;
 
 use crate::handoff::{channel, TicketCounter};
-use crate::monitor::Monitor;
+use crate::metrics::{now_ns, PackageTimings, WorkerPhases, ROW_SAMPLE_EVERY};
+use crate::monitor::TableHandle;
 use crate::package::{packages_for_jobs, Framing, ProjectPackage, TableJob};
+use crate::telemetry::{JobInfo, Observability, RunScope};
 
-/// Scheduler configuration.
+/// Scheduler configuration, built fluently and validated at set time:
+///
+/// ```
+/// use pdgf_runtime::RunConfig;
+/// let cfg = RunConfig::new().workers(8).package_rows(16_384);
+/// assert_eq!(cfg.worker_threads(), 8);
+/// assert_eq!(cfg.rows_per_package(), 16_384);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Worker threads. `0` runs inline on the calling thread (no thread
     /// or channel overhead — the configuration for latency microbenches).
-    pub workers: usize,
-    /// Rows per work package.
-    pub package_rows: u64,
+    pub(crate) workers: usize,
+    /// Rows per work package; always ≥ 1.
+    pub(crate) package_rows: u64,
 }
 
 impl Default for RunConfig {
@@ -49,6 +67,44 @@ impl Default for RunConfig {
             workers: available_workers(),
             package_rows: 10_000,
         }
+    }
+}
+
+impl RunConfig {
+    /// Start from the defaults: one worker per available core, 10 000
+    /// rows per package.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker thread count. `0` means inline execution on the
+    /// calling thread.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the rows per work package.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is 0 — a zero-row package cannot make progress,
+    /// and catching the misconfiguration at build time beats an infinite
+    /// scheduling loop at run time.
+    pub fn package_rows(mut self, rows: u64) -> Self {
+        assert!(rows > 0, "RunConfig::package_rows must be at least 1");
+        self.package_rows = rows;
+        self
+    }
+
+    /// Configured worker thread count (`0` = inline).
+    pub fn worker_threads(&self) -> usize {
+        self.workers
+    }
+
+    /// Configured rows per work package.
+    pub fn rows_per_package(&self) -> u64 {
+        self.package_rows
     }
 }
 
@@ -104,8 +160,11 @@ pub fn table_meta(rt: &SchemaRuntime, table: u32) -> TableMeta {
 /// table's last row, so node shards of framed formats concatenate into
 /// exactly the single-node byte stream. Build a [`TableJob`] and call
 /// [`run_project`] for explicit control over framing.
+///
+/// `obs` attaches observers: `None`, `&Monitor`, `&Telemetry`, or a full
+/// [`Observability`].
 #[allow(clippy::too_many_arguments)] // the full coordinate set is the API
-pub fn generate_table_range(
+pub fn generate_table_range<'a>(
     rt: &SchemaRuntime,
     table: u32,
     update: u32,
@@ -113,7 +172,7 @@ pub fn generate_table_range(
     formatter: &dyn Formatter,
     sink: &mut dyn Sink,
     cfg: &RunConfig,
-    monitor: Option<&Monitor>,
+    obs: impl Into<Observability<'a>>,
 ) -> io::Result<TableRunStats> {
     let size = rt.tables()[table as usize].size;
     let job = TableJob {
@@ -122,7 +181,7 @@ pub fn generate_table_range(
         framing: Framing::for_range(&rows, size),
         rows,
     };
-    let stats = run_project(rt, &[job], formatter, &mut [sink], cfg, monitor)?;
+    let stats = run_project(rt, &[job], formatter, &mut [sink], cfg, obs)?;
     stats
         .into_iter()
         .next()
@@ -133,8 +192,21 @@ pub fn generate_table_range(
 struct JobOutput {
     /// Packages of this job not yet written to the sink.
     remaining: u64,
-    reorder: ReorderBuffer<(u64, Vec<u8>)>,
+    reorder: ReorderBuffer<(u64, u64, Vec<u8>, PackageTimings)>,
     stats: TableRunStats,
+}
+
+/// Read-only context shared by the output-stage helpers: the run's static
+/// shape plus its (optional) observers.
+struct RunCtx<'a> {
+    formatter: &'a dyn Formatter,
+    jobs: &'a [TableJob],
+    metas: &'a [TableMeta],
+    /// Per-job monitor handles, pre-registered at run start so the
+    /// per-package path indexes directly instead of scanning by name.
+    handles: Option<&'a [TableHandle]>,
+    scope: Option<&'a RunScope>,
+    started: Instant,
 }
 
 /// Generate every job of a project through one persistent worker pool.
@@ -149,19 +221,42 @@ struct JobOutput {
 /// channel hang-up stops every worker regardless of which job it was
 /// generating — an error on one table cannot deadlock workers that have
 /// moved on to the next.
-pub fn run_project(
+///
+/// `obs` attaches observers: `None`, `&Monitor`, `&Telemetry`, or a full
+/// [`Observability`]. Observers see lifecycle events and counters; they
+/// cannot affect generated bytes.
+pub fn run_project<'a>(
     rt: &SchemaRuntime,
     jobs: &[TableJob],
     formatter: &dyn Formatter,
     sinks: &mut [&mut dyn Sink],
     cfg: &RunConfig,
-    monitor: Option<&Monitor>,
+    obs: impl Into<Observability<'a>>,
 ) -> io::Result<Vec<TableRunStats>> {
     assert_eq!(jobs.len(), sinks.len(), "one sink per job");
+    let obs = obs.into();
     // audit:allow(wall-clock) run statistics only; never influences generated bytes
     let started = Instant::now();
     let metas: Vec<TableMeta> = jobs.iter().map(|j| table_meta(rt, j.table)).collect();
-    let packages = packages_for_jobs(jobs, cfg.package_rows);
+
+    // Pre-register every job's table with the monitor so per-package
+    // recording is a direct handle bump, not a name scan under a lock.
+    // Registration order = job order, keeping first-seen order stable.
+    let handles: Option<Vec<TableHandle>> = obs.monitor.map(|m| {
+        metas
+            .iter()
+            .map(|meta| m.register_table(&meta.name))
+            .collect()
+    });
+    let scope: Option<RunScope> = obs.telemetry.map(|t| {
+        t.begin_run(
+            jobs.iter()
+                .zip(&metas)
+                .map(|(j, m)| JobInfo::new(m.name.clone(), j.rows.end.saturating_sub(j.rows.start)))
+                .collect(),
+            cfg.workers,
+        )
+    });
 
     let mut outputs: Vec<JobOutput> = jobs
         .iter()
@@ -171,6 +266,43 @@ pub fn run_project(
             stats: TableRunStats::default(),
         })
         .collect();
+
+    let ctx = RunCtx {
+        formatter,
+        jobs,
+        metas: &metas,
+        handles: handles.as_deref(),
+        scope: scope.as_ref(),
+        started,
+    };
+    let result = run_phases(rt, &ctx, sinks, &mut outputs, cfg);
+
+    if let Some(scope) = scope {
+        match &result {
+            Ok(()) => {
+                let rows = outputs.iter().map(|o| o.stats.rows).sum();
+                let bytes = outputs.iter().map(|o| o.stats.bytes).sum();
+                scope.finish(rows, bytes, started.elapsed().as_secs_f64());
+            }
+            // Error paths drop the scope: the watchdog stops and the
+            // SinkError published from the output stage stands as the
+            // run's terminal event.
+            Err(_) => drop(scope),
+        }
+    }
+    result?;
+    Ok(outputs.into_iter().map(|o| o.stats).collect())
+}
+
+/// The run body: framing, then inline or pooled package execution.
+fn run_phases(
+    rt: &SchemaRuntime,
+    ctx: &RunCtx<'_>,
+    sinks: &mut [&mut dyn Sink],
+    outputs: &mut [JobOutput],
+    cfg: &RunConfig,
+) -> io::Result<()> {
+    let packages = packages_for_jobs(ctx.jobs, cfg.package_rows);
     for p in &packages {
         outputs[p.job as usize].remaining += 1;
     }
@@ -180,74 +312,53 @@ pub fn run_project(
     // with no packages (empty shards that still own framing — e.g. an
     // empty table with a CSV header) complete right here.
     let mut frame_buf = Vec::new();
-    for (idx, job) in jobs.iter().enumerate() {
+    for (idx, job) in ctx.jobs.iter().enumerate() {
         if job.framing.begin {
             frame_buf.clear();
-            formatter.begin(&mut frame_buf, &metas[idx]);
-            write_framing(&frame_buf, idx, &metas[idx], sinks, &mut outputs, monitor)?;
+            ctx.formatter.begin(&mut frame_buf, &ctx.metas[idx]);
+            write_framing(ctx, &frame_buf, idx, sinks, outputs)?;
         }
         if outputs[idx].remaining == 0 {
-            finish_job(
-                formatter,
-                job,
-                idx,
-                &metas[idx],
-                sinks,
-                &mut outputs,
-                monitor,
-                started,
-            )?;
+            finish_job(ctx, idx, sinks, outputs)?;
         }
     }
 
-    if !packages.is_empty() {
-        if cfg.workers == 0 {
-            run_inline(
-                rt,
-                jobs,
-                &packages,
-                formatter,
-                &metas,
-                sinks,
-                &mut outputs,
-                monitor,
-                started,
-            )?;
-        } else {
-            run_pool(
-                rt,
-                jobs,
-                &packages,
-                formatter,
-                &metas,
-                sinks,
-                &mut outputs,
-                cfg,
-                monitor,
-                started,
-            )?;
-        }
+    if packages.is_empty() {
+        return Ok(());
     }
-
-    Ok(outputs.into_iter().map(|o| o.stats).collect())
+    if cfg.workers == 0 {
+        run_inline(rt, ctx, &packages, sinks, outputs)
+    } else {
+        run_pool(rt, ctx, &packages, sinks, outputs, cfg)
+    }
 }
 
 /// Append `bytes` framing output to job `idx`'s sink and counters.
 fn write_framing(
+    ctx: &RunCtx<'_>,
     bytes: &[u8],
     idx: usize,
-    meta: &TableMeta,
     sinks: &mut [&mut dyn Sink],
     outputs: &mut [JobOutput],
-    monitor: Option<&Monitor>,
 ) -> io::Result<()> {
     if bytes.is_empty() {
         return Ok(());
     }
-    sinks[idx].write_chunk(bytes)?;
+    if let Some(scope) = ctx.scope {
+        scope.job_started(idx);
+        scope.begin_write(idx);
+    }
+    let write_result = sinks[idx].write_chunk(bytes);
+    if let Some(scope) = ctx.scope {
+        scope.end_write();
+        if let Err(e) = &write_result {
+            scope.sink_error(idx, e);
+        }
+    }
+    write_result?;
     outputs[idx].stats.bytes += bytes.len() as u64;
-    if let Some(m) = monitor {
-        m.record_table_framing(&meta.name, bytes.len() as u64);
+    if let Some(handles) = ctx.handles {
+        handles[idx].record_framing(bytes.len() as u64);
     }
     Ok(())
 }
@@ -255,23 +366,24 @@ fn write_framing(
 /// Write job `idx`'s end framing (if owned) and stamp its completion
 /// time. Called exactly once per job, when its last package is written —
 /// or immediately for jobs with no packages.
-#[allow(clippy::too_many_arguments)]
 fn finish_job(
-    formatter: &dyn Formatter,
-    job: &TableJob,
+    ctx: &RunCtx<'_>,
     idx: usize,
-    meta: &TableMeta,
     sinks: &mut [&mut dyn Sink],
     outputs: &mut [JobOutput],
-    monitor: Option<&Monitor>,
-    started: Instant,
 ) -> io::Result<()> {
-    if job.framing.end {
+    if ctx.jobs[idx].framing.end {
         let mut tail = Vec::new();
-        formatter.end(&mut tail, meta);
-        write_framing(&tail, idx, meta, sinks, outputs, monitor)?;
+        ctx.formatter.end(&mut tail, &ctx.metas[idx]);
+        write_framing(ctx, &tail, idx, sinks, outputs)?;
     }
-    outputs[idx].stats.seconds = started.elapsed().as_secs_f64();
+    outputs[idx].stats.seconds = ctx.started.elapsed().as_secs_f64();
+    if let Some(scope) = ctx.scope {
+        // Jobs whose framing produced no bytes may not have announced
+        // themselves yet; `job_started` is idempotent.
+        scope.job_started(idx);
+        scope.job_finished(idx, &outputs[idx].stats);
+    }
     Ok(())
 }
 
@@ -279,36 +391,43 @@ fn finish_job(
 /// last, finish the job.
 #[allow(clippy::too_many_arguments)]
 fn write_package(
+    ctx: &RunCtx<'_>,
+    seq: u64,
     rows: u64,
     buf: &[u8],
+    mut timings: PackageTimings,
     idx: usize,
-    formatter: &dyn Formatter,
-    jobs: &[TableJob],
-    metas: &[TableMeta],
     sinks: &mut [&mut dyn Sink],
     outputs: &mut [JobOutput],
-    monitor: Option<&Monitor>,
-    started: Instant,
 ) -> io::Result<()> {
-    sinks[idx].write_chunk(buf)?;
+    if let Some(scope) = ctx.scope {
+        scope.job_started(idx);
+        scope.begin_write(idx);
+    }
+    let write_started = ctx.scope.map(|_| now_ns());
+    let write_result = sinks[idx].write_chunk(buf);
+    if let Some(scope) = ctx.scope {
+        scope.end_write();
+        if let Err(e) = &write_result {
+            scope.sink_error(idx, e);
+        }
+    }
+    write_result?;
     let out = &mut outputs[idx];
     out.stats.rows += rows;
     out.stats.bytes += buf.len() as u64;
     out.remaining -= 1;
-    if let Some(m) = monitor {
-        m.record_table_package(&metas[idx].name, rows, buf.len() as u64);
+    if let Some(handles) = ctx.handles {
+        handles[idx].record_package(rows, buf.len() as u64);
+    }
+    if let Some(scope) = ctx.scope {
+        if let Some(w0) = write_started {
+            timings.write_ns = now_ns().saturating_sub(w0);
+        }
+        scope.package_completed(idx, seq, rows, buf.len() as u64, timings);
     }
     if out.remaining == 0 {
-        finish_job(
-            formatter,
-            &jobs[idx],
-            idx,
-            &metas[idx],
-            sinks,
-            outputs,
-            monitor,
-            started,
-        )?;
+        finish_job(ctx, idx, sinks, outputs)?;
     }
     Ok(())
 }
@@ -328,99 +447,170 @@ fn format_package(
     }
 }
 
+/// [`format_package`] with phase instrumentation: one row in
+/// [`ROW_SAMPLE_EVERY`] is timed around generate and format separately,
+/// feeding the worker's private histograms; the whole package gets two
+/// clock reads for busy time. Only used when telemetry is attached —
+/// the uninstrumented path has zero added clock reads.
+#[allow(clippy::too_many_arguments)]
+fn format_package_timed(
+    rt: &SchemaRuntime,
+    pkg: &ProjectPackage,
+    formatter: &dyn Formatter,
+    meta: &TableMeta,
+    row_buf: &mut Vec<Value>,
+    scratch: &mut GenScratch,
+    out: &mut Vec<u8>,
+    phases: &WorkerPhases,
+) -> PackageTimings {
+    debug_assert!(ROW_SAMPLE_EVERY.is_power_of_two());
+    let started = now_ns();
+    let mut t = PackageTimings::default();
+    for (i, row) in pkg.pkg.rows.clone().enumerate() {
+        if (i as u64) & (ROW_SAMPLE_EVERY - 1) == 0 {
+            let g0 = now_ns();
+            rt.row_into_with_scratch(pkg.pkg.table, pkg.pkg.update, row, row_buf, scratch);
+            let g1 = now_ns();
+            formatter.row(out, meta, row_buf);
+            let f1 = now_ns();
+            phases.generate.record(g1.saturating_sub(g0));
+            phases.format.record(f1.saturating_sub(g1));
+            t.generate_ns += g1.saturating_sub(g0);
+            t.format_ns += f1.saturating_sub(g1);
+            t.sampled_rows += 1;
+        } else {
+            rt.row_into_with_scratch(pkg.pkg.table, pkg.pkg.update, row, row_buf, scratch);
+            formatter.row(out, meta, row_buf);
+        }
+    }
+    t.total_ns = now_ns().saturating_sub(started);
+    phases.add_busy_ns(t.total_ns);
+    t
+}
+
 /// Inline execution on the calling thread: packages run in global queue
 /// order, which is already per-job row order.
-#[allow(clippy::too_many_arguments)]
 fn run_inline(
     rt: &SchemaRuntime,
-    jobs: &[TableJob],
+    ctx: &RunCtx<'_>,
     packages: &[ProjectPackage],
-    formatter: &dyn Formatter,
-    metas: &[TableMeta],
     sinks: &mut [&mut dyn Sink],
     outputs: &mut [JobOutput],
-    monitor: Option<&Monitor>,
-    started: Instant,
 ) -> io::Result<()> {
     let mut row_buf = Vec::new();
     let mut scratch = GenScratch::default();
     let mut out = Vec::new();
-    for p in packages {
+    let phases: Option<Arc<WorkerPhases>> = ctx.scope.map(|s| s.slot(0));
+    let total = packages.len() as u64;
+    for (done, p) in packages.iter().enumerate() {
         out.clear();
         let idx = p.job as usize;
-        format_package(
-            rt,
-            p,
-            formatter,
-            &metas[idx],
-            &mut row_buf,
-            &mut scratch,
-            &mut out,
-        );
+        let timings = match &phases {
+            Some(phases) => format_package_timed(
+                rt,
+                p,
+                ctx.formatter,
+                &ctx.metas[idx],
+                &mut row_buf,
+                &mut scratch,
+                &mut out,
+                phases,
+            ),
+            None => {
+                format_package(
+                    rt,
+                    p,
+                    ctx.formatter,
+                    &ctx.metas[idx],
+                    &mut row_buf,
+                    &mut scratch,
+                    &mut out,
+                );
+                PackageTimings::default()
+            }
+        };
         write_package(
+            ctx,
+            p.pkg.seq,
             p.pkg.len(),
             &out,
+            timings,
             idx,
-            formatter,
-            jobs,
-            metas,
             sinks,
             outputs,
-            monitor,
-            started,
         )?;
+        if let Some(scope) = ctx.scope {
+            scope.set_queue_depth(total - (done as u64 + 1));
+        }
     }
     Ok(())
 }
 
 /// Pooled execution: one scope of workers drains the global package
 /// queue; the output stage on the calling thread reorders per job.
-#[allow(clippy::too_many_arguments)]
 fn run_pool(
     rt: &SchemaRuntime,
-    jobs: &[TableJob],
+    ctx: &RunCtx<'_>,
     packages: &[ProjectPackage],
-    formatter: &dyn Formatter,
-    metas: &[TableMeta],
     sinks: &mut [&mut dyn Sink],
     outputs: &mut [JobOutput],
     cfg: &RunConfig,
-    monitor: Option<&Monitor>,
-    started: Instant,
 ) -> io::Result<()> {
     let n_packages = packages.len() as u64;
     let tickets = TicketCounter::new(n_packages);
     // Bounded channel: workers stall rather than buffering the whole
     // project when a sink is slow.
     let channel_depth = cfg.workers * 4;
-    let (tx, rx) = channel::<(u32, u64, u64, Vec<u8>)>(channel_depth);
+    let (tx, rx) = channel::<(u32, u64, u64, Vec<u8>, PackageTimings)>(channel_depth);
     // Written buffers return here and workers take them back out; sized
     // past the channel depth so even a full pipeline keeps recycling.
     let pool = BufferPool::new(channel_depth + cfg.workers + 1);
+    if let Some(scope) = ctx.scope {
+        scope.set_queue_depth(n_packages);
+    }
 
     let mut result: io::Result<()> = Ok(());
     let mut written_packages = 0u64;
-    std::thread::scope(|scope| {
-        for _ in 0..cfg.workers {
+    std::thread::scope(|thread_scope| {
+        for worker in 0..cfg.workers {
             let tx = tx.clone();
             let tickets = &tickets;
             let pool = &pool;
-            scope.spawn(move || {
+            let phases: Option<Arc<WorkerPhases>> = ctx.scope.map(|s| s.slot(worker));
+            thread_scope.spawn(move || {
                 let mut row_buf = Vec::new();
                 let mut scratch = GenScratch::default();
                 while let Some(idx) = tickets.claim() {
                     let p = &packages[idx as usize];
                     let mut out = pool.take();
-                    format_package(
-                        rt,
-                        p,
-                        formatter,
-                        &metas[p.job as usize],
-                        &mut row_buf,
-                        &mut scratch,
-                        &mut out,
-                    );
-                    if tx.send((p.job, p.pkg.seq, p.pkg.len(), out)).is_err() {
+                    let timings = match &phases {
+                        Some(phases) => format_package_timed(
+                            rt,
+                            p,
+                            ctx.formatter,
+                            &ctx.metas[p.job as usize],
+                            &mut row_buf,
+                            &mut scratch,
+                            &mut out,
+                            phases,
+                        ),
+                        None => {
+                            format_package(
+                                rt,
+                                p,
+                                ctx.formatter,
+                                &ctx.metas[p.job as usize],
+                                &mut row_buf,
+                                &mut scratch,
+                                &mut out,
+                            );
+                            PackageTimings::default()
+                        }
+                    };
+                    if tx
+                        .send((p.job, p.pkg.seq, p.pkg.len(), out, timings))
+                        .is_err()
+                    {
                         // Output stage failed and hung up; stop quietly,
                         // the error is reported from the output side.
                         return;
@@ -432,19 +622,28 @@ fn run_pool(
 
         // Output stage on the calling thread: route each package to its
         // job's reorder buffer and sink, recycle written buffers.
-        for (job, seq, rows, buf) in rx {
+        for (job, seq, rows, buf, timings) in rx {
             let idx = job as usize;
-            let mut ready = outputs[idx].reorder.push(seq, (rows, buf));
-            while let Some((ready_rows, ready_buf)) = ready {
+            let mut ready = outputs[idx].reorder.push(seq, (seq, rows, buf, timings));
+            while let Some((ready_seq, ready_rows, ready_buf, ready_timings)) = ready {
                 if let Err(e) = write_package(
-                    ready_rows, &ready_buf, idx, formatter, jobs, metas, sinks, outputs, monitor,
-                    started,
+                    ctx,
+                    ready_seq,
+                    ready_rows,
+                    &ready_buf,
+                    ready_timings,
+                    idx,
+                    sinks,
+                    outputs,
                 ) {
                     result = Err(e);
                     return; // drops `rx`; workers see the hangup and stop
                 }
                 pool.put(ready_buf);
                 written_packages += 1;
+                if let Some(scope) = ctx.scope {
+                    scope.set_queue_depth(n_packages - written_packages);
+                }
                 ready = outputs[idx].reorder.pop_ready();
             }
         }
@@ -468,6 +667,8 @@ mod tests {
     use pdgf_gen::MapResolver;
     use pdgf_output::{CsvFormatter, JsonFormatter, MemorySink, SqlFormatter, XmlFormatter};
     use pdgf_schema::{Expr, Field, GeneratorSpec, Schema, SqlType, Table};
+
+    use crate::monitor::Monitor;
 
     fn runtime(rows: u64) -> SchemaRuntime {
         let schema = Schema::new("sched", 11).table(
@@ -518,10 +719,7 @@ mod tests {
         package_rows: u64,
     ) -> String {
         let mut sink = MemorySink::new();
-        let cfg = RunConfig {
-            workers,
-            package_rows,
-        };
+        let cfg = RunConfig::new().workers(workers).package_rows(package_rows);
         let stats = generate_table_range(
             rt,
             0,
@@ -540,6 +738,22 @@ mod tests {
 
     fn run(rt: &SchemaRuntime, workers: usize, package_rows: u64) -> String {
         run_fmt(rt, &CsvFormatter::new(), workers, package_rows)
+    }
+
+    #[test]
+    fn config_builder_defaults_and_setters() {
+        let d = RunConfig::default();
+        assert_eq!(d.worker_threads(), available_workers());
+        assert_eq!(d.rows_per_package(), 10_000);
+        let cfg = RunConfig::new().workers(0).package_rows(1);
+        assert_eq!(cfg.worker_threads(), 0, "0 workers = inline is legal");
+        assert_eq!(cfg.rows_per_package(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "package_rows must be at least 1")]
+    fn config_builder_rejects_zero_package_rows() {
+        let _ = RunConfig::new().package_rows(0);
     }
 
     #[test]
@@ -607,10 +821,7 @@ mod tests {
                         0..rt.tables()[t].size,
                         formatter,
                         &mut sink,
-                        &RunConfig {
-                            workers: 0,
-                            package_rows: 64,
-                        },
+                        &RunConfig::new().workers(0).package_rows(64),
                         None,
                     )
                     .unwrap();
@@ -634,10 +845,7 @@ mod tests {
                         &jobs,
                         formatter,
                         &mut refs,
-                        &RunConfig {
-                            workers,
-                            package_rows: 77,
-                        },
+                        &RunConfig::new().workers(workers).package_rows(77),
                         None,
                     )
                     .unwrap();
@@ -669,10 +877,7 @@ mod tests {
             200..300,
             &CsvFormatter::new(),
             &mut sink,
-            &RunConfig {
-                workers: 2,
-                package_rows: 17,
-            },
+            &RunConfig::new().workers(2).package_rows(17),
             None,
         )
         .unwrap();
@@ -705,10 +910,7 @@ mod tests {
                     shard,
                     formatter,
                     &mut sink,
-                    &RunConfig {
-                        workers: 2,
-                        package_rows: 13,
-                    },
+                    &RunConfig::new().workers(2).package_rows(13),
                     None,
                 )
                 .unwrap();
@@ -730,10 +932,7 @@ mod tests {
             0..1000,
             &CsvFormatter::new(),
             &mut sink,
-            &RunConfig {
-                workers: 3,
-                package_rows: 64,
-            },
+            &RunConfig::new().workers(3).package_rows(64),
             Some(&monitor),
         )
         .unwrap();
@@ -761,10 +960,7 @@ mod tests {
                 &jobs,
                 &CsvFormatter::new().with_header(),
                 &mut refs,
-                &RunConfig {
-                    workers: 2,
-                    package_rows: 32,
-                },
+                &RunConfig::new().workers(2).package_rows(32),
                 Some(&monitor),
             )
             .unwrap();
@@ -809,10 +1005,7 @@ mod tests {
             0..10,
             &CsvFormatter::new().with_header(),
             &mut sink,
-            &RunConfig {
-                workers: 2,
-                package_rows: 3,
-            },
+            &RunConfig::new().workers(2).package_rows(3),
             None,
         )
         .unwrap();
@@ -828,10 +1021,7 @@ mod tests {
     fn stats_bytes_are_per_run_deltas_on_a_shared_sink() {
         let rt = multi_runtime(&[200, 500]);
         let mut sink = MemorySink::new();
-        let cfg = RunConfig {
-            workers: 2,
-            package_rows: 64,
-        };
+        let cfg = RunConfig::new().workers(2).package_rows(64);
         let first = generate_table_range(
             &rt,
             0,
@@ -899,10 +1089,7 @@ mod tests {
             0..10_000,
             &CsvFormatter::new(),
             &mut sink,
-            &RunConfig {
-                workers: 2,
-                package_rows: 100,
-            },
+            &RunConfig::new().workers(2).package_rows(100),
             None,
         )
         .unwrap_err();
@@ -934,10 +1121,7 @@ mod tests {
             &jobs,
             &CsvFormatter::new(),
             &mut refs,
-            &RunConfig {
-                workers: 4,
-                package_rows: 100,
-            },
+            &RunConfig::new().workers(4).package_rows(100),
             None,
         )
         .unwrap_err();

@@ -1,0 +1,218 @@
+//! Telemetry contract tests.
+//!
+//! Three guarantees the observability layer makes:
+//!
+//! 1. **Bytes are untouched** — attaching a telemetry handle (with a live
+//!    subscriber) changes nothing about the generated output, at any
+//!    worker count.
+//! 2. **A slow subscriber loses events, never stalls the run** — the
+//!    bounded bus drops on overflow and the drop counter reports exactly
+//!    the shortfall: `received + dropped == published`.
+//! 3. **The watchdog names the stuck table** — a sink that wedges mid-run
+//!    raises `StallDetected` carrying the right table name, and the run
+//!    completes once the sink is released.
+
+use std::io;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use pdgf_gen::{MapResolver, SchemaRuntime};
+use pdgf_output::{CsvFormatter, MemorySinkFactory, NullSink, Sink};
+use pdgf_runtime::{GenerationRun, RunConfig, RunEvent, Telemetry, TelemetryConfig};
+use pdgf_schema::{Expr, Field, GeneratorSpec, Schema, SqlType, Table};
+
+fn runtime() -> SchemaRuntime {
+    let schema = Schema::new("telemetry", 7)
+        .table(Table::new("a", "150").field(Field::new(
+            "id",
+            SqlType::BigInt,
+            GeneratorSpec::Id { permute: false },
+        )))
+        .table(
+            Table::new("b", "400")
+                .field(Field::new(
+                    "id",
+                    SqlType::BigInt,
+                    GeneratorSpec::Id { permute: false },
+                ))
+                .field(Field::new(
+                    "v",
+                    SqlType::Integer,
+                    GeneratorSpec::Long {
+                        min: Expr::parse("0").unwrap(),
+                        max: Expr::parse("999").unwrap(),
+                    },
+                )),
+        );
+    SchemaRuntime::build(&schema, &MapResolver::new()).unwrap()
+}
+
+/// Attaching telemetry — with a subscriber actively draining — must not
+/// change a single output byte, for any worker count.
+#[test]
+fn bytes_identical_with_and_without_subscriber() {
+    let rt = runtime();
+    let collect = |workers: usize, telemetry: Option<Telemetry>| -> Vec<(String, Vec<u8>)> {
+        let factory = MemorySinkFactory::new();
+        let mut run = GenerationRun::new(&rt, RunConfig::new().workers(workers).package_rows(31));
+        if let Some(t) = telemetry {
+            run = run.with_telemetry(t);
+        }
+        run.run(&CsvFormatter::new(), factory.clone()).unwrap();
+        factory.outputs()
+    };
+
+    let reference = collect(0, None);
+    assert!(reference.iter().all(|(_, bytes)| !bytes.is_empty()));
+    for workers in [0usize, 1, 2, 4] {
+        let telemetry = Telemetry::new();
+        let subscriber = telemetry.subscribe();
+        let drain = std::thread::spawn(move || {
+            let mut n = 0u64;
+            while subscriber.recv().is_some() {
+                n += 1;
+            }
+            n
+        });
+        let observed = collect(workers, Some(telemetry.clone()));
+        telemetry.close();
+        let events_seen = drain.join().unwrap();
+        assert_eq!(observed, reference, "workers={workers}");
+        assert!(events_seen > 0, "subscriber saw the event stream");
+    }
+}
+
+/// A subscriber that never drains while the run is live: the bounded bus
+/// fills, overflow is dropped, and the accounting is exact — what the
+/// subscriber eventually receives plus the drop counter equals everything
+/// published. The publish count itself is deterministic from the job and
+/// package structure.
+#[test]
+fn slow_subscriber_drops_exactly_the_shortfall() {
+    let rt = runtime();
+    let capacity = 4usize;
+    let telemetry = Telemetry::with_config(TelemetryConfig {
+        bus_capacity: capacity,
+        // Effectively disable the watchdog so StallDetected can't add
+        // nondeterministic publishes.
+        stall_timeout: Duration::from_secs(3600),
+    });
+    let subscriber = telemetry.subscribe();
+
+    let package_rows = 64u64;
+    let factory = MemorySinkFactory::new();
+    GenerationRun::new(&rt, RunConfig::new().workers(2).package_rows(package_rows))
+        .with_telemetry(telemetry.clone())
+        .run(&CsvFormatter::new(), factory)
+        .unwrap();
+    telemetry.close();
+
+    let mut received = 0u64;
+    while subscriber.recv().is_some() {
+        received += 1;
+    }
+    assert_eq!(received as usize, capacity, "bus held exactly its capacity");
+
+    // RunStarted + per-job Started/Finished + one PackageCompleted per
+    // package + RunFinished.
+    let packages: u64 = rt
+        .tables()
+        .iter()
+        .map(|t| t.size.div_ceil(package_rows))
+        .sum();
+    let expected = 1 + 2 * rt.tables().len() as u64 + packages + 1;
+    assert_eq!(subscriber.published(), expected);
+    assert_eq!(
+        received + subscriber.dropped(),
+        subscriber.published(),
+        "drop counter reports exactly the shortfall"
+    );
+    assert_eq!(telemetry.dropped_events(), subscriber.dropped());
+}
+
+/// Sink whose first write blocks until released through a channel.
+struct WedgedSink {
+    release: Option<mpsc::Receiver<()>>,
+    bytes: u64,
+}
+
+impl Sink for WedgedSink {
+    fn write_chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if let Some(rx) = self.release.take() {
+            rx.recv().expect("release signal");
+        }
+        self.bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<u64> {
+        Ok(self.bytes)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Wedge table `b`'s sink mid-run: the watchdog must raise
+/// `StallDetected` naming `b` (not the healthy table), and after release
+/// the run completes normally.
+#[test]
+fn watchdog_names_the_wedged_table() {
+    let telemetry = Telemetry::with_config(TelemetryConfig {
+        bus_capacity: 1024,
+        stall_timeout: Duration::from_millis(50),
+    });
+    let subscriber = telemetry.subscribe();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+
+    let run_thread = {
+        let telemetry = telemetry.clone();
+        let rt = runtime();
+        std::thread::spawn(move || {
+            let mut release = Some(release_rx);
+            let factory = move |table: &str| -> io::Result<Box<dyn Sink>> {
+                if table == "b" {
+                    Ok(Box::new(WedgedSink {
+                        release: release.take(),
+                        bytes: 0,
+                    }))
+                } else {
+                    Ok(Box::new(NullSink::new()))
+                }
+            };
+            GenerationRun::new(&rt, RunConfig::new().workers(2).package_rows(25))
+                .with_telemetry(telemetry)
+                .run(&CsvFormatter::new(), factory)
+                .map(|r| r.total_rows())
+        })
+    };
+
+    // Wait for the stall report, then release the sink.
+    let stalled_table = loop {
+        match subscriber.recv_timeout(Duration::from_secs(30)) {
+            Some(event) => {
+                if let RunEvent::StallDetected { table, stalled_ms } = &event.event {
+                    assert!(*stalled_ms >= 50, "stall at least the timeout");
+                    break table.clone();
+                }
+            }
+            None => panic!("no StallDetected within 30s"),
+        }
+    };
+    assert_eq!(stalled_table, "b", "watchdog blames the wedged table");
+    release_tx.send(()).unwrap();
+
+    let rows = run_thread.join().unwrap().unwrap();
+    assert_eq!(rows, 550, "run completes after release");
+    telemetry.close();
+
+    // The stream still ends with a successful RunFinished.
+    let mut finished = false;
+    while let Some(event) = subscriber.try_recv() {
+        if matches!(event.event, RunEvent::RunFinished { .. }) {
+            finished = true;
+        }
+    }
+    assert!(finished, "RunFinished published after the stall cleared");
+}

@@ -110,10 +110,7 @@ fn generate(rt: &SchemaRuntime, workers: usize, package_rows: u64) -> u64 {
         0..rt.tables()[0].size,
         &CsvFormatter::new(),
         &mut sink,
-        &RunConfig {
-            workers,
-            package_rows,
-        },
+        &RunConfig::new().workers(workers).package_rows(package_rows),
         None,
     )
     .unwrap();

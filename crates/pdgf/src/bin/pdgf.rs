@@ -7,14 +7,23 @@
 //! ```text
 //! pdgf generate --model tpch.xml --out out/ [--format csv|json|xml|sql]
 //!               [--workers N] [--package-rows N] [--seed N] [-p NAME=EXPR]...
-//!               [--node I --nodes N]
+//!               [--node I --nodes N] [--progress] [--metrics-out run.jsonl]
 //! pdgf preview  --model tpch.xml --table lineitem [--rows 10] [-p ...]
 //! pdgf info     --model tpch.xml [-p ...]
 //! pdgf validate --model tpch.xml [--format json] [-p NAME=EXPR]...
 //! ```
+//!
+//! `--progress` keeps a single refreshing status line on stderr (percent,
+//! rows, MB/s, ETA). `--metrics-out` streams the run's telemetry events
+//! as JSONL to a file, followed by one `metrics_snapshot` summary record.
 
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
+use pdgf::runtime::{Monitor, PhaseStats, Telemetry};
 use pdgf::{OutputFormat, Pdgf, PdgfError};
 
 struct Args {
@@ -29,6 +38,8 @@ struct Args {
     node: usize,
     nodes: usize,
     props: Vec<(String, String)>,
+    progress: bool,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -38,6 +49,8 @@ fn usage() -> ExitCode {
          generate options: --out <dir> --format csv|json|xml|sql --workers N\n\
          \u{20}                 --package-rows N --seed N -p NAME=EXPR\n\
          \u{20}                 --node I --nodes N   (write only node I's shard of N)\n\
+         \u{20}                 --progress           (status line with ETA on stderr)\n\
+         \u{20}                 --metrics-out <file> (telemetry event stream as JSONL)\n\
          preview options:  --table <name> --rows N\n"
     );
     ExitCode::from(2)
@@ -57,6 +70,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         node: 0,
         nodes: 1,
         props: Vec::new(),
+        progress: false,
+        metrics_out: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -89,6 +104,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--node" => args.node = value("--node")?.parse().map_err(|_| "bad --node")?,
             "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|_| "bad --nodes")?,
             "--rows" => args.rows = value("--rows")?.parse().map_err(|_| "bad --rows")?,
+            "--progress" => args.progress = true,
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "-p" => {
                 let kv = value("-p")?;
                 let (k, v) = kv
@@ -155,6 +172,44 @@ fn main() -> ExitCode {
     }
 }
 
+/// Spawn the `--progress` ticker: a single `\r`-refreshing status line on
+/// stderr with percent done, rows, throughput and an ETA extrapolated
+/// from the monitor's elapsed time and row fraction.
+fn spawn_progress_ticker(
+    monitor: Monitor,
+    total_rows: u64,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(200));
+            let s = monitor.snapshot();
+            let pct = if total_rows > 0 {
+                100.0 * s.rows as f64 / total_rows as f64
+            } else {
+                100.0
+            };
+            let eta = if s.rows > 0 && s.rows < total_rows {
+                s.elapsed_secs * (total_rows - s.rows) as f64 / s.rows as f64
+            } else {
+                0.0
+            };
+            eprint!(
+                "\r{pct:>5.1}% | {:>12}/{} rows | {:>8.1} MB/s | ETA {eta:>6.1}s ",
+                s.rows, total_rows, s.throughput_mb_s
+            );
+            let _ = std::io::stderr().flush();
+        }
+    })
+}
+
+fn phase_json(p: &PhaseStats) -> String {
+    format!(
+        "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+        p.count, p.mean_ns, p.p50_ns, p.p95_ns, p.p99_ns
+    )
+}
+
 fn cmd_generate(args: &Args) -> Result<(), PdgfError> {
     let project = build_project(args)?;
     let out = args
@@ -162,6 +217,12 @@ fn cmd_generate(args: &Args) -> Result<(), PdgfError> {
         .as_ref()
         .ok_or_else(|| PdgfError::Config("--out is required for generate".into()))?;
     if args.nodes > 1 || args.node > 0 {
+        if args.progress || args.metrics_out.is_some() {
+            eprintln!(
+                "note: --progress and --metrics-out apply to whole-project runs; \
+                 ignored in shard mode"
+            );
+        }
         let report = project.generate_shard_to_dir(out, args.format, args.node, args.nodes)?;
         println!(
             "node {}/{}: {} rows, {:.2} MB in {:.2} s ({:.1} MB/s)",
@@ -174,7 +235,63 @@ fn cmd_generate(args: &Args) -> Result<(), PdgfError> {
         );
         return Ok(());
     }
-    let report = project.generate_to_dir(out, args.format)?;
+
+    let total_rows: u64 = project.runtime().tables().iter().map(|t| t.size).sum();
+    let monitor = args.progress.then(Monitor::new);
+    let stop = Arc::new(AtomicBool::new(false));
+    let ticker = monitor
+        .clone()
+        .map(|m| spawn_progress_ticker(m, total_rows, Arc::clone(&stop)));
+
+    let telemetry = args.metrics_out.as_ref().map(|_| Telemetry::new());
+    let writer = telemetry.as_ref().and_then(|t| {
+        let path = args.metrics_out.clone()?;
+        let subscriber = t.subscribe();
+        Some(std::thread::spawn(
+            move || -> std::io::Result<std::fs::File> {
+                let mut file = std::fs::File::create(&path)?;
+                while let Some(event) = subscriber.recv() {
+                    writeln!(file, "{}", event.to_json())?;
+                }
+                Ok(file)
+            },
+        ))
+    });
+
+    let result = project.generate_to_dir_observed(out, args.format, monitor, telemetry.clone());
+
+    stop.store(true, Ordering::Relaxed);
+    if let Some(t) = ticker {
+        let _ = t.join();
+        eprintln!();
+    }
+    if let Some(t) = &telemetry {
+        t.close();
+    }
+    if let Some(w) = writer {
+        let mut file = w
+            .join()
+            .map_err(|_| PdgfError::Config("metrics writer thread panicked".into()))??;
+        // One trailing summary record so the file is self-contained.
+        let t = telemetry.as_ref().expect("writer implies telemetry");
+        let m = t.metrics();
+        writeln!(
+            file,
+            "{{\"event\":\"metrics_snapshot\",\"utilization\":{:.4},\
+             \"dropped_events\":{},\"generate\":{},\"format\":{},\"write\":{},\
+             \"queue_depth\":{{\"samples\":{},\"max\":{},\"mean\":{}}}}}",
+            m.utilization,
+            m.dropped_events,
+            phase_json(&m.generate),
+            phase_json(&m.format),
+            phase_json(&m.write),
+            m.queue_depth.samples,
+            m.queue_depth.max,
+            m.queue_depth.mean,
+        )?;
+    }
+
+    let report = result?;
     for t in &report.tables {
         println!(
             "{:<16} {:>12} rows {:>14.2} MB {:>10.2} s",

@@ -7,10 +7,12 @@ use std::sync::Arc;
 
 use pdgf_gen::{FsResolver, MapResolver, ResourceResolver, SchemaRuntime};
 use pdgf_output::{
-    CsvFormatter, FileSink, Formatter, JsonFormatter, MemorySink, NullSink, Sink, SqlFormatter,
-    XmlFormatter,
+    CsvFormatter, DirSinkFactory, FileSink, Formatter, JsonFormatter, MemorySink, NullSinkFactory,
+    Sink, SqlFormatter, XmlFormatter,
 };
-use pdgf_runtime::{GenerationRun, MetaScheduler, Monitor, NodeReport, RunConfig, RunReport};
+use pdgf_runtime::{
+    GenerationRun, MetaScheduler, Monitor, NodeReport, RunConfig, RunReport, Telemetry,
+};
 use pdgf_schema::config as xmlconfig;
 use pdgf_schema::{Schema, Value};
 
@@ -127,13 +129,13 @@ impl Pdgf {
 
     /// Worker thread count (0 = inline generation on the calling thread).
     pub fn workers(mut self, workers: usize) -> Self {
-        self.config.workers = workers;
+        self.config = self.config.workers(workers);
         self
     }
 
-    /// Rows per work package.
+    /// Rows per work package (values below 1 are clamped to 1).
     pub fn package_rows(mut self, rows: u64) -> Self {
-        self.config.package_rows = rows.max(1);
+        self.config = self.config.package_rows(rows.max(1));
         self
     }
 
@@ -221,17 +223,30 @@ impl PdgfProject {
         dir: impl AsRef<Path>,
         format: OutputFormat,
     ) -> Result<RunReport, PdgfError> {
-        let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
+        self.generate_to_dir_observed(dir, format, None, None)
+    }
+
+    /// [`generate_to_dir`](Self::generate_to_dir) with optional observers
+    /// attached: a [`Monitor`] for live progress counters and/or a
+    /// [`Telemetry`] for the event stream, phase-latency metrics and the
+    /// stall watchdog (populating [`RunReport::metrics`]).
+    pub fn generate_to_dir_observed(
+        &self,
+        dir: impl AsRef<Path>,
+        format: OutputFormat,
+        monitor: Option<Monitor>,
+        telemetry: Option<Telemetry>,
+    ) -> Result<RunReport, PdgfError> {
         let formatter = format.formatter();
-        let mut make = |table: &str| -> io::Result<Box<dyn Sink>> {
-            let mut path = PathBuf::from(&dir);
-            path.push(format!("{table}.{}", format.extension()));
-            Ok(Box::new(FileSink::create(path)?))
-        };
-        let report = GenerationRun::new(&self.runtime, self.config.clone())
-            .run(formatter.as_ref(), &mut make)?;
-        Ok(report)
+        let factory = DirSinkFactory::new(dir.as_ref(), format.extension());
+        let mut run = GenerationRun::new(&self.runtime, self.config.clone());
+        if let Some(m) = monitor {
+            run = run.with_monitor(m);
+        }
+        if let Some(t) = telemetry {
+            run = run.with_telemetry(t);
+        }
+        Ok(run.run(formatter.as_ref(), factory)?)
     }
 
     /// Generate this node's shard of every table into `dir` — the
@@ -271,13 +286,25 @@ impl PdgfProject {
     /// Generate every table into counting null sinks — the CPU-bound
     /// configuration of the paper's experiments.
     pub fn generate_to_null(&self, monitor: Option<Monitor>) -> Result<RunReport, PdgfError> {
+        self.generate_to_null_observed(monitor, None)
+    }
+
+    /// [`generate_to_null`](Self::generate_to_null) with an optional
+    /// [`Telemetry`] attached as well.
+    pub fn generate_to_null_observed(
+        &self,
+        monitor: Option<Monitor>,
+        telemetry: Option<Telemetry>,
+    ) -> Result<RunReport, PdgfError> {
         let formatter = CsvFormatter::new();
-        let mut make = |_: &str| -> io::Result<Box<dyn Sink>> { Ok(Box::new(NullSink::new())) };
         let mut run = GenerationRun::new(&self.runtime, self.config.clone());
         if let Some(m) = monitor {
             run = run.with_monitor(m);
         }
-        Ok(run.run(&formatter, &mut make)?)
+        if let Some(t) = telemetry {
+            run = run.with_telemetry(t);
+        }
+        Ok(run.run(&formatter, NullSinkFactory)?)
     }
 
     /// Render one table to a string (testing and previews).

@@ -200,6 +200,123 @@ fn seed_override_changes_output() {
 }
 
 #[test]
+fn metrics_out_writes_event_jsonl_and_summary() {
+    let dir = workdir("metrics");
+    let model = model_file(&dir);
+    let out = dir.join("out");
+    let metrics = dir.join("run.jsonl");
+    let output = bin()
+        .args([
+            "generate",
+            "--model",
+            model.to_str().expect("utf8 path"),
+            "--out",
+            out.to_str().expect("utf8 path"),
+            "--workers",
+            "2",
+            "--metrics-out",
+            metrics.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let jsonl = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert!(
+        lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')),
+        "every line is a JSON object: {jsonl}"
+    );
+    assert!(lines[0].contains("\"event\":\"run_started\""), "{jsonl}");
+    assert!(
+        lines.iter().any(|l| l.contains("\"event\":\"package_completed\"")
+            && l.contains("\"table\":\"t\"")),
+        "{jsonl}"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"run_finished\"")),
+        "{jsonl}"
+    );
+    let last = lines.last().expect("nonempty");
+    assert!(last.contains("\"event\":\"metrics_snapshot\""), "{jsonl}");
+    assert!(last.contains("\"utilization\":"), "{jsonl}");
+    assert!(last.contains("\"p99_ns\":"), "{jsonl}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn progress_flag_reports_to_stderr_without_changing_output() {
+    let dir = workdir("progress");
+    let model = model_file(&dir);
+    let plain = dir.join("plain");
+    let output = bin()
+        .args([
+            "generate",
+            "--model",
+            model.to_str().expect("utf8 path"),
+            "--out",
+            plain.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let reference = std::fs::read(plain.join("t.csv")).expect("output exists");
+
+    let observed = dir.join("observed");
+    let output = bin()
+        .args([
+            "generate",
+            "--model",
+            model.to_str().expect("utf8 path"),
+            "--out",
+            observed.to_str().expect("utf8 path"),
+            "--progress",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(
+        std::fs::read(observed.join("t.csv")).expect("output exists"),
+        reference,
+        "--progress does not change the bytes"
+    );
+
+    // Shard mode ignores the observability flags with a note.
+    let shards = dir.join("shards");
+    let output = bin()
+        .args([
+            "generate",
+            "--model",
+            model.to_str().expect("utf8 path"),
+            "--out",
+            shards.to_str().expect("utf8 path"),
+            "--node",
+            "0",
+            "--nodes",
+            "2",
+            "--progress",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("ignored in shard mode"),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_invocations_fail_cleanly() {
     // Unknown command → usage, exit code 2.
     let output = bin().arg("frobnicate").output().expect("binary runs");

@@ -16,4 +16,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test --workspace"
 cargo test --workspace -q
 
+echo "== telemetry contract suite (byte identity, drop accounting, watchdog)"
+cargo test -q -p pdgf-runtime --test telemetry
+
 echo "All checks passed."

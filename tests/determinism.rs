@@ -41,13 +41,7 @@ fn node_sharding_is_transparent() {
     // comparison must be per table).
     type TableBytes = std::collections::BTreeMap<String, Vec<u8>>;
     let collect = |nodes: usize| -> TableBytes {
-        let sched = MetaScheduler::new(
-            nodes,
-            RunConfig {
-                workers: 2,
-                package_rows: 97,
-            },
-        );
+        let sched = MetaScheduler::new(nodes, RunConfig::new().workers(2).package_rows(97));
         let shared = std::sync::Arc::new(parking_lot::Mutex::new(TableBytes::new()));
         let mut make = {
             let shared = shared.clone();

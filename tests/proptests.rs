@@ -158,7 +158,7 @@ proptest! {
             generate_table_range(
                 &rt, 0, 0, 0..rows,
                 &CsvFormatter::new(), &mut sink,
-                &RunConfig { workers: w, package_rows: pkg }, None,
+                &RunConfig::new().workers(w).package_rows(pkg), None,
             ).expect("generate");
             sink.as_str().to_string()
         };
