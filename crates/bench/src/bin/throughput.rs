@@ -12,13 +12,18 @@
 //! breakdown lands under `"telemetry"` in the JSON and the raw event
 //! stream in `BENCH_telemetry.jsonl`.
 //!
+//! The run also cross-checks `pdgf explain`: the statically proven CSV
+//! byte bound for lineitem must be an upper bound on what the sink
+//! actually received, and the achieved ratio lands under
+//! `"explain_accuracy"` so prediction tightness is tracked across PRs.
+//!
 //! Knobs: `THROUGHPUT_SF` (default 0.02), `THROUGHPUT_REPEATS` (default
 //! 3, best-of), `THROUGHPUT_PACKAGE_ROWS` (default 5000),
 //! `THROUGHPUT_OUT` (default `BENCH_throughput.json`),
 //! `THROUGHPUT_EVENTS_OUT` (default `BENCH_telemetry.jsonl`).
 
 use bench::{banner, check, env_f64, env_usize, timed};
-use pdgf::Pdgf;
+use pdgf::{OutputFormat, Pdgf};
 use pdgf_output::{CsvFormatter, NullSink};
 use pdgf_runtime::{generate_table_range, Observability, PhaseStats, RunConfig, Telemetry};
 use workloads::tpch;
@@ -124,11 +129,15 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
 
-    let project = Pdgf::from_schema(tpch::schema(12_456_789))
+    let builder = Pdgf::from_schema(tpch::schema(12_456_789))
         .resolver(tpch::resolver())
-        .set_property("SF", &format!("{sf}"))
-        .build()
-        .expect("tpch model builds");
+        .set_property("SF", &format!("{sf}"));
+    let explain = builder.explain().expect("tpch model explains clean");
+    let predicted = explain
+        .table("lineitem")
+        .and_then(|t| *t.max_total_bytes.get(OutputFormat::Csv))
+        .expect("finite CSV bound for lineitem");
+    let project = builder.build().expect("tpch model builds");
     let rt = project.runtime();
     let (table, t) = rt.table_by_name("lineitem").expect("lineitem exists");
     let size = t.size;
@@ -233,6 +242,15 @@ fn main() {
     ));
     json.push_str(&format!("    \"write\": {}\n", phase_json(&metrics.write)));
     json.push_str("  },\n");
+    // Static-analysis accuracy: every point in the sweep wrote the same
+    // byte-identical output, so any point's byte count is "actual".
+    let actual = series[0].bytes;
+    let accuracy = actual as f64 / predicted as f64;
+    json.push_str("  \"explain_accuracy\": {\n");
+    json.push_str(&format!("    \"predicted_bytes\": {predicted},\n"));
+    json.push_str(&format!("    \"actual_bytes\": {actual},\n"));
+    json.push_str(&format!("    \"ratio\": {accuracy:.4}\n"));
+    json.push_str("  },\n");
     match &baseline {
         Some(b) => {
             json.push_str("  \"baseline\": ");
@@ -251,6 +269,17 @@ fn main() {
         &format!(
             "{:.2}% @8w with subscriber attached (< 3%)",
             overhead * 100.0
+        ),
+    );
+
+    // The abstract interpreter's proven bound must actually bound the
+    // bytes the sink saw — a violation means the width lattice is wrong.
+    check(
+        "explain-upper-bound",
+        actual <= predicted,
+        &format!(
+            "{actual} B written vs {predicted} B proven ({:.1}% of bound)",
+            accuracy * 100.0
         ),
     );
 

@@ -2,11 +2,12 @@
 //! and static values.
 
 use pdgf_prng::{FeistelPermutation, PdgfRng};
+use pdgf_schema::absint::{self, Draws, StaticProfile};
 use pdgf_schema::model::DateFormat;
 use pdgf_schema::value::{Date, Value};
 use std::sync::Arc;
 
-use crate::generator::{GenContext, Generator};
+use crate::generator::{GenContext, Generator, ProfileCtx};
 
 /// Unique key generator: emits `row + 1`, optionally scrambled through a
 /// keyed permutation so keys are unique but unordered.
@@ -41,6 +42,12 @@ impl Generator for IdGenerator {
     fn name(&self) -> &'static str {
         "IdGenerator"
     }
+
+    fn profile(&self, ctx: &ProfileCtx<'_>) -> StaticProfile {
+        // Sequential emits row+1 ≤ rows; permuted covers the same domain
+        // (the runtime keys the permutation over the table size).
+        absint::id_profile(ctx.rows)
+    }
 }
 
 /// Uniform integer in `[min, max]`.
@@ -66,6 +73,10 @@ impl Generator for LongGenerator {
     fn name(&self) -> &'static str {
         "LongGenerator"
     }
+
+    fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
+        absint::long_profile(self.min, self.max)
+    }
 }
 
 /// Uniform double in `[min, max)`, optionally rounded to a fixed number of
@@ -74,6 +85,7 @@ pub struct DoubleGenerator {
     min: f64,
     span: f64,
     round_factor: Option<f64>,
+    decimals: Option<u8>,
 }
 
 impl DoubleGenerator {
@@ -84,6 +96,7 @@ impl DoubleGenerator {
             min,
             span: max - min,
             round_factor: decimals.map(|d| 10f64.powi(i32::from(d))),
+            decimals,
         }
     }
 }
@@ -101,6 +114,10 @@ impl Generator for DoubleGenerator {
 
     fn name(&self) -> &'static str {
         "DoubleGenerator"
+    }
+
+    fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
+        absint::double_profile(self.min, self.min + self.span, self.decimals)
     }
 }
 
@@ -131,6 +148,10 @@ impl Generator for DecimalGenerator {
 
     fn name(&self) -> &'static str {
         "DecimalGenerator"
+    }
+
+    fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
+        absint::decimal_profile(self.min, self.max, self.scale)
     }
 }
 
@@ -172,6 +193,14 @@ impl Generator for DateGenerator {
     fn name(&self) -> &'static str {
         "DateGenerator"
     }
+
+    fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
+        absint::date_profile(
+            self.min_day,
+            self.min_day + self.span_days as i32,
+            self.format,
+        )
+    }
 }
 
 /// Uniform timestamp in `[min, max]` seconds since the epoch.
@@ -196,6 +225,10 @@ impl Generator for TimestampGenerator {
 
     fn name(&self) -> &'static str {
         "TimestampGenerator"
+    }
+
+    fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
+        absint::timestamp_profile(self.min, self.max)
     }
 }
 
@@ -241,6 +274,10 @@ impl Generator for RandomStringGenerator {
     fn name(&self) -> &'static str {
         "RandomStringGenerator"
     }
+
+    fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
+        absint::random_string_profile(self.min_len, self.max_len)
+    }
 }
 
 /// Boolean that is `true` with a configured probability.
@@ -264,6 +301,10 @@ impl Generator for RandomBoolGenerator {
 
     fn name(&self) -> &'static str {
         "RandomBoolGenerator"
+    }
+
+    fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
+        absint::random_bool_profile(self.true_prob)
     }
 }
 
@@ -289,6 +330,10 @@ impl Generator for StaticValueGenerator {
 
     fn name(&self) -> &'static str {
         "StaticValueGenerator"
+    }
+
+    fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
+        absint::static_profile(&self.value)
     }
 }
 
@@ -342,6 +387,26 @@ impl Generator for HistogramGenerator {
 
     fn name(&self) -> &'static str {
         "HistogramGenerator"
+    }
+
+    fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
+        use pdgf_schema::model::HistogramOutput;
+        let (Some(&lo), Some(&hi)) = (self.bounds.first(), self.bounds.last()) else {
+            return StaticProfile::unknown();
+        };
+        let mut p = match self.output {
+            // Rounded values stay inside the rounded endpoints; casts
+            // saturate exactly like `generate`.
+            HistogramOutput::Long => absint::long_profile(lo.round() as i64, hi.round() as i64),
+            HistogramOutput::Double => absint::double_profile(lo, hi, None),
+            HistogramOutput::Decimal(scale) => {
+                let pow = 10f64.powi(i32::from(scale));
+                absint::decimal_profile((lo * pow).round() as i64, (hi * pow).round() as i64, scale)
+            }
+        };
+        p.width = p.width.demote();
+        p.draws = Draws::exact(2);
+        p
     }
 }
 

@@ -1,6 +1,9 @@
 //! The [`Generator`] trait and per-field generation context.
 
+use std::collections::BTreeMap;
+
 use pdgf_prng::{PdgfDefaultRandom, PdgfRng};
+use pdgf_schema::absint::StaticProfile;
 use pdgf_schema::Value;
 
 use crate::runtime::SchemaRuntime;
@@ -62,6 +65,24 @@ impl<'rt> GenContext<'rt> {
     }
 }
 
+/// Context for computing a compiled generator's [`StaticProfile`]:
+/// the table's row count plus the profiles of every already-profiled
+/// column (reference generators import their target's profile).
+pub struct ProfileCtx<'a> {
+    /// Row count of the table the profiled column belongs to.
+    pub rows: u64,
+    /// Profiles of columns computed so far, keyed by `(table, column)`.
+    /// Generation order guarantees referenced parents are present.
+    pub columns: &'a BTreeMap<(u32, u32), StaticProfile>,
+}
+
+impl ProfileCtx<'_> {
+    /// Profile of an already-computed column, if present.
+    pub fn column(&self, table: u32, column: u32) -> Option<&StaticProfile> {
+        self.columns.get(&(table, column))
+    }
+}
+
 /// A field value generator.
 ///
 /// Implementations must be pure given `(configuration, ctx.rng seed,
@@ -73,4 +94,12 @@ pub trait Generator: Send + Sync {
 
     /// Human-readable name for diagnostics and latency reports.
     fn name(&self) -> &'static str;
+
+    /// Static profile of everything this generator can emit: kinds, value
+    /// interval, a *proven* rendered-width bound, null probability,
+    /// cardinality, and seed-stream consumption. The default claims
+    /// nothing ([`StaticProfile::unknown`]), which is always sound.
+    fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
+        StaticProfile::unknown()
+    }
 }

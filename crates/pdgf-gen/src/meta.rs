@@ -11,13 +11,14 @@
 //! sub-generator's base cost plus its value computation.
 
 use pdgf_prng::PdgfRng;
+use pdgf_schema::absint::{self, StaticProfile};
 use pdgf_schema::expr::Expr;
 use pdgf_schema::Value;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use crate::generator::{GenContext, Generator};
+use crate::generator::{GenContext, Generator, ProfileCtx};
 
 /// Emits NULL with a configured probability, otherwise delegates to the
 /// wrapped generator. Listing 1 wraps `l_comment`'s Markov generator in a
@@ -51,6 +52,10 @@ impl Generator for NullGenerator {
 
     fn name(&self) -> &'static str {
         "NullGenerator"
+    }
+
+    fn profile(&self, ctx: &ProfileCtx<'_>) -> StaticProfile {
+        absint::null_wrap(self.probability, self.inner.profile(ctx), ctx.rows)
     }
 }
 
@@ -91,6 +96,12 @@ impl Generator for SequentialGenerator {
 
     fn name(&self) -> &'static str {
         "SequentialGenerator"
+    }
+
+    fn profile(&self, ctx: &ProfileCtx<'_>) -> StaticProfile {
+        let parts: Vec<StaticProfile> = self.parts.iter().map(|p| p.profile(ctx)).collect();
+        let sep_bytes = u32::try_from(self.separator.len()).unwrap_or(u32::MAX);
+        absint::concat(&parts, sep_bytes, self.separator.is_ascii(), ctx.rows)
     }
 }
 
@@ -141,6 +152,21 @@ impl Generator for ProbabilityGenerator {
     fn name(&self) -> &'static str {
         "ProbabilityGenerator"
     }
+
+    fn profile(&self, ctx: &ProfileCtx<'_>) -> StaticProfile {
+        // Recover per-branch probabilities from the cumulative bounds.
+        let mut prev = 0.0f64;
+        let branches: Vec<(f64, StaticProfile)> = self
+            .cumulative
+            .iter()
+            .map(|(bound, g)| {
+                let p = (bound - prev).max(0.0);
+                prev = *bound;
+                (p, g.profile(ctx))
+            })
+            .collect();
+        absint::choose(&branches, ctx.rows)
+    }
 }
 
 /// Evaluates an arithmetic formula over the project properties and the
@@ -184,6 +210,10 @@ impl Generator for FormulaGenerator {
 
     fn name(&self) -> &'static str {
         "FormulaGenerator"
+    }
+
+    fn profile(&self, ctx: &ProfileCtx<'_>) -> StaticProfile {
+        absint::formula_profile(&self.expr, &self.props, ctx.rows, self.as_long)
     }
 }
 
@@ -229,6 +259,11 @@ impl Generator for TruncateGenerator {
 
     fn name(&self) -> &'static str {
         "TruncateGenerator"
+    }
+
+    fn profile(&self, ctx: &ProfileCtx<'_>) -> StaticProfile {
+        let max_chars = u32::try_from(self.max_chars).unwrap_or(u32::MAX);
+        absint::truncate(self.inner.profile(ctx), max_chars)
     }
 }
 

@@ -9,9 +9,10 @@
 //! recomputes that cell through the schema runtime.
 
 use pdgf_prng::{FeistelPermutation, PdgfRng, Zipf};
+use pdgf_schema::absint::{self, StaticProfile};
 use pdgf_schema::Value;
 
-use crate::generator::{GenContext, Generator};
+use crate::generator::{GenContext, Generator, ProfileCtx};
 
 /// How the parent row is chosen.
 pub enum RefStrategy {
@@ -74,6 +75,20 @@ impl Generator for ReferenceGenerator {
 
     fn name(&self) -> &'static str {
         "DefaultReferenceGenerator"
+    }
+
+    fn profile(&self, ctx: &ProfileCtx<'_>) -> StaticProfile {
+        // Generation order guarantees the parent column was profiled
+        // before any table referencing it.
+        let Some(parent) = ctx.column(self.target_table, self.target_column) else {
+            return StaticProfile::unknown();
+        };
+        absint::reference_profile(
+            parent,
+            self.parent_size,
+            ctx.rows,
+            matches!(self.strategy, RefStrategy::Permutation(_)),
+        )
     }
 }
 

@@ -75,6 +75,26 @@ impl ResourceResolver for MapResolver {
     }
 }
 
+/// Adapter presenting a [`ResourceResolver`] as an abstract-interpretation
+/// [`ResourceOracle`](pdgf_schema::absint::ResourceOracle): resources that
+/// resolve report their exact entry statistics, unresolvable resources
+/// stay unknown (the interpreter then assumes nothing about them).
+pub struct ResolverOracle<'a>(pub &'a dyn ResourceResolver);
+
+impl pdgf_schema::absint::ResourceOracle for ResolverOracle<'_> {
+    fn dictionary(&self, path: &str) -> Option<pdgf_schema::absint::ResourceInfo> {
+        let dict = self.0.dictionary(path).ok()?;
+        Some(pdgf_schema::absint::entries_info(
+            dict.iter().map(|(t, _)| t.as_ref()),
+        ))
+    }
+
+    fn markov(&self, path: &str) -> Option<pdgf_schema::absint::ResourceInfo> {
+        let model = self.0.markov(path).ok()?;
+        Some(pdgf_schema::absint::entries_info(model.words()))
+    }
+}
+
 /// Filesystem resolver rooted at a base directory, with a cache so a model
 /// referenced by many fields is loaded once.
 pub struct FsResolver {

@@ -11,6 +11,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use pdgf_prng::{mix64_pair, FieldCoord, SeedTree, Zipf};
+use pdgf_schema::absint::StaticProfile;
 use pdgf_schema::model::{DictSource, GeneratorSpec, MarkovSource, RefDistribution};
 use pdgf_schema::{Schema, SqlType, Value};
 use textsynth::{Dictionary, MarkovModel};
@@ -19,7 +20,7 @@ use crate::basic::{
     DateGenerator, DecimalGenerator, DoubleGenerator, IdGenerator, LongGenerator,
     RandomBoolGenerator, RandomStringGenerator, StaticValueGenerator, TimestampGenerator,
 };
-use crate::generator::{GenContext, GenScratch, Generator};
+use crate::generator::{GenContext, GenScratch, Generator, ProfileCtx};
 use crate::meta::{FormulaGenerator, NullGenerator, ProbabilityGenerator, SequentialGenerator};
 use crate::reference::{RefStrategy, ReferenceGenerator};
 use crate::resolver::ResourceResolver;
@@ -201,6 +202,39 @@ impl SchemaRuntime {
     /// is position-determined).
     pub fn generation_order(&self) -> &[u32] {
         &self.generation_order
+    }
+
+    /// Static profiles of every column, per table in declaration order.
+    ///
+    /// Profiles are computed bottom-up along the generation order so a
+    /// reference generator can import its target column's already-computed
+    /// profile; every bound is proven over everything the compiled
+    /// generators can emit.
+    pub fn profiles(&self) -> Vec<Vec<StaticProfile>> {
+        let mut memo: BTreeMap<(u32, u32), StaticProfile> = BTreeMap::new();
+        for &t in &self.generation_order {
+            let table = &self.tables[t as usize];
+            for (c, col) in table.columns.iter().enumerate() {
+                let ctx = ProfileCtx {
+                    rows: table.size,
+                    columns: &memo,
+                };
+                let p = col.generator.profile(&ctx);
+                memo.insert((t, c as u32), p);
+            }
+        }
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(t, table)| {
+                (0..table.columns.len())
+                    .map(|c| {
+                        memo.remove(&(t as u32, c as u32))
+                            .unwrap_or_else(StaticProfile::unknown)
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// Compiled table by name.

@@ -4,8 +4,14 @@
 use std::sync::Arc;
 use textsynth::{Dictionary, MarkovModel};
 
-use crate::generator::{GenContext, Generator};
+use crate::generator::{GenContext, Generator, ProfileCtx};
+use pdgf_schema::absint::{self, ResourceInfo, StaticProfile};
 use pdgf_schema::Value;
+
+/// Entry statistics of an already-resolved dictionary.
+fn dict_info(dict: &Dictionary) -> ResourceInfo {
+    absint::entries_info(dict.iter().map(|(t, _)| t.as_ref()))
+}
 
 /// Draws entries from a dictionary ("DictList" in the paper's figures),
 /// uniformly or proportionally to extracted frequencies.
@@ -37,6 +43,10 @@ impl Generator for DictListGenerator {
     fn name(&self) -> &'static str {
         "DictListGenerator"
     }
+
+    fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
+        absint::dict_profile(Some(dict_info(&self.dict)))
+    }
 }
 
 /// Deterministically maps row `r` to dictionary entry `r mod len` —
@@ -62,6 +72,10 @@ impl Generator for DictByRowGenerator {
 
     fn name(&self) -> &'static str {
         "DictByRowGenerator"
+    }
+
+    fn profile(&self, ctx: &ProfileCtx<'_>) -> StaticProfile {
+        absint::dict_by_row_profile(Some(dict_info(&self.dict)), ctx.rows)
     }
 }
 
@@ -107,6 +121,11 @@ impl Generator for MarkovChainGenerator {
 
     fn name(&self) -> &'static str {
         "MarkovChainGenerator"
+    }
+
+    fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
+        let info = absint::entries_info(self.model.words());
+        absint::markov_profile(Some(info), self.min_words, self.max_words)
     }
 }
 

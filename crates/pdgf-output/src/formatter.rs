@@ -12,6 +12,7 @@
 //! directly from their backing storage.
 
 use crate::fmtfast;
+use pdgf_schema::absint::{KindSet, StaticProfile};
 use pdgf_schema::Value;
 
 /// Static description of the table being formatted.
@@ -55,6 +56,17 @@ pub trait Formatter: Send + Sync {
     /// Emit anything that follows the last row (closers).
     fn end(&self, out: &mut Vec<u8>, meta: &TableMeta) {
         let _ = (out, meta);
+    }
+
+    /// A proven upper bound on the bytes one [`row`](Self::row) call can
+    /// append, given each column's abstract-interpretation profile.
+    ///
+    /// `None` when no finite bound is known (a column width is unbounded,
+    /// or the profiles don't match the column list). The default claims
+    /// nothing, which is always sound.
+    fn max_row_bytes(&self, meta: &TableMeta, profiles: &[StaticProfile]) -> Option<u64> {
+        let _ = (meta, profiles);
+        None
     }
 
     /// Format name for diagnostics.
@@ -181,6 +193,31 @@ impl Formatter for CsvFormatter {
         out.push(b'\n');
     }
 
+    fn max_row_bytes(&self, meta: &TableMeta, profiles: &[StaticProfile]) -> Option<u64> {
+        if meta.columns.len() != profiles.len() {
+            return None;
+        }
+        let delim = self.delimiter.len_utf8() as u64;
+        let mut total = 1; // trailing newline
+        for (i, p) in profiles.iter().enumerate() {
+            if i > 0 {
+                total += delim;
+            }
+            let w = u64::from(p.width.bound()?);
+            total += if p.kinds.contains(KindSet::TEXT) {
+                // Quoted worst case: every byte doubled, plus the quotes.
+                2 * w + 2
+            } else if self.scan_typed && !p.kinds.without_null().is_subset(KindSet::LONG) {
+                // Typed renderings may collide with the delimiter and get
+                // wrapped in quotes; bare longs and NULLs never do.
+                w + 2
+            } else {
+                w
+            };
+        }
+        Some(total)
+    }
+
     fn name(&self) -> &'static str {
         "CSV"
     }
@@ -254,6 +291,47 @@ impl Formatter for JsonFormatter {
         out.extend_from_slice(b"}\n");
     }
 
+    fn max_row_bytes(&self, meta: &TableMeta, profiles: &[StaticProfile]) -> Option<u64> {
+        if meta.columns.len() != profiles.len() {
+            return None;
+        }
+        let mut total = 3; // '{' plus "}\n"
+        for (i, (col, p)) in meta.columns.iter().zip(profiles).enumerate() {
+            if i > 0 {
+                total += 1; // comma
+            }
+            let mut key = Vec::new();
+            json_escape_into(&mut key, col);
+            total += key.len() as u64 + 1; // escaped key plus colon
+            let w = u64::from(p.width.bound()?);
+            let k = p.kinds;
+            let mut b = 0u64;
+            if k.contains(KindSet::NULL) {
+                b = b.max(4); // "null"
+            }
+            if k.contains(KindSet::BOOL) {
+                b = b.max(5); // "false"
+            }
+            if k.contains(KindSet::LONG) || k.contains(KindSet::DECIMAL) {
+                b = b.max(w);
+            }
+            if k.contains(KindSet::DOUBLE) {
+                // Shortest round-trip rendering never exceeds the display
+                // rendering; non-finite doubles become "null".
+                b = b.max(w.max(4));
+            }
+            if k.contains(KindSet::DATE) || k.contains(KindSet::TIMESTAMP) {
+                b = b.max(w + 2); // quoted
+            }
+            if k.contains(KindSet::TEXT) {
+                // Worst case: every byte a control character (`\u00XX`).
+                b = b.max(6 * w + 2);
+            }
+            total += b;
+        }
+        Some(total)
+    }
+
     fn name(&self) -> &'static str {
         "JSON"
     }
@@ -307,6 +385,30 @@ impl Formatter for XmlFormatter {
         out.extend_from_slice(b"</");
         out.extend_from_slice(meta.name.as_bytes());
         out.extend_from_slice(b">\n");
+    }
+
+    fn max_row_bytes(&self, meta: &TableMeta, profiles: &[StaticProfile]) -> Option<u64> {
+        if meta.columns.len() != profiles.len() {
+            return None;
+        }
+        let mut total = 14; // "  <row>" plus "</row>\n"
+        for (col, p) in meta.columns.iter().zip(profiles) {
+            let name = col.len() as u64;
+            let w = u64::from(p.width.bound()?);
+            let content = if p.kinds.contains(KindSet::TEXT) {
+                5 * w // worst case: every byte expands to "&amp;"
+            } else {
+                w
+            };
+            let open_close = 2 * name + 5 + content; // <c>…</c>
+            let null_case = if p.kinds.contains(KindSet::NULL) {
+                name + 15 // <c null="true"/>
+            } else {
+                0
+            };
+            total += open_close.max(null_case);
+        }
+        Some(total)
     }
 
     fn name(&self) -> &'static str {
@@ -398,6 +500,49 @@ impl Formatter for SqlFormatter {
             }
         }
         out.extend_from_slice(b");\n");
+    }
+
+    fn max_row_bytes(&self, meta: &TableMeta, profiles: &[StaticProfile]) -> Option<u64> {
+        if meta.columns.len() != profiles.len() {
+            return None;
+        }
+        let n = meta.columns.len() as u64;
+        let names: u64 = meta.columns.iter().map(|c| c.len() as u64).sum();
+        // "INSERT INTO t (a, b) VALUES (" … ");\n" — everything around the
+        // values is exact.
+        let mut total = 12
+            + meta.name.len() as u64
+            + 2
+            + names
+            + 2 * n.saturating_sub(1)
+            + 10
+            + 2 * n.saturating_sub(1)
+            + 3;
+        for p in profiles {
+            let w = u64::from(p.width.bound()?);
+            let k = p.kinds;
+            let mut b = 0u64;
+            if k.contains(KindSet::NULL) {
+                b = b.max(4); // "NULL"
+            }
+            if k.contains(KindSet::BOOL) {
+                b = b.max(5); // "FALSE"
+            }
+            if k.contains(KindSet::LONG)
+                || k.contains(KindSet::DOUBLE)
+                || k.contains(KindSet::DECIMAL)
+            {
+                b = b.max(w);
+            }
+            if k.contains(KindSet::DATE) || k.contains(KindSet::TIMESTAMP) {
+                b = b.max(w + 2); // quoted
+            }
+            if k.contains(KindSet::TEXT) {
+                b = b.max(2 * w + 2); // every quote doubled, plus quotes
+            }
+            total += b;
+        }
+        Some(total)
     }
 
     fn name(&self) -> &'static str {
@@ -579,5 +724,140 @@ mod tests {
         assert_eq!(JsonFormatter.name(), "JSON");
         assert_eq!(XmlFormatter.name(), "XML");
         assert_eq!(SqlFormatter::new().name(), "SQL");
+    }
+
+    mod row_bounds {
+        use super::*;
+        use pdgf_schema::absint::{
+            self, null_wrap, Cardinality, Draws, KindSet, StaticProfile, Width,
+        };
+
+        /// Profiles and matching adversarial sample rows: every value stays
+        /// within its column's profile, chosen to stress the escaping worst
+        /// cases (quotes, control characters, markup, the delimiter).
+        fn columns() -> (TableMeta, Vec<StaticProfile>, Vec<Vec<Value>>) {
+            let meta = TableMeta::new("bounds", &["k", "txt", "price", "d", "flag", "opt"]);
+            let text_profile = StaticProfile {
+                kinds: KindSet::TEXT,
+                interval: None,
+                width: Width::AtMost(8),
+                ascii: true,
+                null_prob: 0.0,
+                cardinality: Cardinality::Unbounded,
+                draws: Draws::exact(1),
+            };
+            let profiles = vec![
+                absint::long_profile(-9999, 9999),
+                text_profile,
+                absint::decimal_profile(-99999, 99999, 2),
+                absint::date_profile(8000, 11000, pdgf_schema::model::DateFormat::Iso),
+                absint::random_bool_profile(0.5),
+                null_wrap(0.5, absint::long_profile(0, 500), 100),
+            ];
+            let rows = vec![
+                vec![
+                    Value::Long(-9999),
+                    Value::text("\"\"\"\"\"\"\"\""), // 8 quotes: CSV doubles all
+                    Value::decimal(-99999, 2),
+                    Value::Date(pdgf_schema::value::Date(11000)),
+                    Value::Bool(false),
+                    Value::Null,
+                ],
+                vec![
+                    Value::Long(0),
+                    Value::text("\u{1}\u{2}\u{3}\u{1f}\u{1}\u{2}\u{3}\u{1f}"), // JSON \u00XX
+                    Value::decimal(0, 2),
+                    Value::Date(pdgf_schema::value::Date(8000)),
+                    Value::Bool(true),
+                    Value::Long(500),
+                ],
+                vec![
+                    Value::Long(42),
+                    Value::text("&&&&&&&&"), // XML &amp; expansion
+                    Value::decimal(12345, 2),
+                    Value::Date(pdgf_schema::value::Date(9500)),
+                    Value::Bool(true),
+                    Value::Long(7),
+                ],
+                vec![
+                    Value::Long(7),
+                    Value::text("''''''''"), // SQL quote doubling
+                    Value::decimal(-1, 2),
+                    Value::Date(pdgf_schema::value::Date(10000)),
+                    Value::Bool(false),
+                    Value::Null,
+                ],
+            ];
+            (meta, profiles, rows)
+        }
+
+        fn assert_bound_holds(f: &dyn Formatter) {
+            let (meta, profiles, rows) = columns();
+            let bound = f
+                .max_row_bytes(&meta, &profiles)
+                .expect("all widths bounded");
+            for row in &rows {
+                let mut out = Vec::new();
+                f.row(&mut out, &meta, row);
+                assert!(
+                    out.len() as u64 <= bound,
+                    "{}: row rendered {} bytes, bound {bound}: {:?}",
+                    f.name(),
+                    out.len(),
+                    String::from_utf8_lossy(&out)
+                );
+            }
+        }
+
+        #[test]
+        fn csv_bound_holds() {
+            assert_bound_holds(&CsvFormatter::new());
+            assert_bound_holds(&CsvFormatter::new().with_delimiter('|'));
+            // '-' appears in typed renderings, forcing the quoting scan.
+            assert_bound_holds(&CsvFormatter::new().with_delimiter('-'));
+        }
+
+        #[test]
+        fn json_bound_holds() {
+            assert_bound_holds(&JsonFormatter);
+        }
+
+        #[test]
+        fn xml_bound_holds() {
+            assert_bound_holds(&XmlFormatter);
+        }
+
+        #[test]
+        fn sql_bound_holds() {
+            assert_bound_holds(&SqlFormatter::new());
+        }
+
+        #[test]
+        fn unbounded_width_yields_no_bound() {
+            let meta = TableMeta::new("t", &["a"]);
+            let p = StaticProfile::unknown();
+            let p = std::slice::from_ref(&p);
+            assert_eq!(CsvFormatter::new().max_row_bytes(&meta, p), None);
+            assert_eq!(JsonFormatter.max_row_bytes(&meta, p), None);
+            assert_eq!(XmlFormatter.max_row_bytes(&meta, p), None);
+            assert_eq!(SqlFormatter::new().max_row_bytes(&meta, p), None);
+        }
+
+        #[test]
+        fn mismatched_profile_count_yields_no_bound() {
+            let meta = TableMeta::new("t", &["a", "b"]);
+            let p = absint::long_profile(0, 9);
+            assert_eq!(CsvFormatter::new().max_row_bytes(&meta, &[p]), None);
+        }
+
+        #[test]
+        fn bounds_are_reasonably_tight_for_plain_numbers() {
+            // A single bounded long: "9999\n" is 5 bytes; the CSV bound
+            // must not balloon past the worst rendering.
+            let meta = TableMeta::new("t", &["a"]);
+            let p = absint::long_profile(0, 9999);
+            let bound = CsvFormatter::new().max_row_bytes(&meta, &[p]).unwrap();
+            assert_eq!(bound, 5);
+        }
     }
 }

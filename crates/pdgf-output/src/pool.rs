@@ -45,6 +45,20 @@ impl BufferPool {
         self.bufs().pop().unwrap_or_default()
     }
 
+    /// [`take`](Self::take) with at least `capacity` bytes reserved.
+    ///
+    /// Used with a statically proven package-size bound, this moves the
+    /// buffer's growth doublings from the first formatted rows to a
+    /// single up-front reservation; recycled buffers that already reached
+    /// the bound reserve nothing.
+    pub fn take_with_capacity(&self, capacity: usize) -> Vec<u8> {
+        let mut buf = self.take();
+        if buf.capacity() < capacity {
+            buf.reserve(capacity - buf.capacity());
+        }
+        buf
+    }
+
     /// Clear `buf` (keeping its capacity) and park it for reuse; drops it
     /// when `max` buffers are already idle.
     pub fn put(&self, mut buf: Vec<u8>) {
@@ -84,6 +98,18 @@ mod tests {
         assert!(reused.is_empty(), "returned buffers are cleared");
         assert!(reused.capacity() >= 4096, "capacity is retained");
         assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn take_with_capacity_reserves_up_front() {
+        let pool = BufferPool::new(2);
+        let buf = pool.take_with_capacity(4096);
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 4096);
+        // A recycled buffer already at capacity is returned as-is.
+        pool.put(buf);
+        let reused = pool.take_with_capacity(1024);
+        assert!(reused.capacity() >= 4096, "capacity is retained");
     }
 
     #[test]

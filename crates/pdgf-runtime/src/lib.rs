@@ -52,6 +52,6 @@ pub use monitor::{Monitor, Snapshot, TableHandle, TableSnapshot};
 pub use package::{
     packages_for, packages_for_jobs, Framing, ProjectPackage, TableJob, WorkPackage,
 };
-pub use scheduler::{generate_table_range, run_project, RunConfig, TableRunStats};
+pub use scheduler::{generate_table_range, run_project, table_meta, RunConfig, TableRunStats};
 pub use telemetry::{Observability, Telemetry, TelemetryConfig};
 pub use update::{UpdateBatch, UpdateBlackBox, UpdateConfig, UpdateOp};

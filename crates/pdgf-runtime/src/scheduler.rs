@@ -202,11 +202,29 @@ struct RunCtx<'a> {
     formatter: &'a dyn Formatter,
     jobs: &'a [TableJob],
     metas: &'a [TableMeta],
+    /// Per-job proven upper bound on formatted bytes per row, from the
+    /// abstract interpreter's column profiles. `None` when no finite
+    /// bound exists; package buffers are then sized by growth as before.
+    row_bounds: &'a [Option<u64>],
     /// Per-job monitor handles, pre-registered at run start so the
     /// per-package path indexes directly instead of scanning by name.
     handles: Option<&'a [TableHandle]>,
     scope: Option<&'a RunScope>,
     started: Instant,
+}
+
+/// Cap on statically sized package buffers: a proven-but-huge bound (wide
+/// rows × large packages) must not balloon a single allocation; past this
+/// size ordinary growth takes over.
+const MAX_PREALLOC_BYTES: u64 = 64 << 20;
+
+/// Up-front capacity for one package buffer: the proven per-row bound
+/// times the package's rows, capped at [`MAX_PREALLOC_BYTES`]. Zero (no
+/// reservation) when the bound is unknown.
+fn package_capacity_hint(row_bound: Option<u64>, rows: u64) -> usize {
+    row_bound
+        .and_then(|b| b.checked_mul(rows))
+        .map_or(0, |b| b.min(MAX_PREALLOC_BYTES) as usize)
 }
 
 /// Generate every job of a project through one persistent worker pool.
@@ -267,10 +285,21 @@ pub fn run_project<'a>(
         })
         .collect();
 
+    // Proven per-row byte bounds from the abstract interpreter, used to
+    // pre-size package buffers to their final capacity. Purely an
+    // allocation hint: output bytes are identical with or without it.
+    let profiles = rt.profiles();
+    let row_bounds: Vec<Option<u64>> = jobs
+        .iter()
+        .zip(&metas)
+        .map(|(j, m)| formatter.max_row_bytes(m, &profiles[j.table as usize]))
+        .collect();
+
     let ctx = RunCtx {
         formatter,
         jobs,
         metas: &metas,
+        row_bounds: &row_bounds,
         handles: handles.as_deref(),
         scope: scope.as_ref(),
         started,
@@ -505,6 +534,10 @@ fn run_inline(
     for (done, p) in packages.iter().enumerate() {
         out.clear();
         let idx = p.job as usize;
+        let want = package_capacity_hint(ctx.row_bounds[idx], p.pkg.len());
+        if out.capacity() < want {
+            out.reserve(want);
+        }
         let timings = match &phases {
             Some(phases) => format_package_timed(
                 rt,
@@ -582,7 +615,10 @@ fn run_pool(
                 let mut scratch = GenScratch::default();
                 while let Some(idx) = tickets.claim() {
                     let p = &packages[idx as usize];
-                    let mut out = pool.take();
+                    let mut out = pool.take_with_capacity(package_capacity_hint(
+                        ctx.row_bounds[p.job as usize],
+                        p.pkg.len(),
+                    ));
                     let timings = match &phases {
                         Some(phases) => format_package_timed(
                             rt,

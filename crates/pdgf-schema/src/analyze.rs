@@ -72,6 +72,7 @@ impl Severity {
 /// | `E026` | sequential generator with no parts                  |
 /// | `E027` | histogram bounds/weights malformed                  |
 /// | `E028` | timestamp range inverted or outside date range      |
+/// | `E029` | numeric bounds inverted                             |
 /// | `E030` | table size unresolvable or not a row count          |
 /// | `E031` | schema properties do not resolve                    |
 /// | `W001` | table size resolves to zero rows                    |
@@ -694,10 +695,24 @@ fn collect_unreachable(g: &GeneratorSpec, table: &str, field: &str, out: &mut Ve
             }
         }
         GeneratorSpec::Probability { branches } => {
+            // Branch selection draws a uniform in [0, 1) and walks the
+            // cumulative distribution, so a branch whose predecessors
+            // already cover the whole unit interval is dead at any scale
+            // (reachable within E022's sum tolerance, never at runtime).
+            let mut cumulative = 0.0f64;
             for (p, branch) in branches {
+                let exhausted = cumulative >= 1.0;
+                cumulative += p.max(0.0);
                 if *p <= 0.0 {
                     out.push(format!(
                         "{at}: probability-0 branch makes its {} unreachable{}",
+                        branch.xml_name(),
+                        describe_resources(branch)
+                    ));
+                } else if exhausted {
+                    out.push(format!(
+                        "{at}: earlier branches already cover probability 1, \
+                         making this {} unreachable{}",
                         branch.xml_name(),
                         describe_resources(branch)
                     ));
@@ -937,6 +952,35 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.code == "W002" && d.message.contains("colors.dict")));
+    }
+
+    #[test]
+    fn prefix_sum_dead_branches_warn_w002() {
+        // Sums to 1.0000004 — inside E022's tolerance — but the first two
+        // branches already cover [0, 1), so the dictionary branch is dead.
+        let mut s = two_table_schema();
+        s.tables[1].fields[1].generator = GeneratorSpec::Probability {
+            branches: vec![
+                (0.5, GeneratorSpec::Id { permute: false }),
+                (0.5, GeneratorSpec::Id { permute: false }),
+                (
+                    0.000_000_4,
+                    GeneratorSpec::Dict {
+                        source: DictSource::File("colors.dict".into()),
+                        weighted: false,
+                    },
+                ),
+            ],
+        };
+        let a = s.analyze();
+        assert!(!a.has_errors(), "{:?}", a.diagnostics);
+        assert!(
+            a.diagnostics
+                .iter()
+                .any(|d| d.code == "W002" && d.message.contains("colors.dict")),
+            "{:?}",
+            a.diagnostics
+        );
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   [`GeneratorSpec`]s,
 //! * [`analyze`] — the multi-pass static analyzer behind
 //!   `Schema::validate` and `pdgf validate`,
+//! * [`absint`] — the abstract interpreter proving value domains, byte
+//!   widths, and key uniqueness at a concrete scale (`pdgf explain`),
 //! * [`xml`] — a minimal XML reader/writer,
 //! * [`config`] — the mapping between schema model and its XML form.
 
@@ -25,6 +27,7 @@
 #![deny(missing_docs)]
 #![deny(rust_2018_idioms)]
 
+pub mod absint;
 pub mod analyze;
 pub mod config;
 pub mod expr;

@@ -11,6 +11,7 @@
 //! pdgf preview  --model tpch.xml --table lineitem [--rows 10] [-p ...]
 //! pdgf info     --model tpch.xml [-p ...]
 //! pdgf validate --model tpch.xml [--format json] [-p NAME=EXPR]...
+//! pdgf explain  --model tpch.xml [--scale N] [--format json] [-p ...]
 //! ```
 //!
 //! `--progress` keeps a single refreshing status line on stderr (percent,
@@ -40,18 +41,20 @@ struct Args {
     props: Vec<(String, String)>,
     progress: bool,
     metrics_out: Option<String>,
+    scale: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pdgf <generate|preview|info|validate> --model <file.xml> [options]\n\
+        "usage: pdgf <generate|preview|info|validate|explain> --model <file.xml> [options]\n\
          \n\
          generate options: --out <dir> --format csv|json|xml|sql --workers N\n\
          \u{20}                 --package-rows N --seed N -p NAME=EXPR\n\
          \u{20}                 --node I --nodes N   (write only node I's shard of N)\n\
          \u{20}                 --progress           (status line with ETA on stderr)\n\
          \u{20}                 --metrics-out <file> (telemetry event stream as JSONL)\n\
-         preview options:  --table <name> --rows N\n"
+         preview options:  --table <name> --rows N\n\
+         explain options:  --scale N (override the SF property) --format json\n"
     );
     ExitCode::from(2)
 }
@@ -72,6 +75,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         props: Vec::new(),
         progress: false,
         metrics_out: None,
+        scale: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -106,6 +110,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--rows" => args.rows = value("--rows")?.parse().map_err(|_| "bad --rows")?,
             "--progress" => args.progress = true,
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--scale" => args.scale = Some(value("--scale")?),
             "-p" => {
                 let kv = value("-p")?;
                 let (k, v) = kv
@@ -127,6 +132,9 @@ fn make_builder(args: &Args) -> Result<Pdgf, PdgfError> {
     let mut builder = Pdgf::from_xml_file(model)?;
     for (k, v) in &args.props {
         builder = builder.set_property(k, v);
+    }
+    if let Some(scale) = &args.scale {
+        builder = builder.set_property("SF", scale);
     }
     if let Some(seed) = args.seed {
         builder = builder.seed(seed);
@@ -159,6 +167,7 @@ fn main() -> ExitCode {
         "preview" => cmd_preview(&args),
         "info" => cmd_info(&args),
         "validate" => cmd_validate(&args),
+        "explain" => cmd_explain(&args),
         _ => {
             return usage();
         }
@@ -434,5 +443,76 @@ fn cmd_validate(args: &Args) -> Result<(), PdgfError> {
             .map(|t| t.size)
             .sum::<u64>()
     );
+    Ok(())
+}
+
+fn fmt_bound(b: Option<u64>) -> String {
+    match b {
+        Some(n) => n.to_string(),
+        None => "?".to_string(),
+    }
+}
+
+fn fmt_mb(b: Option<u64>) -> String {
+    match b {
+        Some(n) => format!("{:.2} MB", n as f64 / 1e6),
+        None => "unbounded".to_string(),
+    }
+}
+
+/// Statically explain the generation run: dependency order, package and
+/// worker plan, and proven upper bounds on output bytes per format —
+/// derived from the abstract interpreter, without generating data.
+///
+/// `--scale N` overrides the model's `SF` property; `--format json`
+/// prints one deterministic machine-readable object on stdout. Exits
+/// non-zero when the model has errors (the plan would be meaningless).
+fn cmd_explain(args: &Args) -> Result<(), PdgfError> {
+    let builder = make_builder(args)?;
+    let report = builder.explain()?;
+
+    if args.format == OutputFormat::Json {
+        println!("{}", report.to_json(args.model.as_deref().unwrap_or("")));
+    } else {
+        for d in &report.diagnostics {
+            eprintln!("{d}");
+        }
+        if report.ok {
+            println!("generation order: {}", report.generation_order.join(" -> "));
+            println!(
+                "plan: {} workers, {} rows/package",
+                report.workers, report.package_rows
+            );
+            println!(
+                "{:<20} {:>14} {:>9}   max B/row (csv/json/xml/sql)",
+                "table", "rows", "packages"
+            );
+            for t in &report.tables {
+                println!(
+                    "{:<20} {:>14} {:>9}   {}/{}/{}/{}",
+                    t.name,
+                    t.rows,
+                    t.packages,
+                    fmt_bound(t.max_row_bytes.csv),
+                    fmt_bound(t.max_row_bytes.json),
+                    fmt_bound(t.max_row_bytes.xml),
+                    fmt_bound(t.max_row_bytes.sql),
+                );
+            }
+            println!(
+                "predicted output <= csv {}, json {}, xml {}, sql {}",
+                fmt_mb(report.total_bytes.csv),
+                fmt_mb(report.total_bytes.json),
+                fmt_mb(report.total_bytes.xml),
+                fmt_mb(report.total_bytes.sql),
+            );
+        }
+    }
+    if !report.ok {
+        return Err(PdgfError::Config(format!(
+            "model failed static analysis with {} error(s)",
+            report.errors()
+        )));
+    }
     Ok(())
 }

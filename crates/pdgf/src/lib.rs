@@ -40,6 +40,8 @@ pub use pdgf_prng as prng;
 pub use pdgf_runtime as runtime;
 pub use pdgf_schema as schema;
 
+pub mod explain;
 pub mod project;
 
+pub use explain::{ColumnExplain, ExplainReport, PerFormat, TableExplain};
 pub use project::{OutputFormat, Pdgf, PdgfError, PdgfProject};

@@ -5,7 +5,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use pdgf_gen::{FsResolver, MapResolver, ResourceResolver, SchemaRuntime};
+use pdgf_gen::{FsResolver, MapResolver, ResolverOracle, ResourceResolver, SchemaRuntime};
 use pdgf_output::{
     CsvFormatter, DirSinkFactory, FileSink, Formatter, JsonFormatter, MemorySink, NullSinkFactory,
     Sink, SqlFormatter, XmlFormatter,
@@ -14,7 +14,9 @@ use pdgf_runtime::{
     GenerationRun, MetaScheduler, Monitor, NodeReport, RunConfig, RunReport, Telemetry,
 };
 use pdgf_schema::config as xmlconfig;
-use pdgf_schema::{Schema, Value};
+use pdgf_schema::{absint, Schema, Value};
+
+use crate::explain::{ColumnExplain, ExplainReport, PerFormat, TableExplain};
 
 /// Supported output formats ("PDGF can write data in various formats
 /// (e.g., CSV, JSON, XML, and SQL)").
@@ -153,13 +155,8 @@ impl Pdgf {
         self
     }
 
-    /// Run the deep static analyzer on the model — with the builder's
-    /// property and seed overrides applied — without compiling a runtime.
-    /// Returns every diagnostic (warnings included), unlike [`build`],
-    /// which stops at the first error.
-    ///
-    /// [`build`]: Pdgf::build
-    pub fn analyze(&self) -> Result<pdgf_schema::Analysis, PdgfError> {
+    /// The schema with the builder's property and seed overrides applied.
+    fn resolved_schema(&self) -> Result<Schema, PdgfError> {
         let mut schema = self.schema.clone();
         for (name, value) in &self.overrides {
             schema
@@ -170,7 +167,114 @@ impl Pdgf {
         if let Some(seed) = self.seed_override {
             schema.seed = seed;
         }
-        Ok(schema.analyze())
+        Ok(schema)
+    }
+
+    /// Structural analysis followed by the abstract-interpretation pass
+    /// (E040+/W010+), with the interpreter's findings appended. The
+    /// interpreter resolves dictionaries and Markov models through the
+    /// builder's resolver; unresolvable resources soundly widen to
+    /// "unknown" instead of erroring here (the build reports them).
+    fn full_analysis(&self, schema: &Schema) -> pdgf_schema::Analysis {
+        let mut analysis = schema.analyze();
+        let oracle = ResolverOracle(self.resolver.as_ref());
+        let interp = absint::interpret(schema, &analysis, &oracle);
+        analysis.diagnostics.extend(interp.diagnostics);
+        analysis
+    }
+
+    /// Run the deep static analyzer on the model — with the builder's
+    /// property and seed overrides applied — without compiling a runtime.
+    /// Returns every diagnostic (warnings included), unlike [`build`],
+    /// which stops at the first error. The result covers both the
+    /// structural passes (E001+) and the abstract interpretation of the
+    /// generator graph at the current scale (E040+, W010+).
+    ///
+    /// [`build`]: Pdgf::build
+    pub fn analyze(&self) -> Result<pdgf_schema::Analysis, PdgfError> {
+        let schema = self.resolved_schema()?;
+        Ok(self.full_analysis(&schema))
+    }
+
+    /// Statically explain the run this builder would perform: generation
+    /// order, per-table row and package counts, the parallelism plan, and
+    /// proven upper bounds on output bytes per row / table / data set for
+    /// every output format — all without generating a single row.
+    ///
+    /// When the model has errors the report carries the diagnostics and
+    /// no table plans ([`ExplainReport::ok`] is false).
+    pub fn explain(&self) -> Result<ExplainReport, PdgfError> {
+        let schema = self.resolved_schema()?;
+        let analysis = self.full_analysis(&schema);
+        let generation_order: Vec<String> = analysis
+            .generation_order
+            .iter()
+            .map(|&t| schema.tables[t as usize].name.clone())
+            .collect();
+        let workers = self.config.worker_threads();
+        let package_rows = self.config.rows_per_package();
+        if analysis.has_errors() {
+            return Ok(ExplainReport {
+                ok: false,
+                diagnostics: analysis.diagnostics,
+                generation_order,
+                workers,
+                package_rows,
+                tables: Vec::new(),
+                total_bytes: PerFormat::build(|_| None),
+            });
+        }
+        let runtime = SchemaRuntime::build(&schema, self.resolver.as_ref())
+            .map_err(|e| PdgfError::Build(e.to_string()))?;
+        let profiles = runtime.profiles();
+        let formatters = PerFormat::build(OutputFormat::formatter);
+        let mut tables = Vec::new();
+        for (t, rt_table) in runtime.tables().iter().enumerate() {
+            let meta = pdgf_runtime::table_meta(&runtime, t as u32);
+            let rows = rt_table.size;
+            let max_row_bytes =
+                PerFormat::build(|f| formatters.get(f).max_row_bytes(&meta, &profiles[t]));
+            let max_total_bytes = PerFormat::build(|f| {
+                let per_row = (*max_row_bytes.get(f))?;
+                let fmt = formatters.get(f);
+                let mut frame = Vec::new();
+                fmt.begin(&mut frame, &meta);
+                fmt.end(&mut frame, &meta);
+                let total = u128::from(per_row) * u128::from(rows) + frame.len() as u128;
+                u64::try_from(total).ok()
+            });
+            let columns = rt_table
+                .columns
+                .iter()
+                .zip(&profiles[t])
+                .map(|(c, p)| ColumnExplain {
+                    name: c.name.clone(),
+                    profile: p.clone(),
+                })
+                .collect();
+            tables.push(TableExplain {
+                name: rt_table.name.clone(),
+                rows,
+                packages: rows.div_ceil(package_rows),
+                max_row_bytes,
+                max_total_bytes,
+                columns,
+            });
+        }
+        let total_bytes = PerFormat::build(|f| {
+            tables
+                .iter()
+                .try_fold(0u64, |acc, t| acc.checked_add((*t.max_total_bytes.get(f))?))
+        });
+        Ok(ExplainReport {
+            ok: true,
+            diagnostics: analysis.diagnostics,
+            generation_order,
+            workers,
+            package_rows,
+            tables,
+            total_bytes,
+        })
     }
 
     /// Validate and compile into a runnable project.
@@ -561,6 +665,69 @@ mod tests {
             project.table_to_string("t", OutputFormat::Csv).unwrap(),
             direct.table_to_string("t", OutputFormat::Csv).unwrap()
         );
+    }
+
+    #[test]
+    fn explain_reports_plan_and_proven_bounds() {
+        let report = Pdgf::from_schema(schema())
+            .workers(0)
+            .package_rows(20)
+            .explain()
+            .unwrap();
+        assert!(report.ok);
+        assert_eq!(report.generation_order, ["t"]);
+        assert_eq!(report.workers, 0);
+        assert_eq!(report.package_rows, 20);
+        let t = report.table("t").unwrap();
+        assert_eq!(t.rows, 50);
+        assert_eq!(t.packages, 3);
+        assert_eq!(t.columns.len(), 2);
+        let per_row = t.max_row_bytes.csv.unwrap();
+
+        // The proven bounds must hold over the real output.
+        let project = Pdgf::from_schema(schema()).workers(0).build().unwrap();
+        let csv = project.table_to_string("t", OutputFormat::Csv).unwrap();
+        for line in csv.lines() {
+            assert!((line.len() + 1) as u64 <= per_row, "{line:?}");
+        }
+        assert!(csv.len() as u64 <= t.max_total_bytes.csv.unwrap());
+        // One table, so the data-set bound is the table bound.
+        assert_eq!(report.total_bytes.csv, t.max_total_bytes.csv);
+    }
+
+    #[test]
+    fn explain_json_is_byte_stable() {
+        let a = Pdgf::from_schema(schema()).explain().unwrap().to_json("m");
+        let b = Pdgf::from_schema(schema()).explain().unwrap().to_json("m");
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"model\":\"m\",\"ok\":true,"));
+    }
+
+    #[test]
+    fn analyze_merges_abstract_interpretation_diagnostics() {
+        // A primary key drawn from a random Long range is not provably
+        // unique — invisible to the structural passes, caught by the
+        // abstract interpreter as E040.
+        let s = Schema::new("weakpk", 7).table(
+            Table::new("t", "100").field(
+                Field::new(
+                    "id",
+                    SqlType::BigInt,
+                    GeneratorSpec::Long {
+                        min: Expr::parse("0").unwrap(),
+                        max: Expr::parse("9").unwrap(),
+                    },
+                )
+                .primary(),
+            ),
+        );
+        let analysis = Pdgf::from_schema(s.clone()).analyze().unwrap();
+        assert!(analysis.diagnostics.iter().any(|d| d.code == "E040"));
+        // explain refuses to plan a model with errors.
+        let report = Pdgf::from_schema(s).explain().unwrap();
+        assert!(!report.ok);
+        assert!(report.tables.is_empty());
+        assert!(report.total_bytes.csv.is_none());
     }
 
     #[test]

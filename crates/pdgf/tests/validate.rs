@@ -22,27 +22,81 @@ fn validate_json(rel: &str) -> (bool, String) {
     (out.status.success(), stdout)
 }
 
+/// `pdgf validate --format json` with the model given as a repo-relative
+/// path and the repo root as the working directory, so the echoed
+/// `"model"` key (and thus the whole report) is machine-independent.
+fn validate_json_rel(rel: &str) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pdgf"))
+        .current_dir(model_path("."))
+        .args(["validate", "--model", rel, "--format", "json"])
+        .output()
+        .expect("run pdgf validate");
+    let stdout = String::from_utf8(out.stdout).expect("json output is UTF-8");
+    (out.status.success(), stdout)
+}
+
+/// One row per corpus file: the analyzer's documented stable code for
+/// that defect class, and whether it is an error (non-zero exit) or a
+/// warning (exit 0, diagnostic still reported).
+const CORPUS: &[(&str, &str, bool)] = &[
+    // Structural analyzer (E0xx below 040).
+    ("models/bad/unknown_reference.xml", "E010", true),
+    ("models/bad/zipf_theta.xml", "E020", true),
+    ("models/bad/cycle.xml", "E013", true),
+    ("models/bad/zero_fields.xml", "E002", true),
+    ("models/bad/bad_size.xml", "E030", true),
+    // Abstract interpreter (E040+/W010+).
+    ("models/bad/e040_nonunique_pk.xml", "E040", true),
+    ("models/bad/e041_fk_domain_escape.xml", "E041", true),
+    ("models/bad/e042_sequence_overflow.xml", "E042", true),
+    ("models/bad/e043_dict_index_wrap.xml", "E043", true),
+    ("models/bad/e044_text_into_numeric.xml", "E044", true),
+    ("models/bad/w010_unbounded_width.xml", "W010", false),
+    ("models/bad/w011_fk_parent_not_unique.xml", "W011", false),
+    ("models/bad/w012_mixed_branch_kinds.xml", "W012", false),
+];
+
 #[test]
 fn bad_corpus_fails_with_stable_codes() {
-    // One (model, code) row per corpus file; the code is the analyzer's
-    // documented, stable identifier for that defect class.
-    let corpus = [
-        ("models/bad/unknown_reference.xml", "E010"),
-        ("models/bad/zipf_theta.xml", "E020"),
-        ("models/bad/cycle.xml", "E013"),
-        ("models/bad/zero_fields.xml", "E002"),
-        ("models/bad/bad_size.xml", "E030"),
-    ];
-    for (model, code) in corpus {
+    for &(model, code, is_error) in CORPUS {
         let (ok, json) = validate_json(model);
-        assert!(!ok, "{model}: expected a validation failure, got:\n{json}");
+        assert_eq!(
+            ok, !is_error,
+            "{model}: wrong exit for severity, got:\n{json}"
+        );
         assert!(
             json.contains(&format!("\"code\":\"{code}\"")),
             "{model}: expected diagnostic code {code}, got:\n{json}"
         );
+        let severity = if is_error { "error" } else { "warning" };
         assert!(
-            json.contains("\"ok\":false") && json.contains("\"severity\":\"error\""),
+            json.contains(&format!("\"ok\":{}", !is_error))
+                && json.contains(&format!("\"severity\":\"{severity}\"")),
             "{model}: malformed report:\n{json}"
+        );
+    }
+}
+
+#[test]
+fn absint_corpus_matches_golden_reports() {
+    // The interpreter fixtures each pin the full machine-readable report
+    // byte for byte — codes, locations, and messages are all API.
+    for &(model, code, _) in CORPUS {
+        let name = model.trim_start_matches("models/bad/");
+        if !name.starts_with("e04") && !name.starts_with("w01") {
+            continue;
+        }
+        let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(name.replace(".xml", ".json"));
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", golden_path.display()));
+        let (_, json) = validate_json_rel(model);
+        assert_eq!(
+            json.trim_end(),
+            golden.trim_end(),
+            "{model}: report drifted from golden {} ({code})",
+            golden_path.display()
         );
     }
 }

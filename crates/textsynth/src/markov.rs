@@ -187,6 +187,12 @@ impl MarkovModel {
         self.words.len()
     }
 
+    /// The vocabulary, in word-id order (used by static analysis to bound
+    /// the rendered width of generated text).
+    pub fn words(&self) -> impl Iterator<Item = &str> {
+        self.words.iter().map(|w| w.as_ref())
+    }
+
     /// Number of starting states (the paper's "95 starting states").
     pub fn start_state_count(&self) -> usize {
         self.start.ids.len()

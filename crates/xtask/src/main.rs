@@ -12,8 +12,14 @@
 //! with `// audit:allow(<rule>) <reason>` on the line itself or a comment
 //! directly above it; an allow with an unknown rule or no reason is itself
 //! a violation. `--format json` emits one machine-readable object.
+//!
+//! On top of the per-line rules, the pass cross-checks the diagnostic
+//! registry ([`registry`]): every `E`/`W` code the schema analyzer or the
+//! abstract interpreter emits must have a row in its module-doc registry
+//! table, and every row must match a live emission site.
 
 mod lexer;
+mod registry;
 mod rules;
 
 use std::fmt::Write as _;
@@ -272,6 +278,10 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Err(e) = registry::check(&root, &mut violations) {
+        eprintln!("audit: cannot read diagnostic sources: {e}");
+        return ExitCode::from(2);
+    }
     if json {
         print_json(&violations, files.len());
     } else {
@@ -380,6 +390,7 @@ mod tests {
                 .join("/");
             audit_source(&rel, &std::fs::read_to_string(f).unwrap(), &mut v);
         }
+        registry::check(root, &mut v).unwrap();
         let msgs: Vec<String> = v
             .iter()
             .map(|v| format!("{}:{}:{} {} {}", v.path, v.line, v.col, v.rule, v.needle))

@@ -19,4 +19,27 @@ cargo test --workspace -q
 echo "== telemetry contract suite (byte identity, drop accounting, watchdog)"
 cargo test -q -p pdgf-runtime --test telemetry
 
+echo "== model corpus: shipped models validate clean, bad models report codes"
+cargo build -q -p pdgf --bins
+PDGF=target/debug/pdgf
+for model in models/*.xml; do
+  out="$("$PDGF" validate --model "$model" --format json)" || true
+  if [[ "$out" != *'"errors":0'* || "$out" != *'"warnings":0'* ]]; then
+    echo "FAIL: $model should validate clean, got:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  echo "  ok   $model"
+done
+for model in models/bad/*.xml; do
+  # Warning-class fixtures exit 0; every fixture must report a code.
+  out="$("$PDGF" validate --model "$model" --format json)" || true
+  if [[ "$out" != *'"code":"'* ]]; then
+    echo "FAIL: $model should report a diagnostic code, got:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  echo "  diag $model"
+done
+
 echo "All checks passed."
