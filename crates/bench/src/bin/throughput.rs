@@ -22,7 +22,7 @@
 //! `THROUGHPUT_OUT` (default `BENCH_throughput.json`),
 //! `THROUGHPUT_EVENTS_OUT` (default `BENCH_telemetry.jsonl`).
 
-use bench::{banner, check, env_f64, env_usize, timed};
+use bench::{banner, check, check_scaling, env_f64, env_usize, host_cores, timed};
 use pdgf::{OutputFormat, Pdgf};
 use pdgf_output::{CsvFormatter, NullSink};
 use pdgf_runtime::{generate_table_range, Observability, PhaseStats, RunConfig, Telemetry};
@@ -56,6 +56,7 @@ impl Point {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measure(
     rt: &pdgf_gen::SchemaRuntime,
     table: u32,
@@ -64,11 +65,15 @@ fn measure(
     package_rows: u64,
     repeats: usize,
     telemetry: Option<&Telemetry>,
+    columnar: bool,
 ) -> Point {
     let mut best: Option<Point> = None;
     for _ in 0..repeats {
         let mut sink = NullSink::new();
-        let cfg = RunConfig::new().workers(workers).package_rows(package_rows);
+        let cfg = RunConfig::new()
+            .workers(workers)
+            .package_rows(package_rows)
+            .columnar(columnar);
         let t = timed(|| {
             generate_table_range(
                 rt,
@@ -125,9 +130,7 @@ fn main() {
     let package_rows = env_usize("THROUGHPUT_PACKAGE_ROWS", 5_000) as u64;
     let out_path =
         std::env::var("THROUGHPUT_OUT").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = host_cores();
 
     let builder = Pdgf::from_schema(tpch::schema(12_456_789))
         .resolver(tpch::resolver())
@@ -144,12 +147,12 @@ fn main() {
     println!("lineitem rows: {size} (SF {sf}), package_rows {package_rows}, best of {repeats}, host cores {cores}\n");
 
     // Warm-up pass (touches dictionaries, markov models, seed caches).
-    let _ = measure(rt, table, size.min(10_000), 1, package_rows, 1, None);
+    let _ = measure(rt, table, size.min(10_000), 1, package_rows, 1, None, true);
 
     println!("{:>8} {:>14} {:>12}", "workers", "rows/s", "MB/s");
     let mut series = Vec::new();
     for workers in [1usize, 2, 4, 8] {
-        let p = measure(rt, table, size, workers, package_rows, repeats, None);
+        let p = measure(rt, table, size, workers, package_rows, repeats, None, true);
         println!(
             "{:>8} {:>14.0} {:>12.2}",
             p.workers,
@@ -158,6 +161,29 @@ fn main() {
         );
         series.push(p);
     }
+
+    // Columnar vs row path A/B at a fixed width: same schema, formatter,
+    // sink, and worker count — the only variable is the generation path.
+    // Repeats are interleaved so host drift cancels out of the ratio.
+    let ab_workers = 4usize;
+    let mut row_path = measure(rt, table, size, ab_workers, package_rows, 1, None, false);
+    let mut col_path = measure(rt, table, size, ab_workers, package_rows, 1, None, true);
+    for _ in 1..repeats {
+        let r = measure(rt, table, size, ab_workers, package_rows, 1, None, false);
+        if r.seconds < row_path.seconds {
+            row_path = r;
+        }
+        let c = measure(rt, table, size, ab_workers, package_rows, 1, None, true);
+        if c.seconds < col_path.seconds {
+            col_path = c;
+        }
+    }
+    let columnar_speedup = col_path.rows_per_s() / row_path.rows_per_s();
+    println!(
+        "\ncolumnar @{ab_workers}w: {:.0} rows/s vs row path {:.0} rows/s ({columnar_speedup:.2}x)",
+        col_path.rows_per_s(),
+        row_path.rows_per_s()
+    );
 
     // Telemetry overhead: the 8-worker point again with the full
     // observability stack attached — event bus with a live subscriber,
@@ -173,14 +199,14 @@ fn main() {
         }
         lines
     });
-    let mut plain = measure(rt, table, size, 8, package_rows, 1, None);
-    let mut observed = measure(rt, table, size, 8, package_rows, 1, Some(&telemetry));
+    let mut plain = measure(rt, table, size, 8, package_rows, 1, None, true);
+    let mut observed = measure(rt, table, size, 8, package_rows, 1, Some(&telemetry), true);
     for _ in 1..repeats {
-        let p = measure(rt, table, size, 8, package_rows, 1, None);
+        let p = measure(rt, table, size, 8, package_rows, 1, None, true);
         if p.seconds < plain.seconds {
             plain = p;
         }
-        let o = measure(rt, table, size, 8, package_rows, 1, Some(&telemetry));
+        let o = measure(rt, table, size, 8, package_rows, 1, Some(&telemetry), true);
         if o.seconds < observed.seconds {
             observed = o;
         }
@@ -221,6 +247,12 @@ fn main() {
         json.push_str(if i + 1 < series.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    json.push_str("  \"columnar\": {\n");
+    json.push_str(&format!("    \"workers\": {ab_workers},\n"));
+    json.push_str(&format!("    \"row\": {},\n", row_path.to_json()));
+    json.push_str(&format!("    \"columnar\": {},\n", col_path.to_json()));
+    json.push_str(&format!("    \"speedup\": {columnar_speedup:.4}\n"));
+    json.push_str("  },\n");
     json.push_str("  \"telemetry\": {\n");
     json.push_str(&format!("    \"overhead_pct\": {:.3},\n", overhead * 100.0));
     json.push_str(&format!("    \"events\": {},\n", events.len()));
@@ -283,11 +315,27 @@ fn main() {
         ),
     );
 
+    // The tentpole gate: the columnar batch engine must beat the row
+    // path by at least 1.3x rows/s on the same configuration. This is a
+    // same-host, same-run ratio, so it is judged on any core count.
+    check(
+        "columnar-speedup",
+        columnar_speedup >= 1.3,
+        &format!(
+            "{:.0} rows/s columnar vs {:.0} rows/s row path @{ab_workers}w \
+             ({columnar_speedup:.2}x, need >= 1.30x)",
+            col_path.rows_per_s(),
+            row_path.rows_per_s()
+        ),
+    );
+
     if let Some(b) = &baseline {
         let base = mb_per_s_series(b);
         for (p, base_mb) in series.iter().zip(&base) {
             let speedup = p.mb_per_s() / base_mb;
-            check(
+            // Multi-worker points scale with the host's cores; a 1-core
+            // host cannot judge them against a multi-core baseline.
+            check_scaling(
                 &format!("speedup@{}w", p.workers),
                 speedup >= 1.0,
                 &format!("{base_mb:.2} → {:.2} MB/s ({speedup:.2}x)", p.mb_per_s()),

@@ -7,7 +7,11 @@ use pdgf_schema::model::DateFormat;
 use pdgf_schema::value::{Date, Value};
 use std::sync::Arc;
 
-use crate::generator::{GenContext, Generator, ProfileCtx};
+use std::ops::Range;
+
+use pdgf_schema::ColumnVec;
+
+use crate::generator::{ColumnCtx, GenContext, GenScratch, Generator, ProfileCtx};
 
 /// Unique key generator: emits `row + 1`, optionally scrambled through a
 /// keyed permutation so keys are unique but unordered.
@@ -27,16 +31,38 @@ impl IdGenerator {
             permutation: Some(FeistelPermutation::new(size.max(1), seed)),
         }
     }
+
+    /// The key emitted for `row` — `generate` without the context
+    /// machinery (Id generators draw nothing from the RNG stream). The
+    /// reference kernel uses this to recompute parent keys as a pure
+    /// typed map, skipping per-cell contexts and `Value` cells entirely.
+    #[inline]
+    pub fn key_for(&self, row: u64) -> i64 {
+        match &self.permutation {
+            Some(p) => p.permute(row % p.domain()) as i64 + 1,
+            None => row as i64 + 1,
+        }
+    }
 }
 
 impl Generator for IdGenerator {
     #[inline]
     fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
-        let id = match &self.permutation {
-            Some(p) => p.permute(ctx.row % p.domain()),
-            None => ctx.row,
-        };
-        Value::Long(id as i64 + 1)
+        Value::Long(self.key_for(ctx.row))
+    }
+
+    fn fill_column(
+        &self,
+        _ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        _scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_id(self.permutation.as_ref(), rows, out);
+    }
+
+    fn as_id(&self) -> Option<&IdGenerator> {
+        Some(self)
     }
 
     fn name(&self) -> &'static str {
@@ -68,6 +94,16 @@ impl Generator for LongGenerator {
     #[inline]
     fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
         Value::Long(ctx.rng.next_i64_in(self.min, self.max))
+    }
+
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        _scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_long(self.min, self.max, ctx, rows, out);
     }
 
     fn name(&self) -> &'static str {
@@ -112,6 +148,16 @@ impl Generator for DoubleGenerator {
         Value::Double(v)
     }
 
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        _scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_double(self.min, self.span, self.round_factor, ctx, rows, out);
+    }
+
     fn name(&self) -> &'static str {
         "DoubleGenerator"
     }
@@ -144,6 +190,16 @@ impl Generator for DecimalGenerator {
             unscaled: ctx.rng.next_i64_in(self.min, self.max),
             scale: self.scale,
         }
+    }
+
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        _scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_decimal(self.min, self.max, self.scale, ctx, rows, out);
     }
 
     fn name(&self) -> &'static str {
@@ -190,6 +246,16 @@ impl Generator for DateGenerator {
         }
     }
 
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        _scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_date(self.min_day, self.span_days, self.format, ctx, rows, out);
+    }
+
     fn name(&self) -> &'static str {
         "DateGenerator"
     }
@@ -223,6 +289,16 @@ impl Generator for TimestampGenerator {
         Value::Timestamp(ctx.rng.next_i64_in(self.min, self.max))
     }
 
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        _scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_timestamp(self.min, self.max, ctx, rows, out);
+    }
+
     fn name(&self) -> &'static str {
         "TimestampGenerator"
     }
@@ -232,7 +308,7 @@ impl Generator for TimestampGenerator {
     }
 }
 
-const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+pub(crate) const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
 
 /// Random alphanumeric string with length uniform in `[min_len, max_len]`.
 pub struct RandomStringGenerator {
@@ -271,6 +347,16 @@ impl Generator for RandomStringGenerator {
         v
     }
 
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        _scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_random_string(self.min_len, self.max_len, ctx, rows, out);
+    }
+
     fn name(&self) -> &'static str {
         "RandomStringGenerator"
     }
@@ -297,6 +383,16 @@ impl Generator for RandomBoolGenerator {
     #[inline]
     fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
         Value::Bool(ctx.rng.next_bool(self.true_prob))
+    }
+
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        _scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_bool(self.true_prob, ctx, rows, out);
     }
 
     fn name(&self) -> &'static str {
@@ -326,6 +422,20 @@ impl Generator for StaticValueGenerator {
     #[inline]
     fn generate(&self, _ctx: &mut GenContext<'_>) -> Value {
         self.value.clone()
+    }
+
+    fn fill_column(
+        &self,
+        _ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        _scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_static(&self.value, rows, out);
+    }
+
+    fn static_value(&self) -> Option<&Value> {
+        Some(&self.value)
     }
 
     fn name(&self) -> &'static str {
@@ -383,6 +493,16 @@ impl Generator for HistogramGenerator {
                 scale,
             },
         }
+    }
+
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        _scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_histogram(&self.bounds, &self.alias, self.output, ctx, rows, out);
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,663 @@
+//! Vectorized per-column fill kernels for the hot generators.
+//!
+//! Each kernel is the columnar twin of one generator's `generate` body:
+//! it hoists the seeding-hierarchy prefix via [`ColumnCtx`], constructs a
+//! cheap counter-based RNG per cell, and replays *exactly* the same draw
+//! sequence as the row path into typed [`ColumnVec`] storage — so the
+//! bytes that eventually reach the formatter are identical by
+//! construction, while the loop body is monomorphic (no `Arc<dyn
+//! Generator>` dispatch, no per-cell `Value`, no per-cell heap
+//! allocation).
+//!
+//! This module is covered by the `columnar-cell-alloc` audit rule: no
+//! `String::`/`format!`/`.to_vec()` — text lands in the column's arena.
+
+use std::ops::Range;
+
+use pdgf_prng::{mix64_pair, Alias, FeistelPermutation, PdgfDefaultRandom, PdgfRng};
+use pdgf_schema::expr::{BinOp, Expr, Func};
+use pdgf_schema::model::{DateFormat, HistogramOutput};
+use pdgf_schema::{ColumnVec, Value};
+use std::collections::BTreeMap;
+use textsynth::{Dictionary, MarkovModel};
+
+use crate::basic::CHARSET;
+use crate::generator::ColumnCtx;
+
+/// Cell count of a row range.
+#[inline]
+fn n(rows: &Range<u64>) -> usize {
+    rows.end.saturating_sub(rows.start) as usize
+}
+
+/// `IdGenerator`: `row + 1`, optionally permuted. Draws nothing.
+pub(crate) fn fill_id(perm: Option<&FeistelPermutation>, rows: Range<u64>, out: &mut ColumnVec) {
+    let v = out.longs_mut();
+    v.reserve(n(&rows));
+    match perm {
+        Some(p) => {
+            let domain = p.domain();
+            v.extend(rows.map(|row| p.permute(row % domain) as i64 + 1));
+        }
+        None => v.extend(rows.map(|row| row as i64 + 1)),
+    }
+}
+
+/// `LongGenerator`: one `next_i64_in` per cell.
+pub(crate) fn fill_long(
+    min: i64,
+    max: i64,
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+) {
+    let v = out.longs_mut();
+    v.reserve(n(&rows));
+    v.extend(rows.map(|row| ctx.cell_rng(row).next_i64_in(min, max)));
+}
+
+/// `DoubleGenerator`: one `next_f64` per cell plus optional rounding.
+pub(crate) fn fill_double(
+    min: f64,
+    span: f64,
+    round_factor: Option<f64>,
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+) {
+    let v = out.doubles_mut();
+    v.reserve(n(&rows));
+    match round_factor {
+        Some(f) => v.extend(rows.map(|row| {
+            let x = min + ctx.cell_rng(row).next_f64() * span;
+            (x * f).round() / f
+        })),
+        None => v.extend(rows.map(|row| min + ctx.cell_rng(row).next_f64() * span)),
+    }
+}
+
+/// `DecimalGenerator`: one `next_i64_in` per cell at a shared scale.
+pub(crate) fn fill_decimal(
+    min: i64,
+    max: i64,
+    scale: u8,
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+) {
+    let v = out.decimals_mut(scale);
+    v.reserve(n(&rows));
+    v.extend(rows.map(|row| ctx.cell_rng(row).next_i64_in(min, max)));
+}
+
+/// `TimestampGenerator`: one `next_i64_in` per cell.
+pub(crate) fn fill_timestamp(
+    min: i64,
+    max: i64,
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+) {
+    let v = out.timestamps_mut();
+    v.reserve(n(&rows));
+    v.extend(rows.map(|row| ctx.cell_rng(row).next_i64_in(min, max)));
+}
+
+/// `RandomBoolGenerator`: one `next_bool` per cell.
+pub(crate) fn fill_bool(
+    true_prob: f64,
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+) {
+    let v = out.bools_mut();
+    v.reserve(n(&rows));
+    v.extend(rows.map(|row| ctx.cell_rng(row).next_bool(true_prob)));
+}
+
+/// `DateGenerator`: one `next_bounded` per cell. ISO dates stay typed;
+/// any other format renders eagerly into the text arena.
+pub(crate) fn fill_date(
+    min_day: i32,
+    span_days: u32,
+    format: DateFormat,
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+) {
+    let span = u64::from(span_days) + 1;
+    match format {
+        DateFormat::Iso => {
+            let v = out.dates_mut();
+            v.reserve(n(&rows));
+            v.extend(rows.map(|row| min_day + ctx.cell_rng(row).next_bounded(span) as i32));
+        }
+        other => {
+            let count = n(&rows);
+            let tc = out.text_mut();
+            tc.reserve(count, ctx.arena_hint(count));
+            for row in rows {
+                let offset = ctx.cell_rng(row).next_bounded(span) as i32;
+                other.render_into(pdgf_schema::Date(min_day + offset), tc.buf());
+                tc.seal();
+            }
+        }
+    }
+}
+
+/// `RandomStringGenerator`: one length draw, then ~10 charset draws per
+/// u64, streamed straight into the arena.
+pub(crate) fn fill_random_string(
+    min_len: u32,
+    max_len: u32,
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+) {
+    let span = u64::from(max_len - min_len) + 1;
+    let count = n(&rows);
+    let tc = out.text_mut();
+    tc.reserve(count, ctx.arena_hint(count));
+    for row in rows {
+        let mut rng = ctx.cell_rng(row);
+        let len = min_len + rng.next_bounded(span) as u32;
+        let buf = tc.buf();
+        let mut remaining = len;
+        while remaining > 0 {
+            let mut word = rng.next_u64();
+            let batch = remaining.min(10);
+            for _ in 0..batch {
+                buf.push(CHARSET[(word % 62) as usize] as char);
+                word /= 62;
+            }
+            remaining -= batch;
+        }
+        tc.seal();
+    }
+}
+
+/// `StaticValueGenerator`: constant fill, no draws. Text memcpy's the
+/// constant into the arena; NULL falls back to cells (a `Value::Null`
+/// clone is allocation-free).
+pub(crate) fn fill_static(value: &Value, rows: Range<u64>, out: &mut ColumnVec) {
+    let count = n(&rows);
+    match value {
+        Value::Long(x) => {
+            let v = out.longs_mut();
+            v.resize(count, *x);
+        }
+        Value::Double(x) => {
+            let v = out.doubles_mut();
+            v.resize(count, *x);
+        }
+        Value::Decimal { unscaled, scale } => {
+            let v = out.decimals_mut(*scale);
+            v.resize(count, *unscaled);
+        }
+        Value::Date(d) => {
+            let v = out.dates_mut();
+            v.resize(count, d.0);
+        }
+        Value::Timestamp(t) => {
+            let v = out.timestamps_mut();
+            v.resize(count, *t);
+        }
+        Value::Bool(b) => {
+            let v = out.bools_mut();
+            v.resize(count, *b);
+        }
+        Value::Text(s) => {
+            let tc = out.text_mut();
+            tc.reserve(count, s.len().saturating_mul(count));
+            for _ in 0..count {
+                tc.push_str(s);
+            }
+        }
+        Value::Null => {
+            let cells = out.cells_mut();
+            cells.resize(count, Value::Null);
+        }
+    }
+}
+
+/// `HistogramGenerator`: an alias draw picks the bucket, a uniform draw
+/// places the value inside it.
+pub(crate) fn fill_histogram(
+    bounds: &[f64],
+    alias: &Alias,
+    output: HistogramOutput,
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+) {
+    let count = n(&rows);
+    let mut sample = |row: u64| {
+        let mut rng = ctx.cell_rng(row);
+        let bucket = alias.sample_index(&mut || rng.next_u64());
+        let (lo, hi) = (bounds[bucket], bounds[bucket + 1]);
+        lo + rng.next_f64() * (hi - lo)
+    };
+    match output {
+        HistogramOutput::Long => {
+            let v = out.longs_mut();
+            v.reserve(count);
+            v.extend(rows.map(|row| sample(row).round() as i64));
+        }
+        HistogramOutput::Double => {
+            let v = out.doubles_mut();
+            v.reserve(count);
+            v.extend(rows.map(&mut sample));
+        }
+        HistogramOutput::Decimal(scale) => {
+            let pow = 10f64.powi(i32::from(scale));
+            let v = out.decimals_mut(scale);
+            v.reserve(count);
+            v.extend(rows.map(|row| (sample(row) * pow).round() as i64));
+        }
+    }
+}
+
+/// `DictListGenerator`: one sampling draw sequence per cell, entry bytes
+/// memcpy'd into the arena (no `Arc` clone per cell).
+pub(crate) fn fill_dict(
+    dict: &Dictionary,
+    weighted: bool,
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+) {
+    let count = n(&rows);
+    let tc = out.text_mut();
+    tc.reserve(count, ctx.arena_hint(count));
+    for row in rows {
+        let mut rng = ctx.cell_rng(row);
+        let mut draw = || rng.next_u64();
+        let entry = if weighted {
+            dict.sample_weighted(&mut draw)
+        } else {
+            dict.sample_uniform(&mut draw)
+        };
+        tc.push_str(entry);
+    }
+}
+
+/// `DictByRowGenerator`: `row mod len`, no draws.
+pub(crate) fn fill_dict_by_row(
+    dict: &Dictionary,
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+) {
+    let count = n(&rows);
+    let len = dict.len() as u64;
+    let tc = out.text_mut();
+    tc.reserve(count, ctx.arena_hint(count));
+    for row in rows {
+        tc.push_str(dict.entry((row % len) as usize));
+    }
+}
+
+/// `MarkovChainGenerator`: the model appends words directly into the
+/// arena tail — the same draw sequence and bytes as the row path, minus
+/// the intermediate scratch-`String`-to-`Arc<str>` copy.
+pub(crate) fn fill_markov(
+    model: &MarkovModel,
+    min_words: u32,
+    max_words: u32,
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+) {
+    let count = n(&rows);
+    let tc = out.text_mut();
+    tc.reserve(count, ctx.arena_hint(count));
+    for row in rows {
+        let mut rng = ctx.cell_rng(row);
+        let mut draw = || rng.next_u64();
+        model.generate_range_into(&mut draw, min_words, max_words, tc.buf());
+        tc.seal();
+    }
+}
+
+/// One step of a compiled formula: postfix (RPN) over a value stack.
+enum FormulaOp {
+    /// Push a literal or pre-resolved property value.
+    Const(f64),
+    /// Push the current row number.
+    Row,
+    /// Negate the top of the stack.
+    Neg,
+    /// Pop two, apply the operator, push the result.
+    Bin(BinOp),
+    /// Pop `argc` arguments, apply the function, push the result.
+    Call(Func, usize),
+}
+
+/// Flatten `expr` into postfix ops with every `${NAME}` other than
+/// `${ROW}` resolved against the property bag. Returns `false` when a
+/// property is unknown — the row path's eager `eval` then errors for
+/// *every* row (no short-circuiting), so the whole column is NaN.
+fn compile_formula(expr: &Expr, props: &BTreeMap<String, f64>, ops: &mut Vec<FormulaOp>) -> bool {
+    match expr {
+        Expr::Num(v) => ops.push(FormulaOp::Const(*v)),
+        Expr::Prop(name) if name == "ROW" => ops.push(FormulaOp::Row),
+        Expr::Prop(name) => match props.get(name) {
+            Some(v) => ops.push(FormulaOp::Const(*v)),
+            None => return false,
+        },
+        Expr::Neg(e) => {
+            if !compile_formula(e, props, ops) {
+                return false;
+            }
+            ops.push(FormulaOp::Neg);
+        }
+        Expr::Bin(op, a, b) => {
+            if !compile_formula(a, props, ops) || !compile_formula(b, props, ops) {
+                return false;
+            }
+            ops.push(FormulaOp::Bin(*op));
+        }
+        Expr::Call(f, args) => {
+            for a in args {
+                if !compile_formula(a, props, ops) {
+                    return false;
+                }
+            }
+            ops.push(FormulaOp::Call(*f, args.len()));
+        }
+    }
+    true
+}
+
+/// Run a compiled formula for one row. Division or remainder by zero
+/// mirrors `Expr::eval`'s error (the generator maps it to NaN); the op
+/// sequence applies the identical f64 operations in the identical order,
+/// so results are bit-equal to the tree walk.
+fn eval_formula(ops: &[FormulaOp], row: f64, stack: &mut Vec<f64>) -> f64 {
+    stack.clear();
+    for op in ops {
+        match op {
+            FormulaOp::Const(v) => stack.push(*v),
+            FormulaOp::Row => stack.push(row),
+            FormulaOp::Neg => {
+                let x = stack.pop().unwrap_or(f64::NAN);
+                stack.push(-x);
+            }
+            FormulaOp::Bin(op) => {
+                let y = stack.pop().unwrap_or(f64::NAN);
+                let x = stack.pop().unwrap_or(f64::NAN);
+                let v = match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div if y == 0.0 => return f64::NAN,
+                    BinOp::Div => x / y,
+                    BinOp::Rem if y == 0.0 => return f64::NAN,
+                    BinOp::Rem => x % y,
+                };
+                stack.push(v);
+            }
+            FormulaOp::Call(f, argc) => {
+                let second = if *argc > 1 {
+                    stack.pop().unwrap_or(f64::NAN)
+                } else {
+                    f64::NAN
+                };
+                let first = stack.pop().unwrap_or(f64::NAN);
+                let v = match f {
+                    Func::Ceil => first.ceil(),
+                    Func::Floor => first.floor(),
+                    Func::Round => first.round(),
+                    Func::Sqrt => first.sqrt(),
+                    Func::Log => first.ln(),
+                    Func::Pow => first.powf(second),
+                    Func::Min => first.min(second),
+                    Func::Max => first.max(second),
+                };
+                stack.push(v);
+            }
+        }
+    }
+    stack.pop().unwrap_or(f64::NAN)
+}
+
+/// `FormulaGenerator`: pure arithmetic over `${ROW}` and the property
+/// bag, no draws. The expression tree is flattened to postfix once per
+/// column, so the per-cell loop runs without recursion, property-name
+/// lookups, or `Result` plumbing.
+pub(crate) fn fill_formula(
+    expr: &Expr,
+    props: &BTreeMap<String, f64>,
+    as_long: bool,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+) {
+    let count = n(&rows);
+    let mut ops = Vec::new();
+    let compiled = compile_formula(expr, props, &mut ops);
+    let mut stack: Vec<f64> = Vec::new();
+    let mut eval = |row: u64| {
+        if compiled {
+            eval_formula(&ops, row as f64, &mut stack)
+        } else {
+            f64::NAN
+        }
+    };
+    if as_long {
+        let v = out.longs_mut();
+        v.reserve(count);
+        v.extend(rows.map(|row| eval(row).round() as i64));
+    } else {
+        let v = out.doubles_mut();
+        v.reserve(count);
+        v.extend(rows.map(eval));
+    }
+}
+
+/// Byte length of `s` to keep under a `max_chars` character cap, or
+/// `None` when `s` already fits. Mirrors `TruncateGenerator::generate`:
+/// a cut landing exactly on a word end keeps the whole head, otherwise
+/// the cut retreats to the last word boundary (unless the first word
+/// alone overflows — then it's a hard cut).
+pub(crate) fn truncate_keep_len(s: &str, max_chars: usize) -> Option<usize> {
+    let (byte_idx, next_char) = s.char_indices().nth(max_chars)?;
+    if next_char == ' ' {
+        return Some(byte_idx);
+    }
+    let head = &s[..byte_idx];
+    match head.rfind(' ') {
+        Some(pos) if pos > 0 => Some(pos),
+        _ => Some(byte_idx),
+    }
+}
+
+/// Generic per-cell fallback: loop `generate` into the [`ColumnVec::Cells`]
+/// storage, threading the worker scratch through each cell. Identical to
+/// the default [`Generator::fill_column`](crate::generator::Generator::fill_column)
+/// body; exists so specialized kernels can fall back for configurations
+/// they do not cover.
+pub(crate) fn fill_cells(
+    g: &dyn crate::generator::Generator,
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+    scratch: &mut crate::generator::GenScratch,
+) {
+    let cells = out.cells_mut();
+    cells.reserve(n(&rows));
+    for row in rows {
+        let mut cell = ctx.cell(row);
+        std::mem::swap(&mut cell.scratch, scratch);
+        cells.push(g.generate(&mut cell));
+        std::mem::swap(&mut cell.scratch, scratch);
+    }
+}
+
+/// `ProbabilityGenerator` fast path for the common dbgen idiom of a
+/// probability switch over fixed strings (`l_returnflag`: R/A/N): when
+/// every branch is a static text value, each cell is one `next_f64` plus
+/// one arena append — no per-cell `Value`, no branch-generator dispatch.
+/// Returns `false` (leaving `out` untouched) when any branch is dynamic
+/// or non-text, so the caller can take the generic fallback.
+pub(crate) fn fill_probability_static(
+    cumulative: &[(f64, std::sync::Arc<dyn crate::generator::Generator>)],
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+) -> bool {
+    let mut branches: Vec<(f64, &str)> = Vec::with_capacity(cumulative.len());
+    for (bound, g) in cumulative {
+        match g.static_value() {
+            Some(Value::Text(s)) => branches.push((*bound, s)),
+            _ => return false,
+        }
+    }
+    let count = n(&rows);
+    let tc = out.text_mut();
+    tc.reserve(count, ctx.arena_hint(count));
+    // Same selection as `ProbabilityGenerator::generate`: first branch
+    // whose cumulative bound exceeds the draw, with the last branch
+    // catching floating-point residual mass.
+    let last = branches.len() - 1;
+    for row in rows {
+        let draw = ctx.cell_rng(row).next_f64();
+        let idx = branches
+            .iter()
+            .position(|(bound, _)| draw < *bound)
+            .unwrap_or(last);
+        tc.push_str(branches[idx].1);
+    }
+    true
+}
+
+/// `ReferenceGenerator`: pick the parent row per strategy, then recompute
+/// the referenced cell. The win over the generic fallback is hoisting:
+/// the child column needs no [`GenContext`](crate::generator::GenContext)
+/// at all (permutation strategies draw nothing; the others use the bare
+/// cell RNG), and the parent column's `(table, column, update)` seed
+/// prefix is derived once per column instead of per cell.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fill_reference(
+    target_table: u32,
+    target_column: u32,
+    parent_size: u64,
+    strategy: &crate::reference::RefStrategy,
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+    scratch: &mut crate::generator::GenScratch,
+) {
+    use crate::reference::RefStrategy;
+
+    let parent_gen = ctx.runtime.tables()[target_table as usize].columns[target_column as usize]
+        .generator
+        .as_ref();
+    // References always target the parent's initial load (update 0).
+    let prefix = ctx
+        .runtime
+        .seed_tree()
+        .update_seed(target_table, target_column, 0);
+    // Foreign keys into an Id column — the TPC-H shape — need no parent
+    // context at all: the child strategy picks the parent row, the
+    // parent's pure row→key map recomputes the key, and the column stays
+    // a typed Long vector end to end (Id draws nothing, so skipping the
+    // parent RNG consumes the identical stream).
+    if let Some(id) = parent_gen.as_id() {
+        let v = out.longs_mut();
+        v.reserve(n(&rows));
+        match strategy {
+            RefStrategy::Permutation(p) => {
+                v.extend(rows.map(|row| id.key_for(p.permute(row % parent_size))));
+            }
+            RefStrategy::Uniform => {
+                v.extend(rows.map(|row| id.key_for(ctx.cell_rng(row).next_bounded(parent_size))));
+            }
+            RefStrategy::Zipf(z) => {
+                v.extend(rows.map(|row| {
+                    let mut rng = ctx.cell_rng(row);
+                    id.key_for(z.sample_rank(&mut || rng.next_u64()) - 1)
+                }));
+            }
+        }
+        return;
+    }
+    let cells = out.cells_mut();
+    cells.reserve(n(&rows));
+    // field_seed(parent coord) = mix(update_seed(t, c, 0), parent_row),
+    // so the recomputed cell is bit-identical to the row path's
+    // `runtime.value(target_table, target_column, 0, parent_row)`.
+    let emit = |parent_row: u64, scratch: &mut crate::generator::GenScratch| {
+        let mut cell = crate::generator::GenContext {
+            rng: PdgfDefaultRandom::seed_from(mix64_pair(prefix, parent_row)),
+            row: parent_row,
+            update: 0,
+            runtime: ctx.runtime,
+            scratch: std::mem::take(scratch),
+        };
+        let v = parent_gen.generate(&mut cell);
+        *scratch = cell.scratch;
+        v
+    };
+    match strategy {
+        RefStrategy::Permutation(p) => {
+            for row in rows {
+                let parent_row = p.permute(row % parent_size);
+                cells.push(emit(parent_row, scratch));
+            }
+        }
+        RefStrategy::Uniform => {
+            for row in rows {
+                let parent_row = ctx.cell_rng(row).next_bounded(parent_size);
+                cells.push(emit(parent_row, scratch));
+            }
+        }
+        RefStrategy::Zipf(z) => {
+            for row in rows {
+                let mut rng = ctx.cell_rng(row);
+                let parent_row = z.sample_rank(&mut || rng.next_u64()) - 1;
+                cells.push(emit(parent_row, scratch));
+            }
+        }
+    }
+}
+
+/// `TruncateGenerator`: run the inner kernel, then shorten overflowing
+/// text cells in place. Arena columns rebuild through the scratch buffer
+/// only when something actually truncates; non-text columns pass through.
+pub(crate) fn fill_truncate(
+    inner: &dyn crate::generator::Generator,
+    max_chars: usize,
+    ctx: &ColumnCtx<'_>,
+    rows: Range<u64>,
+    out: &mut ColumnVec,
+    scratch: &mut crate::generator::GenScratch,
+) {
+    inner.fill_column(ctx, rows, out, scratch);
+    // Byte length bounds char count, so a cell whose *bytes* fit under
+    // the cap provably fits — the O(1) check skips the per-cell char walk
+    // for the common non-truncating case.
+    if let Some(tc) = out.as_text_mut() {
+        tc.truncate_cells(
+            |s| {
+                if s.len() <= max_chars {
+                    None
+                } else {
+                    truncate_keep_len(s, max_chars)
+                }
+            },
+            &mut scratch.concat,
+        );
+    } else if let Some(cells) = out.as_cells_mut() {
+        for cell in cells.iter_mut() {
+            let truncated = match cell {
+                Value::Text(s) if s.len() > max_chars => {
+                    truncate_keep_len(s, max_chars).map(|keep| Value::text(&s[..keep]))
+                }
+                _ => None,
+            };
+            if let Some(v) = truncated {
+                *cell = v;
+            }
+        }
+    }
+}

@@ -1,10 +1,11 @@
 //! The [`Generator`] trait and per-field generation context.
 
 use std::collections::BTreeMap;
+use std::ops::Range;
 
-use pdgf_prng::{PdgfDefaultRandom, PdgfRng};
+use pdgf_prng::{mix64_pair, PdgfDefaultRandom, PdgfRng};
 use pdgf_schema::absint::StaticProfile;
-use pdgf_schema::Value;
+use pdgf_schema::{ColumnVec, Value};
 
 use crate::runtime::SchemaRuntime;
 
@@ -65,6 +66,60 @@ impl<'rt> GenContext<'rt> {
     }
 }
 
+/// Per-column generation context for the batch path.
+///
+/// The row path re-derives the full seeding hierarchy per cell
+/// (`field_seed = mix(update_seed(table, column, update), row)`); the
+/// columnar path hoists the `(table, column, update)` prefix once per
+/// column so each cell pays exactly one [`mix64_pair`]. The seeds — and
+/// therefore every RNG draw — are bit-identical to the row path.
+pub struct ColumnCtx<'rt> {
+    /// The schema runtime (reference generators recompute parents).
+    pub runtime: &'rt SchemaRuntime,
+    /// The hoisted `(table, column, update)` seed prefix.
+    pub update_seed: u64,
+    /// Update epoch (0 = initial load).
+    pub update: u32,
+    /// Proven per-cell rendered-width bound from the column's
+    /// [`StaticProfile`], when finite — used by text kernels to pre-size
+    /// the arena.
+    pub width_hint: Option<u32>,
+}
+
+impl ColumnCtx<'_> {
+    /// Bytes to pre-reserve in a text arena for `rows` cells, capped so a
+    /// large proven bound cannot balloon a single allocation.
+    #[inline]
+    pub fn arena_hint(&self, rows: usize) -> usize {
+        const MAX_ARENA_PREALLOC: usize = 16 << 20;
+        self.width_hint
+            .map_or(0, |w| (w as usize).saturating_mul(rows))
+            .min(MAX_ARENA_PREALLOC)
+    }
+
+    /// The field seed of `row` — identical to the row path's
+    /// `SeedTree::field_seed` for the same coordinate.
+    #[inline]
+    pub fn cell_seed(&self, row: u64) -> u64 {
+        mix64_pair(self.update_seed, row)
+    }
+
+    /// A freshly seeded per-cell RNG, ready for the generator's draw
+    /// sequence.
+    #[inline]
+    pub fn cell_rng(&self, row: u64) -> PdgfDefaultRandom {
+        PdgfDefaultRandom::seed_from(self.cell_seed(row))
+    }
+
+    /// A full row-path [`GenContext`] for `row` (used by the default
+    /// [`Generator::fill_column`] fallback and by wrappers that delegate
+    /// cells to arbitrary inner generators).
+    #[inline]
+    pub fn cell(&self, row: u64) -> GenContext<'_> {
+        GenContext::new(self.runtime, self.cell_seed(row), row, self.update)
+    }
+}
+
 /// Context for computing a compiled generator's [`StaticProfile`]:
 /// the table's row count plus the profiles of every already-profiled
 /// column (reference generators import their target's profile).
@@ -101,5 +156,49 @@ pub trait Generator: Send + Sync {
     /// nothing ([`StaticProfile::unknown`]), which is always sound.
     fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
         StaticProfile::unknown()
+    }
+
+    /// This generator as an [`IdGenerator`](crate::basic::IdGenerator),
+    /// when it is one. Id cells are a pure row→key map with no RNG
+    /// draws, so the reference kernel recomputes parent keys through
+    /// [`key_for`](crate::basic::IdGenerator::key_for) into a typed Long
+    /// column instead of boxing per-cell `Value`s. The default (`None`)
+    /// keeps every other generator on the generic recompute path.
+    fn as_id(&self) -> Option<&crate::basic::IdGenerator> {
+        None
+    }
+
+    /// The single fixed [`Value`] this generator emits for every cell,
+    /// when it is context-free (ignores the row and draws nothing).
+    /// Wrapper kernels use this to specialize: the probability kernel
+    /// collapses all-static text branches into one draw plus one arena
+    /// append per cell. The default claims nothing, which is always sound.
+    fn static_value(&self) -> Option<&Value> {
+        None
+    }
+
+    /// Produce the cells for `rows` of one column into `out`.
+    ///
+    /// The default implementation loops [`generate`](Self::generate) into
+    /// the [`ColumnVec::Cells`] fallback — always correct, never faster
+    /// than the row path. Hot generators override this with a vectorized
+    /// kernel writing typed storage; every override must consume exactly
+    /// the same per-cell RNG stream as `generate` so the output stays
+    /// byte-identical.
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        scratch: &mut GenScratch,
+    ) {
+        let cells = out.cells_mut();
+        cells.reserve(rows.end.saturating_sub(rows.start) as usize);
+        for row in rows {
+            let mut cell = ctx.cell(row);
+            std::mem::swap(&mut cell.scratch, scratch);
+            cells.push(self.generate(&mut cell));
+            std::mem::swap(&mut cell.scratch, scratch);
+        }
     }
 }

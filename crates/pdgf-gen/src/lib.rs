@@ -24,6 +24,7 @@
 #![deny(rust_2018_idioms)]
 
 pub mod basic;
+mod column;
 pub mod generator;
 pub mod meta;
 pub mod reference;
@@ -31,6 +32,6 @@ pub mod resolver;
 pub mod runtime;
 pub mod text;
 
-pub use generator::{GenContext, GenScratch, Generator, ProfileCtx};
+pub use generator::{ColumnCtx, GenContext, GenScratch, Generator, ProfileCtx};
 pub use resolver::{FsResolver, MapResolver, ResolveError, ResolverOracle, ResourceResolver};
 pub use runtime::{BuildError, SchemaRuntime};

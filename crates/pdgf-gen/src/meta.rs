@@ -18,7 +18,11 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use crate::generator::{GenContext, Generator, ProfileCtx};
+use std::ops::Range;
+
+use pdgf_schema::ColumnVec;
+
+use crate::generator::{ColumnCtx, GenContext, GenScratch, Generator, ProfileCtx};
 
 /// Emits NULL with a configured probability, otherwise delegates to the
 /// wrapped generator. Listing 1 wraps `l_comment`'s Markov generator in a
@@ -149,6 +153,18 @@ impl Generator for ProbabilityGenerator {
             .generate(ctx)
     }
 
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        scratch: &mut GenScratch,
+    ) {
+        if !crate::column::fill_probability_static(&self.cumulative, ctx, rows.clone(), out) {
+            crate::column::fill_cells(self, ctx, rows, out, scratch);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "ProbabilityGenerator"
     }
@@ -208,6 +224,16 @@ impl Generator for FormulaGenerator {
         }
     }
 
+    fn fill_column(
+        &self,
+        _ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        _scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_formula(&self.expr, &self.props, self.as_long, rows, out);
+    }
+
     fn name(&self) -> &'static str {
         "FormulaGenerator"
     }
@@ -255,6 +281,16 @@ impl Generator for TruncateGenerator {
             }
             _ => v,
         }
+    }
+
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_truncate(self.inner.as_ref(), self.max_chars, ctx, rows, out, scratch);
     }
 
     fn name(&self) -> &'static str {

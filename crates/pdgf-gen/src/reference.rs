@@ -8,11 +8,13 @@
 //! generator derives the referenced *row number* from its own stream and
 //! recomputes that cell through the schema runtime.
 
+use std::ops::Range;
+
 use pdgf_prng::{FeistelPermutation, PdgfRng, Zipf};
 use pdgf_schema::absint::{self, StaticProfile};
-use pdgf_schema::Value;
+use pdgf_schema::{ColumnVec, Value};
 
-use crate::generator::{GenContext, Generator, ProfileCtx};
+use crate::generator::{ColumnCtx, GenContext, GenScratch, Generator, ProfileCtx};
 
 /// How the parent row is chosen.
 pub enum RefStrategy {
@@ -71,6 +73,25 @@ impl Generator for ReferenceGenerator {
         // no reads of generated data, no cross-thread coordination.
         ctx.runtime
             .value(self.target_table, self.target_column, 0, row)
+    }
+
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_reference(
+            self.target_table,
+            self.target_column,
+            self.parent_size,
+            &self.strategy,
+            ctx,
+            rows,
+            out,
+            scratch,
+        );
     }
 
     fn name(&self) -> &'static str {

@@ -13,14 +13,14 @@ use std::sync::Arc;
 use pdgf_prng::{mix64_pair, FieldCoord, SeedTree, Zipf};
 use pdgf_schema::absint::StaticProfile;
 use pdgf_schema::model::{DictSource, GeneratorSpec, MarkovSource, RefDistribution};
-use pdgf_schema::{Schema, SqlType, Value};
+use pdgf_schema::{ColumnBatch, Schema, SqlType, Value};
 use textsynth::{Dictionary, MarkovModel};
 
 use crate::basic::{
     DateGenerator, DecimalGenerator, DoubleGenerator, IdGenerator, LongGenerator,
     RandomBoolGenerator, RandomStringGenerator, StaticValueGenerator, TimestampGenerator,
 };
-use crate::generator::{GenContext, GenScratch, Generator, ProfileCtx};
+use crate::generator::{ColumnCtx, GenContext, GenScratch, Generator, ProfileCtx};
 use crate::meta::{FormulaGenerator, NullGenerator, ProbabilityGenerator, SequentialGenerator};
 use crate::reference::{RefStrategy, ReferenceGenerator};
 use crate::resolver::ResourceResolver;
@@ -68,6 +68,10 @@ pub struct SchemaRuntime {
     tables: Vec<TableRuntime>,
     props: BTreeMap<String, f64>,
     generation_order: Vec<u32>,
+    /// Per-(table, column) proven rendered-width bounds from the abstract
+    /// interpreter, cached at build time so the columnar path can pre-size
+    /// text arenas without re-running the profiler per package.
+    width_hints: Vec<Vec<Option<u32>>>,
 }
 
 impl fmt::Debug for SchemaRuntime {
@@ -152,14 +156,21 @@ impl SchemaRuntime {
             })
             .collect::<Result<Vec<_>, BuildError>>()?;
 
-        Ok(Self {
+        let mut rt = Self {
             name: schema.name.clone(),
             seed: schema.seed,
             seed_tree,
             tables,
             props,
             generation_order,
-        })
+            width_hints: Vec::new(),
+        };
+        rt.width_hints = rt
+            .profiles()
+            .iter()
+            .map(|cols| cols.iter().map(|p| p.width.bound()).collect())
+            .collect();
+        Ok(rt)
     }
 
     /// Testing hook: a runtime with no tables, usable as a [`GenContext`]
@@ -172,6 +183,7 @@ impl SchemaRuntime {
             tables: Vec::new(),
             props: BTreeMap::new(),
             generation_order: Vec::new(),
+            width_hints: Vec::new(),
         }
     }
 
@@ -318,6 +330,42 @@ impl SchemaRuntime {
     /// The seed tree (exposed for the seed-cache ablation bench).
     pub fn seed_tree(&self) -> &SeedTree {
         &self.seed_tree
+    }
+
+    /// Generate `rows` of `table` at `update` as a batch of columns — the
+    /// columnar twin of looping [`row_into_with_scratch`]
+    /// (Self::row_into_with_scratch) over the range.
+    ///
+    /// The seeding prefix `(table, column, update)` is hoisted once per
+    /// column into a [`ColumnCtx`], then each generator's
+    /// [`fill_column`](Generator::fill_column) fills its typed storage.
+    /// Cell values (and therefore formatted bytes) are identical to the
+    /// row path for every generator, vectorized or not.
+    pub fn fill_batch(
+        &self,
+        table: u32,
+        update: u32,
+        rows: std::ops::Range<u64>,
+        batch: &mut ColumnBatch,
+        scratch: &mut GenScratch,
+    ) {
+        let t = &self.tables[table as usize];
+        let n_rows = rows.end.saturating_sub(rows.start) as usize;
+        batch.begin(t.columns.len(), n_rows);
+        let hints = self.width_hints.get(table as usize);
+        for (c, (col, out)) in t.columns.iter().zip(batch.columns_mut()).enumerate() {
+            let ctx = ColumnCtx {
+                runtime: self,
+                update_seed: self.seed_tree.update_seed(table, c as u32, update),
+                update,
+                width_hint: hints.and_then(|h| h.get(c).copied().flatten()),
+            };
+            col.generator.fill_column(&ctx, rows.clone(), out, scratch);
+        }
+        debug_assert!(
+            batch.is_rectangular(),
+            "fill_column produced a ragged batch for table {table}"
+        );
     }
 }
 

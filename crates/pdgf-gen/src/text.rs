@@ -4,7 +4,11 @@
 use std::sync::Arc;
 use textsynth::{Dictionary, MarkovModel};
 
-use crate::generator::{GenContext, Generator, ProfileCtx};
+use std::ops::Range;
+
+use pdgf_schema::ColumnVec;
+
+use crate::generator::{ColumnCtx, GenContext, GenScratch, Generator, ProfileCtx};
 use pdgf_schema::absint::{self, ResourceInfo, StaticProfile};
 use pdgf_schema::Value;
 
@@ -40,6 +44,16 @@ impl Generator for DictListGenerator {
         Value::Text(entry.clone())
     }
 
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        _scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_dict(&self.dict, self.weighted, ctx, rows, out);
+    }
+
     fn name(&self) -> &'static str {
         "DictListGenerator"
     }
@@ -68,6 +82,16 @@ impl Generator for DictByRowGenerator {
     fn generate(&self, ctx: &mut GenContext<'_>) -> Value {
         let idx = (ctx.row % self.dict.len() as u64) as usize;
         Value::Text(self.dict.entry(idx).clone())
+    }
+
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        _scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_dict_by_row(&self.dict, ctx, rows, out);
     }
 
     fn name(&self) -> &'static str {
@@ -117,6 +141,16 @@ impl Generator for MarkovChainGenerator {
         let v = Value::text(out.as_str());
         ctx.scratch.text = out;
         v
+    }
+
+    fn fill_column(
+        &self,
+        ctx: &ColumnCtx<'_>,
+        rows: Range<u64>,
+        out: &mut ColumnVec,
+        _scratch: &mut GenScratch,
+    ) {
+        crate::column::fill_markov(&self.model, self.min_words, self.max_words, ctx, rows, out);
     }
 
     fn name(&self) -> &'static str {

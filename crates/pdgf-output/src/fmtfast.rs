@@ -25,7 +25,7 @@
 //! Tier 3 is slower than tiers 1–2 but allocation-free and byte-exact;
 //! full-precision uniform doubles land there.
 
-use pdgf_schema::{Date, Value};
+use pdgf_schema::{Date, Value, ValueRef};
 
 /// `b"00"`..`b"99"` as one flat table: two output digits per lookup.
 const DIGIT_PAIRS: &[u8; 200] = b"0001020304050607080910111213141516171819\
@@ -108,6 +108,14 @@ pub fn write_bool(out: &mut Vec<u8>, b: bool) {
     out.extend_from_slice(if b { b"true" } else { b"false" });
 }
 
+/// Append two digits `00`..`99` as one digit-pair lookup.
+#[inline]
+fn push_2digits(out: &mut Vec<u8>, v: u64) {
+    debug_assert!(v < 100);
+    let pair = (v as usize) * 2;
+    out.extend_from_slice(&DIGIT_PAIRS[pair..pair + 2]);
+}
+
 /// Append a fixed-point decimal, matching [`Value::Decimal`]'s `Display`:
 /// `unscaled / 10^scale` with exactly `scale` fractional digits.
 #[inline]
@@ -116,11 +124,19 @@ pub fn write_decimal(out: &mut Vec<u8>, unscaled: i64, scale: u8) {
         write_i64(out, unscaled);
         return;
     }
-    let pow = 10i64.pow(u32::from(scale)).unsigned_abs();
     if unscaled < 0 {
         out.push(b'-');
     }
     let mag = unscaled.unsigned_abs();
+    // Scale 2 (money columns) skips the padded-write machinery: the
+    // fraction is exactly one digit-pair lookup.
+    if scale == 2 {
+        write_u64(out, mag / 100);
+        out.push(b'.');
+        push_2digits(out, mag % 100);
+        return;
+    }
+    let pow = 10i64.pow(u32::from(scale)).unsigned_abs();
     write_u64(out, mag / pow);
     out.push(b'.');
     write_u64_padded(out, mag % pow, usize::from(scale));
@@ -131,6 +147,26 @@ pub fn write_decimal(out: &mut Vec<u8>, unscaled: i64, scale: u8) {
 #[inline]
 pub fn write_date(out: &mut Vec<u8>, date: Date) {
     let (y, m, d) = date.to_ymd();
+    // Fast path: a four-digit year renders the whole `YYYY-MM-DD` as one
+    // 10-byte store — two digit-pair lookups for the year, one each for
+    // month and day — instead of three padded-write calls.
+    if (1000..=9999).contains(&y) {
+        let (yh, yl) = (((y / 100) as usize) * 2, ((y % 100) as usize) * 2);
+        let (mp, dp) = ((m as usize) * 2, (d as usize) * 2);
+        out.extend_from_slice(&[
+            DIGIT_PAIRS[yh],
+            DIGIT_PAIRS[yh + 1],
+            DIGIT_PAIRS[yl],
+            DIGIT_PAIRS[yl + 1],
+            b'-',
+            DIGIT_PAIRS[mp],
+            DIGIT_PAIRS[mp + 1],
+            b'-',
+            DIGIT_PAIRS[dp],
+            DIGIT_PAIRS[dp + 1],
+        ]);
+        return;
+    }
     if y < 0 {
         // `{:04}` counts the sign toward the width: -5 → "-005".
         out.push(b'-');
@@ -158,11 +194,11 @@ pub fn write_timestamp(out: &mut Vec<u8>, t: i64) {
         Date(days.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32),
     );
     out.push(b' ');
-    write_u64_padded(out, (secs / 3600) as u64, 2);
+    push_2digits(out, (secs / 3600) as u64);
     out.push(b':');
-    write_u64_padded(out, ((secs % 3600) / 60) as u64, 2);
+    push_2digits(out, ((secs % 3600) / 60) as u64);
     out.push(b':');
-    write_u64_padded(out, (secs % 60) as u64, 2);
+    push_2digits(out, (secs % 60) as u64);
 }
 
 /// Append `v` exactly as `write!("{v}")` renders a raw `f64` — the
@@ -264,15 +300,22 @@ fn render_positional(out: &mut Vec<u8>, digits: &[u8], k: i32) {
 /// Append the exact `Display` rendering of any [`Value`].
 #[inline]
 pub fn write_value(out: &mut Vec<u8>, v: &Value) {
+    write_value_ref(out, ValueRef::from(v));
+}
+
+/// Append the exact `Display` rendering of a borrowed [`ValueRef`] — the
+/// shared per-cell kernel of the row and columnar formatting paths.
+#[inline]
+pub fn write_value_ref(out: &mut Vec<u8>, v: ValueRef<'_>) {
     match v {
-        Value::Null => {}
-        Value::Bool(b) => write_bool(out, *b),
-        Value::Long(n) => write_i64(out, *n),
-        Value::Double(x) => write_f64_display(out, *x),
-        Value::Decimal { unscaled, scale } => write_decimal(out, *unscaled, *scale),
-        Value::Date(d) => write_date(out, *d),
-        Value::Timestamp(t) => write_timestamp(out, *t),
-        Value::Text(s) => out.extend_from_slice(s.as_bytes()),
+        ValueRef::Null => {}
+        ValueRef::Bool(b) => write_bool(out, b),
+        ValueRef::Long(n) => write_i64(out, n),
+        ValueRef::Double(x) => write_f64_display(out, x),
+        ValueRef::Decimal { unscaled, scale } => write_decimal(out, unscaled, scale),
+        ValueRef::Date(d) => write_date(out, d),
+        ValueRef::Timestamp(t) => write_timestamp(out, t),
+        ValueRef::Text(s) => out.extend_from_slice(s.as_bytes()),
     }
 }
 

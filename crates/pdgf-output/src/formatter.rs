@@ -13,7 +13,7 @@
 
 use crate::fmtfast;
 use pdgf_schema::absint::{KindSet, StaticProfile};
-use pdgf_schema::Value;
+use pdgf_schema::{ColumnBatch, Value, ValueRef};
 
 /// Static description of the table being formatted.
 #[derive(Debug, Clone)]
@@ -52,6 +52,22 @@ pub trait Formatter: Send + Sync {
 
     /// Emit one row.
     fn row(&self, out: &mut Vec<u8>, meta: &TableMeta, values: &[Value]);
+
+    /// Emit every row of a columnar batch, transposing columns to rows.
+    ///
+    /// Must produce exactly the bytes of calling [`row`](Self::row) once
+    /// per batch row. The default materializes each row into a reused
+    /// `Vec<Value>` and delegates — correct for any formatter; the
+    /// shipped formatters override it to read borrowed [`ValueRef`]s
+    /// straight out of the column storage instead.
+    fn rows_columnar(&self, out: &mut Vec<u8>, meta: &TableMeta, batch: &ColumnBatch) {
+        let mut row = Vec::with_capacity(batch.columns().len());
+        for i in 0..batch.rows() {
+            row.clear();
+            row.extend(batch.columns().iter().map(|c| c.value(i)));
+            self.row(out, meta, &row);
+        }
+    }
 
     /// Emit anything that follows the last row (closers).
     fn end(&self, out: &mut Vec<u8>, meta: &TableMeta) {
@@ -119,10 +135,24 @@ impl CsvFormatter {
         self
     }
 
+    /// The delimiter as a single byte, when it is ASCII (the overwhelming
+    /// common case). ASCII bytes never occur inside a multi-byte UTF-8
+    /// sequence, so quoting scans can run over raw bytes instead of
+    /// decoding chars.
+    #[inline]
+    fn ascii_delimiter(&self) -> Option<u8> {
+        self.delimiter.is_ascii().then_some(self.delimiter as u8)
+    }
+
     fn push_field(&self, out: &mut Vec<u8>, text: &str) {
-        let needs_quoting = text
-            .chars()
-            .any(|c| c == self.delimiter || c == '"' || c == '\n' || c == '\r');
+        let needs_quoting = match self.ascii_delimiter() {
+            Some(d) => text
+                .bytes()
+                .any(|b| b == d || b == b'"' || b == b'\n' || b == b'\r'),
+            None => text
+                .chars()
+                .any(|c| c == self.delimiter || c == '"' || c == '\n' || c == '\r'),
+        };
         if needs_quoting {
             out.push(b'"');
             for c in text.chars() {
@@ -141,9 +171,9 @@ impl CsvFormatter {
     /// `"`, `\n`, or `\r`, so quoting is only needed when the delimiter
     /// itself appears — and that in turn is only possible when the
     /// delimiter is drawn from [`TYPED_VALUE_CHARS`].
-    fn push_typed(&self, out: &mut Vec<u8>, v: &Value) {
+    fn push_typed(&self, out: &mut Vec<u8>, v: ValueRef<'_>) {
         let start = out.len();
-        fmtfast::write_value(out, v);
+        fmtfast::write_value_ref(out, v);
         if self.scan_typed {
             let mut delim = [0u8; 4];
             let delim = self.delimiter.encode_utf8(&mut delim).as_bytes();
@@ -155,6 +185,17 @@ impl CsvFormatter {
                 out.insert(start, b'"');
                 out.push(b'"');
             }
+        }
+    }
+
+    /// One CSV cell, shared by the row and columnar paths.
+    #[inline]
+    fn cell(&self, out: &mut Vec<u8>, v: ValueRef<'_>) {
+        match v {
+            ValueRef::Null => {}
+            ValueRef::Long(x) => fmtfast::write_i64(out, x),
+            ValueRef::Text(s) => self.push_field(out, s),
+            other => self.push_typed(out, other),
         }
     }
 }
@@ -179,18 +220,59 @@ impl Formatter for CsvFormatter {
     }
 
     fn row(&self, out: &mut Vec<u8>, _meta: &TableMeta, values: &[Value]) {
+        let delim = self.ascii_delimiter();
         for (i, v) in values.iter().enumerate() {
             if i > 0 {
-                push_char(out, self.delimiter);
+                match delim {
+                    Some(d) => out.push(d),
+                    None => push_char(out, self.delimiter),
+                }
             }
-            match v {
-                Value::Null => {}
-                Value::Long(x) => fmtfast::write_i64(out, *x),
-                Value::Text(s) => self.push_field(out, s),
-                other => self.push_typed(out, other),
-            }
+            self.cell(out, ValueRef::from(v));
         }
         out.push(b'\n');
+    }
+
+    fn rows_columnar(&self, out: &mut Vec<u8>, _meta: &TableMeta, batch: &ColumnBatch) {
+        let delim = self.ascii_delimiter();
+        // Columnar text lives in one contiguous arena per column, so the
+        // quoting decision can be hoisted: one vectorizable scan over the
+        // arena. A column whose arena contains no delimiter, quote, or
+        // newline bytes takes `push_field`'s unquoted branch for every
+        // cell — splice those cells with a plain memcpy.
+        let clean: Vec<bool> = match delim {
+            Some(d) => batch
+                .columns()
+                .iter()
+                .map(|c| {
+                    c.as_text().is_some_and(|t| {
+                        // Four memchr passes (slice::contains specializes
+                        // to SIMD for u8) beat one scalar multi-needle scan.
+                        let b = t.arena().as_bytes();
+                        !(b.contains(&d)
+                            || b.contains(&b'"')
+                            || b.contains(&b'\n')
+                            || b.contains(&b'\r'))
+                    })
+                })
+                .collect(),
+            None => vec![false; batch.columns().len()],
+        };
+        for r in 0..batch.rows() {
+            for (i, col) in batch.columns().iter().enumerate() {
+                if i > 0 {
+                    match delim {
+                        Some(d) => out.push(d),
+                        None => push_char(out, self.delimiter),
+                    }
+                }
+                match col.value_ref(r) {
+                    ValueRef::Text(s) if clean[i] => out.extend_from_slice(s.as_bytes()),
+                    v => self.cell(out, v),
+                }
+            }
+            out.push(b'\n');
+        }
     }
 
     fn max_row_bytes(&self, meta: &TableMeta, profiles: &[StaticProfile]) -> Option<u64> {
@@ -249,6 +331,40 @@ fn json_escape_into(out: &mut Vec<u8>, s: &str) {
     out.push(b'"');
 }
 
+/// One JSON cell value, shared by the row and columnar paths.
+#[inline]
+fn json_cell(out: &mut Vec<u8>, v: ValueRef<'_>) {
+    match v {
+        ValueRef::Null => out.extend_from_slice(b"null"),
+        ValueRef::Bool(b) => fmtfast::write_bool(out, b),
+        ValueRef::Long(x) => fmtfast::write_i64(out, x),
+        ValueRef::Double(x) => {
+            if x.is_finite() {
+                // Raw f64 rendering: no forced trailing `.0`.
+                fmtfast::write_f64_shortest(out, x);
+            } else {
+                out.extend_from_slice(b"null");
+            }
+        }
+        ValueRef::Decimal { unscaled, scale } => {
+            fmtfast::write_decimal(out, unscaled, scale);
+        }
+        // Date/timestamp renderings contain no JSON-escapable
+        // characters; quote them directly.
+        ValueRef::Date(d) => {
+            out.push(b'"');
+            fmtfast::write_date(out, d);
+            out.push(b'"');
+        }
+        ValueRef::Timestamp(t) => {
+            out.push(b'"');
+            fmtfast::write_timestamp(out, t);
+            out.push(b'"');
+        }
+        ValueRef::Text(s) => json_escape_into(out, s),
+    }
+}
+
 impl Formatter for JsonFormatter {
     fn row(&self, out: &mut Vec<u8>, meta: &TableMeta, values: &[Value]) {
         out.push(b'{');
@@ -258,37 +374,24 @@ impl Formatter for JsonFormatter {
             }
             json_escape_into(out, col);
             out.push(b':');
-            match v {
-                Value::Null => out.extend_from_slice(b"null"),
-                Value::Bool(b) => fmtfast::write_bool(out, *b),
-                Value::Long(x) => fmtfast::write_i64(out, *x),
-                Value::Double(x) => {
-                    if x.is_finite() {
-                        // Raw f64 rendering: no forced trailing `.0`.
-                        fmtfast::write_f64_shortest(out, *x);
-                    } else {
-                        out.extend_from_slice(b"null");
-                    }
-                }
-                Value::Decimal { unscaled, scale } => {
-                    fmtfast::write_decimal(out, *unscaled, *scale);
-                }
-                // Date/timestamp renderings contain no JSON-escapable
-                // characters; quote them directly.
-                Value::Date(d) => {
-                    out.push(b'"');
-                    fmtfast::write_date(out, *d);
-                    out.push(b'"');
-                }
-                Value::Timestamp(t) => {
-                    out.push(b'"');
-                    fmtfast::write_timestamp(out, *t);
-                    out.push(b'"');
-                }
-                Value::Text(s) => json_escape_into(out, s),
-            }
+            json_cell(out, ValueRef::from(v));
         }
         out.extend_from_slice(b"}\n");
+    }
+
+    fn rows_columnar(&self, out: &mut Vec<u8>, meta: &TableMeta, batch: &ColumnBatch) {
+        for r in 0..batch.rows() {
+            out.push(b'{');
+            for (i, (col, c)) in meta.columns.iter().zip(batch.columns()).enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                json_escape_into(out, col);
+                out.push(b':');
+                json_cell(out, c.value_ref(r));
+            }
+            out.extend_from_slice(b"}\n");
+        }
     }
 
     fn max_row_bytes(&self, meta: &TableMeta, profiles: &[StaticProfile]) -> Option<u64> {
@@ -351,6 +454,27 @@ fn xml_escape_into(out: &mut Vec<u8>, s: &str) {
     }
 }
 
+/// One XML `<col>…</col>` element, shared by the row and columnar paths.
+#[inline]
+fn xml_cell(out: &mut Vec<u8>, col: &str, v: ValueRef<'_>) {
+    out.push(b'<');
+    out.extend_from_slice(col.as_bytes());
+    if v.is_null() {
+        out.extend_from_slice(b" null=\"true\"/>");
+        return;
+    }
+    out.push(b'>');
+    match v {
+        // Text can contain markup characters; typed renderings
+        // never do, so they skip the escaping walk.
+        ValueRef::Text(s) => xml_escape_into(out, s),
+        other => fmtfast::write_value_ref(out, other),
+    }
+    out.extend_from_slice(b"</");
+    out.extend_from_slice(col.as_bytes());
+    out.push(b'>');
+}
+
 impl Formatter for XmlFormatter {
     fn begin(&self, out: &mut Vec<u8>, meta: &TableMeta) {
         out.push(b'<');
@@ -361,24 +485,19 @@ impl Formatter for XmlFormatter {
     fn row(&self, out: &mut Vec<u8>, meta: &TableMeta, values: &[Value]) {
         out.extend_from_slice(b"  <row>");
         for (col, v) in meta.columns.iter().zip(values) {
-            out.push(b'<');
-            out.extend_from_slice(col.as_bytes());
-            if v.is_null() {
-                out.extend_from_slice(b" null=\"true\"/>");
-                continue;
-            }
-            out.push(b'>');
-            match v {
-                // Text can contain markup characters; typed renderings
-                // never do, so they skip the escaping walk.
-                Value::Text(s) => xml_escape_into(out, s),
-                other => fmtfast::write_value(out, other),
-            }
-            out.extend_from_slice(b"</");
-            out.extend_from_slice(col.as_bytes());
-            out.push(b'>');
+            xml_cell(out, col, ValueRef::from(v));
         }
         out.extend_from_slice(b"</row>\n");
+    }
+
+    fn rows_columnar(&self, out: &mut Vec<u8>, meta: &TableMeta, batch: &ColumnBatch) {
+        for r in 0..batch.rows() {
+            out.extend_from_slice(b"  <row>");
+            for (col, c) in meta.columns.iter().zip(batch.columns()) {
+                xml_cell(out, col, c.value_ref(r));
+            }
+            out.extend_from_slice(b"</row>\n");
+        }
     }
 
     fn end(&self, out: &mut Vec<u8>, meta: &TableMeta) {
@@ -457,8 +576,39 @@ fn sql_quote_into(out: &mut Vec<u8>, s: &str) {
     out.push(b'\'');
 }
 
-impl Formatter for SqlFormatter {
-    fn row(&self, out: &mut Vec<u8>, meta: &TableMeta, values: &[Value]) {
+/// One SQL literal, shared by the row and columnar paths.
+#[inline]
+fn sql_cell(out: &mut Vec<u8>, v: ValueRef<'_>) {
+    match v {
+        ValueRef::Null => out.extend_from_slice(b"NULL"),
+        ValueRef::Bool(b) => out.extend_from_slice(if b {
+            b"TRUE".as_ref()
+        } else {
+            b"FALSE".as_ref()
+        }),
+        ValueRef::Long(x) => fmtfast::write_i64(out, x),
+        ValueRef::Double(x) => fmtfast::write_f64_display(out, x),
+        ValueRef::Decimal { unscaled, scale } => {
+            fmtfast::write_decimal(out, unscaled, scale);
+        }
+        ValueRef::Text(s) => sql_quote_into(out, s),
+        // Dates and timestamps contain no quotes to double.
+        ValueRef::Date(d) => {
+            out.push(b'\'');
+            fmtfast::write_date(out, d);
+            out.push(b'\'');
+        }
+        ValueRef::Timestamp(t) => {
+            out.push(b'\'');
+            fmtfast::write_timestamp(out, t);
+            out.push(b'\'');
+        }
+    }
+}
+
+impl SqlFormatter {
+    /// The exact `INSERT INTO name (cols, …) VALUES (` prefix.
+    fn insert_prefix(&self, out: &mut Vec<u8>, meta: &TableMeta) {
         out.extend_from_slice(b"INSERT INTO ");
         out.extend_from_slice(meta.name.as_bytes());
         out.extend_from_slice(b" (");
@@ -469,37 +619,32 @@ impl Formatter for SqlFormatter {
             out.extend_from_slice(c.as_bytes());
         }
         out.extend_from_slice(b") VALUES (");
+    }
+}
+
+impl Formatter for SqlFormatter {
+    fn row(&self, out: &mut Vec<u8>, meta: &TableMeta, values: &[Value]) {
+        self.insert_prefix(out, meta);
         for (i, v) in values.iter().enumerate() {
             if i > 0 {
                 out.extend_from_slice(b", ");
             }
-            match v {
-                Value::Null => out.extend_from_slice(b"NULL"),
-                Value::Bool(b) => out.extend_from_slice(if *b {
-                    b"TRUE".as_ref()
-                } else {
-                    b"FALSE".as_ref()
-                }),
-                Value::Long(x) => fmtfast::write_i64(out, *x),
-                Value::Double(x) => fmtfast::write_f64_display(out, *x),
-                Value::Decimal { unscaled, scale } => {
-                    fmtfast::write_decimal(out, *unscaled, *scale);
-                }
-                Value::Text(s) => sql_quote_into(out, s),
-                // Dates and timestamps contain no quotes to double.
-                Value::Date(d) => {
-                    out.push(b'\'');
-                    fmtfast::write_date(out, *d);
-                    out.push(b'\'');
-                }
-                Value::Timestamp(t) => {
-                    out.push(b'\'');
-                    fmtfast::write_timestamp(out, *t);
-                    out.push(b'\'');
-                }
-            }
+            sql_cell(out, ValueRef::from(v));
         }
         out.extend_from_slice(b");\n");
+    }
+
+    fn rows_columnar(&self, out: &mut Vec<u8>, meta: &TableMeta, batch: &ColumnBatch) {
+        for r in 0..batch.rows() {
+            self.insert_prefix(out, meta);
+            for (i, c) in batch.columns().iter().enumerate() {
+                if i > 0 {
+                    out.extend_from_slice(b", ");
+                }
+                sql_cell(out, c.value_ref(r));
+            }
+            out.extend_from_slice(b");\n");
+        }
     }
 
     fn max_row_bytes(&self, meta: &TableMeta, profiles: &[StaticProfile]) -> Option<u64> {
@@ -716,6 +861,128 @@ mod tests {
             out,
             "INSERT INTO t (a, b, c) VALUES ('O''Brien', '2014-11-30', -0.50);\n"
         );
+    }
+
+    fn formatters() -> Vec<Box<dyn Formatter>> {
+        vec![
+            Box::new(CsvFormatter::new()),
+            Box::new(CsvFormatter::new().with_delimiter('-')),
+            Box::new(JsonFormatter),
+            Box::new(XmlFormatter),
+            Box::new(SqlFormatter::new()),
+        ]
+    }
+
+    fn adversarial_rows() -> Vec<Vec<Value>> {
+        vec![
+            sample_row(),
+            vec![
+                Value::decimal(-50, 2),
+                Value::text("O'Brien \"x\"<&>\nnew"),
+                Value::Bool(true),
+            ],
+            vec![
+                Value::Double(2.5),
+                Value::Date(Date::from_ymd(1995, 6, 17)),
+                Value::Timestamp(86_400 + 3_723),
+            ],
+        ]
+    }
+
+    #[test]
+    fn columnar_transpose_matches_row_path_on_cells_batches() {
+        let m = meta();
+        let rows = adversarial_rows();
+        let mut batch = pdgf_schema::ColumnBatch::new();
+        batch.begin(3, rows.len());
+        for (c, col) in batch.columns_mut().iter_mut().enumerate() {
+            let cells = col.cells_mut();
+            for r in &rows {
+                cells.push(r[c].clone());
+            }
+        }
+        for f in formatters() {
+            let mut by_row = Vec::new();
+            for r in &rows {
+                f.row(&mut by_row, &m, r);
+            }
+            let mut by_col = Vec::new();
+            f.rows_columnar(&mut by_col, &m, &batch);
+            assert_eq!(
+                String::from_utf8_lossy(&by_row),
+                String::from_utf8_lossy(&by_col),
+                "{} columnar transpose diverged",
+                f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_transpose_matches_row_path_on_typed_batches() {
+        let m = meta();
+        let mut batch = pdgf_schema::ColumnBatch::new();
+        batch.begin(3, 3);
+        batch.columns_mut()[0].longs_mut().extend([1, -2, 3]);
+        {
+            let t = batch.columns_mut()[1].text_mut();
+            for s in ["plain", "with,comma 'q' \"d\"", "<markup&>"] {
+                t.push_str(s);
+            }
+        }
+        batch.columns_mut()[2]
+            .decimals_mut(2)
+            .extend([0, -12345, 99]);
+        let rows: Vec<Vec<Value>> = (0..3)
+            .map(|i| batch.columns().iter().map(|c| c.value(i)).collect())
+            .collect();
+        for f in formatters() {
+            let mut by_row = Vec::new();
+            for r in &rows {
+                f.row(&mut by_row, &m, r);
+            }
+            let mut by_col = Vec::new();
+            f.rows_columnar(&mut by_col, &m, &batch);
+            assert_eq!(
+                String::from_utf8_lossy(&by_row),
+                String::from_utf8_lossy(&by_col),
+                "{} typed transpose diverged",
+                f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn default_rows_columnar_materializes_rows() {
+        // A formatter that only implements `row` gets a correct (if
+        // allocating) columnar path from the trait default.
+        struct Plain;
+        impl Formatter for Plain {
+            fn row(&self, out: &mut Vec<u8>, _meta: &TableMeta, values: &[Value]) {
+                for v in values {
+                    fmtfast::write_value(out, v);
+                    out.push(b';');
+                }
+                out.push(b'\n');
+            }
+            fn name(&self) -> &'static str {
+                "Plain"
+            }
+        }
+        let m = meta();
+        let mut batch = pdgf_schema::ColumnBatch::new();
+        batch.begin(3, 2);
+        batch.columns_mut()[0].longs_mut().extend([7, 8]);
+        {
+            let t = batch.columns_mut()[1].text_mut();
+            t.push_str("a");
+            t.push_str("b");
+        }
+        batch.columns_mut()[2]
+            .cells_mut()
+            .extend([Value::Null, Value::Bool(true)]);
+        let mut out = Vec::new();
+        Plain.rows_columnar(&mut out, &m, &batch);
+        assert_eq!(String::from_utf8_lossy(&out), "7;a;;\n8;b;true;\n");
     }
 
     #[test]

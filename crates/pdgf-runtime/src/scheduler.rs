@@ -36,7 +36,7 @@ use std::time::Instant;
 
 use pdgf_gen::{GenScratch, SchemaRuntime};
 use pdgf_output::{BufferPool, Formatter, ReorderBuffer, Sink, TableMeta};
-use pdgf_schema::Value;
+use pdgf_schema::{ColumnBatch, Value};
 
 use crate::handoff::{channel, TicketCounter};
 use crate::metrics::{now_ns, PackageTimings, WorkerPhases, ROW_SAMPLE_EVERY};
@@ -59,6 +59,10 @@ pub struct RunConfig {
     pub(crate) workers: usize,
     /// Rows per work package; always ≥ 1.
     pub(crate) package_rows: u64,
+    /// Generate packages through the columnar batch path (default). The
+    /// row path stays available (`columnar(false)`) for A/B comparison;
+    /// both paths produce byte-identical output.
+    pub(crate) columnar: bool,
 }
 
 impl Default for RunConfig {
@@ -66,6 +70,7 @@ impl Default for RunConfig {
         Self {
             workers: available_workers(),
             package_rows: 10_000,
+            columnar: true,
         }
     }
 }
@@ -97,9 +102,22 @@ impl RunConfig {
         self
     }
 
+    /// Choose between the columnar batch path (`true`, the default) and
+    /// the per-row path (`false`). Output bytes are identical either way;
+    /// the switch exists for A/B benchmarking and as an escape hatch.
+    pub fn columnar(mut self, columnar: bool) -> Self {
+        self.columnar = columnar;
+        self
+    }
+
     /// Configured worker thread count (`0` = inline).
     pub fn worker_threads(&self) -> usize {
         self.workers
+    }
+
+    /// Whether the columnar batch path is enabled.
+    pub fn columnar_enabled(&self) -> bool {
+        self.columnar
     }
 
     /// Configured rows per work package.
@@ -211,6 +229,8 @@ struct RunCtx<'a> {
     handles: Option<&'a [TableHandle]>,
     scope: Option<&'a RunScope>,
     started: Instant,
+    /// Whether packages run through the columnar batch path.
+    columnar: bool,
 }
 
 /// Cap on statically sized package buffers: a proven-but-huge bound (wide
@@ -303,6 +323,7 @@ pub fn run_project<'a>(
         handles: handles.as_deref(),
         scope: scope.as_ref(),
         started,
+        columnar: cfg.columnar,
     };
     let result = run_phases(rt, &ctx, sinks, &mut outputs, cfg);
 
@@ -461,6 +482,143 @@ fn write_package(
     Ok(())
 }
 
+/// Reusable per-worker buffers: the row path's row buffer, the columnar
+/// path's batch, and the generator scratch shared by both. One lives on
+/// the inline thread and one in each pool worker; after warm-up neither
+/// path allocates per package.
+#[derive(Default)]
+struct WorkerState {
+    row_buf: Vec<Value>,
+    batch: ColumnBatch,
+    scratch: GenScratch,
+}
+
+/// Run one package through the configured path (columnar or row), timed
+/// when telemetry is attached, appending formatted bytes to `out`.
+fn execute_package(
+    rt: &SchemaRuntime,
+    ctx: &RunCtx<'_>,
+    pkg: &ProjectPackage,
+    state: &mut WorkerState,
+    out: &mut Vec<u8>,
+    phases: Option<&Arc<WorkerPhases>>,
+) -> PackageTimings {
+    let meta = &ctx.metas[pkg.job as usize];
+    match (ctx.columnar, phases) {
+        (true, Some(phases)) => format_package_columnar_timed(
+            rt,
+            pkg,
+            ctx.formatter,
+            meta,
+            &mut state.batch,
+            &mut state.scratch,
+            out,
+            phases,
+        ),
+        (true, None) => {
+            format_package_columnar(
+                rt,
+                pkg,
+                ctx.formatter,
+                meta,
+                &mut state.batch,
+                &mut state.scratch,
+                out,
+            );
+            PackageTimings::default()
+        }
+        (false, Some(phases)) => format_package_timed(
+            rt,
+            pkg,
+            ctx.formatter,
+            meta,
+            &mut state.row_buf,
+            &mut state.scratch,
+            out,
+            phases,
+        ),
+        (false, None) => {
+            format_package(
+                rt,
+                pkg,
+                ctx.formatter,
+                meta,
+                &mut state.row_buf,
+                &mut state.scratch,
+                out,
+            );
+            PackageTimings::default()
+        }
+    }
+}
+
+/// The columnar package body: generate the whole package column by
+/// column into a typed [`ColumnBatch`], then transpose it through the
+/// formatter's [`rows_columnar`](Formatter::rows_columnar). Byte-
+/// identical to [`format_package`] by the kernel and formatter contracts.
+fn format_package_columnar(
+    rt: &SchemaRuntime,
+    pkg: &ProjectPackage,
+    formatter: &dyn Formatter,
+    meta: &TableMeta,
+    batch: &mut ColumnBatch,
+    scratch: &mut GenScratch,
+    out: &mut Vec<u8>,
+) {
+    rt.fill_batch(
+        pkg.pkg.table,
+        pkg.pkg.update,
+        pkg.pkg.rows.clone(),
+        batch,
+        scratch,
+    );
+    formatter.rows_columnar(out, meta, batch);
+}
+
+/// [`format_package_columnar`] with phase instrumentation. The columnar
+/// path has natural package-level phase boundaries (fill, then
+/// transpose), so instead of sampling rows it times the two stages once
+/// and feeds the per-row averages to the worker histograms — every row
+/// is "sampled" at the cost of three clock reads per package.
+#[allow(clippy::too_many_arguments)]
+fn format_package_columnar_timed(
+    rt: &SchemaRuntime,
+    pkg: &ProjectPackage,
+    formatter: &dyn Formatter,
+    meta: &TableMeta,
+    batch: &mut ColumnBatch,
+    scratch: &mut GenScratch,
+    out: &mut Vec<u8>,
+    phases: &WorkerPhases,
+) -> PackageTimings {
+    let started = now_ns();
+    let mut t = PackageTimings::default();
+    rt.fill_batch(
+        pkg.pkg.table,
+        pkg.pkg.update,
+        pkg.pkg.rows.clone(),
+        batch,
+        scratch,
+    );
+    let g1 = now_ns();
+    formatter.rows_columnar(out, meta, batch);
+    let f1 = now_ns();
+    t.generate_ns = g1.saturating_sub(started);
+    t.format_ns = f1.saturating_sub(g1);
+    let rows = batch.rows() as u64;
+    if let (Some(g), Some(f)) = (
+        t.generate_ns.checked_div(rows),
+        t.format_ns.checked_div(rows),
+    ) {
+        phases.generate.record(g);
+        phases.format.record(f);
+        t.sampled_rows = rows;
+    }
+    t.total_ns = now_ns().saturating_sub(started);
+    phases.add_busy_ns(t.total_ns);
+    t
+}
+
 fn format_package(
     rt: &SchemaRuntime,
     pkg: &ProjectPackage,
@@ -526,8 +684,7 @@ fn run_inline(
     sinks: &mut [&mut dyn Sink],
     outputs: &mut [JobOutput],
 ) -> io::Result<()> {
-    let mut row_buf = Vec::new();
-    let mut scratch = GenScratch::default();
+    let mut state = WorkerState::default();
     let mut out = Vec::new();
     let phases: Option<Arc<WorkerPhases>> = ctx.scope.map(|s| s.slot(0));
     let total = packages.len() as u64;
@@ -538,30 +695,7 @@ fn run_inline(
         if out.capacity() < want {
             out.reserve(want);
         }
-        let timings = match &phases {
-            Some(phases) => format_package_timed(
-                rt,
-                p,
-                ctx.formatter,
-                &ctx.metas[idx],
-                &mut row_buf,
-                &mut scratch,
-                &mut out,
-                phases,
-            ),
-            None => {
-                format_package(
-                    rt,
-                    p,
-                    ctx.formatter,
-                    &ctx.metas[idx],
-                    &mut row_buf,
-                    &mut scratch,
-                    &mut out,
-                );
-                PackageTimings::default()
-            }
-        };
+        let timings = execute_package(rt, ctx, p, &mut state, &mut out, phases.as_ref());
         write_package(
             ctx,
             p.pkg.seq,
@@ -611,38 +745,15 @@ fn run_pool(
             let pool = &pool;
             let phases: Option<Arc<WorkerPhases>> = ctx.scope.map(|s| s.slot(worker));
             thread_scope.spawn(move || {
-                let mut row_buf = Vec::new();
-                let mut scratch = GenScratch::default();
+                let mut state = WorkerState::default();
                 while let Some(idx) = tickets.claim() {
                     let p = &packages[idx as usize];
                     let mut out = pool.take_with_capacity(package_capacity_hint(
                         ctx.row_bounds[p.job as usize],
                         p.pkg.len(),
                     ));
-                    let timings = match &phases {
-                        Some(phases) => format_package_timed(
-                            rt,
-                            p,
-                            ctx.formatter,
-                            &ctx.metas[p.job as usize],
-                            &mut row_buf,
-                            &mut scratch,
-                            &mut out,
-                            phases,
-                        ),
-                        None => {
-                            format_package(
-                                rt,
-                                p,
-                                ctx.formatter,
-                                &ctx.metas[p.job as usize],
-                                &mut row_buf,
-                                &mut scratch,
-                                &mut out,
-                            );
-                            PackageTimings::default()
-                        }
-                    };
+                    let timings =
+                        execute_package(rt, ctx, p, &mut state, &mut out, phases.as_ref());
                     if tx
                         .send((p.job, p.pkg.seq, p.pkg.len(), out, timings))
                         .is_err()
@@ -781,9 +892,11 @@ mod tests {
         let d = RunConfig::default();
         assert_eq!(d.worker_threads(), available_workers());
         assert_eq!(d.rows_per_package(), 10_000);
-        let cfg = RunConfig::new().workers(0).package_rows(1);
+        assert!(d.columnar_enabled(), "columnar path is the default");
+        let cfg = RunConfig::new().workers(0).package_rows(1).columnar(false);
         assert_eq!(cfg.worker_threads(), 0, "0 workers = inline is legal");
         assert_eq!(cfg.rows_per_package(), 1);
+        assert!(!cfg.columnar_enabled());
     }
 
     #[test]
@@ -831,6 +944,51 @@ mod tests {
                     assert_eq!(
                         run_fmt(&rt, formatter, workers, pkg),
                         reference,
+                        "format={} workers={workers} pkg={pkg}",
+                        formatter.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The columnar path (default) and the row path (`columnar(false)`)
+    /// produce the same bytes for every format, worker count, and package
+    /// size — including ragged tails.
+    #[test]
+    fn columnar_path_matches_row_path_bytes() {
+        let rt = runtime(1_500);
+        let formatters: [&dyn Formatter; 4] = [
+            &CsvFormatter::new(),
+            &JsonFormatter,
+            &XmlFormatter,
+            &SqlFormatter::new(),
+        ];
+        for formatter in formatters {
+            for workers in [0usize, 2] {
+                for pkg in [7u64, 256, 100_000] {
+                    let run_with = |columnar: bool| {
+                        let mut sink = MemorySink::new();
+                        let cfg = RunConfig::new()
+                            .workers(workers)
+                            .package_rows(pkg)
+                            .columnar(columnar);
+                        generate_table_range(
+                            &rt,
+                            0,
+                            0,
+                            0..rt.tables()[0].size,
+                            formatter,
+                            &mut sink,
+                            &cfg,
+                            None,
+                        )
+                        .unwrap();
+                        sink.as_str().to_string()
+                    };
+                    assert_eq!(
+                        run_with(true),
+                        run_with(false),
                         "format={} workers={workers} pkg={pkg}",
                         formatter.name()
                     );

@@ -1,0 +1,501 @@
+//! Columnar batch storage: typed per-column vectors for batch generation.
+//!
+//! The row path materializes one [`Value`] per cell — an enum with an
+//! `Arc<str>` payload for text — and pays that materialization (plus a
+//! virtual dispatch and a seed-tree walk) per cell. The columnar path
+//! instead fills one [`ColumnVec`] per column for a whole work package:
+//! primitives land in flat `Vec<i64>`/`Vec<f64>`/… storage and text lands
+//! in a shared byte arena ([`TextColumn`]) with offsets, so the steady
+//! state allocates nothing per cell. Formatters then transpose
+//! columns→rows through [`ColumnVec::value_ref`], which hands out borrowed
+//! [`ValueRef`]s without touching reference counts.
+//!
+//! The [`Cells`](ColumnVec::Cells) variant is the universal fallback: any
+//! generator without a vectorized kernel pushes plain [`Value`]s and the
+//! output bytes stay identical to the row path by construction.
+
+use crate::value::{Date, Value, ValueRef};
+
+/// A text column stored as one contiguous UTF-8 arena plus per-cell end
+/// offsets (cell `i` spans `ends[i-1]..ends[i]`, with `ends[-1]` = 0).
+///
+/// The arena is a `String` rather than `Vec<u8>` so slicing cells back out
+/// needs no UTF-8 revalidation and no `unsafe` (the crate forbids it).
+/// Offsets are `u32`: a package arena is bounded by rows-per-package ×
+/// the column's proven width, far below 4 GiB (builders panic past it).
+#[derive(Debug, Default, Clone)]
+pub struct TextColumn {
+    data: String,
+    ends: Vec<u32>,
+}
+
+impl TextColumn {
+    /// Remove all cells, keeping both the arena and offset capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.ends.clear();
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Is the column empty?
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Reserve room for `cells` more cells totalling ~`bytes` more bytes.
+    pub fn reserve(&mut self, cells: usize, bytes: usize) {
+        self.ends.reserve(cells);
+        self.data.reserve(bytes);
+    }
+
+    /// Append one complete cell.
+    #[inline]
+    pub fn push_str(&mut self, s: &str) {
+        self.data.push_str(s);
+        self.seal();
+    }
+
+    /// The arena tail for incremental cell building. Append-only: callers
+    /// may push onto the buffer and must finish the cell with
+    /// [`seal`](Self::seal); truncating below the last sealed end corrupts
+    /// the column.
+    #[inline]
+    pub fn buf(&mut self) -> &mut String {
+        &mut self.data
+    }
+
+    /// Seal the bytes appended since the last seal as one cell.
+    #[inline]
+    pub fn seal(&mut self) {
+        debug_assert!(
+            self.data.len() >= self.ends.last().map_or(0, |&e| e as usize),
+            "arena truncated below a sealed cell"
+        );
+        assert!(
+            u32::try_from(self.data.len()).is_ok(),
+            "text arena exceeds u32 offsets; shrink the package size"
+        );
+        self.ends.push(self.data.len() as u32);
+    }
+
+    /// The whole arena as one contiguous string (all cells concatenated).
+    /// Lets formatters pre-scan a column for escape-triggering bytes in
+    /// one pass instead of per cell.
+    #[inline]
+    pub fn arena(&self) -> &str {
+        &self.data
+    }
+
+    /// Cell `i` as a string slice.
+    #[inline]
+    pub fn get(&self, i: usize) -> &str {
+        let end = self.ends[i] as usize;
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.data[start..end]
+    }
+
+    /// Shorten cells in place: `keep(cell)` returns the byte length to
+    /// keep, or `None` to keep the cell whole. Rebuilds through `scratch`
+    /// (swapped in as the new arena) only when at least one cell shrinks,
+    /// so the no-truncation common case is a read-only scan.
+    pub fn truncate_cells(&mut self, keep: impl Fn(&str) -> Option<usize>, scratch: &mut String) {
+        let any = (0..self.len()).any(|i| keep(self.get(i)).is_some());
+        if !any {
+            return;
+        }
+        scratch.clear();
+        scratch.reserve(self.data.len());
+        let mut start = 0usize;
+        for i in 0..self.ends.len() {
+            let end = self.ends[i] as usize;
+            let cell = &self.data[start..end];
+            let kept = match keep(cell) {
+                Some(k) => &cell[..k],
+                None => cell,
+            };
+            scratch.push_str(kept);
+            self.ends[i] = scratch.len() as u32;
+            start = end;
+        }
+        std::mem::swap(&mut self.data, scratch);
+    }
+}
+
+/// One column of a generated batch, in typed storage.
+///
+/// Kernels pick the variant matching their output type via the `*_mut`
+/// accessors (which clear and re-type the column, keeping capacity when
+/// the variant already matches); everything else lands in
+/// [`Cells`](Self::Cells) through the row-path fallback.
+#[derive(Debug, Clone)]
+pub enum ColumnVec {
+    /// Row-path fallback: one [`Value`] per cell, any mix of kinds.
+    Cells(Vec<Value>),
+    /// `Value::Long` cells.
+    Long(Vec<i64>),
+    /// `Value::Double` cells.
+    Double(Vec<f64>),
+    /// `Value::Decimal` cells at one shared scale.
+    Decimal {
+        /// Unscaled integer per cell.
+        unscaled: Vec<i64>,
+        /// Shared digits-right-of-point.
+        scale: u8,
+    },
+    /// `Value::Date` cells as days since the epoch.
+    Date(Vec<i32>),
+    /// `Value::Timestamp` cells as seconds since the epoch.
+    Timestamp(Vec<i64>),
+    /// `Value::Bool` cells.
+    Bool(Vec<bool>),
+    /// Text cells in an arena (never NULL; NULL-able text falls back to
+    /// [`Cells`](Self::Cells)).
+    Text(TextColumn),
+}
+
+impl Default for ColumnVec {
+    fn default() -> Self {
+        ColumnVec::Cells(Vec::new())
+    }
+}
+
+/// Re-type `$self` to `$variant` (keeping capacity when it already
+/// matches), clear it, and return the inner storage mutably.
+macro_rules! retype {
+    ($self:ident, $variant:ident, $fresh:expr) => {{
+        if !matches!($self, ColumnVec::$variant(_)) {
+            *$self = ColumnVec::$variant($fresh);
+        }
+        match $self {
+            ColumnVec::$variant(v) => {
+                v.clear();
+                v
+            }
+            _ => unreachable!(),
+        }
+    }};
+}
+
+impl ColumnVec {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Cells(v) => v.len(),
+            ColumnVec::Long(v) => v.len(),
+            ColumnVec::Double(v) => v.len(),
+            ColumnVec::Decimal { unscaled, .. } => unscaled.len(),
+            ColumnVec::Date(v) => v.len(),
+            ColumnVec::Timestamp(v) => v.len(),
+            ColumnVec::Bool(v) => v.len(),
+            ColumnVec::Text(t) => t.len(),
+        }
+    }
+
+    /// Is the column empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrowed view of cell `i`.
+    #[inline]
+    pub fn value_ref(&self, i: usize) -> ValueRef<'_> {
+        match self {
+            ColumnVec::Cells(v) => ValueRef::from(&v[i]),
+            ColumnVec::Long(v) => ValueRef::Long(v[i]),
+            ColumnVec::Double(v) => ValueRef::Double(v[i]),
+            ColumnVec::Decimal { unscaled, scale } => ValueRef::Decimal {
+                unscaled: unscaled[i],
+                scale: *scale,
+            },
+            ColumnVec::Date(v) => ValueRef::Date(Date(v[i])),
+            ColumnVec::Timestamp(v) => ValueRef::Timestamp(v[i]),
+            ColumnVec::Bool(v) => ValueRef::Bool(v[i]),
+            ColumnVec::Text(t) => ValueRef::Text(t.get(i)),
+        }
+    }
+
+    /// Cell `i` as an owned [`Value`] (allocates for text).
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnVec::Cells(v) => v[i].clone(),
+            other => other.value_ref(i).to_value(),
+        }
+    }
+
+    /// Re-type to [`Cells`](Self::Cells) and return the cleared cell list.
+    pub fn cells_mut(&mut self) -> &mut Vec<Value> {
+        retype!(self, Cells, Vec::new())
+    }
+
+    /// Re-type to [`Long`](Self::Long) and return the cleared storage.
+    pub fn longs_mut(&mut self) -> &mut Vec<i64> {
+        retype!(self, Long, Vec::new())
+    }
+
+    /// Re-type to [`Double`](Self::Double) and return the cleared storage.
+    pub fn doubles_mut(&mut self) -> &mut Vec<f64> {
+        retype!(self, Double, Vec::new())
+    }
+
+    /// Re-type to [`Decimal`](Self::Decimal) at `scale` and return the
+    /// cleared unscaled storage.
+    pub fn decimals_mut(&mut self, new_scale: u8) -> &mut Vec<i64> {
+        if !matches!(self, ColumnVec::Decimal { .. }) {
+            *self = ColumnVec::Decimal {
+                unscaled: Vec::new(),
+                scale: new_scale,
+            };
+        }
+        match self {
+            ColumnVec::Decimal { unscaled, scale } => {
+                *scale = new_scale;
+                unscaled.clear();
+                unscaled
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Re-type to [`Date`](Self::Date) and return the cleared storage.
+    pub fn dates_mut(&mut self) -> &mut Vec<i32> {
+        retype!(self, Date, Vec::new())
+    }
+
+    /// Re-type to [`Timestamp`](Self::Timestamp) and return the cleared
+    /// storage.
+    pub fn timestamps_mut(&mut self) -> &mut Vec<i64> {
+        retype!(self, Timestamp, Vec::new())
+    }
+
+    /// Re-type to [`Bool`](Self::Bool) and return the cleared storage.
+    pub fn bools_mut(&mut self) -> &mut Vec<bool> {
+        retype!(self, Bool, Vec::new())
+    }
+
+    /// Re-type to [`Text`](Self::Text) and return the cleared arena.
+    pub fn text_mut(&mut self) -> &mut TextColumn {
+        if !matches!(self, ColumnVec::Text(_)) {
+            *self = ColumnVec::Text(TextColumn::default());
+        }
+        match self {
+            ColumnVec::Text(t) => {
+                t.clear();
+                t
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// The text arena, if this column currently holds one.
+    pub fn as_text(&self) -> Option<&TextColumn> {
+        match self {
+            ColumnVec::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The text arena, if this column currently holds one (non-clearing —
+    /// used by in-place post-passes such as truncation).
+    pub fn as_text_mut(&mut self) -> Option<&mut TextColumn> {
+        match self {
+            ColumnVec::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The fallback cell list, if this column currently holds one
+    /// (non-clearing).
+    pub fn as_cells_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            ColumnVec::Cells(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Reserve room for `rows` more cells in the current variant;
+    /// `width_hint` is a proven per-cell byte bound used to pre-size the
+    /// text arena (capped so a huge proven bound cannot balloon one
+    /// allocation).
+    pub fn reserve_rows(&mut self, rows: usize, width_hint: Option<u32>) {
+        /// Arena pre-size cap, mirroring the scheduler's package-buffer cap.
+        const MAX_ARENA_PREALLOC: usize = 16 << 20;
+        match self {
+            ColumnVec::Cells(v) => v.reserve(rows),
+            ColumnVec::Long(v) => v.reserve(rows),
+            ColumnVec::Double(v) => v.reserve(rows),
+            ColumnVec::Decimal { unscaled, .. } => unscaled.reserve(rows),
+            ColumnVec::Date(v) => v.reserve(rows),
+            ColumnVec::Timestamp(v) => v.reserve(rows),
+            ColumnVec::Bool(v) => v.reserve(rows),
+            ColumnVec::Text(t) => {
+                let bytes = width_hint
+                    .map_or(0, |w| (w as usize).saturating_mul(rows))
+                    .min(MAX_ARENA_PREALLOC);
+                t.reserve(rows, bytes);
+            }
+        }
+    }
+}
+
+/// One work package's worth of generated columns.
+///
+/// Owned by a worker and recycled across packages, so after warm-up the
+/// per-package storage (vectors, arenas, offsets) is reused in place.
+#[derive(Debug, Default)]
+pub struct ColumnBatch {
+    columns: Vec<ColumnVec>,
+    rows: usize,
+}
+
+impl ColumnBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shape the batch for `columns` columns × `rows` rows. Existing
+    /// column storage is kept (kernels clear it on re-type); surplus
+    /// columns are dropped.
+    pub fn begin(&mut self, columns: usize, rows: usize) {
+        self.columns.resize_with(columns, ColumnVec::default);
+        self.rows = rows;
+    }
+
+    /// Rows this batch was shaped for.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The columns, read-only.
+    pub fn columns(&self) -> &[ColumnVec] {
+        &self.columns
+    }
+
+    /// The columns, mutably (for fill kernels).
+    pub fn columns_mut(&mut self) -> &mut [ColumnVec] {
+        &mut self.columns
+    }
+
+    /// Every column holds exactly [`rows`](Self::rows) cells — the
+    /// contract between fill and transpose, checked by the runtime after
+    /// a fill.
+    pub fn is_rectangular(&self) -> bool {
+        self.columns.iter().all(|c| c.len() == self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_column_roundtrips_cells() {
+        let mut t = TextColumn::default();
+        t.push_str("alpha");
+        t.push_str("");
+        t.buf().push_str("be");
+        t.buf().push('t');
+        t.buf().push('a');
+        t.seal();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(0), "alpha");
+        assert_eq!(t.get(1), "");
+        assert_eq!(t.get(2), "beta");
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn truncate_cells_shortens_only_flagged_cells() {
+        let mut t = TextColumn::default();
+        t.push_str("hello world");
+        t.push_str("ok");
+        t.push_str("wide cell here");
+        let mut scratch = String::new();
+        t.truncate_cells(|s| if s.len() > 5 { Some(5) } else { None }, &mut scratch);
+        assert_eq!(t.get(0), "hello");
+        assert_eq!(t.get(1), "ok");
+        assert_eq!(t.get(2), "wide ");
+        // No-op pass leaves everything untouched.
+        let before: Vec<String> = (0..t.len()).map(|i| t.get(i).to_string()).collect();
+        t.truncate_cells(|_| None, &mut scratch);
+        let after: Vec<String> = (0..t.len()).map(|i| t.get(i).to_string()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn column_vec_retypes_and_roundtrips_value_refs() {
+        let mut c = ColumnVec::default();
+        c.longs_mut().extend([1i64, -2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value_ref(1), ValueRef::Long(-2));
+        assert_eq!(c.value(2), Value::Long(3));
+
+        c.decimals_mut(2).push(12345);
+        assert_eq!(
+            c.value_ref(0),
+            ValueRef::Decimal {
+                unscaled: 12345,
+                scale: 2
+            }
+        );
+        assert_eq!(c.value(0), Value::decimal(12345, 2));
+
+        let t = c.text_mut();
+        t.push_str("hi");
+        assert_eq!(c.value_ref(0), ValueRef::Text("hi"));
+        assert_eq!(c.value(0), Value::text("hi"));
+
+        c.cells_mut().push(Value::Null);
+        assert_eq!(c.value_ref(0), ValueRef::Null);
+
+        c.dates_mut().push(10_000);
+        assert_eq!(c.value_ref(0), ValueRef::Date(Date(10_000)));
+        c.bools_mut().push(true);
+        assert_eq!(c.value_ref(0), ValueRef::Bool(true));
+        c.timestamps_mut().push(77);
+        assert_eq!(c.value_ref(0), ValueRef::Timestamp(77));
+        c.doubles_mut().push(1.5);
+        assert_eq!(c.value_ref(0), ValueRef::Double(1.5));
+    }
+
+    #[test]
+    fn retype_keeps_capacity_when_variant_matches() {
+        let mut c = ColumnVec::default();
+        c.longs_mut().extend(0..100i64);
+        let cap = match &c {
+            ColumnVec::Long(v) => v.capacity(),
+            _ => unreachable!(),
+        };
+        let v = c.longs_mut();
+        assert!(v.is_empty());
+        assert_eq!(
+            match &c {
+                ColumnVec::Long(v) => v.capacity(),
+                _ => unreachable!(),
+            },
+            cap
+        );
+    }
+
+    #[test]
+    fn batch_shapes_and_checks_rectangularity() {
+        let mut b = ColumnBatch::new();
+        b.begin(2, 3);
+        assert_eq!(b.rows(), 3);
+        assert_eq!(b.columns().len(), 2);
+        assert!(!b.is_rectangular());
+        b.columns_mut()[0].longs_mut().extend([1, 2, 3]);
+        b.columns_mut()[1].text_mut();
+        for s in ["a", "b", "c"] {
+            b.columns_mut()[1].as_text_mut().unwrap().push_str(s);
+        }
+        assert!(b.is_rectangular());
+        b.begin(1, 3);
+        assert_eq!(b.columns().len(), 1, "surplus columns dropped");
+    }
+}

@@ -7,8 +7,10 @@
 //!
 //! This crate contains everything that is *description*, not execution:
 //!
-//! * [`value`] — the runtime [`Value`] cell type and
-//!   calendar helpers,
+//! * [`value`] — the runtime [`Value`] cell type, its borrowed
+//!   [`ValueRef`] view, and calendar helpers,
+//! * [`column`] — typed columnar batch storage ([`ColumnVec`]) for the
+//!   vectorized generation path,
 //! * [`types`] — the SQL-92 type system ([`SqlType`]),
 //! * [`expr`] — the `${NAME}`-style arithmetic expression language used
 //!   by size formulas and properties (`6000000 * ${SF}`),
@@ -29,6 +31,7 @@
 
 pub mod absint;
 pub mod analyze;
+pub mod column;
 pub mod config;
 pub mod expr;
 pub mod model;
@@ -38,8 +41,9 @@ pub mod value;
 pub mod xml;
 
 pub use analyze::{Analysis, Diagnostic, Severity};
+pub use column::{ColumnBatch, ColumnVec, TextColumn};
 pub use expr::Expr;
 pub use model::{Field, GeneratorSpec, Schema, Table};
 pub use props::PropertyBag;
 pub use types::SqlType;
-pub use value::{Date, Value};
+pub use value::{Date, Value, ValueRef};

@@ -84,12 +84,21 @@ impl DateFormat {
 
     /// Render a date in this format.
     pub fn render(self, date: Date) -> String {
+        let mut out = String::new();
+        self.render_into(date, &mut out);
+        out
+    }
+
+    /// Render a date in this format, appending to `out` without clearing
+    /// it (so columnar text arenas can be filled in place).
+    pub fn render_into(self, date: Date, out: &mut String) {
+        use std::fmt::Write as _;
         let (y, m, d) = date.to_ymd();
-        match self {
-            DateFormat::Iso => format!("{y:04}-{m:02}-{d:02}"),
-            DateFormat::SlashMdy => format!("{m:02}/{d:02}/{y:04}"),
-            DateFormat::DotDmy => format!("{d:02}.{m:02}.{y:04}"),
-        }
+        let _ = match self {
+            DateFormat::Iso => write!(out, "{y:04}-{m:02}-{d:02}"),
+            DateFormat::SlashMdy => write!(out, "{m:02}/{d:02}/{y:04}"),
+            DateFormat::DotDmy => write!(out, "{d:02}.{m:02}.{y:04}"),
+        };
     }
 }
 

@@ -184,6 +184,77 @@ impl PartialEq for Value {
     }
 }
 
+/// A borrowed view of a cell value.
+///
+/// The columnar engine stores primitives unboxed and text in shared
+/// arenas; `ValueRef` is the common currency formatters consume, so the
+/// row path (via [`From<&Value>`]) and the columnar path (via
+/// [`ColumnVec::value_ref`](crate::column::ColumnVec::value_ref)) feed the
+/// exact same per-cell byte kernels — byte identity by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Any integer type.
+    Long(i64),
+    /// Floating point.
+    Double(f64),
+    /// Fixed-point DECIMAL: `unscaled * 10^-scale`.
+    Decimal {
+        /// The unscaled integer value.
+        unscaled: i64,
+        /// Number of digits right of the decimal point.
+        scale: u8,
+    },
+    /// Calendar date.
+    Date(Date),
+    /// Timestamp as seconds since the epoch.
+    Timestamp(i64),
+    /// Character data, borrowed from a `Value` or a column arena.
+    Text(&'a str),
+}
+
+impl ValueRef<'_> {
+    /// Is this SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, ValueRef::Null)
+    }
+
+    /// Materialize an owned [`Value`] (allocates for text).
+    pub fn to_value(&self) -> Value {
+        match *self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Bool(b) => Value::Bool(b),
+            ValueRef::Long(v) => Value::Long(v),
+            ValueRef::Double(v) => Value::Double(v),
+            ValueRef::Decimal { unscaled, scale } => Value::Decimal { unscaled, scale },
+            ValueRef::Date(d) => Value::Date(d),
+            ValueRef::Timestamp(t) => Value::Timestamp(t),
+            ValueRef::Text(s) => Value::text(s),
+        }
+    }
+}
+
+impl<'a> From<&'a Value> for ValueRef<'a> {
+    fn from(v: &'a Value) -> Self {
+        match v {
+            Value::Null => ValueRef::Null,
+            Value::Bool(b) => ValueRef::Bool(*b),
+            Value::Long(v) => ValueRef::Long(*v),
+            Value::Double(v) => ValueRef::Double(*v),
+            Value::Decimal { unscaled, scale } => ValueRef::Decimal {
+                unscaled: *unscaled,
+                scale: *scale,
+            },
+            Value::Date(d) => ValueRef::Date(*d),
+            Value::Timestamp(t) => ValueRef::Timestamp(*t),
+            Value::Text(s) => ValueRef::Text(s),
+        }
+    }
+}
+
 impl fmt::Display for Value {
     /// Canonical textual form — what the CSV formatter emits for a cell.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

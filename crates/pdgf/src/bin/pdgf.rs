@@ -42,6 +42,7 @@ struct Args {
     progress: bool,
     metrics_out: Option<String>,
     scale: Option<String>,
+    row_path: bool,
 }
 
 fn usage() -> ExitCode {
@@ -53,6 +54,7 @@ fn usage() -> ExitCode {
          \u{20}                 --node I --nodes N   (write only node I's shard of N)\n\
          \u{20}                 --progress           (status line with ETA on stderr)\n\
          \u{20}                 --metrics-out <file> (telemetry event stream as JSONL)\n\
+         \u{20}                 --row-path           (per-row generation instead of columnar)\n\
          preview options:  --table <name> --rows N\n\
          explain options:  --scale N (override the SF property) --format json\n"
     );
@@ -76,6 +78,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         progress: false,
         metrics_out: None,
         scale: None,
+        row_path: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -109,6 +112,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|_| "bad --nodes")?,
             "--rows" => args.rows = value("--rows")?.parse().map_err(|_| "bad --rows")?,
             "--progress" => args.progress = true,
+            "--row-path" => args.row_path = true,
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--scale" => args.scale = Some(value("--scale")?),
             "-p" => {
@@ -144,6 +148,9 @@ fn make_builder(args: &Args) -> Result<Pdgf, PdgfError> {
     }
     if let Some(rows) = args.package_rows {
         builder = builder.package_rows(rows);
+    }
+    if args.row_path {
+        builder = builder.columnar(false);
     }
     Ok(builder)
 }
@@ -498,6 +505,27 @@ fn cmd_explain(args: &Args) -> Result<(), PdgfError> {
                     fmt_bound(t.max_row_bytes.xml),
                     fmt_bound(t.max_row_bytes.sql),
                 );
+                // Per-column proven rendered widths: where the row's
+                // bytes come from, as a share of the table's summed
+                // column bounds (format framing excluded).
+                let total: u64 = t
+                    .columns
+                    .iter()
+                    .filter_map(|c| c.profile.width.bound())
+                    .map(u64::from)
+                    .sum();
+                for c in &t.columns {
+                    match c.profile.width.bound() {
+                        Some(w) if total > 0 => println!(
+                            "  . {:<16} <= {:>6} B  {:>5.1}% of row",
+                            c.name,
+                            w,
+                            100.0 * f64::from(w) / total as f64
+                        ),
+                        Some(w) => println!("  . {:<16} <= {:>6} B", c.name, w),
+                        None => println!("  . {:<16}    unbounded", c.name),
+                    }
+                }
             }
             println!(
                 "predicted output <= csv {}, json {}, xml {}, sql {}",

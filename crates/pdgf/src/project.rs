@@ -141,6 +141,14 @@ impl Pdgf {
         self
     }
 
+    /// Choose the generation path: columnar batches (`true`, the
+    /// default) or per-row (`false`). Output bytes are identical either
+    /// way; the switch exists for A/B benchmarking.
+    pub fn columnar(mut self, columnar: bool) -> Self {
+        self.config = self.config.columnar(columnar);
+        self
+    }
+
     /// Override a model property from "the command line interface"
     /// (e.g. `("SF", "100")`).
     pub fn set_property(mut self, name: &str, value: &str) -> Self {
@@ -517,6 +525,29 @@ mod tests {
         assert!(xml.starts_with("<t>"));
         let sql = project.table_to_string("t", OutputFormat::Sql).unwrap();
         assert!(sql.starts_with("INSERT INTO t"));
+    }
+
+    #[test]
+    fn row_path_escape_hatch_matches_columnar_output() {
+        let columnar = Pdgf::from_schema(schema()).workers(0).build().unwrap();
+        let row = Pdgf::from_schema(schema())
+            .workers(0)
+            .columnar(false)
+            .build()
+            .unwrap();
+        assert!(columnar.config().columnar_enabled());
+        assert!(!row.config().columnar_enabled());
+        for format in [
+            OutputFormat::Csv,
+            OutputFormat::Json,
+            OutputFormat::Xml,
+            OutputFormat::Sql,
+        ] {
+            assert_eq!(
+                columnar.table_to_string("t", format).unwrap(),
+                row.table_to_string("t", format).unwrap()
+            );
+        }
     }
 
     #[test]

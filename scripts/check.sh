@@ -19,6 +19,9 @@ cargo test --workspace -q
 echo "== telemetry contract suite (byte identity, drop accounting, watchdog)"
 cargo test -q -p pdgf-runtime --test telemetry
 
+echo "== columnar byte-identity suite (columnar vs row path, all formats)"
+cargo test -q -p dbsynth-suite --test columnar_identity
+
 echo "== model corpus: shipped models validate clean, bad models report codes"
 cargo build -q -p pdgf --bins
 PDGF=target/debug/pdgf
