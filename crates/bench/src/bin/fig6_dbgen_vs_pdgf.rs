@@ -104,12 +104,7 @@ fn main() {
         "similar order of performance; PDGF /dev/null ≈ 33% above disk-bound; \
          single-stream DBGen 48 MB/s vs PDGF 30 MB/s (DBGen somewhat faster)",
     );
-    let workers = env_usize(
-        "FIG6_WORKERS",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4),
-    );
+    let workers = env_usize("FIG6_WORKERS", pdgf_runtime::available_workers());
     let sfs: Vec<f64> = std::env::var("FIG6_SFS")
         .unwrap_or_else(|_| "0.001,0.003,0.01,0.03".to_string())
         .split(',')

@@ -1,0 +1,287 @@
+//! `pdgf serve` load benchmark: QPS and request-latency percentiles at N
+//! concurrent clients against an in-process server, written to
+//! `BENCH_serve.json` so the serving path's performance is tracked
+//! across PRs.
+//!
+//! Three phases:
+//!
+//! 1. **Load** — `SERVE_CLIENTS` concurrent clients each issue
+//!    `SERVE_REQUESTS` range requests of `SERVE_RANGE_ROWS` rows at
+//!    striding offsets over TPC-H lineitem; client-observed latencies
+//!    give p50/p99 and aggregate QPS.
+//! 2. **Slow reader** — the same load again while one extra connection
+//!    requests a large range and drains it one byte at a time. The
+//!    backpressure contract says a stalled reader starves only itself
+//!    (its request window), so the well-behaved clients' p99 must stay
+//!    within 2x of phase 1.
+//! 3. **Point lookups** — one client, `SERVE_REQUESTS` single-row
+//!    fetches, for the O(1)-cell-access latency the paper's design
+//!    promises.
+//!
+//! Knobs: `SERVE_SF` (default 0.02), `SERVE_CLIENTS` (default 4),
+//! `SERVE_REQUESTS` (default 50), `SERVE_RANGE_ROWS` (default 2000),
+//! `SERVE_OUT` (default `BENCH_serve.json`).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::{banner, check, env_f64, env_usize, host_cores};
+use pdgf::runtime::ServeConfig;
+use pdgf::serve::TAG_QUERY;
+use pdgf::{OutputFormat, Pdgf, ServeClient, ServerOptions};
+use workloads::tpch;
+
+/// Latencies (seconds) → (p50, p99), by nearest-rank on the sorted run.
+fn percentiles(mut lat: Vec<f64>) -> (f64, f64) {
+    assert!(!lat.is_empty(), "no latencies recorded");
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = |p: f64| lat[((lat.len() as f64 * p).ceil() as usize).clamp(1, lat.len()) - 1];
+    (rank(0.50), rank(0.99))
+}
+
+struct Phase {
+    requests: u64,
+    seconds: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl Phase {
+    fn qps(&self) -> f64 {
+        self.requests as f64 / self.seconds
+    }
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\": {}, \"seconds\": {:.4}, \"qps\": {:.1}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+            self.requests,
+            self.seconds,
+            self.qps(),
+            self.p50_ms,
+            self.p99_ms
+        )
+    }
+}
+
+/// N concurrent clients, `requests` range fetches each; returns the
+/// merged client-observed latency distribution as a [`Phase`].
+fn run_load(addr: SocketAddr, clients: usize, requests: usize, rows: u64, size: u64) -> Phase {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let mut lat = Vec::with_capacity(requests);
+                for r in 0..requests {
+                    // Deterministic striding offsets, distinct per client.
+                    let start = ((c * 7919 + r * 104_729) as u64 * rows) % size.max(1);
+                    let end = (start + rows).min(size);
+                    let t = Instant::now();
+                    let bytes = client
+                        .range("lineitem", 0, start, end, OutputFormat::Csv)
+                        .expect("range request");
+                    lat.push(t.elapsed().as_secs_f64());
+                    assert!(end == start || !bytes.is_empty(), "empty response");
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("client thread"));
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    let (p50, p99) = percentiles(all);
+    Phase {
+        requests: (clients * requests) as u64,
+        seconds,
+        p50_ms: p50 * 1e3,
+        p99_ms: p99 * 1e3,
+    }
+}
+
+/// The slow reader: request a large range on a raw socket, then drain
+/// the response one byte at a time until told to stop. Never a protocol
+/// client — the point is a reader that sits on unconsumed bytes.
+fn slow_reader(addr: SocketAddr, size: u64, stop: Arc<AtomicBool>) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return;
+    };
+    let command = format!("RANGE lineitem 0 0 {size} csv");
+    let mut frame = (command.len() as u32).to_be_bytes().to_vec();
+    frame.push(TAG_QUERY);
+    frame.extend_from_slice(command.as_bytes());
+    if stream.write_all(&frame).is_err() {
+        return;
+    }
+    let mut byte = [0u8; 1];
+    while !stop.load(Ordering::Relaxed) {
+        if stream.read(&mut byte).map(|n| n == 0).unwrap_or(true) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Dropping the socket mid-response cancels the request server-side.
+}
+
+fn main() {
+    banner(
+        "Serve load: QPS and latency percentiles over the on-the-fly row service",
+        "rows are recomputed on demand from the seeding hierarchy (O(1) cell \
+         access), so serving needs no files and slow readers starve only themselves",
+    );
+    let sf = env_f64("SERVE_SF", 0.02);
+    let clients = env_usize("SERVE_CLIENTS", 4);
+    let requests = env_usize("SERVE_REQUESTS", 50);
+    let range_rows = env_usize("SERVE_RANGE_ROWS", 2_000) as u64;
+    let out_path = std::env::var("SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let cores = host_cores();
+
+    let project = Pdgf::from_schema(tpch::schema(12_456_789))
+        .resolver(tpch::resolver())
+        .set_property("SF", &format!("{sf}"))
+        .build()
+        .expect("tpch model builds");
+    let (_, t) = project
+        .runtime()
+        .table_by_name("lineitem")
+        .expect("lineitem exists");
+    let size = t.size;
+    let runtime = Arc::new(project.into_runtime());
+    let server = pdgf::Server::bind(
+        runtime,
+        "127.0.0.1:0",
+        ServerOptions::new().config(ServeConfig::new().package_rows(1_000).window(4)),
+        None,
+    )
+    .expect("bind server");
+    let handle = server.spawn().expect("spawn accept loop");
+    let addr = handle.addr();
+    println!(
+        "lineitem rows: {size} (SF {sf}), {clients} clients x {requests} requests \
+         of {range_rows} rows, host cores {cores}\n"
+    );
+
+    // Warm-up (dictionaries, markov models, seed caches).
+    run_load(addr, 1, 3, range_rows, size);
+
+    let load = run_load(addr, clients, requests, range_rows, size);
+    println!(
+        "load:        {:>8.1} qps  p50 {:>8.3} ms  p99 {:>8.3} ms",
+        load.qps(),
+        load.p50_ms,
+        load.p99_ms
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let slow = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || slow_reader(addr, size, stop))
+    };
+    let contended = run_load(addr, clients, requests, range_rows, size);
+    stop.store(true, Ordering::Relaxed);
+    let _ = slow.join();
+    println!(
+        "slow reader: {:>8.1} qps  p50 {:>8.3} ms  p99 {:>8.3} ms",
+        contended.qps(),
+        contended.p50_ms,
+        contended.p99_ms
+    );
+
+    let points = {
+        let started = Instant::now();
+        let mut client = ServeClient::connect(addr).expect("connect");
+        let mut lat = Vec::with_capacity(requests);
+        for r in 0..requests {
+            let row = (r as u64 * 104_729) % size.max(1);
+            let t = Instant::now();
+            client
+                .row("lineitem", 0, row, OutputFormat::Csv)
+                .expect("point lookup");
+            lat.push(t.elapsed().as_secs_f64());
+        }
+        let seconds = started.elapsed().as_secs_f64();
+        let (p50, p99) = percentiles(lat);
+        Phase {
+            requests: requests as u64,
+            seconds,
+            p50_ms: p50 * 1e3,
+            p99_ms: p99 * 1e3,
+        }
+    };
+    println!(
+        "point:       {:>8.1} qps  p50 {:>8.3} ms  p99 {:>8.3} ms",
+        points.qps(),
+        points.p50_ms,
+        points.p99_ms
+    );
+
+    let stats = handle.stats();
+    println!(
+        "\nserver: {} requests, {} completed, {} aborted, {:.1} qps lifetime",
+        stats.requests, stats.completed, stats.aborted, stats.qps
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"serve_load\",\n");
+    json.push_str("  \"table\": \"lineitem\",\n");
+    json.push_str(&format!("  \"sf\": {sf},\n"));
+    json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str(&format!("  \"requests_per_client\": {requests},\n"));
+    json.push_str(&format!("  \"range_rows\": {range_rows},\n"));
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str(&format!("  \"load\": {},\n", load.to_json()));
+    json.push_str(&format!("  \"slow_reader\": {},\n", contended.to_json()));
+    json.push_str(&format!("  \"point_lookup\": {},\n", points.to_json()));
+    json.push_str("  \"server\": {\n");
+    json.push_str(&format!("    \"requests\": {},\n", stats.requests));
+    json.push_str(&format!("    \"completed\": {},\n", stats.completed));
+    json.push_str(&format!("    \"aborted\": {},\n", stats.aborted));
+    json.push_str(&format!(
+        "    \"latency_p50_ns\": {},\n",
+        stats.latency.p50_ns
+    ));
+    json.push_str(&format!(
+        "    \"latency_p99_ns\": {}\n",
+        stats.latency.p99_ns
+    ));
+    json.push_str("  }\n");
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write serve json");
+    println!("wrote {out_path}");
+
+    check(
+        "all-requests-served",
+        load.requests == (clients * requests) as u64 && contended.requests == load.requests,
+        &format!(
+            "{} + {} requests completed",
+            load.requests, contended.requests
+        ),
+    );
+    // The backpressure gate: a reader draining one byte at a time may
+    // only stall its own request window, so well-behaved clients' p99
+    // must stay within 2x of the uncontended run.
+    check(
+        "slow-reader-isolation",
+        contended.p99_ms <= load.p99_ms * 2.0,
+        &format!(
+            "p99 {:.3} ms with slow reader vs {:.3} ms without ({:.2}x, need <= 2x)",
+            contended.p99_ms,
+            load.p99_ms,
+            contended.p99_ms / load.p99_ms.max(1e-9)
+        ),
+    );
+    check(
+        "point-lookup-fast",
+        points.p50_ms < load.p50_ms.max(1.0) * 10.0,
+        &format!(
+            "single-row p50 {:.3} ms vs {range_rows}-row range p50 {:.3} ms",
+            points.p50_ms, load.p50_ms
+        ),
+    );
+}

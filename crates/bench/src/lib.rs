@@ -68,11 +68,12 @@ pub fn check(name: &str, ok: bool, detail: &str) {
     println!("[{}] {name}: {detail}", if ok { "PASS" } else { "WARN" });
 }
 
-/// Cores available to this process (1 when the query fails).
+/// Cores available to this process — delegated to
+/// [`pdgf_runtime::available_workers`] so the bench harness and the
+/// run's actual worker default can never disagree (the fallback when the
+/// query fails is shared too).
 pub fn host_cores() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    pdgf_runtime::available_workers()
 }
 
 /// [`check`] for worker/node-scaling assertions, which a single-core

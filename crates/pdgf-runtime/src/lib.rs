@@ -22,6 +22,9 @@
 //!   queue-depth sampling,
 //! * [`telemetry`] — the handle tying events + metrics + the stall
 //!   watchdog to a run ([`Observability`] attaches them),
+//! * [`serve`] — the on-the-fly row service: one persistent pool
+//!   answering row-range and point-lookup requests on demand, byte-
+//!   identical to batch output,
 //! * [`driver`] — whole-project generation runs and reports,
 //! * [`handoff`] — the worker/output-stage handoff primitives (ticket
 //!   counter and bounded channel), model-checkable under `--cfg loom`.
@@ -37,6 +40,7 @@ pub mod metrics;
 pub mod monitor;
 pub mod package;
 pub mod scheduler;
+pub mod serve;
 mod sync;
 pub mod telemetry;
 pub mod update;
@@ -52,6 +56,9 @@ pub use monitor::{Monitor, Snapshot, TableHandle, TableSnapshot};
 pub use package::{
     packages_for, packages_for_jobs, Framing, ProjectPackage, TableJob, WorkPackage,
 };
-pub use scheduler::{generate_table_range, run_project, table_meta, RunConfig, TableRunStats};
+pub use scheduler::{
+    available_workers, generate_table_range, run_project, table_meta, RunConfig, TableRunStats,
+};
+pub use serve::{ResponseStream, RowRequest, RowService, ServeConfig, ServeStats, SubmitError};
 pub use telemetry::{Observability, Telemetry, TelemetryConfig};
 pub use update::{UpdateBatch, UpdateBlackBox, UpdateConfig, UpdateOp};

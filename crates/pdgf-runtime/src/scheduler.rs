@@ -241,7 +241,7 @@ const MAX_PREALLOC_BYTES: u64 = 64 << 20;
 /// Up-front capacity for one package buffer: the proven per-row bound
 /// times the package's rows, capped at [`MAX_PREALLOC_BYTES`]. Zero (no
 /// reservation) when the bound is unknown.
-fn package_capacity_hint(row_bound: Option<u64>, rows: u64) -> usize {
+pub(crate) fn package_capacity_hint(row_bound: Option<u64>, rows: u64) -> usize {
     row_bound
         .and_then(|b| b.checked_mul(rows))
         .map_or(0, |b| b.min(MAX_PREALLOC_BYTES) as usize)
@@ -328,17 +328,13 @@ pub fn run_project<'a>(
     let result = run_phases(rt, &ctx, sinks, &mut outputs, cfg);
 
     if let Some(scope) = scope {
-        match &result {
-            Ok(()) => {
-                let rows = outputs.iter().map(|o| o.stats.rows).sum();
-                let bytes = outputs.iter().map(|o| o.stats.bytes).sum();
-                scope.finish(rows, bytes, started.elapsed().as_secs_f64());
-            }
-            // Error paths drop the scope: the watchdog stops and the
-            // SinkError published from the output stage stands as the
-            // run's terminal event.
-            Err(_) => drop(scope),
-        }
+        // Success or failure, the scope closes with a terminal
+        // `RunFinished` carrying whatever was actually written — so a
+        // subscriber draining to JSONL always sees a terminated stream
+        // (on errors: the `SinkError` from the output stage, then this).
+        let rows = outputs.iter().map(|o| o.stats.rows).sum();
+        let bytes = outputs.iter().map(|o| o.stats.bytes).sum();
+        scope.finish(rows, bytes, started.elapsed().as_secs_f64());
     }
     result?;
     Ok(outputs.into_iter().map(|o| o.stats).collect())
@@ -484,13 +480,14 @@ fn write_package(
 
 /// Reusable per-worker buffers: the row path's row buffer, the columnar
 /// path's batch, and the generator scratch shared by both. One lives on
-/// the inline thread and one in each pool worker; after warm-up neither
-/// path allocates per package.
+/// the inline thread and one in each pool worker (and in each serve
+/// worker — see [`crate::serve`]); after warm-up neither path allocates
+/// per package.
 #[derive(Default)]
-struct WorkerState {
-    row_buf: Vec<Value>,
-    batch: ColumnBatch,
-    scratch: GenScratch,
+pub(crate) struct WorkerState {
+    pub(crate) row_buf: Vec<Value>,
+    pub(crate) batch: ColumnBatch,
+    pub(crate) scratch: GenScratch,
 }
 
 /// Run one package through the configured path (columnar or row), timed
@@ -556,7 +553,7 @@ fn execute_package(
 /// column into a typed [`ColumnBatch`], then transpose it through the
 /// formatter's [`rows_columnar`](Formatter::rows_columnar). Byte-
 /// identical to [`format_package`] by the kernel and formatter contracts.
-fn format_package_columnar(
+pub(crate) fn format_package_columnar(
     rt: &SchemaRuntime,
     pkg: &ProjectPackage,
     formatter: &dyn Formatter,
@@ -619,7 +616,7 @@ fn format_package_columnar_timed(
     t
 }
 
-fn format_package(
+pub(crate) fn format_package(
     rt: &SchemaRuntime,
     pkg: &ProjectPackage,
     formatter: &dyn Formatter,
@@ -688,6 +685,11 @@ fn run_inline(
     let mut out = Vec::new();
     let phases: Option<Arc<WorkerPhases>> = ctx.scope.map(|s| s.slot(0));
     let total = packages.len() as u64;
+    // Seed the watchdog's pending gauge up front: an inline run that
+    // wedges inside its first package is outstanding work, not idle.
+    if let Some(scope) = ctx.scope {
+        scope.set_queue_depth(total);
+    }
     for (done, p) in packages.iter().enumerate() {
         out.clear();
         let idx = p.job as usize;

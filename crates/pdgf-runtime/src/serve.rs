@@ -1,0 +1,1055 @@
+//! On-the-fly row service: the persistent scheduler answering requests.
+//!
+//! The paper's seeding hierarchy makes any cell recomputable in O(1), so
+//! a table never has to be materialized to be read — the "On The Fly"
+//! posture: keep one worker pool alive and let clients ask for row
+//! ranges and point lookups on demand. [`RowService`] is that pool. A
+//! [`RowRequest`] names `(table, update, row range)`; the service splits
+//! it into the same work packages a batch run would use, renders them
+//! through the same columnar batch engine (or the row path) and the same
+//! formatters, and streams the finished byte buffers back in row order
+//! through a [`ResponseStream`].
+//!
+//! Determinism is the contract: the same `(table, update, range, format)`
+//! request always returns the same bytes, and because framing is
+//! positional ([`Framing::for_range`]) concatenating the responses of
+//! adjacent ranges is byte-equal to a `pdgf generate` file of the whole
+//! table. Nothing here caches rows — every answer is recomputed, which is
+//! exactly why answers cannot drift.
+//!
+//! Backpressure is reader-driven: a request may have at most `window`
+//! packages in flight. The service only *issues* the next package ticket
+//! when the reader consumes one, so a slow (or stopped) reader starves
+//! itself and nobody else — workers never block on a full response
+//! queue, they simply run other requests' tickets. Requests multiplex
+//! onto the one global FIFO ticket queue; a dropped [`ResponseStream`]
+//! cancels its unrendered packages.
+//!
+//! With a [`Telemetry`] attached the service keeps a long-lived run scope
+//! (so the stall watchdog supervises it — see the idle-vs-wedged
+//! distinction in [`crate::telemetry`]), publishes request-scoped events
+//! (`RequestStarted`/`RequestFinished`/`RequestFailed`), and feeds a
+//! lock-free latency histogram surfaced through [`RowService::stats`].
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use pdgf_gen::SchemaRuntime;
+use pdgf_output::{Formatter, ReorderBuffer, TableMeta};
+
+use crate::events::RunEvent;
+use crate::metrics::{now_ns, Histogram, PhaseStats};
+use crate::package::{Framing, ProjectPackage, WorkPackage};
+use crate::scheduler::{
+    format_package, format_package_columnar, package_capacity_hint, table_meta, WorkerState,
+};
+use crate::telemetry::{JobInfo, RunScope, Telemetry};
+
+/// Tuning knobs for a [`RowService`], built fluently like
+/// [`RunConfig`](crate::RunConfig):
+///
+/// ```
+/// use pdgf_runtime::serve::ServeConfig;
+/// let cfg = ServeConfig::new().workers(2).package_rows(512).window(8);
+/// assert_eq!(cfg.worker_threads(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads; always ≥ 1 (a service cannot run inline).
+    pub(crate) workers: usize,
+    /// Rows per work package (response streaming granularity).
+    pub(crate) package_rows: u64,
+    /// Max in-flight packages per request (backpressure window).
+    pub(crate) window: usize,
+    /// Render through the columnar batch path (default) or the row path.
+    pub(crate) columnar: bool,
+    /// Reject requests spanning more than this many rows (0 = unlimited).
+    pub(crate) max_request_rows: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: crate::scheduler::available_workers(),
+            package_rows: 4_096,
+            window: 4,
+            columnar: true,
+            max_request_rows: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Start from the defaults: one worker per core, 4096-row packages,
+    /// a 4-package window, columnar rendering, no request-size cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker thread count (clamped to ≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the rows per work package.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is 0, like
+    /// [`RunConfig::package_rows`](crate::RunConfig::package_rows).
+    pub fn package_rows(mut self, rows: u64) -> Self {
+        assert!(rows > 0, "ServeConfig::package_rows must be at least 1");
+        self.package_rows = rows;
+        self
+    }
+
+    /// Set the per-request in-flight package window (clamped to ≥ 1).
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Choose the columnar batch path (`true`, default) or the row path.
+    /// Response bytes are identical either way.
+    pub fn columnar(mut self, columnar: bool) -> Self {
+        self.columnar = columnar;
+        self
+    }
+
+    /// Reject requests spanning more than `rows` rows (0 = unlimited).
+    pub fn max_request_rows(mut self, rows: u64) -> Self {
+        self.max_request_rows = rows;
+        self
+    }
+
+    /// Configured worker thread count.
+    pub fn worker_threads(&self) -> usize {
+        self.workers
+    }
+
+    /// Configured rows per work package.
+    pub fn rows_per_package(&self) -> u64 {
+        self.package_rows
+    }
+
+    /// Configured per-request window.
+    pub fn request_window(&self) -> usize {
+        self.window
+    }
+}
+
+/// One row-range request: which rows of which table, and how the
+/// response is framed.
+#[derive(Debug, Clone)]
+pub struct RowRequest {
+    /// Table index (see [`RowService::table_index`]).
+    pub table: u32,
+    /// Update epoch.
+    pub update: u32,
+    /// Row range (global row numbers, end-exclusive).
+    pub rows: Range<u64>,
+    /// Framing override. `None` (the usual case) frames positionally via
+    /// [`Framing::for_range`], which is what makes concatenated range
+    /// responses byte-equal to whole-table output.
+    pub framing: Option<Framing>,
+}
+
+impl RowRequest {
+    /// A positionally framed range request.
+    pub fn range(table: u32, update: u32, rows: Range<u64>) -> Self {
+        Self {
+            table,
+            update,
+            rows,
+            framing: None,
+        }
+    }
+
+    /// A point lookup: one row, no framing (a fragment of the stream).
+    pub fn point(table: u32, update: u32, row: u64) -> Self {
+        Self {
+            table,
+            update,
+            rows: row..row.saturating_add(1),
+            framing: Some(Framing::none()),
+        }
+    }
+}
+
+/// Why a [`RowService::submit`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The table index is out of range for the loaded schema.
+    UnknownTable(u32),
+    /// The row range is inverted or extends past the table size.
+    RangeOutOfBounds {
+        /// The offending range.
+        rows: Range<u64>,
+        /// Rows in the table.
+        table_size: u64,
+    },
+    /// The range spans more rows than the configured per-request cap.
+    TooLarge {
+        /// Rows requested.
+        requested: u64,
+        /// Configured cap.
+        max: u64,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownTable(t) => write!(f, "unknown table index {t}"),
+            Self::RangeOutOfBounds { rows, table_size } => write!(
+                f,
+                "row range {}..{} out of bounds for table of {table_size} rows",
+                rows.start, rows.end
+            ),
+            Self::TooLarge { requested, max } => {
+                write!(f, "request spans {requested} rows, cap is {max}")
+            }
+            Self::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Monotone counters of a service's lifetime, plus the request-latency
+/// histogram surfaced as condensed [`PhaseStats`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests accepted by [`RowService::submit`].
+    pub requests: u64,
+    /// Requests whose reader consumed every package.
+    pub completed: u64,
+    /// Requests whose [`ResponseStream`] was dropped early.
+    pub aborted: u64,
+    /// Submissions rejected before a stream existed.
+    pub rejected: u64,
+    /// Rows delivered to readers.
+    pub rows: u64,
+    /// Formatted bytes delivered to readers.
+    pub bytes: u64,
+    /// Seconds since the service started.
+    pub uptime_seconds: f64,
+    /// Completed requests per second over the service lifetime.
+    pub qps: f64,
+    /// Submit-to-last-package latency of completed requests.
+    pub latency: PhaseStats,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    aborted: AtomicU64,
+    rejected: AtomicU64,
+    rows: AtomicU64,
+    bytes: AtomicU64,
+    latency: Histogram,
+}
+
+/// Reorder-and-ready state of one in-flight request.
+struct RequestState {
+    reorder: ReorderBuffer<Vec<u8>>,
+    ready: VecDeque<Vec<u8>>,
+}
+
+/// Everything a worker needs to render one request's packages, shared
+/// between the submitting reader and the pool.
+struct RequestShared {
+    id: u64,
+    table: u32,
+    update: u32,
+    rows: Range<u64>,
+    framing: Framing,
+    total_packages: u64,
+    formatter: Arc<dyn Formatter>,
+    meta: TableMeta,
+    /// Proven per-row byte bound for buffer pre-sizing (allocation hint
+    /// only — bytes are identical without it).
+    row_bound: Option<u64>,
+    /// Set when the reader goes away; unrendered packages are skipped.
+    cancelled: AtomicBool,
+    state: Mutex<RequestState>,
+    ready: Condvar,
+}
+
+/// One package ticket on the global queue.
+struct Task {
+    req: Arc<RequestShared>,
+    seq: u64,
+}
+
+struct ServiceShared {
+    rt: Arc<SchemaRuntime>,
+    queue: Mutex<VecDeque<Task>>,
+    work: Condvar,
+    shutdown: AtomicBool,
+    columnar: bool,
+    package_rows: u64,
+    window: u64,
+    max_request_rows: u64,
+    stats: StatsInner,
+    started_ns: u64,
+    /// Long-lived telemetry scope: its watchdog supervises the pool
+    /// (idle is healthy; queued-but-stuck tickets are a stall).
+    scope: Option<RunScope>,
+    telemetry: Option<Telemetry>,
+    next_request: AtomicU64,
+}
+
+impl ServiceShared {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn push_task(&self, task: Task) {
+        let depth = {
+            let mut q = self.lock_queue();
+            q.push_back(task);
+            q.len() as u64
+        };
+        if let Some(scope) = &self.scope {
+            scope.set_queue_depth(depth);
+        }
+        self.work.notify_one();
+    }
+
+    fn publish(&self, event: RunEvent) {
+        if let Some(t) = &self.telemetry {
+            t.publish(event);
+        }
+    }
+}
+
+/// The persistent on-demand row service: one worker pool answering
+/// range and point-lookup requests over one loaded schema. See the
+/// module docs for the streaming and backpressure model.
+pub struct RowService {
+    shared: Arc<ServiceShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RowService {
+    /// Start the service: spawns the worker pool immediately; workers
+    /// sleep until requests arrive. `telemetry` attaches the event bus,
+    /// metrics and the stall watchdog for the service's lifetime.
+    pub fn new(rt: Arc<SchemaRuntime>, cfg: ServeConfig, telemetry: Option<&Telemetry>) -> Self {
+        let scope = telemetry.map(|t| {
+            t.begin_run(
+                vec![JobInfo::new("<serve>".to_string(), 0)],
+                cfg.workers.max(1),
+            )
+        });
+        let shared = Arc::new(ServiceShared {
+            rt,
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            columnar: cfg.columnar,
+            package_rows: cfg.package_rows,
+            window: cfg.window.max(1) as u64,
+            max_request_rows: cfg.max_request_rows,
+            stats: StatsInner::default(),
+            started_ns: now_ns(),
+            scope,
+            telemetry: telemetry.cloned(),
+            next_request: AtomicU64::new(1),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pdgf-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .unwrap_or_else(|e| panic!("failed to spawn serve worker {i}: {e}"))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The schema runtime this service answers for.
+    pub fn runtime(&self) -> &SchemaRuntime {
+        &self.shared.rt
+    }
+
+    /// Resolve a table name to the index [`RowRequest`] wants.
+    pub fn table_index(&self, name: &str) -> Option<u32> {
+        self.shared
+            .rt
+            .tables()
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Submit a request. Validation is synchronous; rendering is not —
+    /// the returned [`ResponseStream`] yields formatted packages in row
+    /// order as workers finish them.
+    pub fn submit(
+        &self,
+        request: RowRequest,
+        formatter: Arc<dyn Formatter>,
+    ) -> Result<ResponseStream, SubmitError> {
+        let shared = &self.shared;
+        let reject = |err: SubmitError, shared: &ServiceShared| {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.publish(RunEvent::RequestFailed {
+                request: 0,
+                message: err.to_string(),
+            });
+            err
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Err(reject(SubmitError::ShuttingDown, shared));
+        }
+        let tables = shared.rt.tables();
+        let Some(table) = tables.get(request.table as usize) else {
+            return Err(reject(SubmitError::UnknownTable(request.table), shared));
+        };
+        let size = table.size;
+        if request.rows.start > request.rows.end || request.rows.end > size {
+            return Err(reject(
+                SubmitError::RangeOutOfBounds {
+                    rows: request.rows.clone(),
+                    table_size: size,
+                },
+                shared,
+            ));
+        }
+        let span = request.rows.end - request.rows.start;
+        let max = shared.max_request_rows;
+        if max > 0 && span > max {
+            return Err(reject(
+                SubmitError::TooLarge {
+                    requested: span,
+                    max,
+                },
+                shared,
+            ));
+        }
+
+        let framing = request
+            .framing
+            .unwrap_or_else(|| Framing::for_range(&request.rows, size));
+        // Package count mirrors the batch scheduler's split; a rowless
+        // request that still owns framing gets one synthetic empty
+        // package so `begin`/`end` bytes have a carrier.
+        let mut total_packages = span.div_ceil(shared.package_rows);
+        if total_packages == 0 && (framing.begin || framing.end) {
+            total_packages = 1;
+        }
+        let meta = table_meta(&shared.rt, request.table);
+        let row_bound =
+            formatter.max_row_bytes(&meta, &shared.rt.profiles()[request.table as usize]);
+        let id = shared.next_request.fetch_add(1, Ordering::Relaxed);
+        let req = Arc::new(RequestShared {
+            id,
+            table: request.table,
+            update: request.update,
+            rows: request.rows,
+            framing,
+            total_packages,
+            formatter,
+            meta,
+            row_bound,
+            cancelled: AtomicBool::new(false),
+            state: Mutex::new(RequestState {
+                reorder: ReorderBuffer::new(),
+                ready: VecDeque::new(),
+            }),
+            ready: Condvar::new(),
+        });
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        shared.publish(RunEvent::RequestStarted {
+            request: id,
+            table: req.meta.name.clone(),
+            rows: span,
+        });
+        let mut stream = ResponseStream {
+            shared: Arc::clone(shared),
+            req,
+            window: shared.window,
+            issued: 0,
+            delivered: 0,
+            rows: 0,
+            bytes: 0,
+            started_ns: now_ns(),
+            finished: total_packages == 0,
+        };
+        stream.issue_up_to_window();
+        Ok(stream)
+    }
+
+    /// Convenience point lookup: the formatted bytes of one row, with no
+    /// framing — exactly the row's slice of the whole-table byte stream
+    /// body.
+    pub fn row_bytes(
+        &self,
+        table: u32,
+        update: u32,
+        row: u64,
+        formatter: Arc<dyn Formatter>,
+    ) -> Result<Vec<u8>, SubmitError> {
+        let mut stream = self.submit(RowRequest::point(table, update, row), formatter)?;
+        let mut out = Vec::new();
+        while let Some(chunk) = stream.next_package() {
+            out.extend_from_slice(&chunk);
+        }
+        Ok(out)
+    }
+
+    /// Live service counters and latency percentiles.
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.shared.stats;
+        let completed = s.completed.load(Ordering::Relaxed);
+        let uptime_seconds = now_ns().saturating_sub(self.shared.started_ns) as f64 / 1e9;
+        ServeStats {
+            requests: s.requests.load(Ordering::Relaxed),
+            completed,
+            aborted: s.aborted.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            rows: s.rows.load(Ordering::Relaxed),
+            bytes: s.bytes.load(Ordering::Relaxed),
+            uptime_seconds,
+            qps: if uptime_seconds > 0.0 {
+                completed as f64 / uptime_seconds
+            } else {
+                0.0
+            },
+            latency: s.latency.snapshot().stats(),
+        }
+    }
+
+    /// Stop accepting work and join the pool. Pending tickets of live
+    /// streams are drained first; called automatically on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if self.shared.telemetry.is_some() {
+            let s = self.stats();
+            self.shared.publish(RunEvent::RunFinished {
+                rows: s.rows,
+                bytes: s.bytes,
+                seconds: s.uptime_seconds,
+            });
+        }
+    }
+}
+
+impl Drop for RowService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A request's ordered package stream. Iterate (or call
+/// [`next_package`](Self::next_package)) to receive the formatted
+/// buffers; each consumption issues the next package ticket, keeping at
+/// most `window` packages in flight for this request. Dropping the
+/// stream early cancels the request's remaining work.
+pub struct ResponseStream {
+    shared: Arc<ServiceShared>,
+    req: Arc<RequestShared>,
+    window: u64,
+    issued: u64,
+    delivered: u64,
+    rows: u64,
+    bytes: u64,
+    started_ns: u64,
+    finished: bool,
+}
+
+impl ResponseStream {
+    /// Total packages this response will deliver.
+    pub fn total_packages(&self) -> u64 {
+        self.req.total_packages
+    }
+
+    /// The service-assigned request id (matches the request events).
+    pub fn request_id(&self) -> u64 {
+        self.req.id
+    }
+
+    fn issue_up_to_window(&mut self) {
+        while self.issued < self.req.total_packages
+            && self.issued.saturating_sub(self.delivered) < self.window
+        {
+            self.shared.push_task(Task {
+                req: Arc::clone(&self.req),
+                seq: self.issued,
+            });
+            self.issued += 1;
+        }
+    }
+
+    /// Blocking: the next formatted package, in row order, or `None`
+    /// after the last one (or if the service shuts down mid-request).
+    pub fn next_package(&mut self) -> Option<Vec<u8>> {
+        if self.finished {
+            return None;
+        }
+        let buf = loop {
+            let mut st = self
+                .req
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(b) = st.ready.pop_front() {
+                break b;
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                // The pool is gone; this request can never complete.
+                self.finished = true;
+                self.req.cancelled.store(true, Ordering::Relaxed);
+                self.shared.stats.aborted.fetch_add(1, Ordering::Relaxed);
+                self.shared.publish(RunEvent::RequestFailed {
+                    request: self.req.id,
+                    message: "service shut down mid-request".to_string(),
+                });
+                return None;
+            }
+            // Timed wait so a shutdown while parked is noticed.
+            let (_st, _timeout) = self
+                .req
+                .ready
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+        };
+        self.delivered += 1;
+        self.rows += package_row_count(&self.req, self.shared.package_rows, self.delivered - 1);
+        self.bytes += buf.len() as u64;
+        self.issue_up_to_window();
+        if self.delivered == self.req.total_packages {
+            self.finished = true;
+            let s = &self.shared.stats;
+            s.completed.fetch_add(1, Ordering::Relaxed);
+            s.rows.fetch_add(self.rows, Ordering::Relaxed);
+            s.bytes.fetch_add(self.bytes, Ordering::Relaxed);
+            let latency_ns = now_ns().saturating_sub(self.started_ns);
+            s.latency.record(latency_ns);
+            self.shared.publish(RunEvent::RequestFinished {
+                request: self.req.id,
+                rows: self.rows,
+                bytes: self.bytes,
+                micros: latency_ns / 1_000,
+            });
+        }
+        Some(buf)
+    }
+}
+
+impl Iterator for ResponseStream {
+    type Item = Vec<u8>;
+
+    fn next(&mut self) -> Option<Vec<u8>> {
+        self.next_package()
+    }
+}
+
+impl Drop for ResponseStream {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.req.cancelled.store(true, Ordering::Relaxed);
+            self.shared.stats.aborted.fetch_add(1, Ordering::Relaxed);
+            self.shared.publish(RunEvent::RequestFailed {
+                request: self.req.id,
+                message: "response stream dropped before completion".to_string(),
+            });
+        }
+    }
+}
+
+/// Rows package `seq` of `req` covers (the tail package may be short;
+/// a synthetic framing-only package covers zero).
+fn package_row_count(req: &RequestShared, package_rows: u64, seq: u64) -> u64 {
+    let span = req.rows.end - req.rows.start;
+    let start = seq.saturating_mul(package_rows).min(span);
+    let end = seq.saturating_add(1).saturating_mul(package_rows).min(span);
+    end - start
+}
+
+fn worker_loop(shared: &ServiceShared) {
+    let mut state = WorkerState::default();
+    loop {
+        let task = {
+            let mut q = shared.lock_queue();
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let (guard, _timeout) = shared
+                    .work
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        };
+        if let Some(scope) = &shared.scope {
+            scope.set_queue_depth(shared.lock_queue().len() as u64);
+        }
+        if task.req.cancelled.load(Ordering::Relaxed) {
+            continue;
+        }
+        let buf = render_package(shared, &task, &mut state);
+        let mut st = task
+            .req
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut ready = st.reorder.push(task.seq, buf);
+        while let Some(b) = ready {
+            st.ready.push_back(b);
+            ready = st.reorder.pop_ready();
+        }
+        drop(st);
+        task.req.ready.notify_all();
+        if let Some(scope) = &shared.scope {
+            scope.progress();
+        }
+    }
+}
+
+/// Render one package of one request: the request's slice of the same
+/// package grid a batch run would use, framed positionally, through the
+/// configured engine. Byte-identity with batch output follows from the
+/// formatter contract: `begin` + per-row appends + `end`, independent of
+/// package boundaries.
+fn render_package(shared: &ServiceShared, task: &Task, state: &mut WorkerState) -> Vec<u8> {
+    let req = &task.req;
+    let start = req.rows.start + task.seq * shared.package_rows;
+    let end = (start + shared.package_rows).min(req.rows.end);
+    let start = start.min(end);
+    let first = task.seq == 0;
+    let last = task.seq + 1 == req.total_packages;
+    let mut out =
+        Vec::with_capacity(package_capacity_hint(req.row_bound, end - start).min(1 << 22));
+    if first && req.framing.begin {
+        req.formatter.begin(&mut out, &req.meta);
+    }
+    if end > start {
+        let pkg = ProjectPackage {
+            job: 0,
+            pkg: WorkPackage {
+                seq: task.seq,
+                table: req.table,
+                update: req.update,
+                rows: start..end,
+            },
+        };
+        if shared.columnar {
+            format_package_columnar(
+                &shared.rt,
+                &pkg,
+                req.formatter.as_ref(),
+                &req.meta,
+                &mut state.batch,
+                &mut state.scratch,
+                &mut out,
+            );
+        } else {
+            format_package(
+                &shared.rt,
+                &pkg,
+                req.formatter.as_ref(),
+                &req.meta,
+                &mut state.row_buf,
+                &mut state.scratch,
+                &mut out,
+            );
+        }
+    }
+    if last && req.framing.end {
+        req.formatter.end(&mut out, &req.meta);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{generate_table_range, RunConfig};
+    use crate::telemetry::TelemetryConfig;
+    use pdgf_gen::MapResolver;
+    use pdgf_output::{CsvFormatter, JsonFormatter, MemorySink, SqlFormatter, XmlFormatter};
+    use pdgf_schema::{Expr, Field, GeneratorSpec, Schema, SqlType, Table};
+
+    fn runtime(rows: u64) -> Arc<SchemaRuntime> {
+        let schema = Schema::new("serve", 77).table(
+            Table::new("t", &format!("{rows}"))
+                .field(
+                    Field::new("id", SqlType::BigInt, GeneratorSpec::Id { permute: false })
+                        .primary(),
+                )
+                .field(Field::new(
+                    "v",
+                    SqlType::Integer,
+                    GeneratorSpec::Long {
+                        min: Expr::parse("0").unwrap(),
+                        max: Expr::parse("999999").unwrap(),
+                    },
+                )),
+        );
+        Arc::new(SchemaRuntime::build(&schema, &MapResolver::new()).unwrap())
+    }
+
+    fn batch_bytes(rt: &SchemaRuntime, formatter: &dyn Formatter) -> Vec<u8> {
+        let mut sink = MemorySink::new();
+        generate_table_range(
+            rt,
+            0,
+            0,
+            0..rt.tables()[0].size,
+            formatter,
+            &mut sink,
+            &RunConfig::new().workers(0).package_rows(64),
+            None,
+        )
+        .unwrap();
+        sink.as_str().as_bytes().to_vec()
+    }
+
+    fn drain(mut stream: ResponseStream) -> Vec<u8> {
+        let mut out = Vec::new();
+        while let Some(chunk) = stream.next_package() {
+            out.extend_from_slice(&chunk);
+        }
+        out
+    }
+
+    #[test]
+    fn range_responses_concatenate_to_batch_bytes() {
+        let rt = runtime(1_000);
+        let formatters: [Arc<dyn Formatter>; 4] = [
+            Arc::new(CsvFormatter::new().with_header()),
+            Arc::new(JsonFormatter),
+            Arc::new(XmlFormatter),
+            Arc::new(SqlFormatter::new()),
+        ];
+        let service = RowService::new(
+            Arc::clone(&rt),
+            ServeConfig::new().workers(3).package_rows(37),
+            None,
+        );
+        for formatter in &formatters {
+            let whole = batch_bytes(&rt, formatter.as_ref());
+            let mut concat = Vec::new();
+            for range in [0..311u64, 311..312, 312..1_000] {
+                let a = drain(
+                    service
+                        .submit(
+                            RowRequest::range(0, 0, range.clone()),
+                            Arc::clone(formatter),
+                        )
+                        .unwrap(),
+                );
+                // Same range twice returns identical bytes.
+                let b = drain(
+                    service
+                        .submit(RowRequest::range(0, 0, range), Arc::clone(formatter))
+                        .unwrap(),
+                );
+                assert_eq!(a, b, "determinism: repeated request differs");
+                concat.extend_from_slice(&a);
+            }
+            assert_eq!(
+                concat,
+                whole,
+                "format={}: concatenated ranges != batch file",
+                formatter.name()
+            );
+        }
+    }
+
+    #[test]
+    fn row_path_matches_columnar_path() {
+        let rt = runtime(300);
+        let csv: Arc<dyn Formatter> = Arc::new(CsvFormatter::new());
+        let columnar = RowService::new(
+            Arc::clone(&rt),
+            ServeConfig::new()
+                .workers(2)
+                .package_rows(16)
+                .columnar(true),
+            None,
+        );
+        let row = RowService::new(
+            Arc::clone(&rt),
+            ServeConfig::new()
+                .workers(2)
+                .package_rows(16)
+                .columnar(false),
+            None,
+        );
+        let a = drain(
+            columnar
+                .submit(RowRequest::range(0, 0, 10..290), Arc::clone(&csv))
+                .unwrap(),
+        );
+        let b = drain(
+            row.submit(RowRequest::range(0, 0, 10..290), Arc::clone(&csv))
+                .unwrap(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn point_lookups_tile_the_whole_table() {
+        let rt = runtime(50);
+        let service = RowService::new(
+            Arc::clone(&rt),
+            ServeConfig::new().workers(2).package_rows(8),
+            None,
+        );
+        let csv: Arc<dyn Formatter> = Arc::new(CsvFormatter::new());
+        let whole = batch_bytes(&rt, &CsvFormatter::new());
+        let mut concat = Vec::new();
+        for row in 0..50 {
+            concat.extend_from_slice(&service.row_bytes(0, 0, row, Arc::clone(&csv)).unwrap());
+        }
+        assert_eq!(concat, whole, "point lookups tile the CSV body");
+    }
+
+    /// The backpressure contract: with ONE worker, a reader that never
+    /// consumes its stream must not wedge the pool — another request
+    /// completes fully while the slow reader sits on its window.
+    #[test]
+    fn unread_stream_does_not_stall_other_requests() {
+        let rt = runtime(10_000);
+        let service = RowService::new(
+            Arc::clone(&rt),
+            ServeConfig::new().workers(1).package_rows(100).window(2),
+            None,
+        );
+        let csv: Arc<dyn Formatter> = Arc::new(CsvFormatter::new());
+        // 100 packages total, window 2: only 2 are ever issued because
+        // the reader never consumes one.
+        let slow = service
+            .submit(RowRequest::range(0, 0, 0..10_000), Arc::clone(&csv))
+            .unwrap();
+        let fast = drain(
+            service
+                .submit(RowRequest::range(0, 0, 0..10_000), Arc::clone(&csv))
+                .unwrap(),
+        );
+        assert_eq!(fast, batch_bytes(&rt, &CsvFormatter::new()));
+        drop(slow);
+        let stats = service.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.aborted, 1);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        let rt = runtime(100);
+        let service = RowService::new(
+            Arc::clone(&rt),
+            ServeConfig::new().workers(1).max_request_rows(50),
+            None,
+        );
+        let csv: Arc<dyn Formatter> = Arc::new(CsvFormatter::new());
+        assert_eq!(
+            service
+                .submit(RowRequest::range(9, 0, 0..1), Arc::clone(&csv))
+                .err(),
+            Some(SubmitError::UnknownTable(9))
+        );
+        assert!(matches!(
+            service
+                .submit(RowRequest::range(0, 0, 50..200), Arc::clone(&csv))
+                .err(),
+            Some(SubmitError::RangeOutOfBounds { .. })
+        ));
+        assert_eq!(
+            service
+                .submit(RowRequest::range(0, 0, 0..51), Arc::clone(&csv))
+                .err(),
+            Some(SubmitError::TooLarge {
+                requested: 51,
+                max: 50
+            })
+        );
+        assert_eq!(service.stats().rejected, 3);
+        assert_eq!(service.table_index("t"), Some(0));
+        assert_eq!(service.table_index("nope"), None);
+    }
+
+    #[test]
+    fn request_events_and_stats_flow_through_telemetry() {
+        let rt = runtime(200);
+        let telemetry = Telemetry::with_config(TelemetryConfig {
+            stall_timeout: Duration::from_secs(10),
+            bus_capacity: 256,
+        });
+        let sub = telemetry.subscribe();
+        let mut service = RowService::new(
+            Arc::clone(&rt),
+            ServeConfig::new().workers(2).package_rows(64),
+            Some(&telemetry),
+        );
+        let csv: Arc<dyn Formatter> = Arc::new(CsvFormatter::new());
+        let bytes = drain(
+            service
+                .submit(RowRequest::range(0, 0, 0..200), Arc::clone(&csv))
+                .unwrap(),
+        );
+        assert!(!bytes.is_empty());
+        let stats = service.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.rows, 200);
+        assert_eq!(stats.bytes, bytes.len() as u64);
+        assert_eq!(stats.latency.count, 1);
+        assert!(stats.qps > 0.0);
+        service.shutdown();
+        telemetry.close();
+        let kinds: Vec<&'static str> = std::iter::from_fn(|| sub.recv())
+            .map(|e| match e.event {
+                RunEvent::RunStarted { .. } => "run_started",
+                RunEvent::RequestStarted { .. } => "request_started",
+                RunEvent::RequestFinished { .. } => "request_finished",
+                RunEvent::RunFinished { .. } => "run_finished",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "run_started",
+                "request_started",
+                "request_finished",
+                "run_finished"
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_table_range_still_owns_framing() {
+        let rt = runtime(0);
+        let service = RowService::new(Arc::clone(&rt), ServeConfig::new().workers(1), None);
+        let xml: Arc<dyn Formatter> = Arc::new(XmlFormatter);
+        let got = drain(
+            service
+                .submit(RowRequest::range(0, 0, 0..0), Arc::clone(&xml))
+                .unwrap(),
+        );
+        assert_eq!(got, batch_bytes(&rt, &XmlFormatter));
+    }
+}

@@ -216,3 +216,77 @@ fn watchdog_names_the_wedged_table() {
     }
     assert!(finished, "RunFinished published after the stall cleared");
 }
+
+/// Sink that fails after a small byte budget, so runs abort mid-stream.
+struct FailingSink {
+    wrote: u64,
+    budget: u64,
+}
+
+impl Sink for FailingSink {
+    fn write_chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if self.wrote + bytes.len() as u64 > self.budget {
+            return Err(io::Error::other("disk full"));
+        }
+        self.wrote += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<u64> {
+        Ok(self.wrote)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.wrote
+    }
+}
+
+/// A run aborted by a sink error must still terminate its event stream:
+/// the `SinkError` is followed by a terminal `RunFinished` carrying the
+/// partial totals, so a `--metrics-out` JSONL of a failed run is a
+/// complete, parseable record rather than a truncated one.
+#[test]
+fn failed_run_still_publishes_terminal_run_finished() {
+    let rt = runtime();
+    let telemetry = Telemetry::with_config(TelemetryConfig {
+        bus_capacity: 1024,
+        stall_timeout: Duration::from_secs(3600),
+    });
+    let subscriber = telemetry.subscribe();
+    let factory = |table: &str| -> io::Result<Box<dyn Sink>> {
+        if table == "b" {
+            Ok(Box::new(FailingSink {
+                wrote: 0,
+                budget: 256,
+            }))
+        } else {
+            Ok(Box::new(NullSink::new()))
+        }
+    };
+    let err = GenerationRun::new(&rt, RunConfig::new().workers(2).package_rows(25))
+        .with_telemetry(telemetry.clone())
+        .run(&CsvFormatter::new(), factory)
+        .unwrap_err();
+    assert!(err.to_string().contains("disk full"), "{err}");
+    telemetry.close();
+
+    let mut kinds = Vec::new();
+    while let Some(event) = subscriber.recv() {
+        kinds.push(match event.event {
+            RunEvent::SinkError { .. } => "sink_error",
+            RunEvent::RunFinished { .. } => "run_finished",
+            _ => "other",
+        });
+    }
+    let sink_error = kinds.iter().position(|k| *k == "sink_error");
+    assert!(sink_error.is_some(), "SinkError published: {kinds:?}");
+    assert_eq!(
+        kinds.last().copied(),
+        Some("run_finished"),
+        "terminal RunFinished closes the failed run's stream: {kinds:?}"
+    );
+    assert!(
+        sink_error.unwrap() < kinds.len() - 1,
+        "SinkError precedes the terminal event"
+    );
+}

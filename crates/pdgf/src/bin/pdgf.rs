@@ -12,11 +12,21 @@
 //! pdgf info     --model tpch.xml [-p ...]
 //! pdgf validate --model tpch.xml [--format json] [-p NAME=EXPR]...
 //! pdgf explain  --model tpch.xml [--scale N] [--format json] [-p ...]
+//! pdgf serve    --model tpch.xml --addr 127.0.0.1:7411 [--workers N]
+//!               [--package-rows N] [--window N] [--max-request-rows N]
+//!               [--max-connections N] [--metrics-out run.jsonl] [-p ...]
+//! pdgf fetch    --addr HOST:PORT --table t --start A --end B [--format csv]
+//!               [--update N] [--out FILE]
+//! pdgf fetch    --addr HOST:PORT --table t --row N [--format csv]
+//! pdgf fetch    --addr HOST:PORT --stats|--info|--ping
 //! ```
 //!
 //! `--progress` keeps a single refreshing status line on stderr (percent,
 //! rows, MB/s, ETA). `--metrics-out` streams the run's telemetry events
 //! as JSONL to a file, followed by one `metrics_snapshot` summary record.
+//! `serve` keeps one worker pool alive and answers row-range and
+//! point-lookup requests on demand (see DESIGN.md, "On-the-fly serving");
+//! `fetch` is the matching client.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -24,8 +34,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use pdgf::runtime::{Monitor, PhaseStats, Telemetry};
-use pdgf::{OutputFormat, Pdgf, PdgfError};
+use pdgf::runtime::{Monitor, PhaseStats, ServeConfig, Telemetry};
+use pdgf::{OutputFormat, Pdgf, PdgfError, ServeClient, Server, ServerOptions};
 
 struct Args {
     model: Option<String>,
@@ -43,11 +53,22 @@ struct Args {
     metrics_out: Option<String>,
     scale: Option<String>,
     row_path: bool,
+    addr: Option<String>,
+    start: Option<u64>,
+    end: Option<u64>,
+    row: Option<u64>,
+    update: u32,
+    window: Option<usize>,
+    max_request_rows: Option<u64>,
+    max_connections: Option<usize>,
+    stats: bool,
+    info: bool,
+    ping: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pdgf <generate|preview|info|validate|explain> --model <file.xml> [options]\n\
+        "usage: pdgf <generate|preview|info|validate|explain|serve|fetch> [options]\n\
          \n\
          generate options: --out <dir> --format csv|json|xml|sql --workers N\n\
          \u{20}                 --package-rows N --seed N -p NAME=EXPR\n\
@@ -56,7 +77,14 @@ fn usage() -> ExitCode {
          \u{20}                 --metrics-out <file> (telemetry event stream as JSONL)\n\
          \u{20}                 --row-path           (per-row generation instead of columnar)\n\
          preview options:  --table <name> --rows N\n\
-         explain options:  --scale N (override the SF property) --format json\n"
+         explain options:  --scale N (override the SF property) --format json\n\
+         serve options:    --model <file.xml> --addr HOST:PORT --workers N\n\
+         \u{20}                 --package-rows N --window N (per-request in-flight packages)\n\
+         \u{20}                 --max-request-rows N --max-connections N\n\
+         \u{20}                 --metrics-out <file> (request event stream as JSONL)\n\
+         fetch options:    --addr HOST:PORT --table <name> --start A --end B\n\
+         \u{20}                 --row N (point lookup) --update N --format csv|json|xml|sql\n\
+         \u{20}                 --out <file> (default stdout) --stats --info --ping\n"
     );
     ExitCode::from(2)
 }
@@ -79,6 +107,17 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         metrics_out: None,
         scale: None,
         row_path: false,
+        addr: None,
+        start: None,
+        end: None,
+        row: None,
+        update: 0,
+        window: None,
+        max_request_rows: None,
+        max_connections: None,
+        stats: false,
+        info: false,
+        ping: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -115,6 +154,31 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--row-path" => args.row_path = true,
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--scale" => args.scale = Some(value("--scale")?),
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--start" => args.start = Some(value("--start")?.parse().map_err(|_| "bad --start")?),
+            "--end" => args.end = Some(value("--end")?.parse().map_err(|_| "bad --end")?),
+            "--row" => args.row = Some(value("--row")?.parse().map_err(|_| "bad --row")?),
+            "--update" => args.update = value("--update")?.parse().map_err(|_| "bad --update")?,
+            "--window" => {
+                args.window = Some(value("--window")?.parse().map_err(|_| "bad --window")?)
+            }
+            "--max-request-rows" => {
+                args.max_request_rows = Some(
+                    value("--max-request-rows")?
+                        .parse()
+                        .map_err(|_| "bad --max-request-rows")?,
+                )
+            }
+            "--max-connections" => {
+                args.max_connections = Some(
+                    value("--max-connections")?
+                        .parse()
+                        .map_err(|_| "bad --max-connections")?,
+                )
+            }
+            "--stats" => args.stats = true,
+            "--info" => args.info = true,
+            "--ping" => args.ping = true,
             "-p" => {
                 let kv = value("-p")?;
                 let (k, v) = kv
@@ -175,6 +239,8 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args),
         "validate" => cmd_validate(&args),
         "explain" => cmd_explain(&args),
+        "serve" => cmd_serve(&args),
+        "fetch" => cmd_fetch(&args),
         _ => {
             return usage();
         }
@@ -541,6 +607,114 @@ fn cmd_explain(args: &Args) -> Result<(), PdgfError> {
             "model failed static analysis with {} error(s)",
             report.errors()
         )));
+    }
+    Ok(())
+}
+
+/// Start the on-the-fly row server: one persistent worker pool answering
+/// range and point-lookup requests over the loaded model, forever.
+/// Prints `listening on ADDR` once the socket is bound (the CI smoke job
+/// waits on that line). `--metrics-out` streams request-scoped telemetry
+/// events as JSONL while the server runs.
+fn cmd_serve(args: &Args) -> Result<(), PdgfError> {
+    let project = build_project(args)?;
+    let addr = args
+        .addr
+        .as_ref()
+        .ok_or_else(|| PdgfError::Config("--addr is required for serve".into()))?;
+
+    let mut config = ServeConfig::new();
+    if let Some(workers) = args.workers {
+        config = config.workers(workers);
+    }
+    if let Some(rows) = args.package_rows {
+        config = config.package_rows(rows);
+    }
+    if let Some(window) = args.window {
+        config = config.window(window);
+    }
+    if let Some(max) = args.max_request_rows {
+        config = config.max_request_rows(max);
+    }
+    if args.row_path {
+        config = config.columnar(false);
+    }
+    let mut options = ServerOptions::new().config(config);
+    if let Some(max) = args.max_connections {
+        options = options.max_connections(max);
+    }
+
+    let telemetry = args.metrics_out.as_ref().map(|_| Telemetry::new());
+    let _writer = telemetry.as_ref().and_then(|t| {
+        let path = args.metrics_out.clone()?;
+        let subscriber = t.subscribe();
+        Some(std::thread::spawn(move || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&path)?;
+            while let Some(event) = subscriber.recv() {
+                writeln!(file, "{}", event.to_json())?;
+            }
+            Ok(())
+        }))
+    });
+
+    let runtime = Arc::new(project.into_runtime());
+    let server = Server::bind(runtime, addr, options, telemetry.as_ref())?;
+    println!("listening on {}", server.local_addr()?);
+    let _ = std::io::stdout().flush();
+    server.run();
+    Ok(())
+}
+
+/// The `serve` protocol client: fetch a row range or one row to stdout
+/// (or `--out`), or query `--info`/`--stats`/`--ping`.
+fn cmd_fetch(args: &Args) -> Result<(), PdgfError> {
+    let addr = args
+        .addr
+        .as_ref()
+        .ok_or_else(|| PdgfError::Config("--addr is required for fetch".into()))?;
+    let mut client = ServeClient::connect(addr)?;
+    let fail = |e: pdgf::ServeError| PdgfError::Config(e.to_string());
+
+    if args.ping {
+        client.ping().map_err(fail)?;
+        println!("pong");
+        return Ok(());
+    }
+    if args.info {
+        println!("{}", client.info().map_err(fail)?);
+        return Ok(());
+    }
+    if args.stats {
+        println!("{}", client.stats().map_err(fail)?);
+        return Ok(());
+    }
+
+    let table = args
+        .table
+        .as_ref()
+        .ok_or_else(|| PdgfError::Config("--table is required for fetch".into()))?;
+    let bytes: Vec<u8> = if let Some(row) = args.row {
+        client
+            .row(table, args.update, row, args.format)
+            .map_err(fail)?
+    } else {
+        let start = args
+            .start
+            .ok_or_else(|| PdgfError::Config("--start/--end or --row required".into()))?;
+        let end = args
+            .end
+            .ok_or_else(|| PdgfError::Config("--start/--end or --row required".into()))?;
+        client
+            .range(table, args.update, start, end, args.format)
+            .map_err(fail)?
+    };
+    match &args.out {
+        Some(path) => std::fs::write(path, &bytes)?,
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            stdout.write_all(&bytes)?;
+            stdout.flush()?;
+        }
     }
     Ok(())
 }

@@ -52,6 +52,28 @@ impl OutputFormat {
             OutputFormat::Sql => Box::new(SqlFormatter::new()),
         }
     }
+
+    /// Parse a format name (the CLI `--format` values and the serve
+    /// protocol's format field).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "csv" => Some(OutputFormat::Csv),
+            "json" => Some(OutputFormat::Json),
+            "xml" => Some(OutputFormat::Xml),
+            "sql" => Some(OutputFormat::Sql),
+            _ => None,
+        }
+    }
+
+    /// All formats, in `--format` listing order.
+    pub fn all() -> [Self; 4] {
+        [
+            OutputFormat::Csv,
+            OutputFormat::Json,
+            OutputFormat::Xml,
+            OutputFormat::Sql,
+        ]
+    }
 }
 
 /// Facade error type.
@@ -474,6 +496,31 @@ impl PdgfProject {
             }
         }
         Ok(out)
+    }
+
+    /// Point lookup: the values of one row of `table` at update epoch
+    /// `update`, recomputed on the spot from the seeding hierarchy (the
+    /// paper's O(1) cell access — no files involved). Byte-agreement of
+    /// these values with full-file generation is pinned by the serve
+    /// determinism test matrix.
+    pub fn row(&self, table: &str, update: u32, row: u64) -> Result<Vec<Value>, PdgfError> {
+        let (idx, t) = self
+            .runtime
+            .table_by_name(table)
+            .ok_or_else(|| PdgfError::Config(format!("unknown table {table:?}")))?;
+        if row >= t.size {
+            return Err(PdgfError::Config(format!(
+                "row {row} out of bounds for table {table:?} of {} rows",
+                t.size
+            )));
+        }
+        Ok(self.runtime.row(idx, update, row))
+    }
+
+    /// Consume the project, keeping only the compiled runtime — what the
+    /// serve layer wraps in an `Arc` to share across its worker pool.
+    pub fn into_runtime(self) -> SchemaRuntime {
+        self.runtime
     }
 
     /// Instant preview of the first `rows` rows of a table — "PDGF's

@@ -249,6 +249,168 @@ fn metrics_out_writes_event_jsonl_and_summary() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Satellite of the serve PR's bugfix sweep: a run that dies on a sink
+/// error must still flush the terminal telemetry — the JSONL ends with
+/// the `metrics_snapshot` summary record instead of truncating.
+#[test]
+fn metrics_out_flushes_snapshot_when_the_run_fails() {
+    let dir = workdir("metrics-fail");
+    let model = model_file(&dir);
+    let out = dir.join("out");
+    // Block the table's output file with a directory of the same name so
+    // sink creation fails mid-run.
+    std::fs::create_dir_all(out.join("t.csv")).expect("blocking dir");
+    let metrics = dir.join("run.jsonl");
+    let output = bin()
+        .args([
+            "generate",
+            "--model",
+            model.to_str().expect("utf8 path"),
+            "--out",
+            out.to_str().expect("utf8 path"),
+            "--metrics-out",
+            metrics.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1), "run must fail");
+    let jsonl = std::fs::read_to_string(&metrics).expect("metrics file written despite failure");
+    let last = jsonl.lines().last().expect("nonempty");
+    assert!(
+        last.contains("\"event\":\"metrics_snapshot\""),
+        "terminal snapshot missing: {jsonl}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// End-to-end over real processes: `pdgf serve` + `pdgf fetch`. The
+/// concatenated fetched shards must be byte-equal to `pdgf generate`'s
+/// file, and the JSON endpoints must answer.
+#[test]
+fn serve_and_fetch_roundtrip_matches_generate() {
+    let dir = workdir("serve");
+    let model = model_file(&dir);
+    let out = dir.join("out");
+    let output = bin()
+        .args([
+            "generate",
+            "--model",
+            model.to_str().expect("utf8 path"),
+            "--out",
+            out.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let reference = std::fs::read(out.join("t.csv")).expect("output exists");
+
+    let mut server = bin()
+        .args([
+            "serve",
+            "--model",
+            model.to_str().expect("utf8 path"),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--package-rows",
+            "7",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    // The server prints `listening on ADDR` once bound.
+    let addr = {
+        use std::io::BufRead as _;
+        let stdout = server.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read banner");
+        line.trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+            .to_string()
+    };
+
+    let fetch = |extra: &[&str]| -> std::process::Output {
+        let mut cmd = bin();
+        cmd.args(["fetch", "--addr", &addr]);
+        cmd.args(extra);
+        cmd.output().expect("fetch runs")
+    };
+
+    // Shards concatenate to the generated file; --out writes to a file.
+    let mut concat = Vec::new();
+    for (start, end) in [("0", "13"), ("13", "20")] {
+        let shard = dir.join(format!("shard-{start}.csv"));
+        let output = fetch(&[
+            "--table",
+            "t",
+            "--start",
+            start,
+            "--end",
+            end,
+            "--out",
+            shard.to_str().expect("utf8 path"),
+        ]);
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        concat.extend(std::fs::read(&shard).expect("shard written"));
+    }
+    assert_eq!(concat, reference, "fetched shards != generate output");
+
+    // Point lookup to stdout is the row's line of the file.
+    let output = fetch(&["--table", "t", "--row", "5"]);
+    assert!(output.status.success());
+    let line_5 = String::from_utf8(reference.clone())
+        .expect("utf8 csv")
+        .lines()
+        .nth(5)
+        .expect("20 rows")
+        .to_string();
+    assert_eq!(
+        String::from_utf8_lossy(&output.stdout),
+        format!("{line_5}\n")
+    );
+
+    // JSON endpoints.
+    let output = fetch(&["--info"]);
+    assert!(output.status.success());
+    assert!(
+        String::from_utf8_lossy(&output.stdout).contains("\"schema\":\"cli\""),
+        "{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let output = fetch(&["--stats"]);
+    assert!(output.status.success());
+    assert!(
+        String::from_utf8_lossy(&output.stdout).contains("\"completed\":"),
+        "{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let output = fetch(&["--ping"]);
+    assert!(output.status.success());
+
+    // Request errors surface as nonzero fetch exits, server keeps going.
+    let output = fetch(&["--table", "nope", "--start", "0", "--end", "1"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("unknown table"),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let output = fetch(&["--ping"]);
+    assert!(output.status.success(), "server survived the bad request");
+
+    server.kill().expect("stop server");
+    let _ = server.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn progress_flag_reports_to_stderr_without_changing_output() {
     let dir = workdir("progress");
