@@ -3,6 +3,7 @@
 
 use pdgf_prng::{FeistelPermutation, PdgfRng};
 use pdgf_schema::absint::{self, Draws, StaticProfile};
+use pdgf_schema::lineage::DrawContract;
 use pdgf_schema::model::DateFormat;
 use pdgf_schema::value::{Date, Value};
 use std::sync::Arc;
@@ -74,6 +75,12 @@ impl Generator for IdGenerator {
         // (the runtime keys the permutation over the table size).
         absint::id_profile(ctx.rows)
     }
+
+    fn contract(&self) -> DrawContract {
+        let mut c = DrawContract::exact(0);
+        c.permuted_ids = u64::from(self.permutation.is_some());
+        c
+    }
 }
 
 /// Uniform integer in `[min, max]`.
@@ -112,6 +119,10 @@ impl Generator for LongGenerator {
 
     fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
         absint::long_profile(self.min, self.max)
+    }
+
+    fn contract(&self) -> DrawContract {
+        DrawContract::exact(1)
     }
 }
 
@@ -165,6 +176,10 @@ impl Generator for DoubleGenerator {
     fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
         absint::double_profile(self.min, self.min + self.span, self.decimals)
     }
+
+    fn contract(&self) -> DrawContract {
+        DrawContract::exact(1)
+    }
 }
 
 /// Uniform fixed-point decimal in `[min, max]` at a given scale. Bounds
@@ -208,6 +223,10 @@ impl Generator for DecimalGenerator {
 
     fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
         absint::decimal_profile(self.min, self.max, self.scale)
+    }
+
+    fn contract(&self) -> DrawContract {
+        DrawContract::exact(1)
     }
 }
 
@@ -267,6 +286,10 @@ impl Generator for DateGenerator {
             self.format,
         )
     }
+
+    fn contract(&self) -> DrawContract {
+        DrawContract::exact(1)
+    }
 }
 
 /// Uniform timestamp in `[min, max]` seconds since the epoch.
@@ -305,6 +328,10 @@ impl Generator for TimestampGenerator {
 
     fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
         absint::timestamp_profile(self.min, self.max)
+    }
+
+    fn contract(&self) -> DrawContract {
+        DrawContract::exact(1)
     }
 }
 
@@ -364,6 +391,14 @@ impl Generator for RandomStringGenerator {
     fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
         absint::random_string_profile(self.min_len, self.max_len)
     }
+
+    fn contract(&self) -> DrawContract {
+        // One length draw, then one u64 per 10 characters.
+        DrawContract::from_draws(Draws {
+            min: 1 + u64::from(self.min_len.div_ceil(10)),
+            max: 1 + u64::from(self.max_len.div_ceil(10)),
+        })
+    }
 }
 
 /// Boolean that is `true` with a configured probability.
@@ -401,6 +436,12 @@ impl Generator for RandomBoolGenerator {
 
     fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
         absint::random_bool_profile(self.true_prob)
+    }
+
+    fn contract(&self) -> DrawContract {
+        // `next_bool` short-circuits degenerate probabilities without
+        // touching the stream.
+        DrawContract::exact(u64::from(self.true_prob > 0.0 && self.true_prob < 1.0))
     }
 }
 
@@ -444,6 +485,10 @@ impl Generator for StaticValueGenerator {
 
     fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
         absint::static_profile(&self.value)
+    }
+
+    fn contract(&self) -> DrawContract {
+        DrawContract::exact(0)
     }
 }
 
@@ -527,6 +572,11 @@ impl Generator for HistogramGenerator {
         p.width = p.width.demote();
         p.draws = Draws::exact(2);
         p
+    }
+
+    fn contract(&self) -> DrawContract {
+        // One alias draw picks the bucket, one places the value inside it.
+        DrawContract::exact(2)
     }
 }
 

@@ -5,6 +5,7 @@ use std::ops::Range;
 
 use pdgf_prng::{mix64_pair, PdgfDefaultRandom, PdgfRng};
 use pdgf_schema::absint::StaticProfile;
+use pdgf_schema::lineage::DrawContract;
 use pdgf_schema::{ColumnVec, Value};
 
 use crate::runtime::SchemaRuntime;
@@ -156,6 +157,17 @@ pub trait Generator: Send + Sync {
     /// nothing ([`StaticProfile::unknown`]), which is always sound.
     fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
         StaticProfile::unknown()
+    }
+
+    /// Declared seed-lineage contract: per-cell draw bounds, auxiliary
+    /// permutation-key seed paths, and reference-closure reads. `pdgf
+    /// prove` cross-checks this declaration against the contract derived
+    /// from the schema description (`E054`) and the counting-PRNG tests
+    /// check it against actual stream consumption. The default claims
+    /// nothing ([`DrawContract::unbounded`]), which is always sound but
+    /// unprovable (`E053`).
+    fn contract(&self) -> DrawContract {
+        DrawContract::unbounded()
     }
 
     /// This generator as an [`IdGenerator`](crate::basic::IdGenerator),

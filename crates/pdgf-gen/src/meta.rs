@@ -13,6 +13,7 @@
 use pdgf_prng::PdgfRng;
 use pdgf_schema::absint::{self, StaticProfile};
 use pdgf_schema::expr::Expr;
+use pdgf_schema::lineage::{self, DrawContract};
 use pdgf_schema::Value;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -61,6 +62,10 @@ impl Generator for NullGenerator {
     fn profile(&self, ctx: &ProfileCtx<'_>) -> StaticProfile {
         absint::null_wrap(self.probability, self.inner.profile(ctx), ctx.rows)
     }
+
+    fn contract(&self) -> DrawContract {
+        lineage::null_wrap_contract(self.probability, self.inner.contract())
+    }
 }
 
 /// Concatenates the textual renderings of its parts — the paper's
@@ -106,6 +111,13 @@ impl Generator for SequentialGenerator {
         let parts: Vec<StaticProfile> = self.parts.iter().map(|p| p.profile(ctx)).collect();
         let sep_bytes = u32::try_from(self.separator.len()).unwrap_or(u32::MAX);
         absint::concat(&parts, sep_bytes, self.separator.is_ascii(), ctx.rows)
+    }
+
+    fn contract(&self) -> DrawContract {
+        self.parts
+            .iter()
+            .map(|p| p.contract())
+            .fold(DrawContract::exact(0), DrawContract::plus)
     }
 }
 
@@ -183,6 +195,17 @@ impl Generator for ProbabilityGenerator {
             .collect();
         absint::choose(&branches, ctx.rows)
     }
+
+    fn contract(&self) -> DrawContract {
+        // One draw selects the branch, then the branch draws.
+        let joined = self
+            .cumulative
+            .iter()
+            .map(|(_, g)| g.contract())
+            .reduce(DrawContract::join)
+            .unwrap_or_else(|| DrawContract::exact(0));
+        DrawContract::exact(1).plus(joined)
+    }
 }
 
 /// Evaluates an arithmetic formula over the project properties and the
@@ -240,6 +263,10 @@ impl Generator for FormulaGenerator {
 
     fn profile(&self, ctx: &ProfileCtx<'_>) -> StaticProfile {
         absint::formula_profile(&self.expr, &self.props, ctx.rows, self.as_long)
+    }
+
+    fn contract(&self) -> DrawContract {
+        DrawContract::exact(0)
     }
 }
 
@@ -300,6 +327,11 @@ impl Generator for TruncateGenerator {
     fn profile(&self, ctx: &ProfileCtx<'_>) -> StaticProfile {
         let max_chars = u32::try_from(self.max_chars).unwrap_or(u32::MAX);
         absint::truncate(self.inner.profile(ctx), max_chars)
+    }
+
+    fn contract(&self) -> DrawContract {
+        // Truncation is a pure post-processing step over the inner stream.
+        self.inner.contract()
     }
 }
 

@@ -12,6 +12,7 @@ use std::ops::Range;
 
 use pdgf_prng::{FeistelPermutation, PdgfRng, Zipf};
 use pdgf_schema::absint::{self, StaticProfile};
+use pdgf_schema::lineage::DrawContract;
 use pdgf_schema::{ColumnVec, Value};
 
 use crate::generator::{ColumnCtx, GenContext, GenScratch, Generator, ProfileCtx};
@@ -110,6 +111,21 @@ impl Generator for ReferenceGenerator {
             ctx.rows,
             matches!(self.strategy, RefStrategy::Permutation(_)),
         )
+    }
+
+    fn contract(&self) -> DrawContract {
+        // The closure read recomputes the parent cell in a fresh context
+        // at the parent's own lineage node — zero draws from this stream.
+        let target = (self.target_table, self.target_column);
+        let mut c = match self.strategy {
+            RefStrategy::Uniform | RefStrategy::Zipf(_) => DrawContract::exact(1),
+            RefStrategy::Permutation(_) => DrawContract::exact(0),
+        };
+        c.closure_reads.insert(target);
+        if matches!(self.strategy, RefStrategy::Permutation(_)) {
+            c.perm_refs.insert(target, 1);
+        }
+        c
     }
 }
 

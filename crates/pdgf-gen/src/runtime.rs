@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use pdgf_prng::{mix64_pair, FieldCoord, SeedTree, Zipf};
 use pdgf_schema::absint::StaticProfile;
+use pdgf_schema::lineage::DrawContract;
 use pdgf_schema::model::{DictSource, GeneratorSpec, MarkovSource, RefDistribution};
 use pdgf_schema::{ColumnBatch, Schema, SqlType, Value};
 use textsynth::{Dictionary, MarkovModel};
@@ -247,6 +248,41 @@ impl SchemaRuntime {
                     .collect()
             })
             .collect()
+    }
+
+    /// Declared seed-lineage contracts of every column, per table in
+    /// declaration order. These are the *runtime's* declarations — `pdgf
+    /// prove` cross-checks them against the contracts derived from the
+    /// schema description and against actual PRNG consumption.
+    pub fn contracts(&self) -> Vec<Vec<DrawContract>> {
+        self.tables
+            .iter()
+            .map(|table| {
+                table
+                    .columns
+                    .iter()
+                    .map(|col| col.generator.contract())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The value of one cell together with the number of PRNG draws its
+    /// generator consumed from the cell's seed stream — the dynamic side
+    /// of the draw-contract proof. Pure in `(self, table, column, update,
+    /// row)` and byte-identical to [`SchemaRuntime::value`].
+    pub fn value_counting(&self, table: u32, column: u32, update: u32, row: u64) -> (Value, u64) {
+        let coord = FieldCoord {
+            table,
+            column,
+            update,
+            row,
+        };
+        let seed = self.seed_tree.field_seed(coord);
+        let mut ctx = GenContext::new(self, seed, row, update);
+        let generator = &self.tables[table as usize].columns[column as usize].generator;
+        let value = generator.generate(&mut ctx);
+        (value, ctx.rng.draws())
     }
 
     /// Compiled table by name.

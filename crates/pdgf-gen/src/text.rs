@@ -9,7 +9,8 @@ use std::ops::Range;
 use pdgf_schema::ColumnVec;
 
 use crate::generator::{ColumnCtx, GenContext, GenScratch, Generator, ProfileCtx};
-use pdgf_schema::absint::{self, ResourceInfo, StaticProfile};
+use pdgf_schema::absint::{self, Draws, ResourceInfo, StaticProfile};
+use pdgf_schema::lineage::{markov_draw_count, DrawContract};
 use pdgf_schema::Value;
 
 /// Entry statistics of an already-resolved dictionary.
@@ -61,6 +62,11 @@ impl Generator for DictListGenerator {
     fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
         absint::dict_profile(Some(dict_info(&self.dict)))
     }
+
+    fn contract(&self) -> DrawContract {
+        // Both uniform and alias-method weighted sampling cost one draw.
+        DrawContract::exact(1)
+    }
 }
 
 /// Deterministically maps row `r` to dictionary entry `r mod len` —
@@ -100,6 +106,10 @@ impl Generator for DictByRowGenerator {
 
     fn profile(&self, ctx: &ProfileCtx<'_>) -> StaticProfile {
         absint::dict_by_row_profile(Some(dict_info(&self.dict)), ctx.rows)
+    }
+
+    fn contract(&self) -> DrawContract {
+        DrawContract::exact(0)
     }
 }
 
@@ -160,6 +170,13 @@ impl Generator for MarkovChainGenerator {
     fn profile(&self, _ctx: &ProfileCtx<'_>) -> StaticProfile {
         let info = absint::entries_info(self.model.words());
         absint::markov_profile(Some(info), self.min_words, self.max_words)
+    }
+
+    fn contract(&self) -> DrawContract {
+        DrawContract::from_draws(Draws {
+            min: markov_draw_count(self.min_words),
+            max: markov_draw_count(self.max_words),
+        })
     }
 }
 

@@ -508,6 +508,35 @@ impl RowService {
         Ok(out)
     }
 
+    /// Lineage hook: the seed the *point-lookup* route derives for one
+    /// cell. This is the route [`RowService::row_bytes`] and the row
+    /// engine take — a direct [`FieldCoord`](pdgf_prng::FieldCoord) walk
+    /// down the seeding tree. `pdgf prove` checks it lands on the same
+    /// lineage node as [`RowService::batch_lineage`] (`E055`).
+    pub fn point_lineage(&self, table: u32, column: u32, update: u32, row: u64) -> u64 {
+        self.shared
+            .rt
+            .seed_tree()
+            .field_seed(pdgf_prng::FieldCoord {
+                table,
+                column,
+                update,
+                row,
+            })
+    }
+
+    /// Lineage hook: the seed the *bulk* route derives for one cell —
+    /// the hoisted form the columnar kernels and shard framing use (one
+    /// `update_seed` per column, then one `mix64_pair` per cell).
+    pub fn batch_lineage(&self, table: u32, column: u32, update: u32, row: u64) -> u64 {
+        let hoisted = self
+            .shared
+            .rt
+            .seed_tree()
+            .update_seed(table, column, update);
+        pdgf_prng::mix64_pair(hoisted, row)
+    }
+
     /// Live service counters and latency percentiles.
     pub fn stats(&self) -> ServeStats {
         let s = &self.shared.stats;
@@ -832,6 +861,26 @@ mod tests {
             out.extend_from_slice(&chunk);
         }
         out
+    }
+
+    #[test]
+    fn point_and_batch_lineage_routes_agree() {
+        let rt = runtime(100);
+        let service = RowService::new(Arc::clone(&rt), ServeConfig::new().workers(1), None);
+        // The two hooks derive the cell seed through genuinely different
+        // code paths (direct FieldCoord walk vs hoisted update_seed +
+        // per-cell mix); serve correctness rests on them agreeing.
+        for column in 0..2 {
+            for update in [0u32, 1, 3] {
+                for row in [0u64, 1, 17, 99, 1 << 40] {
+                    assert_eq!(
+                        service.point_lineage(0, column, update, row),
+                        service.batch_lineage(0, column, update, row),
+                        "column {column} update {update} row {row}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -870,7 +870,9 @@ pub fn random_bool_profile(true_prob: f64) -> StaticProfile {
         ascii: true,
         null_prob: 0.0,
         cardinality: Cardinality::AtMost(if lo == hi { 1 } else { 2 }),
-        draws: Draws::exact(1),
+        // `next_bool` short-circuits degenerate probabilities without
+        // touching the stream.
+        draws: Draws::exact(u64::from(lo != hi)),
     }
 }
 
@@ -914,6 +916,17 @@ pub fn dict_by_row_profile(info: Option<ResourceInfo>, rows: u64) -> StaticProfi
     p
 }
 
+/// Per-cell draw count of Markov text with exactly `words` words: one
+/// length draw, then for a non-empty body one start draw plus one draw per
+/// emitted word.
+fn markov_draws(words: u32) -> u64 {
+    if words == 0 {
+        1
+    } else {
+        2 + u64::from(words)
+    }
+}
+
 /// Profile of Markov chain text with `[min_words, max_words]` words:
 /// words joined by single spaces, so at most
 /// `max_words * longest_word + (max_words - 1)` bytes.
@@ -934,10 +947,11 @@ pub fn markov_profile(info: Option<ResourceInfo>, min_words: u32, max_words: u32
         ascii: info.is_some_and(|i| i.ascii),
         null_prob: 0.0,
         cardinality: Cardinality::Unbounded,
-        // One length draw, then one draw per word (start + transitions).
+        // One length draw; a non-empty body then costs one start draw plus
+        // exactly one draw per word (transition or dead-end restart).
         draws: Draws {
-            min: 1 + u64::from(min_words),
-            max: 1 + u64::from(max_words),
+            min: markov_draws(min_words),
+            max: markov_draws(max_words),
         },
     }
 }
@@ -1064,7 +1078,16 @@ pub fn reference_profile(
 /// value otherwise. The wrapper always consumes one draw, even at p = 0.
 pub fn null_wrap(p: f64, inner: StaticProfile, rows: u64) -> StaticProfile {
     let mut out = inner;
-    out.draws = out.draws.plus(Draws::exact(1));
+    // One coin draw always happens; the inner stream is only consumed when
+    // the coin picks the wrapped value. At p >= 1 the inner never runs; at
+    // p <= 0 it always runs; otherwise both outcomes are possible.
+    out.draws = if p >= 1.0 {
+        Draws::exact(1)
+    } else if p <= 0.0 {
+        out.draws.plus(Draws::exact(1))
+    } else {
+        Draws::exact(1).join(out.draws.plus(Draws::exact(1)))
+    };
     if p > 0.0 {
         out.kinds = out.kinds.union(KindSet::NULL);
         out.width = out.width.join(Width::Exact(0)).demote();
@@ -2179,8 +2202,11 @@ mod tests {
         assert_eq!(same.kinds, KindSet::LONG);
         assert_eq!(same.draws, Draws::exact(2));
         assert_eq!(same.width, Width::Exact(1));
-        let nullable = null_wrap(0.5, inner, 100);
+        let nullable = null_wrap(0.5, inner.clone(), 100);
         assert!(nullable.kinds.contains(KindSet::NULL));
+        // NULL short-circuits the inner stream: coin only vs coin + inner.
+        assert_eq!(nullable.draws, Draws { min: 1, max: 2 });
+        assert_eq!(null_wrap(1.0, inner, 100).draws, Draws::exact(1));
         assert_eq!(nullable.width, Width::AtMost(1));
         assert_eq!(nullable.null_prob, 0.5);
         assert_eq!(nullable.cardinality, Cardinality::AtMost(10));

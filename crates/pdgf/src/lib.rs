@@ -42,8 +42,10 @@ pub use pdgf_schema as schema;
 
 pub mod explain;
 pub mod project;
+pub mod prove;
 pub mod serve;
 
 pub use explain::{ColumnExplain, ExplainReport, PerFormat, TableExplain};
 pub use project::{OutputFormat, Pdgf, PdgfError, PdgfProject};
+pub use prove::{ProveReport, ProveVerdicts};
 pub use serve::{ServeClient, ServeError, Server, ServerHandle, ServerOptions};

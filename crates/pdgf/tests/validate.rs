@@ -54,6 +54,12 @@ const CORPUS: &[(&str, &str, bool)] = &[
     ("models/bad/w010_unbounded_width.xml", "W010", false),
     ("models/bad/w011_fk_parent_not_unique.xml", "W011", false),
     ("models/bad/w012_mixed_branch_kinds.xml", "W012", false),
+    // Seed-lineage prover (E050+/W020+).
+    ("models/bad/e050_dup_permuted_id.xml", "E050", true),
+    ("models/bad/e051_dup_perm_ref.xml", "E051", true),
+    ("models/bad/e052_ref_into_empty.xml", "E052", true),
+    ("models/bad/w020_draw_budget.xml", "W020", false),
+    ("models/bad/w021_deep_closure.xml", "W021", false),
 ];
 
 #[test]
@@ -79,11 +85,17 @@ fn bad_corpus_fails_with_stable_codes() {
 
 #[test]
 fn absint_corpus_matches_golden_reports() {
-    // The interpreter fixtures each pin the full machine-readable report
-    // byte for byte — codes, locations, and messages are all API.
+    // The interpreter and lineage fixtures each pin the full
+    // machine-readable report byte for byte — codes, locations, and
+    // messages are all API. Regenerate with `cargo xtask bless` after an
+    // intentional message change.
     for &(model, code, _) in CORPUS {
         let name = model.trim_start_matches("models/bad/");
-        if !name.starts_with("e04") && !name.starts_with("w01") {
+        if !(name.starts_with("e04")
+            || name.starts_with("w01")
+            || name.starts_with("e05")
+            || name.starts_with("w02"))
+        {
             continue;
         }
         let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -119,6 +131,33 @@ fn shipped_models_validate_clean() {
             json.contains("\"ok\":true") && json.contains("\"errors\":0"),
             "{model}: malformed report:\n{json}"
         );
+    }
+}
+
+/// JSON mode is machine-facing: the exit code must still signal failure
+/// when the report carries error-level diagnostics, for validate,
+/// explain, and prove alike. A clean model must exit 0 in every mode.
+#[test]
+fn json_mode_exit_codes_track_error_diagnostics() {
+    for cmd in ["validate", "explain", "prove"] {
+        for (model, should_fail) in [
+            ("models/bad/e050_dup_permuted_id.xml", true),
+            ("models/bad/w020_draw_budget.xml", false),
+            ("models/tpch.xml", false),
+        ] {
+            let out = Command::new(env!("CARGO_BIN_EXE_pdgf"))
+                .args([cmd, "--model"])
+                .arg(model_path(model))
+                .args(["--format", "json"])
+                .output()
+                .expect("run pdgf");
+            assert_eq!(
+                out.status.success(),
+                !should_fail,
+                "{cmd} {model}: wrong exit code, stdout:\n{}",
+                String::from_utf8_lossy(&out.stdout)
+            );
+        }
     }
 }
 

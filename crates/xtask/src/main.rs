@@ -72,7 +72,8 @@ fn audit_source(path: &str, src: &str, out: &mut Vec<Violation>) {
                     rule: "allow-syntax",
                     needle: format!("audit:allow({})", a.rule),
                     message: format!("`audit:allow({})` names an unknown rule", a.rule),
-                    help: "known rules: hash-collections, wall-clock, std-fmt, unwrap",
+                    help: "known rules: hash-collections, wall-clock, std-fmt, unwrap, \
+                           columnar-cell-alloc, seed-discipline",
                 }),
                 (Some(_), true) => out.push(Violation {
                     path: path.to_string(),
@@ -220,20 +221,88 @@ fn print_human(violations: &[Violation], files_scanned: usize) {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask audit [--format human|json]");
+    eprintln!("usage: cargo xtask <audit [--format human|json] | bless>");
     ExitCode::from(2)
+}
+
+/// The `models/bad/` fixtures whose `pdgf validate --format json` reports
+/// are pinned byte for byte under `crates/pdgf/tests/golden/`: the
+/// abstract-interpreter corpus (`e04*`/`w01*`) and the seed-lineage
+/// corpus (`e05*`/`w02*`).
+fn golden_fixture(name: &str) -> bool {
+    ["e04", "w01", "e05", "w02"]
+        .iter()
+        .any(|p| name.starts_with(p))
+}
+
+/// `cargo xtask bless` — regenerate the byte-pinned golden reports by
+/// running `pdgf validate --format json` over every golden fixture with
+/// the repo root as working directory (matching the integration tests'
+/// invocation exactly, so the echoed model path is machine-independent).
+fn bless(root: &Path) -> ExitCode {
+    let bad = root.join("models/bad");
+    let golden_dir = root.join("crates/pdgf/tests/golden");
+    let mut fixtures: Vec<String> = match std::fs::read_dir(&bad) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".xml") && golden_fixture(n))
+            .collect(),
+        Err(e) => {
+            eprintln!("bless: cannot read {}: {e}", bad.display());
+            return ExitCode::from(2);
+        }
+    };
+    fixtures.sort();
+    if let Err(e) = std::fs::create_dir_all(&golden_dir) {
+        eprintln!("bless: cannot create {}: {e}", golden_dir.display());
+        return ExitCode::from(2);
+    }
+    for name in &fixtures {
+        let model = format!("models/bad/{name}");
+        // Error fixtures exit non-zero by design; only a missing binary
+        // or an empty report is a bless failure.
+        let out = match std::process::Command::new("cargo")
+            .current_dir(root)
+            .args(["run", "-q", "-p", "pdgf", "--bin", "pdgf", "--"])
+            .args(["validate", "--model", &model, "--format", "json"])
+            .output()
+        {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("bless: cannot run pdgf validate: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if out.stdout.is_empty() {
+            eprintln!(
+                "bless: {model} produced no JSON report:\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            return ExitCode::FAILURE;
+        }
+        let golden = golden_dir.join(name.replace(".xml", ".json"));
+        if let Err(e) = std::fs::write(&golden, &out.stdout) {
+            eprintln!("bless: cannot write {}: {e}", golden.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("bless: wrote {}", golden.display());
+    }
+    eprintln!("bless: {} golden report(s) regenerated", fixtures.len());
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("audit") {
+    let command = args.first().map(String::as_str);
+    if command != Some("audit") && command != Some("bless") {
         return usage();
     }
     let mut json = false;
     let mut rest = args[1..].iter();
     while let Some(a) = rest.next() {
         match a.as_str() {
-            "--format" => match rest.next().map(String::as_str) {
+            "--format" if command == Some("audit") => match rest.next().map(String::as_str) {
                 Some("json") => json = true,
                 Some("human") => json = false,
                 _ => return usage(),
@@ -253,6 +322,10 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|| PathBuf::from("."))
         })
         .unwrap_or_else(|_| PathBuf::from("."));
+
+    if command == Some("bless") {
+        return bless(&root);
+    }
 
     let files = match collect_files(&root) {
         Ok(f) => f,

@@ -1,12 +1,13 @@
-//! Diagnostic-registry meta-lint: the analyzer and the abstract
-//! interpreter each carry a doc-comment table listing every stable
-//! diagnostic code they emit. This pass cross-checks the two directions
-//! over both files as one namespace: a code emitted from non-test code
-//! must have a registry row (`| `CODE` |` in a doc comment), and a
-//! registry row must correspond to a code that is actually emitted.
-//! Either mismatch is an audit violation, so the tables in
-//! `analyze.rs`/`absint.rs` can never silently drift from the codes
-//! `pdgf validate` and `pdgf explain` report.
+//! Diagnostic-registry meta-lint: the analyzer, the abstract
+//! interpreter, and the seed-lineage prover each carry a doc-comment
+//! table listing every stable diagnostic code they emit. This pass
+//! cross-checks the two directions over all three files as one
+//! namespace: a code emitted from non-test code must have a registry
+//! row (`| `CODE` |` in a doc comment), and a registry row must
+//! correspond to a code that is actually emitted. Either mismatch is an
+//! audit violation, so the tables in `analyze.rs`/`absint.rs`/
+//! `lineage.rs` can never silently drift from the codes
+//! `pdgf validate`, `pdgf explain`, and `pdgf prove` report.
 
 use std::path::Path;
 
@@ -16,6 +17,7 @@ use crate::{lexer, Violation};
 pub const DIAG_SOURCES: &[&str] = &[
     "crates/pdgf-schema/src/analyze.rs",
     "crates/pdgf-schema/src/absint.rs",
+    "crates/pdgf-schema/src/lineage.rs",
 ];
 
 /// A diagnostic code together with where it was seen.
@@ -107,7 +109,7 @@ fn audit_registry(sources: &[(&str, String)], out: &mut Vec<Violation>) {
             needle: e.code.clone(),
             message: format!("diagnostic `{}` is emitted but has no registry row", e.code),
             help: "add a `| `CODE` | summary |` row to the diagnostic registry table \
-                   in the module docs of analyze.rs or absint.rs",
+                   in the module docs of analyze.rs, absint.rs, or lineage.rs",
         });
     }
     for d in &documented {

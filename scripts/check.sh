@@ -45,4 +45,21 @@ for model in models/bad/*.xml; do
   echo "  diag $model"
 done
 
+echo "== seed-lineage proof: shipped models prove clean (both engines, serve)"
+for model in models/*.xml; do
+  if ! out="$("$PDGF" prove --model "$model" --format json)"; then
+    echo "FAIL: $model should prove clean, got:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  if [[ "$out" != *'"errors":0'* || "$out" != *'"warnings":0'* ||
+        "$out" != *'"engines_equivalent":true'* ||
+        "$out" != *'"serve_consistent":true'* ]]; then
+    echo "FAIL: $model proof incomplete, got:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  echo "  qed  $model"
+done
+
 echo "All checks passed."
