@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 use bench::{banner, check, env_f64, env_usize, host_cores};
 use pdgf::runtime::ServeConfig;
 use pdgf::serve::TAG_QUERY;
-use pdgf::{OutputFormat, Pdgf, ServeClient, ServerOptions};
+use pdgf::{FetchRequest, OutputFormat, Pdgf, ServeClient, ServerOptions};
 use workloads::tpch;
 
 /// Latencies (seconds) → (p50, p99), by nearest-rank on the sorted run.
@@ -66,14 +66,26 @@ impl Phase {
     }
 }
 
-/// N concurrent clients, `requests` range fetches each; returns the
-/// merged client-observed latency distribution as a [`Phase`].
-fn run_load(addr: SocketAddr, clients: usize, requests: usize, rows: u64, size: u64) -> Phase {
+/// N concurrent clients, `requests` range fetches each, over the TCP or
+/// HTTP transport; returns the merged client-observed latency
+/// distribution as a [`Phase`].
+fn run_load(
+    addr: SocketAddr,
+    clients: usize,
+    requests: usize,
+    rows: u64,
+    size: u64,
+    http: bool,
+) -> Phase {
     let started = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|c| {
             std::thread::spawn(move || {
-                let mut client = ServeClient::connect(addr).expect("connect");
+                let mut client = if http {
+                    ServeClient::connect_http(addr).expect("connect http")
+                } else {
+                    ServeClient::connect(addr).expect("connect")
+                };
                 let mut lat = Vec::with_capacity(requests);
                 for r in 0..requests {
                     // Deterministic striding offsets, distinct per client.
@@ -81,7 +93,10 @@ fn run_load(addr: SocketAddr, clients: usize, requests: usize, rows: u64, size: 
                     let end = (start + rows).min(size);
                     let t = Instant::now();
                     let bytes = client
-                        .range("lineitem", 0, start, end, OutputFormat::Csv)
+                        .fetch(
+                            FetchRequest::range("lineitem", start, end - start)
+                                .format(OutputFormat::Csv),
+                        )
                         .expect("range request");
                     lat.push(t.elapsed().as_secs_f64());
                     assert!(end == start || !bytes.is_empty(), "empty response");
@@ -152,24 +167,26 @@ fn main() {
         .expect("lineitem exists");
     let size = t.size;
     let runtime = Arc::new(project.into_runtime());
-    let server = pdgf::Server::bind(
-        runtime,
-        "127.0.0.1:0",
-        ServerOptions::new().config(ServeConfig::new().package_rows(1_000).window(4)),
-        None,
-    )
-    .expect("bind server");
+    let options = ServerOptions::builder()
+        .config(ServeConfig::new().package_rows(1_000).window(4))
+        .build()
+        .expect("valid server options");
+    let server = pdgf::Server::bind(runtime, "127.0.0.1:0", options, None)
+        .expect("bind server")
+        .with_http("127.0.0.1:0")
+        .expect("bind http listener");
     let handle = server.spawn().expect("spawn accept loop");
     let addr = handle.addr();
+    let http_addr = handle.http_addr().expect("http listener attached");
     println!(
         "lineitem rows: {size} (SF {sf}), {clients} clients x {requests} requests \
          of {range_rows} rows, host cores {cores}\n"
     );
 
     // Warm-up (dictionaries, markov models, seed caches).
-    run_load(addr, 1, 3, range_rows, size);
+    run_load(addr, 1, 3, range_rows, size, false);
 
-    let load = run_load(addr, clients, requests, range_rows, size);
+    let load = run_load(addr, clients, requests, range_rows, size, false);
     println!(
         "load:        {:>8.1} qps  p50 {:>8.3} ms  p99 {:>8.3} ms",
         load.qps(),
@@ -182,7 +199,7 @@ fn main() {
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || slow_reader(addr, size, stop))
     };
-    let contended = run_load(addr, clients, requests, range_rows, size);
+    let contended = run_load(addr, clients, requests, range_rows, size, false);
     stop.store(true, Ordering::Relaxed);
     let _ = slow.join();
     println!(
@@ -190,6 +207,16 @@ fn main() {
         contended.qps(),
         contended.p50_ms,
         contended.p99_ms
+    );
+
+    // The same load through the HTTP/1.1 front end (keep-alive, chunked
+    // transfer): measures the text-protocol overhead over the same pool.
+    let http_load = run_load(http_addr, clients, requests, range_rows, size, true);
+    println!(
+        "http load:   {:>8.1} qps  p50 {:>8.3} ms  p99 {:>8.3} ms",
+        http_load.qps(),
+        http_load.p50_ms,
+        http_load.p99_ms
     );
 
     let points = {
@@ -200,7 +227,7 @@ fn main() {
             let row = (r as u64 * 104_729) % size.max(1);
             let t = Instant::now();
             client
-                .row("lineitem", 0, row, OutputFormat::Csv)
+                .fetch(FetchRequest::row("lineitem", row).format(OutputFormat::Csv))
                 .expect("point lookup");
             lat.push(t.elapsed().as_secs_f64());
         }
@@ -237,6 +264,7 @@ fn main() {
     json.push_str(&format!("  \"host_cores\": {cores},\n"));
     json.push_str(&format!("  \"load\": {},\n", load.to_json()));
     json.push_str(&format!("  \"slow_reader\": {},\n", contended.to_json()));
+    json.push_str(&format!("  \"http_load\": {},\n", http_load.to_json()));
     json.push_str(&format!("  \"point_lookup\": {},\n", points.to_json()));
     json.push_str("  \"server\": {\n");
     json.push_str(&format!("    \"requests\": {},\n", stats.requests));
@@ -257,10 +285,12 @@ fn main() {
 
     check(
         "all-requests-served",
-        load.requests == (clients * requests) as u64 && contended.requests == load.requests,
+        load.requests == (clients * requests) as u64
+            && contended.requests == load.requests
+            && http_load.requests == load.requests,
         &format!(
-            "{} + {} requests completed",
-            load.requests, contended.requests
+            "{} + {} + {} (http) requests completed",
+            load.requests, contended.requests, http_load.requests
         ),
     );
     // The backpressure gate: a reader draining one byte at a time may

@@ -59,6 +59,8 @@ pub use package::{
 pub use scheduler::{
     available_workers, generate_table_range, run_project, table_meta, RunConfig, TableRunStats,
 };
-pub use serve::{ResponseStream, RowRequest, RowService, ServeConfig, ServeStats, SubmitError};
+pub use serve::{
+    Admitted, ResponseStream, RowRequest, RowService, ServeConfig, ServeStats, SubmitError,
+};
 pub use telemetry::{Observability, Telemetry, TelemetryConfig};
 pub use update::{UpdateBatch, UpdateBlackBox, UpdateConfig, UpdateOp};

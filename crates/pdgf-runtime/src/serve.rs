@@ -4,11 +4,25 @@
 //! a table never has to be materialized to be read — the "On The Fly"
 //! posture: keep one worker pool alive and let clients ask for row
 //! ranges and point lookups on demand. [`RowService`] is that pool. A
-//! [`RowRequest`] names `(table, update, row range)`; the service splits
-//! it into the same work packages a batch run would use, renders them
-//! through the same columnar batch engine (or the row path) and the same
-//! formatters, and streams the finished byte buffers back in row order
-//! through a [`ResponseStream`].
+//! [`RowRequest`] names `(model, table, update, row range)`; the service
+//! splits it into the same work packages a batch run would use, renders
+//! them through the same columnar batch engine (or the row path) and the
+//! same formatters, and streams the finished byte buffers back in row
+//! order through a [`ResponseStream`].
+//!
+//! One service can host **several models** ([`RowService::with_models`]):
+//! every registered schema shares the single worker pool and ticket
+//! queue, so a deployment serves many workloads without multiplying
+//! threads. Requests name their model by index; per-model counters are
+//! kept alongside the service-wide ones ([`RowService::stats_of`]).
+//!
+//! Ranges wider than `max_request_rows` are either rejected
+//! ([`RowService::submit`], the legacy strict path) or **clamped**
+//! ([`RowService::submit_clamped`]): the stream serves the first
+//! `max_request_rows` rows and reports where the remainder starts, which
+//! is what the serve front ends turn into resumable cursor tokens.
+//! Because framing is positional, the clamped tiles concatenate
+//! byte-equal to a single-shot response.
 //!
 //! Determinism is the contract: the same `(table, update, range, format)`
 //! request always returns the same bytes, and because framing is
@@ -142,11 +156,14 @@ impl ServeConfig {
     }
 }
 
-/// One row-range request: which rows of which table, and how the
-/// response is framed.
+/// One row-range request: which rows of which table of which model, and
+/// how the response is framed.
 #[derive(Debug, Clone)]
 pub struct RowRequest {
-    /// Table index (see [`RowService::table_index`]).
+    /// Model index (0 for single-model services; see
+    /// [`RowService::model_index`]).
+    pub model: u32,
+    /// Table index within the model (see [`RowService::table_index_in`]).
     pub table: u32,
     /// Update epoch.
     pub update: u32,
@@ -159,9 +176,10 @@ pub struct RowRequest {
 }
 
 impl RowRequest {
-    /// A positionally framed range request.
+    /// A positionally framed range request against model 0.
     pub fn range(table: u32, update: u32, rows: Range<u64>) -> Self {
         Self {
+            model: 0,
             table,
             update,
             rows,
@@ -169,20 +187,30 @@ impl RowRequest {
         }
     }
 
-    /// A point lookup: one row, no framing (a fragment of the stream).
+    /// A point lookup against model 0: one row, no framing (a fragment
+    /// of the stream).
     pub fn point(table: u32, update: u32, row: u64) -> Self {
         Self {
+            model: 0,
             table,
             update,
             rows: row..row.saturating_add(1),
             framing: Some(Framing::none()),
         }
     }
+
+    /// Redirect this request at another registered model.
+    pub fn on_model(mut self, model: u32) -> Self {
+        self.model = model;
+        self
+    }
 }
 
 /// Why a [`RowService::submit`] was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
+    /// The model index is out of range for the registered models.
+    UnknownModel(u32),
     /// The table index is out of range for the loaded schema.
     UnknownTable(u32),
     /// The row range is inverted or extends past the table size.
@@ -206,6 +234,7 @@ pub enum SubmitError {
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            Self::UnknownModel(m) => write!(f, "unknown model index {m}"),
             Self::UnknownTable(t) => write!(f, "unknown table index {t}"),
             Self::RangeOutOfBounds { rows, table_size } => write!(
                 f,
@@ -257,6 +286,36 @@ struct StatsInner {
     latency: Histogram,
 }
 
+impl StatsInner {
+    fn snapshot(&self, started_ns: u64) -> ServeStats {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let uptime_seconds = now_ns().saturating_sub(started_ns) as f64 / 1e9;
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            completed,
+            aborted: self.aborted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            uptime_seconds,
+            qps: if uptime_seconds > 0.0 {
+                completed as f64 / uptime_seconds
+            } else {
+                0.0
+            },
+            latency: self.latency.snapshot().stats(),
+        }
+    }
+}
+
+/// One registered schema: its compiled runtime plus per-model counters.
+/// Every slot's requests run on the same shared worker pool.
+struct ModelSlot {
+    name: String,
+    rt: Arc<SchemaRuntime>,
+    stats: StatsInner,
+}
+
 /// Reorder-and-ready state of one in-flight request.
 struct RequestState {
     reorder: ReorderBuffer<Vec<u8>>,
@@ -267,6 +326,11 @@ struct RequestState {
 /// between the submitting reader and the pool.
 struct RequestShared {
     id: u64,
+    /// The model's compiled runtime (render path never touches the slot
+    /// table, so a request outlives nothing).
+    rt: Arc<SchemaRuntime>,
+    /// Model slot index, for per-model completion counters.
+    model: u32,
     table: u32,
     update: u32,
     rows: Range<u64>,
@@ -290,7 +354,7 @@ struct Task {
 }
 
 struct ServiceShared {
-    rt: Arc<SchemaRuntime>,
+    models: Vec<ModelSlot>,
     queue: Mutex<VecDeque<Task>>,
     work: Condvar,
     shutdown: AtomicBool,
@@ -340,18 +404,48 @@ pub struct RowService {
 }
 
 impl RowService {
-    /// Start the service: spawns the worker pool immediately; workers
-    /// sleep until requests arrive. `telemetry` attaches the event bus,
-    /// metrics and the stall watchdog for the service's lifetime.
+    /// Start a single-model service (the model registers as `default`):
+    /// spawns the worker pool immediately; workers sleep until requests
+    /// arrive. `telemetry` attaches the event bus, metrics and the stall
+    /// watchdog for the service's lifetime.
     pub fn new(rt: Arc<SchemaRuntime>, cfg: ServeConfig, telemetry: Option<&Telemetry>) -> Self {
+        Self::with_models(vec![("default".to_string(), rt)], cfg, telemetry)
+    }
+
+    /// Start a multi-model service: every `(name, runtime)` pair becomes
+    /// an addressable model slot, all sharing ONE worker pool and ticket
+    /// queue. Slot order is registration order; model 0 is the default
+    /// the single-model entry points address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty — a service with nothing to serve is a
+    /// configuration bug, caught at construction like a zero-row package.
+    pub fn with_models(
+        models: Vec<(String, Arc<SchemaRuntime>)>,
+        cfg: ServeConfig,
+        telemetry: Option<&Telemetry>,
+    ) -> Self {
+        assert!(
+            !models.is_empty(),
+            "RowService::with_models needs at least one model"
+        );
         let scope = telemetry.map(|t| {
             t.begin_run(
                 vec![JobInfo::new("<serve>".to_string(), 0)],
                 cfg.workers.max(1),
             )
         });
+        let models = models
+            .into_iter()
+            .map(|(name, rt)| ModelSlot {
+                name,
+                rt,
+                stats: StatsInner::default(),
+            })
+            .collect();
         let shared = Arc::new(ServiceShared {
-            rt,
+            models,
             queue: Mutex::new(VecDeque::new()),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -377,14 +471,49 @@ impl RowService {
         Self { shared, workers }
     }
 
-    /// The schema runtime this service answers for.
+    /// The schema runtime of model 0 (the only one for single-model
+    /// services).
     pub fn runtime(&self) -> &SchemaRuntime {
-        &self.shared.rt
+        &self.shared.models[0].rt
     }
 
-    /// Resolve a table name to the index [`RowRequest`] wants.
-    pub fn table_index(&self, name: &str) -> Option<u32> {
+    /// Number of registered models.
+    pub fn model_count(&self) -> usize {
+        self.shared.models.len()
+    }
+
+    /// The registered name of model slot `model`.
+    pub fn model_name(&self, model: u32) -> Option<&str> {
         self.shared
+            .models
+            .get(model as usize)
+            .map(|m| m.name.as_str())
+    }
+
+    /// Resolve a registered model name to its slot index.
+    pub fn model_index(&self, name: &str) -> Option<u32> {
+        self.shared
+            .models
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// The schema runtime of model slot `model`.
+    pub fn runtime_of(&self, model: u32) -> Option<&Arc<SchemaRuntime>> {
+        self.shared.models.get(model as usize).map(|m| &m.rt)
+    }
+
+    /// Resolve a table name in model 0 to the index [`RowRequest`] wants.
+    pub fn table_index(&self, name: &str) -> Option<u32> {
+        self.table_index_in(0, name)
+    }
+
+    /// Resolve a table name within model slot `model`.
+    pub fn table_index_in(&self, model: u32, name: &str) -> Option<u32> {
+        self.shared
+            .models
+            .get(model as usize)?
             .rt
             .tables()
             .iter()
@@ -392,17 +521,52 @@ impl RowService {
             .map(|i| i as u32)
     }
 
+    /// The configured per-request row cap (0 = unlimited).
+    pub fn max_request_rows(&self) -> u64 {
+        self.shared.max_request_rows
+    }
+
     /// Submit a request. Validation is synchronous; rendering is not —
     /// the returned [`ResponseStream`] yields formatted packages in row
-    /// order as workers finish them.
+    /// order as workers finish them. A range wider than
+    /// `max_request_rows` is rejected outright; see
+    /// [`submit_clamped`](Self::submit_clamped) for the resumable
+    /// alternative.
     pub fn submit(
         &self,
         request: RowRequest,
         formatter: Arc<dyn Formatter>,
     ) -> Result<ResponseStream, SubmitError> {
+        self.admit(request, formatter, false).map(|a| a.stream)
+    }
+
+    /// Submit a request, clamping over-cap ranges instead of rejecting
+    /// them: when the range spans more than `max_request_rows`, the
+    /// returned stream serves exactly the first `max_request_rows` rows
+    /// and [`Admitted::resume_at`] names the row the remainder starts at.
+    /// Positional framing makes the clamped tiles concatenate byte-equal
+    /// to a single unclamped response — the contract resumable cursors
+    /// are built on.
+    pub fn submit_clamped(
+        &self,
+        request: RowRequest,
+        formatter: Arc<dyn Formatter>,
+    ) -> Result<Admitted, SubmitError> {
+        self.admit(request, formatter, true)
+    }
+
+    fn admit(
+        &self,
+        mut request: RowRequest,
+        formatter: Arc<dyn Formatter>,
+        clamp: bool,
+    ) -> Result<Admitted, SubmitError> {
         let shared = &self.shared;
         let reject = |err: SubmitError, shared: &ServiceShared| {
             shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some(slot) = shared.models.get(request.model as usize) {
+                slot.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            }
             shared.publish(RunEvent::RequestFailed {
                 request: 0,
                 message: err.to_string(),
@@ -412,7 +576,10 @@ impl RowService {
         if shared.shutdown.load(Ordering::Acquire) {
             return Err(reject(SubmitError::ShuttingDown, shared));
         }
-        let tables = shared.rt.tables();
+        let Some(slot) = shared.models.get(request.model as usize) else {
+            return Err(reject(SubmitError::UnknownModel(request.model), shared));
+        };
+        let tables = slot.rt.tables();
         let Some(table) = tables.get(request.table as usize) else {
             return Err(reject(SubmitError::UnknownTable(request.table), shared));
         };
@@ -426,16 +593,22 @@ impl RowService {
                 shared,
             ));
         }
-        let span = request.rows.end - request.rows.start;
+        let mut span = request.rows.end - request.rows.start;
         let max = shared.max_request_rows;
+        let mut resume_at = None;
         if max > 0 && span > max {
-            return Err(reject(
-                SubmitError::TooLarge {
-                    requested: span,
-                    max,
-                },
-                shared,
-            ));
+            if !clamp {
+                return Err(reject(
+                    SubmitError::TooLarge {
+                        requested: span,
+                        max,
+                    },
+                    shared,
+                ));
+            }
+            request.rows.end = request.rows.start + max;
+            resume_at = Some(request.rows.end);
+            span = max;
         }
 
         let framing = request
@@ -448,12 +621,13 @@ impl RowService {
         if total_packages == 0 && (framing.begin || framing.end) {
             total_packages = 1;
         }
-        let meta = table_meta(&shared.rt, request.table);
-        let row_bound =
-            formatter.max_row_bytes(&meta, &shared.rt.profiles()[request.table as usize]);
+        let meta = table_meta(&slot.rt, request.table);
+        let row_bound = formatter.max_row_bytes(&meta, &slot.rt.profiles()[request.table as usize]);
         let id = shared.next_request.fetch_add(1, Ordering::Relaxed);
         let req = Arc::new(RequestShared {
             id,
+            rt: Arc::clone(&slot.rt),
+            model: request.model,
             table: request.table,
             update: request.update,
             rows: request.rows,
@@ -470,6 +644,7 @@ impl RowService {
             ready: Condvar::new(),
         });
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        slot.stats.requests.fetch_add(1, Ordering::Relaxed);
         shared.publish(RunEvent::RequestStarted {
             request: id,
             table: req.meta.name.clone(),
@@ -487,12 +662,12 @@ impl RowService {
             finished: total_packages == 0,
         };
         stream.issue_up_to_window();
-        Ok(stream)
+        Ok(Admitted { stream, resume_at })
     }
 
-    /// Convenience point lookup: the formatted bytes of one row, with no
-    /// framing — exactly the row's slice of the whole-table byte stream
-    /// body.
+    /// Convenience point lookup against model 0: the formatted bytes of
+    /// one row, with no framing — exactly the row's slice of the
+    /// whole-table byte stream body.
     pub fn row_bytes(
         &self,
         table: u32,
@@ -500,7 +675,22 @@ impl RowService {
         row: u64,
         formatter: Arc<dyn Formatter>,
     ) -> Result<Vec<u8>, SubmitError> {
-        let mut stream = self.submit(RowRequest::point(table, update, row), formatter)?;
+        self.row_bytes_in(0, table, update, row, formatter)
+    }
+
+    /// [`row_bytes`](Self::row_bytes) against a named model slot.
+    pub fn row_bytes_in(
+        &self,
+        model: u32,
+        table: u32,
+        update: u32,
+        row: u64,
+        formatter: Arc<dyn Formatter>,
+    ) -> Result<Vec<u8>, SubmitError> {
+        let mut stream = self.submit(
+            RowRequest::point(table, update, row).on_model(model),
+            formatter,
+        )?;
         let mut out = Vec::new();
         while let Some(chunk) = stream.next_package() {
             out.extend_from_slice(&chunk);
@@ -514,7 +704,7 @@ impl RowService {
     /// down the seeding tree. `pdgf prove` checks it lands on the same
     /// lineage node as [`RowService::batch_lineage`] (`E055`).
     pub fn point_lineage(&self, table: u32, column: u32, update: u32, row: u64) -> u64 {
-        self.shared
+        self.shared.models[0]
             .rt
             .seed_tree()
             .field_seed(pdgf_prng::FieldCoord {
@@ -529,34 +719,26 @@ impl RowService {
     /// the hoisted form the columnar kernels and shard framing use (one
     /// `update_seed` per column, then one `mix64_pair` per cell).
     pub fn batch_lineage(&self, table: u32, column: u32, update: u32, row: u64) -> u64 {
-        let hoisted = self
-            .shared
+        let hoisted = self.shared.models[0]
             .rt
             .seed_tree()
             .update_seed(table, column, update);
         pdgf_prng::mix64_pair(hoisted, row)
     }
 
-    /// Live service counters and latency percentiles.
+    /// Live service counters and latency percentiles, aggregated across
+    /// every model slot.
     pub fn stats(&self) -> ServeStats {
-        let s = &self.shared.stats;
-        let completed = s.completed.load(Ordering::Relaxed);
-        let uptime_seconds = now_ns().saturating_sub(self.shared.started_ns) as f64 / 1e9;
-        ServeStats {
-            requests: s.requests.load(Ordering::Relaxed),
-            completed,
-            aborted: s.aborted.load(Ordering::Relaxed),
-            rejected: s.rejected.load(Ordering::Relaxed),
-            rows: s.rows.load(Ordering::Relaxed),
-            bytes: s.bytes.load(Ordering::Relaxed),
-            uptime_seconds,
-            qps: if uptime_seconds > 0.0 {
-                completed as f64 / uptime_seconds
-            } else {
-                0.0
-            },
-            latency: s.latency.snapshot().stats(),
-        }
+        self.shared.stats.snapshot(self.shared.started_ns)
+    }
+
+    /// Counters scoped to one model slot (`None` for an unknown index).
+    /// Uptime/qps are computed against the shared service clock.
+    pub fn stats_of(&self, model: u32) -> Option<ServeStats> {
+        self.shared
+            .models
+            .get(model as usize)
+            .map(|slot| slot.stats.snapshot(self.shared.started_ns))
     }
 
     /// Stop accepting work and join the pool. Pending tickets of live
@@ -584,6 +766,19 @@ impl Drop for RowService {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// The outcome of clamped admission: the stream serving the (possibly
+/// clamped) head of the range, plus — when the request exceeded
+/// `max_request_rows` — the row offset the caller must resume from to
+/// fetch the remainder. Protocol front ends turn `resume_at` into an
+/// opaque cursor token.
+pub struct Admitted {
+    /// The admitted request's package stream.
+    pub stream: ResponseStream,
+    /// `Some(row)` when the range was clamped: the first row NOT served
+    /// by `stream`; the remainder is `row..original_end`.
+    pub resume_at: Option<u64>,
 }
 
 /// A request's ordered package stream. Iterate (or call
@@ -646,6 +841,9 @@ impl ResponseStream {
                 self.finished = true;
                 self.req.cancelled.store(true, Ordering::Relaxed);
                 self.shared.stats.aborted.fetch_add(1, Ordering::Relaxed);
+                if let Some(slot) = self.shared.models.get(self.req.model as usize) {
+                    slot.stats.aborted.fetch_add(1, Ordering::Relaxed);
+                }
                 self.shared.publish(RunEvent::RequestFailed {
                     request: self.req.id,
                     message: "service shut down mid-request".to_string(),
@@ -665,12 +863,18 @@ impl ResponseStream {
         self.issue_up_to_window();
         if self.delivered == self.req.total_packages {
             self.finished = true;
+            let latency_ns = now_ns().saturating_sub(self.started_ns);
             let s = &self.shared.stats;
             s.completed.fetch_add(1, Ordering::Relaxed);
             s.rows.fetch_add(self.rows, Ordering::Relaxed);
             s.bytes.fetch_add(self.bytes, Ordering::Relaxed);
-            let latency_ns = now_ns().saturating_sub(self.started_ns);
             s.latency.record(latency_ns);
+            if let Some(slot) = self.shared.models.get(self.req.model as usize) {
+                slot.stats.completed.fetch_add(1, Ordering::Relaxed);
+                slot.stats.rows.fetch_add(self.rows, Ordering::Relaxed);
+                slot.stats.bytes.fetch_add(self.bytes, Ordering::Relaxed);
+                slot.stats.latency.record(latency_ns);
+            }
             self.shared.publish(RunEvent::RequestFinished {
                 request: self.req.id,
                 rows: self.rows,
@@ -695,6 +899,9 @@ impl Drop for ResponseStream {
         if !self.finished {
             self.req.cancelled.store(true, Ordering::Relaxed);
             self.shared.stats.aborted.fetch_add(1, Ordering::Relaxed);
+            if let Some(slot) = self.shared.models.get(self.req.model as usize) {
+                slot.stats.aborted.fetch_add(1, Ordering::Relaxed);
+            }
             self.shared.publish(RunEvent::RequestFailed {
                 request: self.req.id,
                 message: "response stream dropped before completion".to_string(),
@@ -785,7 +992,7 @@ fn render_package(shared: &ServiceShared, task: &Task, state: &mut WorkerState) 
         };
         if shared.columnar {
             format_package_columnar(
-                &shared.rt,
+                &req.rt,
                 &pkg,
                 req.formatter.as_ref(),
                 &req.meta,
@@ -795,7 +1002,7 @@ fn render_package(shared: &ServiceShared, task: &Task, state: &mut WorkerState) 
             );
         } else {
             format_package(
-                &shared.rt,
+                &req.rt,
                 &pkg,
                 req.formatter.as_ref(),
                 &req.meta,

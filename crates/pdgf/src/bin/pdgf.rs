@@ -15,9 +15,11 @@
 //! pdgf prove    --model tpch.xml [--scale N] [--format json] [-p ...]
 //! pdgf serve    --model tpch.xml --addr 127.0.0.1:7411 [--workers N]
 //!               [--package-rows N] [--window N] [--max-request-rows N]
-//!               [--max-connections N] [--metrics-out run.jsonl] [-p ...]
+//!               [--max-connections N] [--http-port N]
+//!               [--metrics-out run.jsonl] [-p ...]
+//! pdgf serve    --model tpch=tpch.xml --model ssb=ssb.xml --addr ... (registry)
 //! pdgf fetch    --addr HOST:PORT --table t --start A --end B [--format csv]
-//!               [--update N] [--out FILE]
+//!               [--update N] [--out FILE] [--http] [--model NAME]
 //! pdgf fetch    --addr HOST:PORT --table t --row N [--format csv]
 //! pdgf fetch    --addr HOST:PORT --stats|--info|--ping
 //! ```
@@ -27,7 +29,11 @@
 //! as JSONL to a file, followed by one `metrics_snapshot` summary record.
 //! `serve` keeps one worker pool alive and answers row-range and
 //! point-lookup requests on demand (see DESIGN.md, "On-the-fly serving");
-//! `fetch` is the matching client.
+//! repeatable `--model NAME=PATH` serves several models from one pool,
+//! and `--http-port` adds the HTTP/1.1 front end next to the TCP
+//! protocol. `fetch` is the matching client; `--http` speaks to the
+//! HTTP listener instead of the TCP one, and `--model` addresses one
+//! model of a multi-model server.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -36,10 +42,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pdgf::runtime::{Monitor, PhaseStats, ServeConfig, Telemetry};
-use pdgf::{OutputFormat, Pdgf, PdgfError, ServeClient, Server, ServerOptions};
+use pdgf::{
+    FetchRequest, ModelRegistry, OutputFormat, Pdgf, PdgfError, ServeClient, Server, ServerOptions,
+};
 
 struct Args {
     model: Option<String>,
+    models: Vec<String>,
     out: Option<String>,
     format: OutputFormat,
     workers: Option<usize>,
@@ -62,6 +71,8 @@ struct Args {
     window: Option<usize>,
     max_request_rows: Option<u64>,
     max_connections: Option<usize>,
+    http_port: Option<u16>,
+    http: bool,
     stats: bool,
     info: bool,
     ping: bool,
@@ -81,11 +92,14 @@ fn usage() -> ExitCode {
          explain options:  --scale N (override the SF property) --format json\n\
          prove options:    --scale N (override the SF property) --format json\n\
          serve options:    --model <file.xml> --addr HOST:PORT --workers N\n\
+         \u{20}                 --model NAME=PATH (repeatable: multi-model registry)\n\
+         \u{20}                 --http-port N (HTTP/1.1 front end beside the TCP protocol)\n\
          \u{20}                 --package-rows N --window N (per-request in-flight packages)\n\
          \u{20}                 --max-request-rows N --max-connections N\n\
          \u{20}                 --metrics-out <file> (request event stream as JSONL)\n\
          fetch options:    --addr HOST:PORT --table <name> --start A --end B\n\
          \u{20}                 --row N (point lookup) --update N --format csv|json|xml|sql\n\
+         \u{20}                 --http (HTTP transport) --model NAME (multi-model server)\n\
          \u{20}                 --out <file> (default stdout) --stats --info --ping\n"
     );
     ExitCode::from(2)
@@ -95,6 +109,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
     let command = argv.next().ok_or("missing command")?;
     let mut args = Args {
         model: None,
+        models: Vec::new(),
         out: None,
         format: OutputFormat::Csv,
         workers: None,
@@ -117,6 +132,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         window: None,
         max_request_rows: None,
         max_connections: None,
+        http_port: None,
+        http: false,
         stats: false,
         info: false,
         ping: false,
@@ -126,7 +143,13 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             argv.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match flag.as_str() {
-            "--model" => args.model = Some(value("--model")?),
+            "--model" => {
+                let v = value("--model")?;
+                if args.model.is_none() {
+                    args.model = Some(v.clone());
+                }
+                args.models.push(v);
+            }
             "--out" => args.out = Some(value("--out")?),
             "--format" => {
                 args.format = match value("--format")?.as_str() {
@@ -178,6 +201,14 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                         .map_err(|_| "bad --max-connections")?,
                 )
             }
+            "--http-port" => {
+                args.http_port = Some(
+                    value("--http-port")?
+                        .parse()
+                        .map_err(|_| "bad --http-port")?,
+                )
+            }
+            "--http" => args.http = true,
             "--stats" => args.stats = true,
             "--info" => args.info = true,
             "--ping" => args.ping = true,
@@ -667,16 +698,36 @@ fn cmd_prove(args: &Args) -> Result<(), PdgfError> {
 }
 
 /// Start the on-the-fly row server: one persistent worker pool answering
-/// range and point-lookup requests over the loaded model, forever.
+/// range and point-lookup requests over the loaded model(s), forever.
 /// Prints `listening on ADDR` once the socket is bound (the CI smoke job
-/// waits on that line). `--metrics-out` streams request-scoped telemetry
+/// waits on that line) and `http on ADDR` when `--http-port` attached
+/// the HTTP front end. `--metrics-out` streams request-scoped telemetry
 /// events as JSONL while the server runs.
 fn cmd_serve(args: &Args) -> Result<(), PdgfError> {
-    let project = build_project(args)?;
     let addr = args
         .addr
         .as_ref()
         .ok_or_else(|| PdgfError::Config("--addr is required for serve".into()))?;
+
+    // One plain `--model PATH` keeps the original single-model flow
+    // (CLI property/seed overrides apply) under the name "default";
+    // `NAME=PATH` entries go through the registry's gated loader
+    // (analyze + prove before the pool starts).
+    let registry = if args.models.iter().any(|m| m.contains('=')) {
+        let mut registry = ModelRegistry::new();
+        for entry in &args.models {
+            let (name, path) = entry.split_once('=').ok_or_else(|| {
+                PdgfError::Config(format!(
+                    "--model {entry:?}: a multi-model registry needs NAME=PATH for every entry"
+                ))
+            })?;
+            registry = registry.load_file(name, path)?;
+        }
+        registry
+    } else {
+        let project = build_project(args)?;
+        ModelRegistry::new().register("default", project)?
+    };
 
     let mut config = ServeConfig::new();
     if let Some(workers) = args.workers {
@@ -694,10 +745,13 @@ fn cmd_serve(args: &Args) -> Result<(), PdgfError> {
     if args.row_path {
         config = config.columnar(false);
     }
-    let mut options = ServerOptions::new().config(config);
+    let mut builder = ServerOptions::builder().config(config);
     if let Some(max) = args.max_connections {
-        options = options.max_connections(max);
+        builder = builder.max_connections(max);
     }
+    let options = builder
+        .build()
+        .map_err(|e| PdgfError::Config(e.to_string()))?;
 
     let telemetry = args.metrics_out.as_ref().map(|_| Telemetry::new());
     let _writer = telemetry.as_ref().and_then(|t| {
@@ -712,22 +766,35 @@ fn cmd_serve(args: &Args) -> Result<(), PdgfError> {
         }))
     });
 
-    let runtime = Arc::new(project.into_runtime());
-    let server = Server::bind(runtime, addr, options, telemetry.as_ref())?;
+    let mut server = Server::bind_registry(registry, addr, options, telemetry.as_ref())?;
+    if let Some(port) = args.http_port {
+        let ip = server.local_addr()?.ip();
+        server = server.with_http((ip, port))?;
+    }
     println!("listening on {}", server.local_addr()?);
+    if let Some(http) = server.http_addr() {
+        println!("http on {http}");
+    }
     let _ = std::io::stdout().flush();
     server.run();
     Ok(())
 }
 
 /// The `serve` protocol client: fetch a row range or one row to stdout
-/// (or `--out`), or query `--info`/`--stats`/`--ping`.
+/// (or `--out`), or query `--info`/`--stats`/`--ping`. `--http` uses the
+/// HTTP transport; either transport follows server-issued resume cursors
+/// transparently, so a fetch wider than the server's request cap still
+/// arrives whole.
 fn cmd_fetch(args: &Args) -> Result<(), PdgfError> {
     let addr = args
         .addr
         .as_ref()
         .ok_or_else(|| PdgfError::Config("--addr is required for fetch".into()))?;
-    let mut client = ServeClient::connect(addr)?;
+    let mut client = if args.http {
+        ServeClient::connect_http(addr.as_str())?
+    } else {
+        ServeClient::connect(addr.as_str())?
+    };
     let fail = |e: pdgf::ServeError| PdgfError::Config(e.to_string());
 
     if args.ping {
@@ -736,7 +803,11 @@ fn cmd_fetch(args: &Args) -> Result<(), PdgfError> {
         return Ok(());
     }
     if args.info {
-        println!("{}", client.info().map_err(fail)?);
+        let payload = match &args.model {
+            Some(model) => client.info_of(model).map_err(fail)?,
+            None => client.info().map_err(fail)?,
+        };
+        println!("{payload}");
         return Ok(());
     }
     if args.stats {
@@ -748,10 +819,8 @@ fn cmd_fetch(args: &Args) -> Result<(), PdgfError> {
         .table
         .as_ref()
         .ok_or_else(|| PdgfError::Config("--table is required for fetch".into()))?;
-    let bytes: Vec<u8> = if let Some(row) = args.row {
-        client
-            .row(table, args.update, row, args.format)
-            .map_err(fail)?
+    let mut req = if let Some(row) = args.row {
+        FetchRequest::row(table, row)
     } else {
         let start = args
             .start
@@ -759,10 +828,13 @@ fn cmd_fetch(args: &Args) -> Result<(), PdgfError> {
         let end = args
             .end
             .ok_or_else(|| PdgfError::Config("--start/--end or --row required".into()))?;
-        client
-            .range(table, args.update, start, end, args.format)
-            .map_err(fail)?
+        FetchRequest::range(table, start, end.saturating_sub(start))
     };
+    req = req.format(args.format).update(args.update);
+    if let Some(model) = &args.model {
+        req = req.model(model);
+    }
+    let bytes: Vec<u8> = client.fetch(req).map_err(fail)?;
     match &args.out {
         Some(path) => std::fs::write(path, &bytes)?,
         None => {

@@ -48,4 +48,7 @@ pub mod serve;
 pub use explain::{ColumnExplain, ExplainReport, PerFormat, TableExplain};
 pub use project::{OutputFormat, Pdgf, PdgfError, PdgfProject};
 pub use prove::{ProveReport, ProveVerdicts};
-pub use serve::{ServeClient, ServeError, Server, ServerHandle, ServerOptions};
+pub use serve::{
+    FetchRequest, ModelRegistry, ServeClient, ServeError, Server, ServerHandle, ServerOptions,
+    ServerOptionsBuilder,
+};

@@ -1,110 +1,72 @@
-//! `pdgf serve` — the on-the-fly row service over TCP.
+//! `pdgf serve` — the multi-model, on-the-fly data plane.
 //!
 //! The paper's seeding hierarchy makes every cell recomputable in O(1),
 //! so serving rows never touches files: a [`Server`] wraps one
 //! [`RowService`] (the persistent scheduler pool in `pdgf-runtime`) and
-//! answers range and point-lookup requests over a tiny length-prefixed
-//! protocol. Response bytes come from the same formatters as `pdgf
-//! generate`, framed positionally, so concatenating the responses for
-//! adjacent ranges is byte-equal to a generated file of the whole table
-//! — the determinism contract, pinned by the end-to-end tests and the CI
+//! answers range and point-lookup requests by *recomputing* them.
+//! Response bytes come from the same formatters as `pdgf generate`,
+//! framed positionally, so concatenating the responses for adjacent
+//! ranges is byte-equal to a generated file of the whole table — the
+//! determinism contract, pinned by the end-to-end tests and the CI
 //! smoke job.
 //!
-//! # Wire protocol
+//! One server speaks two protocols over one worker pool:
 //!
-//! Every frame, in both directions, is
+//! * **TCP** ([`tcp`]) — the compact length-prefixed frame protocol
+//!   (`RANGE`/`ROW`/`INFO`/`STATS`/`PING`/`CURSOR` commands), for
+//!   clients that want minimum overhead.
+//! * **HTTP/1.1** ([`http`]) — a hand-rolled front end (`GET
+//!   /v1/{model}/{table}/rows`, `.../row/{n}`, `.../info`, `/metrics`)
+//!   with keep-alive and chunked transfer streamed package-by-package,
+//!   for clients that want no SDK at all.
 //!
-//! ```text
-//! [u32 big-endian payload length][u8 tag][payload bytes]
-//! ```
+//! Both share connection admission (`max_connections`), socket
+//! timeouts, and the [`ModelRegistry`](registry::ModelRegistry): every
+//! registered model is a named slot on the same [`RowService`], so
+//! `tpch` and `ssb` can be served from one deployment, as BDGS
+//! prescribes.
 //!
-//! Clients send `Q` (query) frames whose payload is one ASCII command:
-//!
-//! ```text
-//! RANGE <table> <update> <start> <end> <format>   rows start..end
-//! ROW   <table> <update> <row> <format>           one row, unframed
-//! INFO                                            schema summary (JSON)
-//! STATS                                           service counters (JSON)
-//! PING                                            liveness check
-//! ```
-//!
-//! The server answers with zero or more `D` (data) or `J` (JSON) frames
-//! followed by a terminal `Z` (end, empty payload) — or a single `E`
-//! (error, message payload) instead, which ends the request but not the
-//! connection. Each `D` frame carries one work package's formatted
-//! bytes; concatenating a request's `D` payloads in arrival order yields
-//! the response body. A connection handles any number of requests in
-//! sequence; framing the stream per package is what lets the server
-//! apply reader-driven backpressure (the [`RowService`] window) to slow
-//! clients without buffering whole tables.
+//! Ranges wider than the service's `max_request_rows` cap are clamped,
+//! not refused: the response carries the first tile plus an opaque
+//! resumable [`Cursor`](cursor::Cursor) token (a `C` frame on TCP, a
+//! `Link`/`X-Pdgf-Next` header on HTTP). Chained cursor fetches tile
+//! byte-identically to a single `pdgf generate` — positional framing
+//! makes the tiles compositional, so the token never carries state
+//! beyond the remainder coordinates.
 
-use std::io::{BufReader, BufWriter, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use pdgf_gen::SchemaRuntime;
-use pdgf_output::StreamSink;
-use pdgf_runtime::{RowRequest, RowService, ServeConfig, ServeStats, Telemetry};
+use pdgf_runtime::{RowService, ServeConfig, ServeStats, Telemetry};
 
-use crate::project::OutputFormat;
+pub mod client;
+pub mod cursor;
+pub mod http;
+pub mod registry;
+pub mod tcp;
 
-/// Frame tag: client request (ASCII command payload).
-pub const TAG_QUERY: u8 = b'Q';
-/// Frame tag: response data (formatted rows).
-pub const TAG_DATA: u8 = b'D';
-/// Frame tag: response metadata (JSON payload).
-pub const TAG_JSON: u8 = b'J';
-/// Frame tag: request failed (message payload); terminal for the request.
-pub const TAG_ERROR: u8 = b'E';
-/// Frame tag: end of a successful response (empty payload).
-pub const TAG_END: u8 = b'Z';
+pub use client::{FetchRequest, ServeClient, ServeError, Transport};
+pub use cursor::{Cursor, CursorError};
+pub use registry::ModelRegistry;
+pub use tcp::{MAX_REQUEST_FRAME, TAG_CURSOR, TAG_DATA, TAG_END, TAG_ERROR, TAG_JSON, TAG_QUERY};
 
-/// Largest accepted request frame. Commands are one short line; anything
-/// bigger is a confused or hostile client.
-pub const MAX_REQUEST_FRAME: u32 = 64 * 1024;
-
-/// Write one `[len][tag][payload]` frame through a counting
-/// [`StreamSink`] (the sink-to-socket adapter — response bytes flow
-/// through the same [`Sink`](pdgf_output::Sink) abstraction batch runs
-/// write files through).
-fn write_frame<W: Write + Send>(
-    sink: &mut StreamSink<W>,
-    tag: u8,
-    payload: &[u8],
-) -> std::io::Result<()> {
-    let mut header = [0u8; 5];
-    header[..4].copy_from_slice(&(payload.len() as u32).to_be_bytes());
-    header[4] = tag;
-    use pdgf_output::Sink as _;
-    sink.write_chunk(&header)?;
-    if !payload.is_empty() {
-        sink.write_chunk(payload)?;
-    }
-    Ok(())
-}
-
-/// Read one frame; `max_len` bounds the payload length.
-fn read_frame<R: Read>(reader: &mut R, max_len: u32) -> std::io::Result<(u8, Vec<u8>)> {
-    let mut header = [0u8; 5];
-    reader.read_exact(&mut header)?;
-    let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
-    if len > max_len {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {max_len}-byte cap"),
-        ));
-    }
-    let mut payload = vec![0u8; len as usize];
-    reader.read_exact(&mut payload)?;
-    Ok((header[4], payload))
-}
-
-/// Server tuning: the row-service knobs plus connection admission.
+/// Server tuning: the row-service knobs plus connection admission and
+/// socket timeouts. Private fields; construct the defaults with
+/// [`ServerOptions::new`] or validated custom values through
+/// [`ServerOptions::builder`] — the builder is the one that rejects
+/// nonsense (`0` connections, zero timeouts) with an error instead of
+/// silently clamping, the convention both run-entry APIs follow (see
+/// DESIGN.md, "Validated configuration builders").
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
-    config: ServeConfig,
-    max_connections: usize,
+    pub(crate) config: ServeConfig,
+    pub(crate) max_connections: usize,
+    pub(crate) read_timeout: Option<Duration>,
+    pub(crate) write_timeout: Option<Duration>,
 }
 
 impl Default for ServerOptions {
@@ -112,75 +74,242 @@ impl Default for ServerOptions {
         Self {
             config: ServeConfig::new(),
             max_connections: 64,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
 
 impl ServerOptions {
-    /// Defaults: [`ServeConfig::new`] and 64 concurrent connections.
+    /// The defaults: [`ServeConfig::new`], 64 concurrent connections,
+    /// 30-second read/write socket timeouts.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Start a validated builder from the defaults.
+    pub fn builder() -> ServerOptionsBuilder {
+        ServerOptionsBuilder::default()
+    }
+
+    /// Configured concurrent-connection cap.
+    pub fn connection_cap(&self) -> usize {
+        self.max_connections
+    }
+
+    /// Configured socket read timeout (`None` = wait forever).
+    pub fn read_timeout(&self) -> Option<Duration> {
+        self.read_timeout
+    }
+
+    /// Configured socket write timeout (`None` = wait forever).
+    pub fn write_timeout(&self) -> Option<Duration> {
+        self.write_timeout
+    }
+}
+
+/// Validated builder for [`ServerOptions`]; [`build`] rejects
+/// out-of-range values instead of clamping them.
+///
+/// [`build`]: ServerOptionsBuilder::build
+#[derive(Debug, Clone, Default)]
+pub struct ServerOptionsBuilder {
+    options: ServerOptions,
+}
+
+impl ServerOptionsBuilder {
     /// Replace the row-service configuration (workers, package rows,
     /// backpressure window, engine, request-size cap).
     pub fn config(mut self, config: ServeConfig) -> Self {
-        self.config = config;
+        self.options.config = config;
         self
     }
 
-    /// Cap concurrent connections; excess connects receive an `E` frame
-    /// and are closed (clamped to ≥ 1).
+    /// Cap concurrent connections across BOTH protocols; excess
+    /// connects are refused (TCP `E` frame / HTTP 503). Zero is
+    /// rejected at [`build`](Self::build).
     pub fn max_connections(mut self, max: usize) -> Self {
-        self.max_connections = max.max(1);
+        self.options.max_connections = max;
         self
+    }
+
+    /// Socket read timeout for both protocols. Zero is rejected at
+    /// [`build`](Self::build); an idle keep-alive connection past the
+    /// timeout is closed.
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.options.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Socket write timeout for both protocols. Zero is rejected at
+    /// [`build`](Self::build); a reader stalled past it has its
+    /// connection closed (its request window stops the workers long
+    /// before that).
+    pub fn write_timeout(mut self, timeout: Duration) -> Self {
+        self.options.write_timeout = Some(timeout);
+        self
+    }
+
+    /// Disable both socket timeouts (connections may idle forever).
+    pub fn no_timeouts(mut self) -> Self {
+        self.options.read_timeout = None;
+        self.options.write_timeout = None;
+        self
+    }
+
+    /// Validate and produce the options.
+    pub fn build(self) -> Result<ServerOptions, ServerOptionsError> {
+        let o = &self.options;
+        if o.max_connections == 0 {
+            return Err(ServerOptionsError("max_connections must be at least 1"));
+        }
+        if o.read_timeout == Some(Duration::ZERO) {
+            return Err(ServerOptionsError(
+                "read_timeout must be nonzero (use no_timeouts to disable)",
+            ));
+        }
+        if o.write_timeout == Some(Duration::ZERO) {
+            return Err(ServerOptionsError(
+                "write_timeout must be nonzero (use no_timeouts to disable)",
+            ));
+        }
+        if o.config.request_window() == 0 {
+            return Err(ServerOptionsError("backpressure window must be at least 1"));
+        }
+        Ok(self.options)
     }
 }
 
-/// What the accept loop shares with connection handlers.
-struct ServerShared {
-    service: RowService,
-    active: AtomicUsize,
-    max_connections: usize,
-    stopping: AtomicBool,
+/// An out-of-range value handed to [`ServerOptionsBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerOptionsError(&'static str);
+
+impl std::fmt::Display for ServerOptionsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid server options: {}", self.0)
+    }
 }
 
-/// The TCP server: one listener, one persistent [`RowService`], one
-/// handler thread per connection. Build with [`Server::bind`], then
-/// either [`run`](Server::run) the accept loop on the current thread
-/// (the CLI does this) or [`spawn`](Server::spawn) it for tests.
+impl std::error::Error for ServerOptionsError {}
+
+/// What the accept loops share with every connection handler, across
+/// both protocols.
+pub(crate) struct ServerShared {
+    pub(crate) service: RowService,
+    pub(crate) active: AtomicUsize,
+    pub(crate) max_connections: usize,
+    pub(crate) stopping: AtomicBool,
+    pub(crate) read_timeout: Option<Duration>,
+    pub(crate) write_timeout: Option<Duration>,
+    pub(crate) telemetry: Option<Telemetry>,
+}
+
+impl ServerShared {
+    /// Admit a connection against the shared cap; the caller must
+    /// [`release`](Self::release) when the handler exits.
+    pub(crate) fn admit(&self) -> bool {
+        // Optimistic increment; back out over the cap. Two racing
+        // connects can both briefly hold a slot, but the cap is a
+        // resource bound, not an exact semaphore.
+        if self.active.fetch_add(1, Ordering::AcqRel) < self.max_connections {
+            true
+        } else {
+            self.active.fetch_sub(1, Ordering::AcqRel);
+            false
+        }
+    }
+
+    pub(crate) fn release(&self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Apply the configured socket timeouts to one connection.
+    pub(crate) fn apply_timeouts(&self, stream: &TcpStream) {
+        let _ = stream.set_read_timeout(self.read_timeout);
+        let _ = stream.set_write_timeout(self.write_timeout);
+    }
+}
+
+/// The serving front: one TCP listener (always), one HTTP listener
+/// (optional), one persistent [`RowService`], one handler thread per
+/// connection. Build with [`Server::bind`] (single model) or
+/// [`Server::bind_registry`] + [`Server::with_http`] (multi-model data
+/// plane), then either [`run`](Server::run) the accept loop on the
+/// current thread (the CLI does this) or [`spawn`](Server::spawn) it
+/// for tests.
 pub struct Server {
     listener: TcpListener,
+    http: Option<TcpListener>,
     shared: Arc<ServerShared>,
 }
 
 impl Server {
-    /// Bind `addr` and start the worker pool. Pass port 0 to let the OS
-    /// pick (read it back via [`local_addr`](Server::local_addr)).
-    /// `telemetry` attaches the event bus and stall watchdog to the
-    /// service for its lifetime.
+    /// Bind `addr` and start the worker pool over a single model
+    /// (registered as `default`). Pass port 0 to let the OS pick (read
+    /// it back via [`local_addr`](Server::local_addr)). `telemetry`
+    /// attaches the event bus and stall watchdog to the service for its
+    /// lifetime.
     pub fn bind(
         runtime: Arc<SchemaRuntime>,
         addr: impl ToSocketAddrs,
         options: ServerOptions,
         telemetry: Option<&Telemetry>,
     ) -> std::io::Result<Self> {
+        let registry = ModelRegistry::new()
+            .register_runtime("default", runtime)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        Self::bind_registry(registry, addr, options, telemetry)
+    }
+
+    /// Bind `addr` and start one worker pool serving every model in
+    /// `registry` (rejects an empty registry). TCP only until
+    /// [`with_http`](Server::with_http) adds the HTTP listener.
+    pub fn bind_registry(
+        registry: ModelRegistry,
+        addr: impl ToSocketAddrs,
+        options: ServerOptions,
+        telemetry: Option<&Telemetry>,
+    ) -> std::io::Result<Self> {
+        if registry.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "cannot serve an empty model registry",
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
-        let service = RowService::new(runtime, options.config, telemetry);
+        let service = RowService::with_models(registry.into_models(), options.config, telemetry);
         Ok(Self {
             listener,
+            http: None,
             shared: Arc::new(ServerShared {
                 service,
                 active: AtomicUsize::new(0),
                 max_connections: options.max_connections,
                 stopping: AtomicBool::new(false),
+                read_timeout: options.read_timeout,
+                write_timeout: options.write_timeout,
+                telemetry: telemetry.cloned(),
             }),
         })
     }
 
-    /// The bound address (the actual port when bound with port 0).
+    /// Add the HTTP/1.1 front end on `addr` (port 0 works here too;
+    /// read it back via [`http_addr`](Server::http_addr)). Both
+    /// protocols multiplex onto the same pool and connection cap.
+    pub fn with_http(mut self, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        self.http = Some(TcpListener::bind(addr)?);
+        Ok(self)
+    }
+
+    /// The bound TCP address (the actual port when bound with port 0).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound HTTP address, when [`with_http`](Server::with_http)
+    /// added one.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http.as_ref().and_then(|l| l.local_addr().ok())
     }
 
     /// Live counters of the underlying row service.
@@ -189,77 +318,99 @@ impl Server {
     }
 
     /// Accept connections until the handle from [`spawn`](Server::spawn)
-    /// stops the server (or the process exits). Each connection is served
-    /// on its own thread; admission past `max_connections` is refused
-    /// with an `E` frame.
+    /// stops the server (or the process exits). Each connection is
+    /// served on its own thread; admission past `max_connections` is
+    /// refused (TCP `E` frame, HTTP 503). When an HTTP listener is
+    /// attached its accept loop runs on a background thread for the
+    /// same lifetime.
     pub fn run(self) {
-        for conn in self.listener.incoming() {
-            if self.shared.stopping.load(Ordering::Acquire) {
-                break;
-            }
-            let Ok(stream) = conn else { continue };
+        let http_join = self.http.map(|listener| {
             let shared = Arc::clone(&self.shared);
-            if shared.active.load(Ordering::Acquire) >= shared.max_connections {
-                refuse(stream);
-                continue;
-            }
-            shared.active.fetch_add(1, Ordering::AcqRel);
-            let conn_shared = Arc::clone(&shared);
-            let spawned = std::thread::Builder::new()
-                .name("pdgf-serve-conn".to_string())
+            std::thread::Builder::new()
+                .name("pdgf-serve-http".to_string())
                 .spawn(move || {
-                    let _ = handle_connection(&conn_shared, stream);
-                    conn_shared.active.fetch_sub(1, Ordering::AcqRel);
-                });
-            if spawned.is_err() {
-                // Thread spawn failed (resource exhaustion): undo the
-                // admission; the stream drops closed.
-                shared.active.fetch_sub(1, Ordering::AcqRel);
-            }
+                    accept_loop(&listener, &shared, http::handle_connection, http::refuse)
+                })
+        });
+        accept_loop(
+            &self.listener,
+            &self.shared,
+            tcp::handle_connection,
+            tcp::refuse,
+        );
+        if let Some(Ok(join)) = http_join {
+            let _ = join.join();
         }
     }
 
-    /// Run the accept loop on a background thread, returning a
-    /// [`ServerHandle`] that can stop it — how the tests and the CI
+    /// Run the accept loop(s) on background threads, returning a
+    /// [`ServerHandle`] that can stop them — how the tests and the CI
     /// smoke job drive a server inside one process.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
+        let http_addr = self.http_addr();
         let shared = Arc::clone(&self.shared);
         let join = std::thread::Builder::new()
             .name("pdgf-serve-accept".to_string())
             .spawn(move || self.run())?;
         Ok(ServerHandle {
             addr,
+            http_addr,
             shared,
             join: Some(join),
         })
     }
 }
 
-/// Over-capacity refusal: best-effort `E` frame, then close.
-fn refuse(stream: TcpStream) {
-    let mut sink = StreamSink::new(BufWriter::new(stream));
-    let _ = write_frame(
-        &mut sink,
-        TAG_ERROR,
-        b"server at connection capacity, retry later",
-    );
-    if let Ok(w) = sink.into_inner() {
-        drop(w);
+/// One protocol's accept loop: admission, then one handler thread per
+/// connection. `handle` is the protocol's connection function.
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ServerShared>,
+    handle: fn(&ServerShared, TcpStream) -> std::io::Result<()>,
+    refuse: fn(TcpStream),
+) {
+    for conn in listener.incoming() {
+        if shared.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        if !shared.admit() {
+            refuse(stream);
+            continue;
+        }
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("pdgf-serve-conn".to_string())
+            .spawn(move || {
+                let _ = handle(&conn_shared, stream);
+                conn_shared.release();
+            });
+        if spawned.is_err() {
+            // Thread spawn failed (resource exhaustion): undo the
+            // admission; the stream drops closed.
+            shared.release();
+        }
     }
 }
 
 /// Controls a [`Server`] spawned on a background thread.
 pub struct ServerHandle {
     addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
     shared: Arc<ServerShared>,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
-    /// The server's bound address.
+    /// The server's bound TCP address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The server's bound HTTP address, when one was attached.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
     }
 
     /// Live counters of the underlying row service.
@@ -267,15 +418,27 @@ impl ServerHandle {
         self.shared.service.stats()
     }
 
-    /// Stop accepting, unblock the accept loop with a sentinel connect,
-    /// and join it. Open connections finish their current request and
-    /// then fail; the worker pool shuts down when the handle drops.
+    /// Per-model counters (`None` for an out-of-range slot).
+    pub fn stats_of(&self, model: u32) -> Option<ServeStats> {
+        self.shared.service.stats_of(model)
+    }
+
+    /// Stop accepting, unblock the accept loops with sentinel connects,
+    /// and join. Open connections finish their current request and then
+    /// fail; the worker pool shuts down when the handle drops.
     pub fn stop(mut self) {
-        self.shared.stopping.store(true, Ordering::Release);
-        // The listener blocks in accept(); a throwaway connection wakes
-        // it so it can observe `stopping`.
-        let _ = TcpStream::connect(self.addr);
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
         if let Some(join) = self.join.take() {
+            self.shared.stopping.store(true, Ordering::Release);
+            // The listeners block in accept(); throwaway connections
+            // wake them so they can observe `stopping`.
+            let _ = TcpStream::connect(self.addr);
+            if let Some(http) = self.http_addr {
+                let _ = TcpStream::connect(http);
+            }
             let _ = join.join();
         }
     }
@@ -283,150 +446,19 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if let Some(join) = self.join.take() {
-            self.shared.stopping.store(true, Ordering::Release);
-            let _ = TcpStream::connect(self.addr);
-            let _ = join.join();
-        }
+        self.shutdown();
     }
 }
 
-/// One connection: read `Q` frames, answer each, until EOF or error.
-fn handle_connection(shared: &ServerShared, stream: TcpStream) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut sink = StreamSink::new(BufWriter::with_capacity(1 << 16, stream));
-    loop {
-        let (tag, payload) = match read_frame(&mut reader, MAX_REQUEST_FRAME) {
-            Ok(frame) => frame,
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
-            Err(e) => {
-                let _ = write_frame(&mut sink, TAG_ERROR, e.to_string().as_bytes());
-                let _ = flush(&mut sink);
-                return Err(e);
-            }
-        };
-        if tag != TAG_QUERY {
-            write_frame(
-                &mut sink,
-                TAG_ERROR,
-                format!("unexpected frame tag {:?}", tag as char).as_bytes(),
-            )?;
-            flush(&mut sink)?;
-            continue;
-        }
-        let command = String::from_utf8_lossy(&payload).into_owned();
-        match answer(shared, command.trim(), &mut sink) {
-            Ok(()) => {}
-            Err(AnswerError::Request(message)) => {
-                write_frame(&mut sink, TAG_ERROR, message.as_bytes())?;
-            }
-            Err(AnswerError::Io(e)) => return Err(e),
-        }
-        flush(&mut sink)?;
-    }
+/// Best-effort write of raw refusal bytes before closing an
+/// over-capacity connection.
+pub(crate) fn write_refusal(mut stream: TcpStream, bytes: &[u8]) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.write_all(bytes);
+    let _ = stream.flush();
 }
 
-fn flush<W: Write + Send>(sink: &mut StreamSink<W>) -> std::io::Result<()> {
-    use pdgf_output::Sink as _;
-    sink.finish().map(|_| ())
-}
-
-/// A request either fails cleanly (`E` frame, connection survives) or
-/// the socket itself is gone.
-enum AnswerError {
-    Request(String),
-    Io(std::io::Error),
-}
-
-impl From<std::io::Error> for AnswerError {
-    fn from(e: std::io::Error) -> Self {
-        AnswerError::Io(e)
-    }
-}
-
-/// Parse and answer one command, writing the full response (data frames
-/// plus terminal `Z`) to `sink`.
-fn answer<W: Write + Send>(
-    shared: &ServerShared,
-    command: &str,
-    sink: &mut StreamSink<W>,
-) -> Result<(), AnswerError> {
-    let words: Vec<&str> = command.split_whitespace().collect();
-    let service = &shared.service;
-    match words.first().copied() {
-        Some("RANGE") if words.len() == 6 => {
-            let (table, update) = lookup(service, words[1], words[2])?;
-            let start = int(words[3], "start")?;
-            let end = int(words[4], "end")?;
-            let format = format_of(words[5])?;
-            let stream = service
-                .submit(
-                    RowRequest::range(table, update, start..end),
-                    Arc::from(format.formatter()),
-                )
-                .map_err(|e| AnswerError::Request(e.to_string()))?;
-            for package in stream {
-                write_frame(sink, TAG_DATA, &package)?;
-                // Flush per package so slow readers exert backpressure on
-                // their own request window, not on a server-side buffer.
-                flush(sink)?;
-            }
-            write_frame(sink, TAG_END, b"")?;
-            Ok(())
-        }
-        Some("ROW") if words.len() == 5 => {
-            let (table, update) = lookup(service, words[1], words[2])?;
-            let row = int(words[3], "row")?;
-            let format = format_of(words[4])?;
-            let bytes = service
-                .row_bytes(table, update, row, Arc::from(format.formatter()))
-                .map_err(|e| AnswerError::Request(e.to_string()))?;
-            write_frame(sink, TAG_DATA, &bytes)?;
-            write_frame(sink, TAG_END, b"")?;
-            Ok(())
-        }
-        Some("INFO") if words.len() == 1 => {
-            write_frame(sink, TAG_JSON, info_json(service.runtime()).as_bytes())?;
-            write_frame(sink, TAG_END, b"")?;
-            Ok(())
-        }
-        Some("STATS") if words.len() == 1 => {
-            write_frame(sink, TAG_JSON, stats_json(&service.stats()).as_bytes())?;
-            write_frame(sink, TAG_END, b"")?;
-            Ok(())
-        }
-        Some("PING") if words.len() == 1 => {
-            write_frame(sink, TAG_JSON, b"{\"ok\":true}")?;
-            write_frame(sink, TAG_END, b"")?;
-            Ok(())
-        }
-        _ => Err(AnswerError::Request(format!(
-            "unknown command {command:?} (expected RANGE/ROW/INFO/STATS/PING)"
-        ))),
-    }
-}
-
-fn lookup(service: &RowService, table: &str, update: &str) -> Result<(u32, u32), AnswerError> {
-    let idx = service
-        .table_index(table)
-        .ok_or_else(|| AnswerError::Request(format!("unknown table {table:?}")))?;
-    let update: u32 = update
-        .parse()
-        .map_err(|_| AnswerError::Request(format!("bad update {update:?}")))?;
-    Ok((idx, update))
-}
-
-fn int(word: &str, what: &str) -> Result<u64, AnswerError> {
-    word.parse()
-        .map_err(|_| AnswerError::Request(format!("bad {what} {word:?}")))
-}
-
-fn format_of(word: &str) -> Result<OutputFormat, AnswerError> {
-    OutputFormat::parse(word)
-        .ok_or_else(|| AnswerError::Request(format!("unknown format {word:?}")))
-}
-
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -441,7 +473,7 @@ fn json_escape(s: &str) -> String {
 }
 
 /// The `INFO` payload: schema name, seed, and per-table name/rows/columns.
-fn info_json(rt: &SchemaRuntime) -> String {
+pub(crate) fn info_json(rt: &SchemaRuntime) -> String {
     let mut s = format!(
         "{{\"schema\":\"{}\",\"seed\":{},\"tables\":[",
         json_escape(rt.name()),
@@ -463,7 +495,7 @@ fn info_json(rt: &SchemaRuntime) -> String {
 }
 
 /// The `STATS` payload: the service counters plus latency percentiles.
-fn stats_json(s: &ServeStats) -> String {
+pub(crate) fn stats_json(s: &ServeStats) -> String {
     format!(
         "{{\"requests\":{},\"completed\":{},\"aborted\":{},\"rejected\":{},\
          \"rows\":{},\"bytes\":{},\"uptime_seconds\":{:.3},\"qps\":{:.3},\
@@ -482,161 +514,4 @@ fn stats_json(s: &ServeStats) -> String {
         s.latency.p95_ns,
         s.latency.p99_ns,
     )
-}
-
-/// A blocking protocol client: one TCP connection, requests in sequence.
-/// Used by `pdgf fetch`, the end-to-end tests, and the serve benchmark.
-pub struct ServeClient {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-}
-
-/// A client-visible request failure (an `E` frame, or a protocol
-/// violation by the server).
-#[derive(Debug)]
-pub struct ServeError(pub String);
-
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "serve error: {}", self.0)
-    }
-}
-
-impl std::error::Error for ServeError {}
-
-impl From<std::io::Error> for ServeError {
-    fn from(e: std::io::Error) -> Self {
-        ServeError(e.to_string())
-    }
-}
-
-impl ServeClient {
-    /// Connect to a running server.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(Self {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-        })
-    }
-
-    fn send(&mut self, command: &str) -> std::io::Result<()> {
-        let payload = command.as_bytes();
-        let mut header = [0u8; 5];
-        header[..4].copy_from_slice(&(payload.len() as u32).to_be_bytes());
-        header[4] = TAG_QUERY;
-        self.writer.write_all(&header)?;
-        self.writer.write_all(payload)?;
-        self.writer.flush()
-    }
-
-    /// Collect a response: `D`/`J` payloads concatenated (and fed to
-    /// `each` as they arrive) until `Z`; an `E` frame becomes an error.
-    fn collect(&mut self, mut each: impl FnMut(&[u8])) -> Result<(), ServeError> {
-        loop {
-            // Response frames are data-sized; no request-side cap applies.
-            let (tag, payload) = read_frame(&mut self.reader, u32::MAX)?;
-            match tag {
-                TAG_DATA | TAG_JSON => each(&payload),
-                TAG_END => return Ok(()),
-                TAG_ERROR => {
-                    return Err(ServeError(String::from_utf8_lossy(&payload).into_owned()))
-                }
-                other => {
-                    return Err(ServeError(format!(
-                        "protocol violation: unexpected tag {:?}",
-                        other as char
-                    )))
-                }
-            }
-        }
-    }
-
-    /// Fetch rows `start..end` of `table` at update epoch `update`,
-    /// streaming each data frame into `each` (ideal for writing straight
-    /// to a file without buffering the response). Returns total bytes.
-    pub fn range_with(
-        &mut self,
-        table: &str,
-        update: u32,
-        start: u64,
-        end: u64,
-        format: OutputFormat,
-        mut each: impl FnMut(&[u8]),
-    ) -> Result<u64, ServeError> {
-        self.send(&format!(
-            "RANGE {table} {update} {start} {end} {}",
-            format.extension()
-        ))?;
-        let mut total = 0u64;
-        self.collect(|chunk| {
-            total += chunk.len() as u64;
-            each(chunk);
-        })?;
-        Ok(total)
-    }
-
-    /// Fetch rows `start..end` of `table`, buffered into one `Vec`.
-    pub fn range(
-        &mut self,
-        table: &str,
-        update: u32,
-        start: u64,
-        end: u64,
-        format: OutputFormat,
-    ) -> Result<Vec<u8>, ServeError> {
-        let mut out = Vec::new();
-        self.range_with(table, update, start, end, format, |chunk| {
-            out.extend_from_slice(chunk)
-        })?;
-        Ok(out)
-    }
-
-    /// Point lookup: the formatted bytes of one row (no framing — the
-    /// row's exact slice of the whole-table stream body).
-    pub fn row(
-        &mut self,
-        table: &str,
-        update: u32,
-        row: u64,
-        format: OutputFormat,
-    ) -> Result<Vec<u8>, ServeError> {
-        self.send(&format!(
-            "ROW {table} {update} {row} {}",
-            format.extension()
-        ))?;
-        let mut out = Vec::new();
-        self.collect(|chunk| out.extend_from_slice(chunk))?;
-        Ok(out)
-    }
-
-    fn json(&mut self, command: &str) -> Result<String, ServeError> {
-        self.send(command)?;
-        let mut out = Vec::new();
-        self.collect(|chunk| out.extend_from_slice(chunk))?;
-        Ok(String::from_utf8_lossy(&out).into_owned())
-    }
-
-    /// The server's schema summary (JSON).
-    pub fn info(&mut self) -> Result<String, ServeError> {
-        self.json("INFO")
-    }
-
-    /// The server's live counters and latency percentiles (JSON).
-    pub fn stats(&mut self) -> Result<String, ServeError> {
-        self.json("STATS")
-    }
-
-    /// Liveness round-trip.
-    pub fn ping(&mut self) -> Result<(), ServeError> {
-        self.json("PING").map(|_| ())
-    }
-
-    /// Close the connection (also happens on drop).
-    pub fn close(self) {
-        if let Ok(stream) = self.writer.into_inner() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-    }
 }

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use pdgf::runtime::ServeConfig;
-use pdgf::{OutputFormat, Pdgf, ServeClient, Server, ServerHandle, ServerOptions};
+use pdgf::{FetchRequest, OutputFormat, Pdgf, ServeClient, Server, ServerHandle, ServerOptions};
 
 const MODEL: &str = r#"
 <schema name="servetest">
@@ -34,13 +34,11 @@ fn start() -> (ServerHandle, Vec<(OutputFormat, Vec<u8>)>) {
         .map(|f| (f, project.table_to_string("t", f).unwrap().into_bytes()))
         .collect();
     let runtime = Arc::new(project.into_runtime());
-    let server = Server::bind(
-        runtime,
-        "127.0.0.1:0",
-        ServerOptions::new().config(ServeConfig::new().workers(2).package_rows(37).window(3)),
-        None,
-    )
-    .unwrap();
+    let options = ServerOptions::builder()
+        .config(ServeConfig::new().workers(2).package_rows(37).window(3))
+        .build()
+        .unwrap();
+    let server = Server::bind(runtime, "127.0.0.1:0", options, None).unwrap();
     (server.spawn().unwrap(), reference)
 }
 
@@ -52,8 +50,12 @@ fn concatenated_range_responses_match_generate_for_all_formats() {
         let mut client = ServeClient::connect(addr).unwrap();
         let mut concat = Vec::new();
         for (start, end) in [(0u64, 311u64), (311, 312), (312, 1000)] {
-            let a = client.range("t", 0, start, end, *format).unwrap();
-            let b = client.range("t", 0, start, end, *format).unwrap();
+            let a = client
+                .fetch(FetchRequest::range("t", start, end - start).format(*format))
+                .unwrap();
+            let b = client
+                .fetch(FetchRequest::range("t", start, end - start).format(*format))
+                .unwrap();
             assert_eq!(a, b, "repeated request differs ({start}..{end})");
             concat.extend_from_slice(&a);
         }
@@ -80,8 +82,12 @@ fn concurrent_clients_all_receive_exact_bytes() {
                 // Each client splits the table differently; all must
                 // reassemble the identical file.
                 let cut = 97 + 103 * i as u64;
-                let mut got = client.range("t", 0, 0, cut, OutputFormat::Csv).unwrap();
-                got.extend_from_slice(&client.range("t", 0, cut, 1000, OutputFormat::Csv).unwrap());
+                let mut got = client.fetch(FetchRequest::range("t", 0, cut)).unwrap();
+                got.extend_from_slice(
+                    &client
+                        .fetch(FetchRequest::range("t", cut, 1000 - cut))
+                        .unwrap(),
+                );
                 assert_eq!(got, *whole, "client {i} got different bytes");
             })
         })
@@ -104,7 +110,7 @@ fn point_lookups_and_json_endpoints_work_over_the_wire() {
     // A point lookup is the row's exact slice of the CSV body.
     let whole = String::from_utf8(reference[0].1.clone()).unwrap();
     let line_7: &str = whole.lines().nth(7).unwrap();
-    let got = client.row("t", 0, 7, OutputFormat::Csv).unwrap();
+    let got = client.fetch(FetchRequest::row("t", 7)).unwrap();
     assert_eq!(String::from_utf8(got).unwrap(), format!("{line_7}\n"));
 
     let info = client.info().unwrap();
@@ -128,20 +134,18 @@ fn request_errors_leave_the_connection_usable() {
     let mut client = ServeClient::connect(server.addr()).unwrap();
 
     let err = client
-        .range("nope", 0, 0, 10, OutputFormat::Csv)
+        .fetch(FetchRequest::range("nope", 0, 10))
         .unwrap_err();
     assert!(err.to_string().contains("unknown table"), "{err}");
 
-    let err = client
-        .range("t", 0, 0, 5000, OutputFormat::Csv)
-        .unwrap_err();
+    let err = client.fetch(FetchRequest::range("t", 0, 5000)).unwrap_err();
     assert!(err.to_string().contains("out of bounds"), "{err}");
 
-    let err = client.row("t", 0, 1000, OutputFormat::Csv).unwrap_err();
+    let err = client.fetch(FetchRequest::row("t", 1000)).unwrap_err();
     assert!(err.to_string().contains("out of bounds"), "{err}");
 
     // The connection survives request errors.
-    let ok = client.range("t", 0, 0, 3, OutputFormat::Csv).unwrap();
+    let ok = client.fetch(FetchRequest::range("t", 0, 3)).unwrap();
     assert!(!ok.is_empty());
     client.ping().unwrap();
     server.stop();

@@ -8,7 +8,12 @@
 #     all four formats;
 #   * the same range fetched twice returns identical bytes;
 #   * a point lookup equals the matching line of the generated file;
-#   * --info/--stats/--ping answer.
+#   * --info/--stats/--ping answer;
+#   * the HTTP/1.1 front end (`--http-port`) serves the same bytes for
+#     all four formats, plus /metrics and per-model info;
+#   * a two-model registry (`--model NAME=PATH ...`) with a small
+#     --max-request-rows serves whole tables through chained resume
+#     cursors, byte-equal to generate, over both protocols.
 # Run from the repository root: ./scripts/serve_smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -49,19 +54,22 @@ for fmt in "${FORMATS[@]}"; do
   "$PDGF" generate --model "$WORK/model.xml" --out "$WORK/ref_$fmt" --format "$fmt"
 done
 
-echo "== start pdgf serve on an OS-assigned port"
-"$PDGF" serve --model "$WORK/model.xml" --addr 127.0.0.1:0 \
+echo "== start pdgf serve on OS-assigned ports (TCP + HTTP)"
+"$PDGF" serve --model "$WORK/model.xml" --addr 127.0.0.1:0 --http-port 0 \
     --workers 2 --package-rows 97 > "$WORK/serve.log" &
 SERVE_PID=$!
 ADDR=""
+HTTP_ADDR=""
 for _ in $(seq 1 100); do
   ADDR="$(sed -n 's/^listening on //p' "$WORK/serve.log")"
-  [[ -n "$ADDR" ]] && break
+  HTTP_ADDR="$(sed -n 's/^http on //p' "$WORK/serve.log")"
+  [[ -n "$ADDR" && -n "$HTTP_ADDR" ]] && break
   kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORK/serve.log" >&2; exit 1; }
   sleep 0.1
 done
-[[ -n "$ADDR" ]] || { echo "FAIL: server never printed its address" >&2; exit 1; }
-echo "  serving at $ADDR"
+[[ -n "$ADDR" && -n "$HTTP_ADDR" ]] \
+    || { echo "FAIL: server never printed its addresses" >&2; exit 1; }
+echo "  serving at $ADDR (tcp), $HTTP_ADDR (http)"
 
 SPLIT=1733
 for fmt in "${FORMATS[@]}"; do
@@ -95,6 +103,60 @@ echo "== JSON endpoints"
 "$PDGF" fetch --addr "$ADDR" --stats | grep -q '"completed":'
 "$PDGF" fetch --addr "$ADDR" --ping  | grep -q pong
 echo "  ok   info/stats/ping"
+
+echo "== HTTP front end: all formats byte-equal to generate"
+for fmt in "${FORMATS[@]}"; do
+  "$PDGF" fetch --http --addr "$HTTP_ADDR" --table t --start 0 --end "$SIZE" \
+      --format "$fmt" --out "$WORK/http.$fmt"
+  cmp "$WORK/http.$fmt" "$WORK/ref_$fmt/t.$fmt" \
+      || { echo "FAIL: http $fmt != generate output" >&2; exit 1; }
+  echo "  ok   http $fmt == generate"
+done
+"$PDGF" fetch --http --addr "$HTTP_ADDR" --table t --row 7 --format csv > "$WORK/http_row7"
+cmp "$WORK/http_row7" "$WORK/line7" \
+    || { echo "FAIL: http point lookup != file line" >&2; exit 1; }
+"$PDGF" fetch --http --addr "$HTTP_ADDR" --info  | grep -q '"schema":"smoke"'
+"$PDGF" fetch --http --addr "$HTTP_ADDR" --stats | grep -q '"server":'
+echo "  ok   http row lookup, /v1/default/info, /metrics"
+
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+echo "== two-model registry with forced cursor chains"
+sed 's/name="smoke"/name="smoke2"/; s/<seed>424243</<seed>424244</' \
+    "$WORK/model.xml" > "$WORK/model2.xml"
+# 611-row cap on a 5000-row table: a whole-table fetch chains 9 tiles.
+"$PDGF" serve --model "a=$WORK/model.xml" --model "b=$WORK/model2.xml" \
+    --addr 127.0.0.1:0 --http-port 0 --workers 2 --package-rows 97 \
+    --max-request-rows 611 > "$WORK/serve2.log" &
+SERVE_PID=$!
+ADDR=""
+HTTP_ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^listening on //p' "$WORK/serve2.log")"
+  HTTP_ADDR="$(sed -n 's/^http on //p' "$WORK/serve2.log")"
+  [[ -n "$ADDR" && -n "$HTTP_ADDR" ]] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORK/serve2.log" >&2; exit 1; }
+  sleep 0.1
+done
+[[ -n "$ADDR" && -n "$HTTP_ADDR" ]] \
+    || { echo "FAIL: registry server never printed its addresses" >&2; exit 1; }
+echo "  registry at $ADDR (tcp), $HTTP_ADDR (http)"
+for fmt in csv json; do
+  "$PDGF" fetch --addr "$ADDR" --model a --table t --start 0 --end "$SIZE" \
+      --format "$fmt" --out "$WORK/chain_tcp.$fmt"
+  cmp "$WORK/chain_tcp.$fmt" "$WORK/ref_$fmt/t.$fmt" \
+      || { echo "FAIL: tcp cursor chain $fmt != generate output" >&2; exit 1; }
+  "$PDGF" fetch --http --addr "$HTTP_ADDR" --model a --table t --start 0 --end "$SIZE" \
+      --format "$fmt" --out "$WORK/chain_http.$fmt"
+  cmp "$WORK/chain_http.$fmt" "$WORK/ref_$fmt/t.$fmt" \
+      || { echo "FAIL: http cursor chain $fmt != generate output" >&2; exit 1; }
+  echo "  ok   $fmt: chained cursor fetch == generate (tcp + http)"
+done
+"$PDGF" fetch --addr "$ADDR" --model b --info | grep -q '"schema":"smoke2"'
+"$PDGF" fetch --http --addr "$HTTP_ADDR" --model b --info | grep -q '"schema":"smoke2"'
+echo "  ok   model-addressed info on both protocols"
 
 kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
