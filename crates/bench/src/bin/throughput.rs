@@ -119,6 +119,59 @@ fn mb_per_s_series(json: &str) -> Vec<f64> {
         .collect()
 }
 
+/// Contention A/B of the serve worker's ticket-queue critical section,
+/// before and after the `cargo xtask locks` narrowing: the old shape
+/// popped under the lock, released, then re-locked to read the queue
+/// depth for telemetry (two acquisitions per ticket); the shipped shape
+/// captures the depth inside the same critical section (one). Returns
+/// best-of-`repeats` ops/s for (double_lock, single_lock).
+fn lock_contention(workers: usize, ops: usize, repeats: usize) -> (f64, f64) {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    let run = |single: bool| -> f64 {
+        let queue: Mutex<VecDeque<u64>> = Mutex::new((0..ops as u64).collect());
+        let depth_sum = std::sync::atomic::AtomicU64::new(0);
+        let t = timed(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut local = 0u64;
+                        loop {
+                            let popped;
+                            let depth;
+                            if single {
+                                let mut q = queue.lock().unwrap();
+                                popped = q.pop_front();
+                                depth = q.len() as u64;
+                            } else {
+                                popped = queue.lock().unwrap().pop_front();
+                                depth = queue.lock().unwrap().len() as u64;
+                            }
+                            if popped.is_none() {
+                                break;
+                            }
+                            local = local.wrapping_add(depth);
+                        }
+                        depth_sum.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert!(depth_sum.load(std::sync::atomic::Ordering::Relaxed) < u64::MAX);
+        ops as f64 / t.seconds
+    };
+
+    let mut double_best = 0.0f64;
+    let mut single_best = 0.0f64;
+    // Interleaved so host drift cancels out of the ratio.
+    for _ in 0..repeats {
+        double_best = double_best.max(run(false));
+        single_best = single_best.max(run(true));
+    }
+    (double_best, single_best)
+}
+
 fn main() {
     banner(
         "Throughput gate: TPC-H lineitem, CSV formatter, null sink",
@@ -229,6 +282,19 @@ fn main() {
         telemetry.dropped_events()
     );
 
+    // Lock-contention A/B for the serve ticket queue: the critical
+    // section shipped after `cargo xtask locks` flagged the double
+    // acquisition (pop, unlock, re-lock for depth) vs the narrowed
+    // single-acquisition shape. Feeds ROADMAP item 3 (honest scaling).
+    let contention_workers = 4usize.min(cores.max(1));
+    let contention_ops = env_usize("THROUGHPUT_CONTENTION_OPS", 200_000);
+    let (double_lock, single_lock) = lock_contention(contention_workers, contention_ops, repeats);
+    let contention_speedup = single_lock / double_lock;
+    println!(
+        "\nlock contention @{contention_workers}w: {single_lock:.0} ops/s single-acquisition \
+         vs {double_lock:.0} ops/s double ({contention_speedup:.2}x)"
+    );
+
     let baseline = std::env::var("BENCH_BASELINE")
         .ok()
         .and_then(|p| std::fs::read_to_string(p).ok());
@@ -283,6 +349,17 @@ fn main() {
     json.push_str(&format!("    \"actual_bytes\": {actual},\n"));
     json.push_str(&format!("    \"ratio\": {accuracy:.4}\n"));
     json.push_str("  },\n");
+    json.push_str("  \"lock_contention\": {\n");
+    json.push_str(&format!("    \"workers\": {contention_workers},\n"));
+    json.push_str(&format!("    \"ops\": {contention_ops},\n"));
+    json.push_str(&format!(
+        "    \"double_lock_ops_per_s\": {double_lock:.0},\n"
+    ));
+    json.push_str(&format!(
+        "    \"single_lock_ops_per_s\": {single_lock:.0},\n"
+    ));
+    json.push_str(&format!("    \"speedup\": {contention_speedup:.4}\n"));
+    json.push_str("  },\n");
     match &baseline {
         Some(b) => {
             json.push_str("  \"baseline\": ");
@@ -326,6 +403,18 @@ fn main() {
              ({columnar_speedup:.2}x, need >= 1.30x)",
             col_path.rows_per_s(),
             row_path.rows_per_s()
+        ),
+    );
+
+    // The narrowed critical section must not be slower than the double
+    // acquisition it replaced; judged only on multi-core hosts, where
+    // the contention is real.
+    check_scaling(
+        "lock-contention",
+        contention_speedup >= 1.0,
+        &format!(
+            "{double_lock:.0} → {single_lock:.0} ops/s @{contention_workers}w \
+             ({contention_speedup:.2}x)"
         ),
     );
 

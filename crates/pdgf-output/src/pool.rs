@@ -122,6 +122,33 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_pool_recovers_and_stays_bounded() {
+        // A worker dying mid-guard poisons the registry mutex; the
+        // recovery helper must keep serving the surviving workers —
+        // recycling, clearing, and the idle bound all intact.
+        let pool = BufferPool::new(2);
+        pool.put(Vec::with_capacity(512));
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let _guard = pool.bufs();
+                panic!("worker dies holding the pool lock");
+            });
+            assert!(handle.join().is_err(), "the panic must reach join");
+        });
+        assert!(pool.bufs.lock().is_err(), "the lock really was poisoned");
+        let buf = pool.take();
+        assert!(buf.is_empty(), "recycled buffer still arrives cleared");
+        assert!(
+            buf.capacity() >= 512,
+            "pre-panic buffer survived the poison"
+        );
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(16));
+        }
+        assert_eq!(pool.idle(), 2, "idle bound honest after recovery");
+    }
+
+    #[test]
     fn pool_is_shareable_across_threads() {
         let pool = std::sync::Arc::new(BufferPool::new(8));
         std::thread::scope(|scope| {

@@ -229,7 +229,11 @@ impl Monitor {
     /// Per-table progress, in first-registered order. Tables registered
     /// but not yet producing output appear with zero counts.
     pub fn table_snapshots(&self) -> Vec<TableSnapshot> {
-        self.tables()
+        // Clone the cell list (cheap Arc bumps) so the registry guard is
+        // released before the per-table snapshot work — string clones
+        // never happen under the lock writers contend on.
+        let cells: Vec<Arc<TableCell>> = self.tables().clone();
+        cells
             .iter()
             .map(|c| TableSnapshot {
                 table: c.name.clone(),
@@ -375,5 +379,38 @@ mod tests {
         let total = m.snapshot();
         assert_eq!(total.rows, 2100);
         assert_eq!(total.bytes, 10_109);
+    }
+
+    #[test]
+    fn poisoned_registry_recovers_with_honest_counters() {
+        // A worker panicking while it holds the registry guard poisons
+        // the mutex; surviving workers keep recording and the final
+        // snapshot must count every completed package exactly once.
+        let m = Monitor::new();
+        let lineitem = m.register_table("lineitem");
+        lineitem.record_package(10, 100);
+        {
+            let m = m.clone();
+            let handle = std::thread::spawn(move || {
+                let _guard = m.tables();
+                panic!("worker dies holding the registry lock");
+            });
+            assert!(handle.join().is_err(), "the panic must reach join");
+        }
+        assert!(
+            m.inner.tables.lock().is_err(),
+            "the lock really was poisoned"
+        );
+        // Registration, handle recording, and snapshots all run through
+        // the recovery helper and must still work.
+        let orders = m.register_table("orders");
+        orders.record_package(5, 50);
+        lineitem.record_package(10, 100);
+        let tables = m.table_snapshots();
+        assert_eq!(tables.len(), 2);
+        assert_eq!((tables[0].rows, tables[0].bytes), (20, 200));
+        assert_eq!((tables[1].rows, tables[1].bytes), (5, 50));
+        let total = m.snapshot();
+        assert_eq!((total.rows, total.bytes, total.packages), (25, 250, 3));
     }
 }

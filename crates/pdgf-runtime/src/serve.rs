@@ -379,6 +379,8 @@ impl ServiceShared {
     fn push_task(&self, task: Task) {
         let depth = {
             let mut q = self.lock_queue();
+            // locks:allow(W034) depth is bounded externally: admission
+            // keeps at most `window` tickets in flight per live request
             q.push_back(task);
             q.len() as u64
         };
@@ -838,6 +840,11 @@ impl ResponseStream {
             }
             if self.shared.shutdown.load(Ordering::Acquire) {
                 // The pool is gone; this request can never complete.
+                // Release the state guard before the bookkeeping below:
+                // publishing a telemetry event takes the bus lock, and
+                // holding two guards here would put a serve->events edge
+                // in the lock-order graph for no benefit.
+                drop(st);
                 self.finished = true;
                 self.req.cancelled.store(true, Ordering::Relaxed);
                 self.shared.stats.aborted.fetch_add(1, Ordering::Relaxed);
@@ -922,11 +929,14 @@ fn package_row_count(req: &RequestShared, package_rows: u64, seq: u64) -> u64 {
 fn worker_loop(shared: &ServiceShared) {
     let mut state = WorkerState::default();
     loop {
-        let task = {
+        // The depth reading rides the pop's critical section instead of
+        // re-locking the queue afterwards (`cargo xtask locks` flags the
+        // re-lock as a busy-wait hazard, W032).
+        let (task, depth) = {
             let mut q = shared.lock_queue();
             loop {
                 if let Some(t) = q.pop_front() {
-                    break t;
+                    break (t, q.len() as u64);
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
@@ -939,28 +949,31 @@ fn worker_loop(shared: &ServiceShared) {
             }
         };
         if let Some(scope) = &shared.scope {
-            scope.set_queue_depth(shared.lock_queue().len() as u64);
+            scope.set_queue_depth(depth);
         }
         if task.req.cancelled.load(Ordering::Relaxed) {
             continue;
         }
         let buf = render_package(shared, &task, &mut state);
-        let mut st = task
-            .req
-            .state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        let mut ready = st.reorder.push(task.seq, buf);
-        while let Some(b) = ready {
-            st.ready.push_back(b);
-            ready = st.reorder.pop_ready();
-        }
-        drop(st);
-        task.req.ready.notify_all();
+        deliver(&task.req, task.seq, buf);
         if let Some(scope) = &shared.scope {
             scope.progress();
         }
     }
+}
+
+/// Hand one rendered package to its request: slot it into the reorder
+/// buffer, promote whatever became contiguous, and wake the reader only
+/// after the state guard is released.
+fn deliver(req: &RequestShared, seq: u64, buf: Vec<u8>) {
+    let mut st = req.state.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut ready = st.reorder.push(seq, buf);
+    while let Some(b) = ready {
+        st.ready.push_back(b);
+        ready = st.reorder.pop_ready();
+    }
+    drop(st);
+    req.ready.notify_all();
 }
 
 /// Render one package of one request: the request's slice of the same

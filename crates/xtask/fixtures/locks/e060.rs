@@ -1,0 +1,23 @@
+//! Seeded E060: two functions nest the same pair of locks in opposite
+//! orders, so the acquisition graph has the cycle a -> b -> a.
+
+struct S {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl S {
+    fn forward(&self) {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+        drop(ga);
+    }
+
+    fn backward(&self) {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        drop(ga);
+        drop(gb);
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded E061: the same std mutex is acquired again while its guard is
+//! still live — a guaranteed self-deadlock.
+
+struct S {
+    a: Mutex<u64>,
+}
+
+impl S {
+    fn f(&self) {
+        let g = self.a.lock().unwrap();
+        let g2 = self.a.lock().unwrap();
+        drop(g2);
+        drop(g);
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded E062: a condvar wait outside any loop — a spurious wakeup or
+//! a missed notify leaves the caller with a stale predicate.
+
+struct S {
+    state: Mutex<u64>,
+    ready: Condvar,
+}
+
+impl S {
+    fn f(&self) -> u64 {
+        let st = self.state.lock().unwrap();
+        let st = self.ready.wait(st).unwrap();
+        *st
+    }
+}

@@ -1,0 +1,14 @@
+//! Seeded E063: a blocking channel send while a lock guard is held —
+//! the sender can park with the lock, stalling every other thread.
+
+struct S {
+    a: Mutex<u64>,
+}
+
+impl S {
+    fn f(&self, tx: &Sender<u64>) {
+        let g = self.a.lock().unwrap();
+        tx.send(*g).unwrap();
+        drop(g);
+    }
+}

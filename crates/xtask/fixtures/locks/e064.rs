@@ -1,0 +1,14 @@
+//! Seeded E064: file I/O under a lock guard — a slow disk serializes
+//! every thread that touches the lock.
+
+struct S {
+    a: Mutex<Vec<u8>>,
+}
+
+impl S {
+    fn f(&self, out: &mut File) {
+        let g = self.a.lock().unwrap();
+        out.write_all(&g).unwrap();
+        drop(g);
+    }
+}

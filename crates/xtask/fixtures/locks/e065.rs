@@ -1,0 +1,12 @@
+//! Seeded E065: a public function returns a lock guard, letting the
+//! guard's lifetime (and the critical section) escape the module.
+
+struct S {
+    a: Mutex<u64>,
+}
+
+impl S {
+    pub fn guard(&self) -> MutexGuard<'_, u64> {
+        self.a.lock().unwrap()
+    }
+}

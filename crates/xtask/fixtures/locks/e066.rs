@@ -1,0 +1,19 @@
+//! Seeded E066: malformed `locks:allow` annotations — an unknown code
+//! and a reason-less allow. The reason-less allow must NOT suppress the
+//! W030 it sits on.
+
+struct S {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl S {
+    fn f(&self) {
+        // locks:allow(E999) no such code
+        let ga = self.a.lock().unwrap();
+        // locks:allow(W030)
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+        drop(ga);
+    }
+}

@@ -1,0 +1,18 @@
+//! Seeded W030: a nested acquisition — a Mutex held while an RwLock is
+//! read — creating a lock-order edge that serializes both.
+
+struct S {
+    meta: Mutex<u64>,
+    table: RwLock<Vec<u64>>,
+}
+
+impl S {
+    fn f(&self) -> u64 {
+        let m = self.meta.lock().unwrap();
+        let t = self.table.read().unwrap();
+        let n = t.len() as u64 + *m;
+        drop(t);
+        drop(m);
+        n
+    }
+}

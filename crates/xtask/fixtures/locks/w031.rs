@@ -1,0 +1,15 @@
+//! Seeded W031: spawning and joining a thread while a lock guard is
+//! held — the child's whole lifetime sits inside the critical section.
+
+struct S {
+    a: Mutex<u64>,
+}
+
+impl S {
+    fn f(&self) {
+        let g = self.a.lock().unwrap();
+        let h = thread::spawn(move || 1u64);
+        h.join().unwrap();
+        drop(g);
+    }
+}

@@ -1,0 +1,23 @@
+//! Seeded W032: inside a wait-protocol function, a second lock is
+//! polled in the loop without any condvar wait — a busy-wait.
+
+struct S {
+    state: Mutex<u64>,
+    depth: Mutex<u64>,
+    ready: Condvar,
+}
+
+impl S {
+    fn f(&self) -> u64 {
+        loop {
+            let st = self.state.lock().unwrap();
+            if *st > 0 {
+                return *st;
+            }
+            let st = self.ready.wait(st).unwrap();
+            drop(st);
+            let d = self.depth.lock().unwrap();
+            drop(d);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Seeded W033: notifying a condvar while the associated guard is still
+//! held — woken threads immediately block on the mutex (hurry up and
+//! wait).
+
+struct S {
+    state: Mutex<u64>,
+    ready: Condvar,
+}
+
+impl S {
+    fn f(&self) {
+        let mut st = self.state.lock().unwrap();
+        *st += 1;
+        self.ready.notify_all();
+        drop(st);
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded W034: unbounded `push_back` into a `Mutex<VecDeque>` with no
+//! capacity check anywhere in the function — queue depth can grow
+//! without limit under load.
+
+struct S {
+    q: Mutex<VecDeque<u64>>,
+}
+
+impl S {
+    fn f(&self, v: u64) {
+        let mut g = self.q.lock().unwrap();
+        g.push_back(v);
+        drop(g);
+    }
+}

@@ -1,0 +1,1977 @@
+//! `cargo xtask locks` — the concurrency prover.
+//!
+//! A static analysis over the workspace's concurrency structure: every
+//! `Mutex`/`RwLock`/`Condvar` field, every bounded-channel construction
+//! site, and every thread spawn is extracted from (lexer-blanked) source;
+//! guard lifetimes are tracked through `let` bindings, poison-recovery
+//! chains, condvar-wait rebinding, and `drop(guard)`; and the cross-crate
+//! lock-acquisition graph is built from nested acquisitions plus calls to
+//! functions that (transitively) acquire locks. The pass then *proves*
+//! the lock-order graph acyclic — the classic sufficient condition for
+//! deadlock freedom — and flags every site where a guard is held across
+//! blocking work. Output is byte-stable, so fixture reports are pinned as
+//! goldens and the shipped tree is gated E-clean in `scripts/check.sh`.
+//!
+//! Like the audit pass, a site can opt out with
+//! `// locks:allow(<CODE>) <reason>` on the line or the comment line
+//! directly above; an allow with an unknown code or no reason is itself
+//! an error (`E066`), and the number of allow sites is reported so
+//! suppressions are never silent.
+//!
+//! ## Diagnostic registry
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | `E060` | lock-order cycle in the acquisition graph (potential deadlock) |
+//! | `E061` | lock re-acquired while already held (std locks self-deadlock) |
+//! | `E062` | `Condvar` wait outside a loop (spurious/missed wakeup is unrecoverable) |
+//! | `E063` | lock guard held across a blocking channel op or a foreign condvar wait |
+//! | `E064` | lock guard held across socket/file I/O |
+//! | `E065` | `pub fn` returns a lock guard (guard lifetime escapes the module) |
+//! | `E066` | malformed `locks:allow` (unknown code or missing reason) |
+//! | `W030` | nested lock acquisition (a lock-order edge; serializes both locks) |
+//! | `W031` | lock guard held across `thread::spawn`/`join` |
+//! | `W032` | lock acquired inside a loop without an associated condvar wait |
+//! | `W033` | condvar notify while the associated guard is still held |
+//! | `W034` | unbounded `push_back` into a `Mutex<VecDeque<..>>` with no capacity check |
+//!
+//! ## Model and limitations
+//!
+//! Lock identity is `path::field`; acquisitions are `.lock()` (and
+//! `.read()`/`.write()` on declared `RwLock` fields) plus calls to
+//! same-file private helpers that return a guard (`fn bufs(&self) ->
+//! MutexGuard<..>`). A guard bound by a terminal `let` (a chain ending in
+//! the acquisition or a poison-recovery `unwrap*`/`expect`) lives until
+//! `drop(name)`, a condvar wait that consumes it, or its enclosing
+//! block; any other acquisition is a statement-temporary and is modeled
+//! as held for its own line only. Cross-function effects propagate by
+//! function *name* (conservatively unioned across same-named functions,
+//! with std-prelude method names excluded), so exotic dispatch can hide
+//! an edge, and an unresolvable receiver (e.g. `stdout().lock()`) is
+//! counted as `unresolved` rather than guessed at.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use crate::lexer::{self, has_keyword, ident_ending_at, ident_starting_at, is_ident_byte};
+
+/// One concurrency diagnostic.
+pub struct Diag {
+    pub code: &'static str,
+    pub path: String,
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+/// A declared lock field (`path::name`).
+pub struct LockSite {
+    pub id: String,
+    pub kind: &'static str,
+    pub line: usize,
+}
+
+/// A declared condvar and the lock its waiters hold, when a wait site
+/// reveals the association.
+pub struct CondvarSite {
+    pub id: String,
+    pub line: usize,
+    pub guards: Option<String>,
+}
+
+/// A channel-construction or thread-spawn site.
+pub struct Site {
+    pub path: String,
+    pub line: usize,
+}
+
+/// One lock-order edge: `to` acquired while `from` is held.
+pub struct EdgeSite {
+    pub from: String,
+    pub to: String,
+    pub path: String,
+    pub line: usize,
+}
+
+/// The full analysis result, ready for either output format.
+pub struct Report {
+    pub files_scanned: usize,
+    pub locks: Vec<LockSite>,
+    pub condvars: Vec<CondvarSite>,
+    pub channels: Vec<Site>,
+    pub spawns: Vec<Site>,
+    pub edges: Vec<EdgeSite>,
+    pub acyclic: bool,
+    pub unresolved: usize,
+    pub allow_sites: usize,
+    pub diagnostics: Vec<Diag>,
+}
+
+impl Report {
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.code.starts_with('E'))
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.code.starts_with('W'))
+            .count()
+    }
+}
+
+/// Every code this pass can emit, in registry order.
+const CODES: &[&str] = &[
+    "E060", "E061", "E062", "E063", "E064", "E065", "E066", "W030", "W031", "W032", "W033", "W034",
+];
+
+/// Method names excluded from name-based call propagation: std-prelude
+/// and primitive-sync names where a name match would be meaningless
+/// (`drop`, `clone`, `send`, ...), not evidence of calling our function.
+const CALL_DENYLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "drop",
+    "next",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "push_back",
+    "push_front",
+    "pop_front",
+    "pop_back",
+    "insert",
+    "remove",
+    "take",
+    "get",
+    "iter",
+    "into_iter",
+    "collect",
+    "map",
+    "min",
+    "max",
+    "load",
+    "store",
+    "fetch_add",
+    "lock",
+    "read",
+    "write",
+    "try_lock",
+    "send",
+    "recv",
+    "try_recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "notify_one",
+    "notify_all",
+    "join",
+    "spawn",
+    "flush",
+    "write_all",
+    "to_string",
+    "unwrap",
+    "expect",
+    "unwrap_or_else",
+];
+
+/// Blocking channel operations (E063).
+const CHANNEL_NEEDLES: &[&str] = &[".send(", ".recv(", ".recv_timeout("];
+
+/// Blocking socket/file I/O (E064).
+const IO_NEEDLES: &[&str] = &[
+    ".write_all(",
+    ".flush(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read_line(",
+    ".sync_all(",
+    "fs::read(",
+    "fs::read_to_string(",
+    "fs::write(",
+    "File::open(",
+    "File::create(",
+    "TcpStream::connect(",
+    ".accept(",
+];
+
+/// Thread lifecycle under a guard (W031).
+const THREAD_NEEDLES: &[&str] = &["thread::spawn(", ".spawn(", ".join()"];
+
+/// A live guard during simulation. `name: None` is a statement
+/// temporary, dropped at end of line.
+struct Guard {
+    name: Option<String>,
+    lock: String,
+    depth: usize,
+}
+
+/// A call to a possibly-lock-acquiring function while guards were held.
+struct CallEvent {
+    name: String,
+    path: String,
+    line: usize,
+    col: usize,
+    held: Vec<String>,
+}
+
+/// Per-function facts from the simulation walk.
+#[derive(Default)]
+struct FnFacts {
+    name: String,
+    direct: BTreeSet<String>,
+    calls: Vec<CallEvent>,
+}
+
+/// A `locks:allow(CODE) reason` annotation.
+struct LocksAllow {
+    code: String,
+    reason: String,
+}
+
+fn parse_locks_allow(comment: &str) -> Option<LocksAllow> {
+    let start = comment.find("locks:allow(")?;
+    let rest = &comment[start + "locks:allow(".len()..];
+    let close = rest.find(')')?;
+    Some(LocksAllow {
+        code: rest[..close].trim().to_string(),
+        reason: rest[close + 1..].trim().to_string(),
+    })
+}
+
+/// First identifier inside a `let` pattern (`mut q`, `(guard, _)`, ...).
+fn pattern_ident(pat: &str) -> Option<String> {
+    let mut i = 0;
+    let bytes = pat.as_bytes();
+    while i < bytes.len() {
+        if is_ident_byte(bytes[i]) && !bytes[i].is_ascii_digit() {
+            let id = ident_starting_at(pat, i)?;
+            if id != "mut" {
+                return Some(id.to_string());
+            }
+            i += id.len();
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+/// Field declarations: `name: Mutex<..>` / `name: ..RwLock<..>` /
+/// `name: Condvar`. Lines holding `fn`, `use`, or `->` are not fields.
+fn scan_decls(
+    path: &str,
+    lines: &[lexer::Line],
+    locks: &mut Vec<LockSite>,
+    lock_kinds: &mut BTreeMap<String, (&'static str, String)>,
+    condvars: &mut Vec<CondvarSite>,
+) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.is_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        let trimmed = code.trim_start();
+        if has_keyword(code, "fn") || trimmed.starts_with("use ") || code.contains("->") {
+            continue;
+        }
+        let mut head = trimmed;
+        if let Some(rest) = head.strip_prefix("pub") {
+            head = rest.trim_start();
+            if let Some(close) = head
+                .strip_prefix('(')
+                .and_then(|r| r.find(')').map(|p| &r[p + 1..]))
+            {
+                head = close.trim_start();
+            }
+        }
+        let Some(name) = ident_starting_at(head, 0) else {
+            continue;
+        };
+        if !head[name.len()..].trim_start().starts_with(':') {
+            continue;
+        }
+        let id = format!("{path}::{name}");
+        let kind = if code.contains("Mutex<") {
+            Some("Mutex")
+        } else if code.contains("RwLock<") {
+            Some("RwLock")
+        } else {
+            None
+        };
+        if let Some(kind) = kind {
+            if !lock_kinds.contains_key(&id) {
+                lock_kinds.insert(id.clone(), (kind, code.to_string()));
+                locks.push(LockSite {
+                    id,
+                    kind,
+                    line: idx + 1,
+                });
+            }
+            continue;
+        }
+        if code.contains(": Condvar") && !condvars.iter().any(|c| c.id == id) {
+            condvars.push(CondvarSite {
+                id,
+                line: idx + 1,
+                guards: None,
+            });
+        }
+    }
+}
+
+/// One function's header + body line span within a file.
+struct FnSpan {
+    name: String,
+    is_pub: bool,
+    header_line: usize,
+    /// Header text (through the body-opening `{`), for E065.
+    header: String,
+    /// Body line range, inclusive, 0-based (starts at the line holding
+    /// the opening brace).
+    body: (usize, usize),
+}
+
+/// Split a file into function spans. Nested items inside a body are
+/// treated as part of the enclosing function's body (lexical analysis).
+fn scan_fns(lines: &[lexer::Line]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let line = &lines[i];
+        let code = line.code.as_str();
+        let Some(pos) = find_fn_kw(code) else {
+            i += 1;
+            continue;
+        };
+        if line.is_test {
+            i += 1;
+            continue;
+        }
+        let Some(name) = ident_starting_at(code, skip_ws(code, pos + 2)) else {
+            i += 1;
+            continue;
+        };
+        let is_pub = code[..pos].trim_end().ends_with("pub")
+            || code[..pos].contains("pub(")
+            || code[..pos].trim_start().starts_with("pub");
+        // Gather the header through the body-opening brace (or `;` for a
+        // trait signature), then the body via brace depth.
+        let mut header = String::new();
+        let mut j = i;
+        let mut open_line = None;
+        'header: while j < lines.len() && j < i + 16 {
+            let c = lines[j].code.as_str();
+            let from = if j == i { pos } else { 0 };
+            for (k, ch) in c[from..].char_indices() {
+                match ch {
+                    '{' => {
+                        header.push_str(&c[from..from + k]);
+                        open_line = Some((j, from + k));
+                        break 'header;
+                    }
+                    ';' => {
+                        header.push_str(&c[from..from + k]);
+                        break 'header;
+                    }
+                    _ => {}
+                }
+            }
+            header.push_str(&c[from..]);
+            header.push(' ');
+            j += 1;
+        }
+        let Some((open_l, open_c)) = open_line else {
+            i = j + 1;
+            continue;
+        };
+        let mut depth = 0i64;
+        let mut end = lines.len() - 1;
+        'body: for (li, l) in lines.iter().enumerate().skip(open_l) {
+            let from = if li == open_l { open_c } else { 0 };
+            for ch in l.code[from..].chars() {
+                match ch {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = li;
+                            break 'body;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        spans.push(FnSpan {
+            name: name.to_string(),
+            is_pub,
+            header_line: i + 1,
+            header,
+            body: (open_l, end),
+        });
+        i = end + 1;
+    }
+    spans
+}
+
+fn find_fn_kw(code: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find("fn") {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + 2;
+        let after_ok = after < bytes.len() && bytes[after] == b' ';
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + 2;
+    }
+    None
+}
+
+fn skip_ws(code: &str, mut i: usize) -> usize {
+    let bytes = code.as_bytes();
+    while i < bytes.len() && bytes[i] == b' ' {
+        i += 1;
+    }
+    i
+}
+
+/// Resolve the receiver of an acquisition/helper call whose needle
+/// starts at byte `pos`: the identifier just before it, or — when the
+/// chain begins the line (rustfmt-wrapped `.lock()`) — the trailing
+/// identifier of the previous code line.
+fn receiver_ident<'a>(code: &'a str, pos: usize, prev_tail: &'a str) -> Option<&'a str> {
+    if let Some(id) = ident_ending_at(code, pos) {
+        return Some(id);
+    }
+    if code[..pos].trim().is_empty() {
+        return ident_ending_at(prev_tail, prev_tail.trim_end().len());
+    }
+    None
+}
+
+/// Is the acquisition chain starting at `after` (the byte past the
+/// needle's `(`-less name, i.e. at its `(`) terminal — followed only by
+/// poison-recovery combinators and then end-of-expression? Terminal
+/// chains produce a named guard via `let`; anything else is a temporary.
+fn chain_is_terminal(code: &str, mut i: usize) -> bool {
+    // Skip the needle's own argument list.
+    loop {
+        i = match skip_parens(code, i) {
+            Some(n) => n,
+            None => return true, // spills to the next line: treat as terminal
+        };
+        let rest = code[i..].trim_start();
+        if rest.is_empty() || rest.starts_with(';') || rest.starts_with('?') {
+            return true;
+        }
+        let mut matched = false;
+        for comb in [".unwrap_or_else", ".unwrap", ".expect"] {
+            if rest.starts_with(comb) {
+                i += code[i..].len() - rest.len() + comb.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return false;
+        }
+    }
+}
+
+/// Byte index just past the `)` matching the `(` at `i` (which must
+/// point at `(`), or `None` if it does not close on this line.
+fn skip_parens(code: &str, i: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    if i >= bytes.len() || bytes[i] != b'(' {
+        return Some(i);
+    }
+    let mut depth = 0i64;
+    for (k, b) in bytes.iter().enumerate().skip(i) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The `let` pattern governing byte `pos`, if the statement containing
+/// `pos` starts with a plain `let` (not `if let`/`while let`).
+fn let_binding(code: &str, pos: usize) -> Option<String> {
+    let stmt_start = code[..pos]
+        .rfind([';', '{', '}'])
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let stmt = code[stmt_start..pos].trim_start();
+    let pat = stmt.strip_prefix("let ")?;
+    let eq = pat.find('=')?;
+    pattern_ident(&pat[..eq])
+}
+
+/// Plain-assignment rebind: `name = <chain with pos>` (no `let`).
+fn assign_target(code: &str, pos: usize) -> Option<String> {
+    let stmt_start = code[..pos]
+        .rfind([';', '{', '}'])
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let stmt = code[stmt_start..pos].trim_start();
+    if stmt.starts_with("let ") {
+        return None;
+    }
+    let eq = stmt.find('=')?;
+    if stmt[eq..].starts_with("==") || eq > 0 && "<>!+-*/&|".contains(&stmt[eq - 1..eq]) {
+        return None;
+    }
+    let name = ident_starting_at(stmt, 0)?;
+    if stmt[name.len()..eq].trim().is_empty() {
+        Some(name.to_string())
+    } else {
+        None
+    }
+}
+
+/// First identifier of the dotted chain ending at `pos` (for
+/// `st.ready.push_back(` this is `st`).
+fn chain_root(code: &str, pos: usize) -> Option<&str> {
+    let mut end = pos;
+    loop {
+        let id = ident_ending_at(code, end)?;
+        let start = end - id.len();
+        if start == 0 || code.as_bytes()[start - 1] != b'.' {
+            return Some(id);
+        }
+        end = start - 1;
+    }
+}
+
+/// All byte positions of `needle` in `code`.
+fn find_all(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(needle) {
+        out.push(from + rel);
+        from += rel + needle.len();
+    }
+    out
+}
+
+/// Wait-argument guard names for a function body: idents passed first
+/// to `.wait(` / `.wait_timeout(`. Acquisitions bound to these names
+/// are condvar protocols, exempt from W032.
+fn wait_args(lines: &[lexer::Line], body: (usize, usize)) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in &lines[body.0..=body.1] {
+        for needle in [".wait(", ".wait_timeout("] {
+            for pos in find_all(&line.code, needle) {
+                let arg_at = skip_ws(&line.code, pos + needle.len());
+                if let Some(id) = ident_starting_at(&line.code, arg_at) {
+                    out.insert(id.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Context shared by the per-function walk.
+struct WalkCtx<'a> {
+    path: &'a str,
+    /// lock id -> (kind, decl line text), for W034's VecDeque check.
+    lock_kinds: &'a BTreeMap<String, (&'static str, String)>,
+    /// Same-file guard-helper map: method name -> lock id.
+    helpers: &'a BTreeMap<String, String>,
+    /// Valid `locks:allow` per covered line.
+    allows: &'a BTreeMap<usize, String>,
+    condvar_guards: &'a mut BTreeMap<String, String>,
+    edges: &'a mut Vec<EdgeSite>,
+    diags: &'a mut Vec<Diag>,
+    unresolved: &'a mut usize,
+}
+
+impl WalkCtx<'_> {
+    fn diag(&mut self, code: &'static str, line: usize, col: usize, message: String) {
+        if self.allows.get(&line).is_some_and(|c| c == code) {
+            return;
+        }
+        self.diags.push(Diag {
+            code,
+            path: self.path.to_string(),
+            line,
+            col,
+            message,
+        });
+    }
+
+    fn edge(&mut self, from: &str, to: &str, line: usize, col: usize, via: Option<&str>) {
+        if !self.edges.iter().any(|e| e.from == from && e.to == to) {
+            self.edges.push(EdgeSite {
+                from: from.to_string(),
+                to: to.to_string(),
+                path: self.path.to_string(),
+                line,
+            });
+        }
+        let msg = match via {
+            Some(f) => {
+                format!("call to `{f}` acquires `{to}` while `{from}` is held (lock-order edge)")
+            }
+            None => format!("lock `{to}` acquired while `{from}` is held (lock-order edge)"),
+        };
+        self.diag("W030", line, col, msg);
+    }
+}
+
+/// Walk one function body: maintain brace depth, the loop stack, and
+/// live guards; emit intra-function diagnostics and record calls with
+/// their held-lock snapshots for the cross-function pass.
+fn walk_fn(ctx: &mut WalkCtx, lines: &[lexer::Line], span: &FnSpan) -> FnFacts {
+    let mut facts = FnFacts {
+        name: span.name.clone(),
+        ..FnFacts::default()
+    };
+    let waitable = wait_args(lines, span.body);
+    let bound_fn = code_has_bound_check(lines, span.body);
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut loops: Vec<usize> = Vec::new(); // depths owning a loop body
+    let mut prev_tail = String::new();
+    // First line of the statement currently spilling across lines
+    // (rustfmt chains): `let mut st = self` / `.req` / `.lock()`.
+    let mut stmt_head: Option<String> = None;
+    for (li, line) in lines
+        .iter()
+        .enumerate()
+        .take(span.body.1 + 1)
+        .skip(span.body.0)
+    {
+        let code = line.code.as_str();
+        let lineno = li + 1;
+        // Column-ordered events keep same-line sequences honest
+        // (`drop(st); cv.notify_all();` must not flag W033).
+        let mut events = line_events(code, li == span.body.0, span);
+        resolve_helper_calls(&mut events, code, ctx.helpers);
+        events.sort_by_key(|e| e.0);
+        for (col0, ev) in events {
+            let col = col0 + 1;
+            match ev {
+                Ev::Open(is_loop) => {
+                    depth += 1;
+                    if is_loop {
+                        loops.push(depth);
+                    }
+                }
+                Ev::Close => {
+                    guards.retain(|g| g.depth < depth || g.name.is_none());
+                    if loops.last() == Some(&depth) {
+                        loops.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                Ev::Drop(name) => guards.retain(|g| g.name.as_deref() != Some(name.as_str())),
+                Ev::Acquire {
+                    pos,
+                    needle_len,
+                    rw_only,
+                    helper,
+                } => {
+                    let lock = if let Some(lock) = helper {
+                        Some(lock)
+                    } else {
+                        match receiver_ident(code, pos, &prev_tail) {
+                            // `self.lock()` resolves through a same-file
+                            // guard helper literally named `lock`.
+                            Some("self") => ctx.helpers.get("lock").cloned(),
+                            Some(recv) => Some(format!("{}::{recv}", ctx.path)),
+                            None => None,
+                        }
+                    };
+                    if rw_only
+                        && !lock.as_deref().is_some_and(|l| {
+                            ctx.lock_kinds.get(l).is_some_and(|(k, _)| *k == "RwLock")
+                        })
+                    {
+                        continue;
+                    }
+                    let Some(lock) = lock else {
+                        *ctx.unresolved += 1;
+                        continue;
+                    };
+                    facts.direct.insert(lock.clone());
+                    for g in &guards {
+                        if g.lock == lock {
+                            ctx.diag(
+                                "E061",
+                                lineno,
+                                col,
+                                format!(
+                                    "lock `{lock}` re-acquired while already held (self-deadlock)"
+                                ),
+                            );
+                        } else {
+                            let from = g.lock.clone();
+                            ctx.edge(&from, &lock, lineno, col, None);
+                        }
+                    }
+                    let binding = if chain_is_terminal(code, pos + needle_len - 1) {
+                        // For rustfmt chains the `let` lives on the first
+                        // line of the (still open) statement.
+                        let_binding(code, pos).or_else(|| {
+                            if code[..pos].trim().is_empty() {
+                                stmt_head.as_deref().and_then(head_let_binding)
+                            } else {
+                                None
+                            }
+                        })
+                    } else {
+                        None
+                    };
+                    // Busy-wait hazard: inside a wait-protocol function
+                    // (one that condvar-waits somewhere), re-locking in a
+                    // loop without feeding the wait spins on the lock.
+                    if !loops.is_empty()
+                        && !waitable.is_empty()
+                        && !binding.as_deref().is_some_and(|b| waitable.contains(b))
+                    {
+                        ctx.diag(
+                            "W032",
+                            lineno,
+                            col,
+                            format!("lock `{lock}` acquired inside a loop without an associated condvar wait"),
+                        );
+                    }
+                    guards.push(Guard {
+                        name: binding,
+                        lock,
+                        depth,
+                    });
+                }
+                Ev::Wait {
+                    pos,
+                    needle,
+                    cv_recv,
+                } => {
+                    // Rustfmt puts `.wait_timeout(q, ..)` on its own line;
+                    // the condvar name is then the previous line's tail.
+                    let cv_recv = cv_recv
+                        .or_else(|| receiver_ident(code, pos, &prev_tail).map(str::to_string));
+                    let arg_at = skip_ws(code, pos + needle.len());
+                    let arg = ident_starting_at(code, arg_at).map(str::to_string);
+                    if loops.is_empty() {
+                        ctx.diag(
+                            "E062",
+                            lineno,
+                            col,
+                            format!(
+                                "`Condvar::{}` outside a loop: a spurious or missed wakeup is unrecoverable",
+                                needle.trim_matches(|c| c == '.' || c == '(')
+                            ),
+                        );
+                    }
+                    // Foreign guards held across the wait block forever.
+                    for g in &guards {
+                        if g.name.is_some() && g.name != arg {
+                            ctx.diag(
+                                "E063",
+                                lineno,
+                                col,
+                                format!(
+                                    "guard of `{}` held across a wait on `{}`",
+                                    g.lock,
+                                    cv_recv.as_deref().unwrap_or("a condvar")
+                                ),
+                            );
+                        }
+                    }
+                    // Associate condvar -> lock, and rebind the guard the
+                    // wait consumed and returned.
+                    if let (Some(arg), Some(cv)) = (arg.as_ref(), cv_recv.as_ref()) {
+                        if let Some(g) = guards.iter().find(|g| g.name.as_ref() == Some(arg)) {
+                            ctx.condvar_guards
+                                .entry(format!("{}::{cv}", ctx.path))
+                                .or_insert_with(|| g.lock.clone());
+                        }
+                        if let Some(rebound) =
+                            let_binding(code, pos).or_else(|| assign_target(code, pos))
+                        {
+                            for g in &mut guards {
+                                if g.name.as_ref() == Some(arg) {
+                                    g.name = Some(rebound.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                Ev::Notify { needle } => {
+                    if let Some(g) = guards.iter().find(|g| g.name.is_some()) {
+                        ctx.diag(
+                            "W033",
+                            lineno,
+                            col,
+                            format!(
+                                "`{}` while the guard of `{}` is still held: woken threads block on the lock",
+                                needle.trim_matches(|c| c == '.' || c == '('),
+                                g.lock
+                            ),
+                        );
+                    }
+                }
+                Ev::Blocking { needle, class } => {
+                    if let Some(g) = guards.iter().find(|g| g.name.is_some()) {
+                        let (codeid, what): (&'static str, &str) = match class {
+                            BlockClass::Channel => ("E063", "blocking channel op"),
+                            BlockClass::Io => ("E064", "blocking I/O"),
+                            BlockClass::Thread => ("W031", "thread lifecycle op"),
+                        };
+                        ctx.diag(
+                            codeid,
+                            lineno,
+                            col,
+                            format!("guard of `{}` held across {what} `{needle}`", g.lock),
+                        );
+                    }
+                }
+                Ev::PushBack { pos } => {
+                    if let Some(root) = chain_root(code, pos) {
+                        let lock = guards
+                            .iter()
+                            .find(|g| g.name.as_deref() == Some(root))
+                            .map(|g| g.lock.clone());
+                        if let Some(lock) = lock {
+                            let vecdeque = ctx
+                                .lock_kinds
+                                .get(&lock)
+                                .is_some_and(|(_, decl)| decl.contains("VecDeque"));
+                            if vecdeque && !bound_fn {
+                                ctx.diag(
+                                    "W034",
+                                    lineno,
+                                    col,
+                                    format!("unbounded `push_back` into `{lock}` under its lock; no capacity check in this function"),
+                                );
+                            }
+                        }
+                    }
+                }
+                Ev::Call(name) => {
+                    let held: Vec<String> = guards
+                        .iter()
+                        .filter(|g| g.name.is_some())
+                        .map(|g| g.lock.clone())
+                        .collect();
+                    facts.calls.push(CallEvent {
+                        name,
+                        path: ctx.path.to_string(),
+                        line: lineno,
+                        col,
+                        held,
+                    });
+                }
+            }
+        }
+        // Statement temporaries die with their line.
+        guards.retain(|g| g.name.is_some());
+        let tail = code.trim_end();
+        if !tail.trim().is_empty() {
+            prev_tail = code.to_string();
+        }
+        // Track whether a statement spills onto the next line.
+        if tail.trim().is_empty()
+            || tail.ends_with(';')
+            || tail.ends_with('{')
+            || tail.ends_with('}')
+        {
+            stmt_head = None;
+        } else if stmt_head.is_none() {
+            stmt_head = Some(code.to_string());
+        }
+    }
+    facts
+}
+
+/// `let` pattern of a statement-head line (`let mut st = self`).
+fn head_let_binding(head: &str) -> Option<String> {
+    let pat = head.trim_start().strip_prefix("let ")?;
+    let eq = pat.find('=')?;
+    pattern_ident(&pat[..eq])
+}
+
+/// Does the function body contain any capacity/bound comparison that
+/// would justify a queue push under a lock?
+fn code_has_bound_check(lines: &[lexer::Line], body: (usize, usize)) -> bool {
+    lines[body.0..=body.1].iter().any(|l| {
+        l.code.contains("capacity") || l.code.contains(".len() <") || l.code.contains(".len() >=")
+    })
+}
+
+enum BlockClass {
+    Channel,
+    Io,
+    Thread,
+}
+
+enum Ev {
+    Open(bool),
+    Close,
+    Drop(String),
+    Acquire {
+        pos: usize,
+        needle_len: usize,
+        /// Only counts if the receiver is a declared `RwLock` field
+        /// (`.read()`/`.write()` are common io method names too).
+        rw_only: bool,
+        helper: Option<String>,
+    },
+    Wait {
+        pos: usize,
+        needle: &'static str,
+        cv_recv: Option<String>,
+    },
+    Notify {
+        needle: &'static str,
+    },
+    Blocking {
+        needle: &'static str,
+        class: BlockClass,
+    },
+    PushBack {
+        pos: usize,
+    },
+    Call(String),
+}
+
+/// Tokenize one line into column-ordered events.
+fn line_events(code: &str, first_line: bool, span: &FnSpan) -> Vec<(usize, Ev)> {
+    let mut out: Vec<(usize, Ev)> = Vec::new();
+    let bytes = code.as_bytes();
+    // Braces, with loop-ness from the keyword since the last boundary.
+    let mut boundary = 0usize;
+    for (i, b) in bytes.iter().enumerate() {
+        match b {
+            b'{' => {
+                let head = &code[boundary..i];
+                let is_loop = has_keyword(head, "loop")
+                    || has_keyword(head, "while")
+                    || has_keyword(head, "for");
+                // The function's own opening brace is not a loop.
+                let is_fn_open = first_line && out.is_empty() && !is_loop;
+                out.push((i, Ev::Open(is_loop && !is_fn_open)));
+                boundary = i + 1;
+            }
+            b'}' => {
+                out.push((i, Ev::Close));
+                boundary = i + 1;
+            }
+            b';' => boundary = i + 1,
+            _ => {}
+        }
+    }
+    // drop(name) / std::mem::drop(name); `.drop(` and `xdrop(` are not it.
+    for pos in find_all(code, "drop(") {
+        if pos > 0 && (is_ident_byte(bytes[pos - 1]) || bytes[pos - 1] == b'.') {
+            continue;
+        }
+        let arg_at = skip_ws(code, pos + "drop(".len());
+        if let Some(id) = ident_starting_at(code, arg_at) {
+            out.push((pos, Ev::Drop(id.to_string())));
+        }
+    }
+    // Acquisitions: .lock(), RwLock .read()/.write(), and same-file
+    // guard-helper calls `.name()`.
+    for pos in find_all(code, ".lock()") {
+        out.push((
+            pos,
+            Ev::Acquire {
+                pos,
+                needle_len: ".lock(".len(),
+                rw_only: false,
+                helper: None,
+            },
+        ));
+    }
+    for needle in [".read()", ".write()"] {
+        for pos in find_all(code, needle) {
+            out.push((
+                pos,
+                Ev::Acquire {
+                    pos,
+                    needle_len: needle.len() - 1,
+                    rw_only: true,
+                    helper: None,
+                },
+            ));
+        }
+    }
+    // Waits and notifies.
+    for needle in [".wait(", ".wait_timeout("] {
+        for pos in find_all(code, needle) {
+            let cv_recv = ident_ending_at(code, pos).map(str::to_string);
+            out.push((
+                pos,
+                Ev::Wait {
+                    pos,
+                    needle,
+                    cv_recv,
+                },
+            ));
+        }
+    }
+    for needle in [".notify_one(", ".notify_all("] {
+        for pos in find_all(code, needle) {
+            out.push((pos, Ev::Notify { needle }));
+        }
+    }
+    // Blocking classes.
+    for needle in CHANNEL_NEEDLES {
+        for pos in find_all(code, needle) {
+            out.push((
+                pos,
+                Ev::Blocking {
+                    needle,
+                    class: BlockClass::Channel,
+                },
+            ));
+        }
+    }
+    for needle in IO_NEEDLES {
+        for pos in find_all(code, needle) {
+            out.push((
+                pos,
+                Ev::Blocking {
+                    needle,
+                    class: BlockClass::Io,
+                },
+            ));
+        }
+    }
+    for needle in THREAD_NEEDLES {
+        for pos in find_all(code, needle) {
+            out.push((
+                pos,
+                Ev::Blocking {
+                    needle,
+                    class: BlockClass::Thread,
+                },
+            ));
+        }
+    }
+    for pos in find_all(code, ".push_back(") {
+        out.push((pos, Ev::PushBack { pos }));
+    }
+    // Candidate function calls for cross-function propagation: `.name(`
+    // and `::name(` / bare `name(`, excluding definitions and denylisted
+    // prelude names. Resolution against the fn table happens later.
+    let mut from = 0;
+    while from < bytes.len() {
+        let Some(rel) = code[from..].find('(') else {
+            break;
+        };
+        let at = from + rel;
+        from = at + 1;
+        let Some(name) = ident_ending_at(code, at) else {
+            continue;
+        };
+        if CALL_DENYLIST.contains(&name) || name == span.name.as_str() {
+            continue;
+        }
+        let start = at - name.len();
+        if code[..start].trim_end().ends_with("fn") {
+            continue;
+        }
+        out.push((at, Ev::Call(name.to_string())));
+    }
+    out
+}
+
+/// Replace call events that match same-file guard helpers with
+/// acquisitions (empty-arg calls only: `self.lock_queue()`).
+fn resolve_helper_calls(
+    events: &mut [(usize, Ev)],
+    code: &str,
+    helpers: &BTreeMap<String, String>,
+) {
+    for (pos, ev) in events.iter_mut() {
+        let Ev::Call(name) = ev else { continue };
+        let Some(lock) = helpers.get(name.as_str()) else {
+            continue;
+        };
+        // Helpers are `&self` getters: require `name()` with no args.
+        if code[*pos..].starts_with("()") {
+            *ev = Ev::Acquire {
+                pos: *pos,
+                needle_len: 1,
+                rw_only: false,
+                helper: Some(lock.clone()),
+            };
+        }
+    }
+}
+
+/// Build the same-file helper map: private fns returning a guard type,
+/// mapped to the single lock their body acquires.
+fn helper_map(
+    path: &str,
+    lines: &[lexer::Line],
+    spans: &[FnSpan],
+    lock_kinds: &BTreeMap<String, (&'static str, String)>,
+) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for span in spans {
+        if !span.header.contains("Guard<") {
+            continue;
+        }
+        for li in span.body.0..=span.body.1 {
+            let code = lines[li].code.as_str();
+            let prev = if li > span.body.0 {
+                lines[li - 1].code.as_str()
+            } else {
+                ""
+            };
+            for pos in find_all(code, ".lock()") {
+                if let Some(recv) = receiver_ident(code, pos, prev) {
+                    if recv != "self" {
+                        let id = format!("{path}::{recv}");
+                        if lock_kinds.contains_key(&id) {
+                            map.insert(span.name.clone(), id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Analyze a set of `(workspace-relative path, source)` files.
+pub fn analyze(files: &[(String, String)]) -> Report {
+    let mut locks = Vec::new();
+    let mut lock_kinds: BTreeMap<String, (&'static str, String)> = BTreeMap::new();
+    let mut condvars = Vec::new();
+    let mut channels = Vec::new();
+    let mut spawns = Vec::new();
+    let mut edges = Vec::new();
+    let mut diags: Vec<Diag> = Vec::new();
+    let mut condvar_guards: BTreeMap<String, String> = BTreeMap::new();
+    let mut unresolved = 0usize;
+    let mut allow_sites = 0usize;
+
+    let lexed: Vec<(&str, Vec<lexer::Line>)> = files
+        .iter()
+        .map(|(p, s)| (p.as_str(), lexer::lex(s)))
+        .collect();
+    for (path, lines) in &lexed {
+        scan_decls(path, lines, &mut locks, &mut lock_kinds, &mut condvars);
+    }
+    // Lock ids are sorted by declaration site per file; files arrive
+    // sorted from the caller.
+    let mut all_facts: Vec<FnFacts> = Vec::new();
+    for (path, lines) in &lexed {
+        // Valid allows per covered line (annotation line + carried-to
+        // next code line), invalid ones -> E066.
+        let mut allows: BTreeMap<usize, String> = BTreeMap::new();
+        let mut carried: Option<(String, usize)> = None;
+        for (idx, line) in lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if let Some(a) = parse_locks_allow(&line.comment) {
+                if !CODES.contains(&a.code.as_str()) {
+                    diags.push(Diag {
+                        code: "E066",
+                        path: path.to_string(),
+                        line: lineno,
+                        col: 1,
+                        message: format!("`locks:allow({})` names an unknown code", a.code),
+                    });
+                } else if a.reason.is_empty() {
+                    diags.push(Diag {
+                        code: "E066",
+                        path: path.to_string(),
+                        line: lineno,
+                        col: 1,
+                        message: format!(
+                            "`locks:allow({})` has no justification; write the reason after the `)`",
+                            a.code
+                        ),
+                    });
+                } else {
+                    allow_sites += 1;
+                    allows.insert(lineno, a.code.clone());
+                    carried = Some((a.code, lineno));
+                }
+            }
+            if !line.code.trim().is_empty() {
+                if let Some((code, _)) = carried.take() {
+                    allows.insert(lineno, code);
+                }
+            }
+        }
+        // Channel constructions and thread spawns (topology).
+        for (idx, line) in lines.iter().enumerate() {
+            if line.is_test {
+                continue;
+            }
+            let code = line.code.as_str();
+            if has_keyword(code, "fn") {
+                continue;
+            }
+            if code.contains("channel(")
+                || code.contains("channel::<")
+                || code.contains("EventBus::new(")
+            {
+                channels.push(Site {
+                    path: path.to_string(),
+                    line: idx + 1,
+                });
+            }
+            if code.contains("thread::spawn(")
+                || (code.contains(".spawn(") && !code.contains("fn "))
+            {
+                spawns.push(Site {
+                    path: path.to_string(),
+                    line: idx + 1,
+                });
+            }
+        }
+        let spans: Vec<FnSpan> = scan_fns(lines);
+        let helpers = helper_map(path, lines, &spans, &lock_kinds);
+        for span in &spans {
+            // E065: a pub fn handing its guard to arbitrary callers.
+            if span.is_pub && span.header.contains("Guard<") && span.header.contains("->") {
+                let line = span.header_line;
+                if allows.get(&line).map(String::as_str) != Some("E065") {
+                    diags.push(Diag {
+                        code: "E065",
+                        path: path.to_string(),
+                        line,
+                        col: 1,
+                        message: format!(
+                            "`pub fn {}` returns a lock guard: callers control the critical section",
+                            span.name
+                        ),
+                    });
+                }
+            }
+            let mut ctx = WalkCtx {
+                path,
+                lock_kinds: &lock_kinds,
+                helpers: &helpers,
+                allows: &allows,
+                condvar_guards: &mut condvar_guards,
+                edges: &mut edges,
+                diags: &mut diags,
+                unresolved: &mut unresolved,
+            };
+            let facts = walk_fn(&mut ctx, lines, span);
+            all_facts.push(facts);
+        }
+    }
+
+    // Cross-function propagation: fn-name -> transitively acquired locks.
+    let mut summaries: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in &all_facts {
+        summaries
+            .entry(f.name.clone())
+            .or_default()
+            .extend(f.direct.iter().cloned());
+    }
+    loop {
+        let mut changed = false;
+        for f in &all_facts {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for c in &f.calls {
+                if let Some(s) = summaries.get(&c.name) {
+                    add.extend(s.iter().cloned());
+                }
+            }
+            let entry = summaries.entry(f.name.clone()).or_default();
+            for a in add {
+                changed |= entry.insert(a);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Call-induced edges and self-deadlocks.
+    for f in &all_facts {
+        for c in &f.calls {
+            if c.held.is_empty() {
+                continue;
+            }
+            let Some(acquired) = summaries.get(&c.name) else {
+                continue;
+            };
+            for to in acquired {
+                for from in &c.held {
+                    if from == to {
+                        diags.push(Diag {
+                            code: "E061",
+                            path: c.path.clone(),
+                            line: c.line,
+                            col: c.col,
+                            message: format!(
+                                "call to `{}` acquires `{to}` which is already held (self-deadlock)",
+                                c.name
+                            ),
+                        });
+                    } else {
+                        if !edges.iter().any(|e| &e.from == from && e.to == *to) {
+                            edges.push(EdgeSite {
+                                from: from.clone(),
+                                to: to.clone(),
+                                path: c.path.clone(),
+                                line: c.line,
+                            });
+                        }
+                        diags.push(Diag {
+                            code: "W030",
+                            path: c.path.clone(),
+                            line: c.line,
+                            col: c.col,
+                            message: format!(
+                                "call to `{}` acquires `{to}` while `{from}` is held (lock-order edge)",
+                                c.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // The proof: the acquisition graph must be acyclic.
+    let cycle = find_cycle(&edges);
+    let acyclic = cycle.is_none();
+    if let Some(cycle_ids) = cycle {
+        let next = cycle_ids[1 % cycle_ids.len()].clone();
+        let site = edges
+            .iter()
+            .find(|e| e.from == cycle_ids[0] && e.to == next)
+            .map(|e| (e.path.clone(), e.line))
+            .unwrap_or_default();
+        let mut path_str = cycle_ids.join(" -> ");
+        let _ = write!(path_str, " -> {}", cycle_ids[0]);
+        diags.push(Diag {
+            code: "E060",
+            path: site.0,
+            line: site.1,
+            col: 1,
+            message: format!("lock-order cycle: {path_str}"),
+        });
+    }
+
+    for cv in &mut condvars {
+        cv.guards = condvar_guards.get(&cv.id).cloned();
+    }
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.code).cmp(&(b.path.as_str(), b.line, b.col, b.code))
+    });
+    edges.sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
+    Report {
+        files_scanned: files.len(),
+        locks,
+        condvars,
+        channels,
+        spawns,
+        edges,
+        acyclic,
+        unresolved,
+        allow_sites,
+        diagnostics: diags,
+    }
+}
+
+/// First cycle in the edge set (DFS over sorted nodes), as the node
+/// sequence without the closing repeat.
+fn find_cycle(edges: &[EdgeSite]) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().push(&e.to);
+    }
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        if done.contains(start) {
+            continue;
+        }
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut on_path: Vec<&str> = vec![start];
+        while let Some((node, next)) = stack.last_mut() {
+            let succs = adj.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if let Some(at) = on_path.iter().position(|n| *n == s) {
+                    return Some(on_path[at..].iter().map(|s| s.to_string()).collect());
+                }
+                if !done.contains(s) {
+                    stack.push((s, 0));
+                    on_path.push(s);
+                }
+            } else {
+                done.insert(node);
+                stack.pop();
+                on_path.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Byte-stable single-line JSON report (same convention as the audit
+/// JSON): fixture reports are pinned under `tests/golden/locks/`.
+pub fn render_json(r: &Report) -> String {
+    let esc = crate::json_escape;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"ok\":{},\"files_scanned\":{},\"allow_sites\":{},\"unresolved\":{},\"acyclic\":{},\"locks\":[",
+        r.errors() == 0,
+        r.files_scanned,
+        r.allow_sites,
+        r.unresolved,
+        r.acyclic
+    );
+    for (i, l) in r.locks.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"id\":\"{}\",\"kind\":\"{}\",\"line\":{}}}",
+            esc(&l.id),
+            l.kind,
+            l.line
+        );
+    }
+    s.push_str("],\"condvars\":[");
+    for (i, c) in r.condvars.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = match &c.guards {
+            Some(g) => write!(
+                s,
+                "{{\"id\":\"{}\",\"line\":{},\"guards\":\"{}\"}}",
+                esc(&c.id),
+                c.line,
+                esc(g)
+            ),
+            None => write!(
+                s,
+                "{{\"id\":\"{}\",\"line\":{},\"guards\":null}}",
+                esc(&c.id),
+                c.line
+            ),
+        };
+    }
+    s.push_str("],\"channels\":[");
+    for (i, site) in r.channels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"path\":\"{}\",\"line\":{}}}",
+            esc(&site.path),
+            site.line
+        );
+    }
+    s.push_str("],\"spawns\":[");
+    for (i, site) in r.spawns.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"path\":\"{}\",\"line\":{}}}",
+            esc(&site.path),
+            site.line
+        );
+    }
+    s.push_str("],\"edges\":[");
+    for (i, e) in r.edges.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"from\":\"{}\",\"to\":\"{}\",\"path\":\"{}\",\"line\":{}}}",
+            esc(&e.from),
+            esc(&e.to),
+            esc(&e.path),
+            e.line
+        );
+    }
+    s.push_str("],\"diagnostics\":[");
+    for (i, d) in r.diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"code\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            d.code,
+            esc(&d.path),
+            d.line,
+            d.col,
+            esc(&d.message)
+        );
+    }
+    let _ = write!(
+        s,
+        "],\"errors\":{},\"warnings\":{}}}",
+        r.errors(),
+        r.warnings()
+    );
+    s
+}
+
+/// Rustc-style report for humans, with a proof summary at the end.
+pub fn render_human(r: &Report) -> String {
+    let mut s = String::new();
+    for d in &r.diagnostics {
+        let sev = if d.code.starts_with('E') {
+            "error"
+        } else {
+            "warning"
+        };
+        let _ = writeln!(s, "{sev}[locks/{}]: {}", d.code, d.message);
+        let _ = writeln!(s, "  --> {}:{}:{}", d.path, d.line, d.col);
+        let _ = writeln!(s);
+    }
+    let _ = writeln!(
+        s,
+        "locks: {} files scanned: {} locks, {} condvars, {} channel sites, {} spawn sites, {} lock-order edges",
+        r.files_scanned,
+        r.locks.len(),
+        r.condvars.len(),
+        r.channels.len(),
+        r.spawns.len(),
+        r.edges.len()
+    );
+    if r.acyclic {
+        let _ = writeln!(
+            s,
+            "locks: acquisition graph is ACYCLIC (deadlock-free by lock ordering)"
+        );
+    } else {
+        let _ = writeln!(
+            s,
+            "locks: acquisition graph has a CYCLE (potential deadlock)"
+        );
+    }
+    let _ = writeln!(
+        s,
+        "locks: {} error(s), {} warning(s), {} allow site(s), {} unresolved receiver(s)",
+        r.errors(),
+        r.warnings(),
+        r.allow_sites,
+        r.unresolved
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn analyze_one(path: &str, src: &str) -> Report {
+        analyze(&[(path.to_string(), src.to_string())])
+    }
+
+    fn codes(r: &Report) -> Vec<&'static str> {
+        r.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn ident_utilities() {
+        assert_eq!(ident_ending_at("self.queue.lock", 10), Some("queue"));
+        assert_eq!(ident_ending_at("  .lock", 2), None);
+        assert_eq!(ident_starting_at("foo(bar)", 4), Some("bar"));
+        assert_eq!(pattern_ident("mut q"), Some("q".to_string()));
+        assert_eq!(
+            pattern_ident("(guard, _timeout)"),
+            Some("guard".to_string())
+        );
+        assert!(has_keyword("for x in y {", "for"));
+        assert!(!has_keyword("formatter {", "for"));
+    }
+
+    #[test]
+    fn terminal_chain_detection() {
+        let t = "let q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);";
+        assert!(chain_is_terminal(t, t.find("()").unwrap()));
+        let nt = "let n = self.queue.lock().unwrap().len();";
+        assert!(!chain_is_terminal(nt, nt.find("()").unwrap()));
+    }
+
+    #[test]
+    fn locks_allow_parsing() {
+        let a = parse_locks_allow(" locks:allow(W034) bounded by windows").unwrap();
+        assert_eq!(
+            (a.code.as_str(), a.reason.as_str()),
+            ("W034", "bounded by windows")
+        );
+        let b = parse_locks_allow(" locks:allow(W034)").unwrap();
+        assert!(b.reason.is_empty());
+        assert!(parse_locks_allow("nothing here").is_none());
+    }
+
+    #[test]
+    fn decls_and_edges_from_nested_guards() {
+        let src = "\
+struct S {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+impl S {
+    fn f(&self) {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+        drop(ga);
+    }
+}
+";
+        let r = analyze_one("x.rs", src);
+        assert_eq!(r.locks.len(), 2);
+        assert_eq!(r.edges.len(), 1);
+        assert_eq!(
+            (r.edges[0].from.as_str(), r.edges[0].to.as_str()),
+            ("x.rs::a", "x.rs::b")
+        );
+        assert_eq!(codes(&r), ["W030"]);
+        assert!(r.acyclic);
+    }
+
+    #[test]
+    fn drop_releases_before_blocking_work() {
+        let src = "\
+struct S {
+    a: Mutex<u64>,
+    cv: Condvar,
+}
+impl S {
+    fn f(&self, tx: &Sender<u64>) {
+        let g = self.a.lock().unwrap();
+        drop(g);
+        tx.send(1).ok();
+        self.cv.notify_all();
+    }
+}
+";
+        let r = analyze_one("x.rs", src);
+        assert!(codes(&r).is_empty(), "got {:?}", codes(&r));
+    }
+
+    #[test]
+    fn multi_line_chain_binds_named_guard_and_wait_rebinds() {
+        // The serve-crate shape: rustfmt chain acquisition, poison
+        // recovery, timed wait in a loop feeding the same guard.
+        let src = "\
+struct S {
+    state: Mutex<u64>,
+    ready: Condvar,
+}
+impl S {
+    fn next(&self) -> u64 {
+        loop {
+            let mut st = self
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if *st > 0 {
+                return *st;
+            }
+            let (guard, _timeout) = self
+                .ready
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+}
+";
+        let r = analyze_one("x.rs", src);
+        assert!(codes(&r).is_empty(), "got {:?}", codes(&r));
+        assert_eq!(
+            r.condvars[0].guards.as_deref(),
+            Some("x.rs::state"),
+            "wait site should associate the condvar with its lock"
+        );
+    }
+
+    #[test]
+    fn helper_call_resolves_to_its_lock() {
+        let src = "\
+struct S {
+    bufs: Mutex<Vec<u8>>,
+    meta: Mutex<u64>,
+}
+impl S {
+    fn bufs(&self) -> MutexGuard<'_, Vec<u8>> {
+        self.bufs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+    fn f(&self) {
+        let m = self.meta.lock().unwrap();
+        let b = self.bufs();
+        drop(b);
+        drop(m);
+    }
+}
+";
+        let r = analyze_one("x.rs", src);
+        assert_eq!(r.edges.len(), 1);
+        assert_eq!(
+            (r.edges[0].from.as_str(), r.edges[0].to.as_str()),
+            ("x.rs::meta", "x.rs::bufs")
+        );
+    }
+
+    #[test]
+    fn call_summaries_propagate_across_functions() {
+        // g() takes b; f() calls g() while holding a -> edge a -> b.
+        let src = "\
+struct S {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+impl S {
+    fn refill(&self) {
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+    }
+    fn f(&self) {
+        let ga = self.a.lock().unwrap();
+        self.refill();
+        drop(ga);
+    }
+}
+";
+        let r = analyze_one("x.rs", src);
+        assert_eq!(codes(&r), ["W030"]);
+        assert_eq!(
+            (r.edges[0].from.as_str(), r.edges[0].to.as_str()),
+            ("x.rs::a", "x.rs::b")
+        );
+    }
+
+    #[test]
+    fn self_deadlock_through_a_call_is_e061() {
+        let src = "\
+struct S {
+    a: Mutex<u64>,
+}
+impl S {
+    fn bump(&self) {
+        let g = self.a.lock().unwrap();
+        drop(g);
+    }
+    fn f(&self) {
+        let g = self.a.lock().unwrap();
+        self.bump();
+        drop(g);
+    }
+}
+";
+        let r = analyze_one("x.rs", src);
+        assert_eq!(codes(&r), ["E061"]);
+    }
+
+    #[test]
+    fn allow_suppresses_and_is_counted() {
+        let src = "\
+struct S {
+    q: Mutex<VecDeque<u64>>,
+}
+impl S {
+    fn f(&self, v: u64) {
+        let mut g = self.q.lock().unwrap();
+        // locks:allow(W034) bounded by the admission window upstream
+        g.push_back(v);
+        drop(g);
+    }
+}
+";
+        let r = analyze_one("x.rs", src);
+        assert!(codes(&r).is_empty(), "got {:?}", codes(&r));
+        assert_eq!(r.allow_sites, 1);
+        // Without the allow the same code reports W034.
+        let bare = src.replace(
+            "        // locks:allow(W034) bounded by the admission window upstream\n",
+            "",
+        );
+        let r = analyze_one("x.rs", &bare);
+        assert_eq!(codes(&r), ["W034"]);
+    }
+
+    #[test]
+    fn unresolvable_receiver_is_counted_not_guessed() {
+        let src = "\
+fn f() {
+    let mut out = std::io::stdout().lock();
+    out.write_all(b\"x\").ok();
+}
+";
+        let r = analyze_one("x.rs", src);
+        assert!(codes(&r).is_empty());
+        assert_eq!(r.unresolved, 1);
+    }
+
+    #[test]
+    fn channel_and_spawn_topology_is_extracted() {
+        let src = "\
+fn run() {
+    let (tx, rx) = channel::<u64>(4);
+    let h = std::thread::spawn(move || drop(rx));
+    tx.send(1).ok();
+    h.join().ok();
+}
+";
+        let r = analyze_one("x.rs", src);
+        assert_eq!(r.channels.len(), 1);
+        assert_eq!(r.spawns.len(), 1);
+        assert!(codes(&r).is_empty(), "no guard held: {:?}", codes(&r));
+    }
+
+    #[test]
+    fn json_report_shape_is_stable() {
+        let r = analyze_one("x.rs", "struct S {\n    a: Mutex<u64>,\n}\n");
+        let json = render_json(&r);
+        assert!(json.starts_with("{\"ok\":true,\"files_scanned\":1,"));
+        assert!(json.contains("\"locks\":[{\"id\":\"x.rs::a\",\"kind\":\"Mutex\",\"line\":2}]"));
+        assert!(json.ends_with("\"errors\":0,\"warnings\":0}"));
+    }
+
+    /// Every fixture reports exactly its seeded code, byte-identical to
+    /// the pinned golden (regenerate with `cargo xtask bless`).
+    #[test]
+    fn fixture_corpus_matches_goldens() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let fixtures = root.join("fixtures/locks");
+        let mut names: Vec<String> = std::fs::read_dir(&fixtures)
+            .expect("fixtures/locks exists")
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".rs"))
+            .collect();
+        names.sort();
+        assert_eq!(names.len(), CODES.len(), "one fixture per diagnostic code");
+        for name in &names {
+            let src = std::fs::read_to_string(fixtures.join(name)).unwrap();
+            let rel = format!("fixtures/locks/{name}");
+            let report = analyze(&[(rel, src)]);
+            let json = render_json(&report);
+            let golden_path = root
+                .join("tests/golden/locks")
+                .join(name.replace(".rs", ".json"));
+            let golden = std::fs::read_to_string(&golden_path)
+                .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden_path.display()));
+            assert_eq!(
+                json.trim_end(),
+                golden.trim_end(),
+                "golden drift for {name}; run `cargo xtask bless`"
+            );
+            let seeded = name.trim_end_matches(".rs").to_uppercase();
+            assert!(
+                report.diagnostics.iter().any(|d| d.code == seeded),
+                "{name} must report its seeded code {seeded}, got {:?}",
+                codes(&report)
+            );
+            if seeded.starts_with('E') {
+                let foreign: Vec<_> = report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.code.starts_with('E') && d.code != seeded)
+                    .map(|d| d.code)
+                    .collect();
+                assert!(
+                    foreign.is_empty(),
+                    "{name} reports foreign errors {foreign:?}"
+                );
+            } else {
+                assert_eq!(report.errors(), 0, "{name} must stay E-clean");
+            }
+        }
+    }
+
+    /// The in-process twin of the `cargo xtask locks` CI gate: the
+    /// shipped workspace lock graph is acyclic and E-clean.
+    #[test]
+    fn workspace_lock_graph_is_acyclic_and_e_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        let files = crate::collect_files(root).unwrap();
+        let mut inputs = Vec::new();
+        for f in &files {
+            let rel = f
+                .strip_prefix(root)
+                .unwrap()
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            inputs.push((rel, std::fs::read_to_string(f).unwrap()));
+        }
+        let r = analyze(&inputs);
+        let errs: Vec<String> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code.starts_with('E'))
+            .map(|d| format!("{}:{}:{} {} {}", d.path, d.line, d.col, d.code, d.message))
+            .collect();
+        assert!(
+            errs.is_empty(),
+            "lock errors on shipped code:\n{}",
+            errs.join("\n")
+        );
+        assert!(
+            r.acyclic,
+            "workspace lock graph has a cycle: {:?}",
+            r.edges
+                .iter()
+                .map(|e| format!("{} -> {}", e.from, e.to))
+                .collect::<Vec<_>>()
+        );
+        let warns: Vec<String> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code.starts_with('W'))
+            .map(|d| format!("{}:{}:{} {} {}", d.path, d.line, d.col, d.code, d.message))
+            .collect();
+        assert!(
+            warns.is_empty(),
+            "unexpected lock warnings on shipped code:\n{}",
+            warns.join("\n")
+        );
+        // Known shipped state: the serve queue's window-bounded push is
+        // the one sanctioned allow; `stdout().lock()` is the one
+        // unresolvable receiver.
+        assert!(!r.locks.is_empty() && !r.condvars.is_empty());
+        assert_eq!(
+            r.allow_sites, 1,
+            "allow sites changed; update this pin deliberately"
+        );
+        assert_eq!(
+            r.unresolved, 1,
+            "unresolved receivers changed; update this pin deliberately"
+        );
+    }
+}

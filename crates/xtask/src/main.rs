@@ -17,7 +17,13 @@
 //! registry ([`registry`]): every `E`/`W` code the schema analyzer or the
 //! abstract interpreter emits must have a row in its module-doc registry
 //! table, and every row must match a live emission site.
+//!
+//! `cargo xtask locks` runs the concurrency prover ([`concurrency`]) over
+//! the same file set: lock/condvar/channel extraction, the cross-crate
+//! lock-order graph with an acyclicity proof, and blocking-section
+//! diagnostics E060–E066/W030–W034.
 
+mod concurrency;
 mod lexer;
 mod registry;
 mod rules;
@@ -55,8 +61,11 @@ fn parse_allow(comment: &str) -> Option<Allow> {
 }
 
 /// Audit one file's source text. `path` is workspace-relative with `/`
-/// separators and is used for rule scoping and reporting.
-fn audit_source(path: &str, src: &str, out: &mut Vec<Violation>) {
+/// separators and is used for rule scoping and reporting. Returns the
+/// number of well-formed allow sites, so suppressions stay visible in
+/// the report even when they produce no violation.
+fn audit_source(path: &str, src: &str, out: &mut Vec<Violation>) -> usize {
+    let mut allow_sites = 0;
     let lines = lexer::lex(src);
     // An allow annotation covers its own line and carries forward across
     // comment-only/blank lines to the next line that has code.
@@ -87,7 +96,10 @@ fn audit_source(path: &str, src: &str, out: &mut Vec<Violation>) {
                     ),
                     help: "an unexplained exemption defeats the audit trail",
                 }),
-                (Some(_), false) => carried = Some(a),
+                (Some(_), false) => {
+                    allow_sites += 1;
+                    carried = Some(a);
+                }
             }
         }
         if !line.is_test {
@@ -120,6 +132,7 @@ fn audit_source(path: &str, src: &str, out: &mut Vec<Violation>) {
             carried = None;
         }
     }
+    allow_sites
 }
 
 /// Collect the workspace-relative paths the audit covers: `crates/*/src`
@@ -175,13 +188,14 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn print_json(violations: &[Violation], files_scanned: usize) {
+fn print_json(violations: &[Violation], files_scanned: usize, allow_sites: usize) {
     let mut s = String::new();
     let _ = write!(
         s,
-        "{{\"ok\":{},\"files_scanned\":{},\"violations\":[",
+        "{{\"ok\":{},\"files_scanned\":{},\"allow_sites\":{},\"violations\":[",
         violations.is_empty(),
-        files_scanned
+        files_scanned,
+        allow_sites
     );
     for (i, v) in violations.iter().enumerate() {
         if i > 0 {
@@ -202,7 +216,7 @@ fn print_json(violations: &[Violation], files_scanned: usize) {
     println!("{s}");
 }
 
-fn print_human(violations: &[Violation], files_scanned: usize) {
+fn print_human(violations: &[Violation], files_scanned: usize, allow_sites: usize) {
     for v in violations {
         eprintln!("error[audit/{}]: {}", v.rule, v.message);
         eprintln!("  --> {}:{}:{}", v.path, v.line, v.col);
@@ -210,10 +224,12 @@ fn print_human(violations: &[Violation], files_scanned: usize) {
         eprintln!();
     }
     if violations.is_empty() {
-        eprintln!("audit: {files_scanned} files scanned, no violations");
+        eprintln!(
+            "audit: {files_scanned} files scanned, no violations, {allow_sites} allow site(s)"
+        );
     } else {
         eprintln!(
-            "audit: {files_scanned} files scanned, {} violation{} found",
+            "audit: {files_scanned} files scanned, {} violation{} found, {allow_sites} allow site(s)",
             violations.len(),
             if violations.len() == 1 { "" } else { "s" }
         );
@@ -221,7 +237,9 @@ fn print_human(violations: &[Violation], files_scanned: usize) {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask <audit [--format human|json] | bless>");
+    eprintln!(
+        "usage: cargo xtask <audit [--format human|json] | locks [--format human|json] | bless>"
+    );
     ExitCode::from(2)
 }
 
@@ -235,10 +253,95 @@ fn golden_fixture(name: &str) -> bool {
         .any(|p| name.starts_with(p))
 }
 
+/// Read every audited file as `(workspace-relative path, source)`.
+fn read_workspace(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let files = collect_files(root)?;
+    let mut out = Vec::with_capacity(files.len());
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.push((rel, std::fs::read_to_string(file)?));
+    }
+    Ok(out)
+}
+
+/// `cargo xtask locks` — run the concurrency prover over the workspace.
+fn locks(root: &Path, json: bool) -> ExitCode {
+    let inputs = match read_workspace(root) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("locks: cannot read workspace sources: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = concurrency::analyze(&inputs);
+    if json {
+        println!("{}", concurrency::render_json(&report));
+    } else {
+        eprint!("{}", concurrency::render_human(&report));
+    }
+    if report.errors() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Regenerate the byte-pinned concurrency-prover goldens: analyze each
+/// `fixtures/locks/*.rs` fixture in-process and pin its JSON report under
+/// `crates/xtask/tests/golden/locks/`.
+fn bless_locks(root: &Path) -> ExitCode {
+    let fixtures_dir = root.join("crates/xtask/fixtures/locks");
+    let golden_dir = root.join("crates/xtask/tests/golden/locks");
+    let mut names: Vec<String> = match std::fs::read_dir(&fixtures_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".rs"))
+            .collect(),
+        Err(e) => {
+            eprintln!("bless: cannot read {}: {e}", fixtures_dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    names.sort();
+    if let Err(e) = std::fs::create_dir_all(&golden_dir) {
+        eprintln!("bless: cannot create {}: {e}", golden_dir.display());
+        return ExitCode::from(2);
+    }
+    for name in &names {
+        let src = match std::fs::read_to_string(fixtures_dir.join(name)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bless: cannot read fixture {name}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let rel = format!("fixtures/locks/{name}");
+        let report = concurrency::analyze(&[(rel, src)]);
+        let mut json = concurrency::render_json(&report);
+        json.push('\n');
+        let golden = golden_dir.join(name.replace(".rs", ".json"));
+        if let Err(e) = std::fs::write(&golden, json) {
+            eprintln!("bless: cannot write {}: {e}", golden.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("bless: wrote {}", golden.display());
+    }
+    eprintln!("bless: {} locks golden(s) regenerated", names.len());
+    ExitCode::SUCCESS
+}
+
 /// `cargo xtask bless` — regenerate the byte-pinned golden reports by
 /// running `pdgf validate --format json` over every golden fixture with
 /// the repo root as working directory (matching the integration tests'
-/// invocation exactly, so the echoed model path is machine-independent).
+/// invocation exactly, so the echoed model path is machine-independent),
+/// then the concurrency-prover fixture goldens in-process.
 fn bless(root: &Path) -> ExitCode {
     let bad = root.join("models/bad");
     let golden_dir = root.join("crates/pdgf/tests/golden");
@@ -289,24 +392,26 @@ fn bless(root: &Path) -> ExitCode {
         eprintln!("bless: wrote {}", golden.display());
     }
     eprintln!("bless: {} golden report(s) regenerated", fixtures.len());
-    ExitCode::SUCCESS
+    bless_locks(root)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str);
-    if command != Some("audit") && command != Some("bless") {
+    if !matches!(command, Some("audit") | Some("locks") | Some("bless")) {
         return usage();
     }
     let mut json = false;
     let mut rest = args[1..].iter();
     while let Some(a) = rest.next() {
         match a.as_str() {
-            "--format" if command == Some("audit") => match rest.next().map(String::as_str) {
-                Some("json") => json = true,
-                Some("human") => json = false,
-                _ => return usage(),
-            },
+            "--format" if matches!(command, Some("audit") | Some("locks")) => {
+                match rest.next().map(String::as_str) {
+                    Some("json") => json = true,
+                    Some("human") => json = false,
+                    _ => return usage(),
+                }
+            }
             _ => return usage(),
         }
     }
@@ -326,39 +431,30 @@ fn main() -> ExitCode {
     if command == Some("bless") {
         return bless(&root);
     }
+    if command == Some("locks") {
+        return locks(&root, json);
+    }
 
-    let files = match collect_files(&root) {
-        Ok(f) => f,
+    let inputs = match read_workspace(&root) {
+        Ok(i) => i,
         Err(e) => {
             eprintln!("audit: cannot walk workspace sources: {e}");
             return ExitCode::from(2);
         }
     };
     let mut violations = Vec::new();
-    for file in &files {
-        let rel = file
-            .strip_prefix(&root)
-            .unwrap_or(file)
-            .components()
-            .map(|c| c.as_os_str().to_string_lossy())
-            .collect::<Vec<_>>()
-            .join("/");
-        match std::fs::read_to_string(file) {
-            Ok(src) => audit_source(&rel, &src, &mut violations),
-            Err(e) => {
-                eprintln!("audit: cannot read {rel}: {e}");
-                return ExitCode::from(2);
-            }
-        }
+    let mut allow_sites = 0;
+    for (rel, src) in &inputs {
+        allow_sites += audit_source(rel, src, &mut violations);
     }
     if let Err(e) = registry::check(&root, &mut violations) {
         eprintln!("audit: cannot read diagnostic sources: {e}");
         return ExitCode::from(2);
     }
     if json {
-        print_json(&violations, files.len());
+        print_json(&violations, inputs.len(), allow_sites);
     } else {
-        print_human(&violations, files.len());
+        print_human(&violations, inputs.len(), allow_sites);
     }
     if violations.is_empty() {
         ExitCode::SUCCESS
@@ -406,6 +502,24 @@ mod tests {
         let v = audit_str("crates/pdgf-gen/src/lib.rs", src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn valid_allow_sites_are_counted() {
+        let src =
+            "fn f() {\n    // audit:allow(wall-clock) stats only\n    let t = Instant::now();\n}\n";
+        let mut v = Vec::new();
+        let n = audit_source("crates/pdgf-gen/src/runtime.rs", src, &mut v);
+        assert!(v.is_empty());
+        assert_eq!(n, 1);
+        // A malformed allow is a violation, not a counted site.
+        let mut v = Vec::new();
+        let n = audit_source(
+            "crates/pdgf-gen/src/lib.rs",
+            "// audit:allow(wall-clock)\n",
+            &mut v,
+        );
+        assert_eq!((n, v.len()), (0, 1));
     }
 
     #[test]
